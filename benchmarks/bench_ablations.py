@@ -1,0 +1,241 @@
+"""Ablations for the design choices §8 and §9 call out.
+
+Not figures from the paper, but quantifications of its stated rules:
+
+* §8: "the best d is the largest under which all insertions pass; we chose
+  d = 3" — sweep d at fixed geometry;
+* §8: "a reasonable rule of thumb ... b ≈ 2d" — sweep b at d = 3;
+* §9: the small-values optimisation stores small integers exactly, removing
+  attribute false positives for in-domain values;
+* §9.1: binning vs dyadic decomposition for range predicates — error vs
+  space fan-out.
+"""
+
+import random
+
+from repro.bench.multiset_experiments import STREAM_SCHEMA, fill_until_failure
+from repro.bench.reporting import print_figure, save_json
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.binning import EquiSizeBinner
+from repro.ccf.factory import build_ccf
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq, In, Range
+from repro.ccf.range_ccf import DyadicRangeCCF
+
+
+def test_ablation_d_sweep(benchmark):
+    """Larger d delays chaining but lowers attainable load (§8, Figure 5)."""
+
+    def run():
+        rows = []
+        for d in (2, 3, 4, 6):
+            params = CCFParams(bucket_size=6, max_dupes=d, max_chain=None, seed=5)
+            point = fill_until_failure("chained", "zipf", 8.0, 512, params, seed=5)
+            rows.append({"d": d, "load_at_failure": point.load_factor})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Ablation: d sweep at b=6 (zipf, ~8 dupes/key)",
+        ["d", "load at failure"],
+        [(r["d"], r["load_at_failure"]) for r in rows],
+    )
+    save_json("ablation_d_sweep", rows)
+    assert all(r["load_at_failure"] > 0.5 for r in rows)
+
+
+def test_ablation_bucket_size_rule(benchmark):
+    """§8's b ≈ 2d rule: b=6 at d=3 reaches high load; smaller b suffers."""
+
+    def run():
+        rows = []
+        for bucket_size in (3, 4, 6, 8):
+            params = CCFParams(
+                bucket_size=bucket_size, max_dupes=3, max_chain=None, seed=7
+            )
+            point = fill_until_failure("chained", "zipf", 6.0, 512, params, seed=7)
+            rows.append({"b": bucket_size, "load_at_failure": point.load_factor})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Ablation: bucket size at d=3 (zipf, ~6 dupes/key)",
+        ["b", "load at failure"],
+        [(r["b"], r["load_at_failure"]) for r in rows],
+    )
+    save_json("ablation_bucket_size", rows)
+    by_b = {r["b"]: r["load_at_failure"] for r in rows}
+    assert by_b[6] > by_b[3]  # the paper's recommended 2d beats b=d
+    assert by_b[6] > 0.75
+
+
+def test_ablation_small_value_optimization(benchmark):
+    """§9: storing small ints exactly kills in-domain attribute FPs."""
+    schema = AttributeSchema(["role"])
+
+    def run():
+        rng = random.Random(3)
+        rows = [(key, (rng.randint(0, 10),)) for key in range(4000)]
+        stored = dict()
+        for key, (role,) in rows:
+            stored.setdefault(key, set()).add(role)
+        results = {}
+        for svo in (True, False):
+            params = CCFParams(
+                bucket_size=6,
+                max_dupes=3,
+                attr_bits=4,
+                key_bits=12,
+                small_value_optimization=svo,
+                seed=9,
+            )
+            ccf = build_ccf("chained", schema, rows, params)
+            false_positives = 0
+            trials = 0
+            for key in range(4000):
+                for role in range(11):
+                    if role in stored[key]:
+                        continue
+                    trials += 1
+                    false_positives += ccf.query(key, Eq("role", role))
+            results[svo] = false_positives / trials
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Ablation: small-value optimisation (4-bit attrs, values 0-10)",
+        ["small values stored exactly", "attr-mismatch FPR"],
+        [(svo, fpr) for svo, fpr in results.items()],
+    )
+    save_json("ablation_small_values", {str(k): v for k, v in results.items()})
+    # Exact small values: attribute fingerprints cannot collide for
+    # in-domain values, so only (rare) key-fingerprint collisions remain.
+    assert results[False] > 0.0
+    assert results[True] < results[False] / 10
+
+
+def test_ablation_sampled_sizing(benchmark):
+    """§10.4: bottom-k sampled sizing vs exact per-key counting.
+
+    The paper notes predicted entry counts "can be estimated from the data
+    using a bottom-k or two-level sampling scheme"; this quantifies the
+    estimate's accuracy across sample sizes on a skewed stream.
+    """
+    from repro.ccf.sizing import distinct_vector_counts, predicted_entries
+    from repro.data.streams import zipf_stream
+    from repro.sketches.bottomk import EntryCountEstimator
+
+    def run():
+        rows = zipf_stream(total_rows=40_000, mean_duplicates=6.0, seed=21)
+        counts = distinct_vector_counts(rows)
+        table = []
+        for kind, max_chain in (("mixed", None), ("chained", None)):
+            exact = predicted_entries(kind, counts, 3, max_chain, 6)
+            for k in (64, 256, 1024):
+                estimator = EntryCountEstimator(k=k, seed=5).add_stream(rows)
+                estimate = estimator.estimate(kind, 3, max_chain, 6)
+                table.append(
+                    {
+                        "kind": kind,
+                        "k": k,
+                        "exact": exact,
+                        "estimate": estimate,
+                        "error": estimate / exact - 1,
+                    }
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Ablation: bottom-k sampled sizing (zipf ~6 dupes/key)",
+        ["kind", "sample k", "exact entries", "estimated", "relative error"],
+        [(r["kind"], r["k"], r["exact"], round(r["estimate"]), r["error"]) for r in table],
+    )
+    save_json("ablation_sampled_sizing", table)
+    by_key = {(r["kind"], r["k"]): abs(r["error"]) for r in table}
+    # Capped variants (mixed: min(A, d)) bound the heavy tail, so even tiny
+    # key-level samples estimate well.
+    assert by_key[("mixed", 64)] < 0.15
+    assert by_key[("mixed", 256)] < 0.10
+    # The uncapped chained count equals the distinct-row count, which the
+    # estimator's second (pair-level) sample measures with skew-independent
+    # variance — the two-level idea §10.4 cites.
+    assert by_key[("chained", 256)] < 0.15
+    assert by_key[("chained", 1024)] < 0.05
+
+
+def test_ablation_binning_vs_dyadic(benchmark):
+    """§9.1: binning is compact but errs near bin edges; dyadic is exact at
+    unit granularity but multiplies entries by η."""
+    schema = AttributeSchema(["year"])
+    domain = (1888, 2019)
+
+    def run():
+        rng = random.Random(11)
+        rows = [(key, (rng.randint(*domain),)) for key in range(3000)]
+        years = {key: year for key, (year,) in rows}
+
+        # Binned CCF: bin ids as the stored attribute.  Both methods get
+        # 12-bit attribute fingerprints: dyadic queries probe up to 2η
+        # interval fingerprints per entry, so narrow fingerprints drown its
+        # exactness in collision noise (at 8 bits it *loses* to binning —
+        # recorded in EXPERIMENTS.md).
+        binner = EquiSizeBinner.fit(range(domain[0], domain[1] + 1), 16)
+        params = CCFParams(bucket_size=6, max_dupes=3, attr_bits=12, seed=13)
+        binned_rows = [(key, (binner.bin_of(year),)) for key, (year,) in rows]
+        binned = build_ccf("chained", AttributeSchema(["year_bin"]), binned_rows, params)
+
+        dyadic = DyadicRangeCCF.build("chained", schema, "year", domain, rows, params)
+
+        queries = []
+        for _ in range(2000):
+            key = rng.randrange(3000)
+            low = rng.randint(*domain)
+            high = min(domain[1], low + rng.choice((3, 5, 10, 20)))
+            queries.append((key, low, high))
+
+        def binned_query(key, low, high):
+            bins = binner.bins_for_range(Range("year", low=low, high=high))
+            return binned.query(key, In("year_bin", bins))
+
+        counts = {"binned": 0, "dyadic": 0, "truth": 0}
+        for key, low, high in queries:
+            truth = low <= years[key] <= high
+            counts["truth"] += truth
+            counts["binned"] += binned_query(key, low, high)
+            counts["dyadic"] += dyadic.query(key, Range("year", low=low, high=high))
+            assert not truth or binned_query(key, low, high)
+            assert not truth or dyadic.query(key, Range("year", low=low, high=high))
+        return {
+            "counts": counts,
+            "binned_bits": binned.size_in_bits(),
+            "dyadic_bits": dyadic.size_in_bits(),
+            "eta": dyadic.num_levels,
+            "num_queries": len(queries),
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = data["counts"]
+    print_figure(
+        "Ablation: binning (16 bins) vs dyadic intervals for range queries",
+        ["method", "positives / truth", "size (KiB)"],
+        [
+            ("truth", f"{counts['truth']} / {counts['truth']}", "-"),
+            (
+                "binned",
+                f"{counts['binned']} / {counts['truth']}",
+                round(data["binned_bits"] / 8 / 1024, 1),
+            ),
+            (
+                f"dyadic (eta={data['eta']})",
+                f"{counts['dyadic']} / {counts['truth']}",
+                round(data["dyadic_bits"] / 8 / 1024, 1),
+            ),
+        ],
+    )
+    save_json("ablation_binning_vs_dyadic", data)
+    # Both are superset-correct; dyadic is tighter but larger.
+    assert counts["binned"] >= counts["truth"]
+    assert counts["dyadic"] >= counts["truth"]
+    assert counts["dyadic"] <= counts["binned"]
+    assert data["dyadic_bits"] > data["binned_bits"]

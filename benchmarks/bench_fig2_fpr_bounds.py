@@ -1,0 +1,49 @@
+"""Figure 2: the §7 FPR bounds predict the actual FPR.
+
+Paper claim: estimated FPRs (decomposed into key-caused and attribute-caused
+components) track actual FPRs well; at small attribute sizes the attribute
+sketch dominates the error.
+"""
+
+from repro.bench.fpr_experiments import correlation, run_figure2
+from repro.bench.reporting import print_figure, save_json
+
+
+def test_fig2_fpr_bounds(benchmark):
+    points = benchmark.pedantic(
+        run_figure2,
+        kwargs=dict(
+            attr_bit_choices=(4, 8),
+            key_bit_choices=(7, 12),
+            num_keys=1200,
+            values_per_key=3,
+            num_queries=3000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 2: estimated vs actual FPR (chained CCF)",
+        ["attr bits", "key bits", "cause", "actual FPR", "estimated FPR"],
+        [(p.attr_bits, p.key_bits, p.cause, p.actual, p.estimated) for p in points],
+    )
+    r = correlation(points)
+    print(f"\ncorrelation(actual, estimated) = {r:.3f}")
+    save_json(
+        "fig2_fpr_bounds",
+        {
+            "points": [vars(p) for p in points],
+            "correlation": r,
+        },
+    )
+
+    # Shape check 1: predictions track actuals strongly across the grid.
+    assert r > 0.9
+    # Shape check 2: the estimate upper-bounds (or stays near) the actual.
+    for point in points:
+        assert point.actual <= point.estimated * 2.5 + 0.02
+    # Shape check 3: 4-bit attribute sketches err more than 8-bit ones.
+    attr4 = max(p.actual for p in points if p.attr_bits == 4 and p.cause == "attribute")
+    attr8 = max(p.actual for p in points if p.attr_bits == 8 and p.cause == "attribute")
+    assert attr8 <= attr4
+    benchmark.extra_info["correlation"] = r

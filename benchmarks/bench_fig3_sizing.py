@@ -1,0 +1,36 @@
+"""Figure 3: predicted vs actual number of filled entries.
+
+Paper claim: the Table 1 (min-form) entry predictions closely match realised
+occupancy for Bloom, Chained and Mixed filters on the JOB-light tables —
+the property that makes offline sizing possible (§8).
+"""
+
+from repro.bench.joblight_experiments import figure3_points, standard_bundles
+from repro.bench.reporting import print_figure, save_json
+
+
+def test_fig3_predicted_vs_actual_entries(ctx, benchmark):
+    labels = standard_bundles(ctx, "small")
+    points = benchmark.pedantic(figure3_points, args=(ctx, labels), rounds=1, iterations=1)
+    print_figure(
+        "Figure 3: predicted vs actual filled entries",
+        ["filter", "table", "predicted", "actual", "ratio"],
+        [
+            (
+                p["filter"],
+                p["table"],
+                p["predicted_entries"],
+                p["actual_entries"],
+                p["actual_entries"] / max(1, p["predicted_entries"]),
+            )
+            for p in points
+        ],
+    )
+    save_json("fig3_sizing", points)
+
+    for point in points:
+        ratio = point["actual_entries"] / max(1, point["predicted_entries"])
+        # Fingerprint collisions merge entries, so actual <= predicted; the
+        # prediction is tight (paper: points hug the diagonal).
+        assert ratio <= 1.0 + 1e-9
+        assert ratio > 0.9

@@ -1,0 +1,41 @@
+"""Figure 5: bit efficiency vs fill for different maxDupe settings (d).
+
+Paper claim: smaller d reaches higher load factors and hence better use of
+bits; an optimised chained filter reaches an efficiency around 2 (vs the
+Bloom filter's 1.44 reference) on streams where every key has more than d
+duplicates.
+"""
+
+from repro.bench.multiset_experiments import run_figure5
+from repro.bench.reporting import print_figure, save_json
+
+
+def test_fig5_bit_efficiency(benchmark):
+    rows = benchmark.pedantic(
+        run_figure5,
+        kwargs=dict(
+            max_dupe_values=(2, 4, 6, 8, 10),
+            fill_levels=(0.2, 0.4, 0.6, 0.8),
+            duplicates_per_key=12,
+            num_buckets=512,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 5: bit efficiency vs fill (chained CCF, constant 12 dupes/key)",
+        ["maxDupe (d)", "fill", "bit efficiency", "measured FPR"],
+        [(r["max_dupes"], r["fill"], r["bit_efficiency"], r["fpr"]) for r in rows],
+    )
+    save_json("fig5_bit_efficiency", rows)
+
+    by_dupe: dict[int, list[float]] = {}
+    for row in rows:
+        by_dupe.setdefault(row["max_dupes"], []).append(row["bit_efficiency"])
+    # Shape check 1: at the highest fills the best efficiency lands in the
+    # few-x zone the paper reports (1.93 for optimal parameters).
+    best = min(min(values) for values in by_dupe.values())
+    assert 1.2 < best < 5.0
+    # Shape check 2: small d is at least as efficient as the largest d.
+    assert min(by_dupe[2]) <= min(by_dupe[10]) * 1.5
+    benchmark.extra_info["best_efficiency"] = best

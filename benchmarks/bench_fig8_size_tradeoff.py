@@ -1,0 +1,66 @@
+"""Figure 8: overall reduction factor and FPR by filter type and total size.
+
+Paper claims: CCFs obtain near-optimal reduction factors at a fraction of a
+raw hash table's size; Bloom attribute sketches give the smallest filters
+(at the worst FPR); Mixed achieves the best FPR per byte; growing the filter
+past a moderate size buys little additional reduction.
+"""
+
+from repro.bench.reporting import print_figure, save_json
+from repro.join.reduction import aggregate_fpr, aggregate_rf
+
+
+def test_fig8_size_vs_reduction(ctx, all_labels, all_results, benchmark):
+    def compute():
+        optimal = aggregate_rf(all_results, "exact")
+        binned = aggregate_rf(all_results, "exact_binned")
+        cuckoo = aggregate_rf(all_results, "cuckoo")
+        rows = []
+        for label in all_labels:
+            bundle = ctx.bundles[label]
+            rows.append(
+                {
+                    "filter": label,
+                    "kind": bundle.kind,
+                    "size_mb": bundle.total_size_mb(),
+                    "aggregate_rf": aggregate_rf(all_results, label),
+                    "fpr_vs_binned": aggregate_fpr(all_results, label),
+                    "fpr_vs_exact": aggregate_fpr(all_results, label, "exact"),
+                }
+            )
+        rows.sort(key=lambda r: r["size_mb"])
+        return {"optimal": optimal, "binned": binned, "cuckoo": cuckoo, "rows": rows}
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(
+        f"\nreference lines: optimal RF={data['optimal']:.4f}  "
+        f"optimal-after-binning RF={data['binned']:.4f}  "
+        f"key-only cuckoo RF={data['cuckoo']:.4f}"
+    )
+    print_figure(
+        "Figure 8: total size vs aggregate RF and FPR",
+        ["filter", "size (MB)", "aggregate RF", "FPR vs binned", "FPR vs exact"],
+        [
+            (r["filter"], r["size_mb"], r["aggregate_rf"], r["fpr_vs_binned"], r["fpr_vs_exact"])
+            for r in data["rows"]
+        ],
+    )
+    save_json("fig8_size_tradeoff", data)
+
+    rows = {r["filter"]: r for r in data["rows"]}
+    # Every CCF dominates the exact baseline and beats the key-only filter.
+    for row in data["rows"]:
+        assert row["aggregate_rf"] >= data["optimal"] - 1e-9
+        assert row["aggregate_rf"] < data["cuckoo"]
+    # Bloom sketches yield the smallest filters of a size tier (§10.7).
+    assert rows["bloom-small"]["size_mb"] <= rows["chained-small"]["size_mb"]
+    assert rows["bloom-large"]["size_mb"] <= rows["chained-large"]["size_mb"]
+    # Larger filters close most of the gap to the binned optimum (§10.7:
+    # within 10% of optimal at moderate sizes).
+    best = min(r["aggregate_rf"] for r in data["rows"])
+    assert best <= data["binned"] * 1.15 + 0.02
+    # FPR improves (weakly) with size within each kind.
+    for kind in ("bloom", "mixed", "chained"):
+        small = rows[f"{kind}-small"]["fpr_vs_binned"]
+        large = rows[f"{kind}-large"]["fpr_vs_binned"]
+        assert large <= small + 0.02

@@ -1,0 +1,38 @@
+"""Figure 9: reduction factor by the number of joins (filters applied).
+
+Paper claim: the benefits of CCFs compound multiplicatively as more joins
+(and hence more prebuilt filters) participate, for the optimal semijoin and
+the CCF alike — while the no-predicate baseline improves far more slowly.
+"""
+
+from repro.bench.reporting import print_figure, save_json
+from repro.join.reduction import rf_by_join_count
+
+
+def test_fig9_rf_by_join_count(ctx, all_labels, all_results, benchmark):
+    def compute():
+        return {
+            "optimal": rf_by_join_count(all_results, "exact"),
+            "ccf": rf_by_join_count(all_results, "chained-small"),
+            "no_predicate": rf_by_join_count(all_results, "cuckoo"),
+        }
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    counts = sorted(data["optimal"])
+    print_figure(
+        "Figure 9: aggregate RF by number of applied filters",
+        ["# filters", "optimal RF", "RF w/ CCF (chained-small)", "RF no predicate"],
+        [
+            (count, data["optimal"][count], data["ccf"][count], data["no_predicate"][count])
+            for count in counts
+        ],
+    )
+    save_json("fig9_rf_by_joins", data)
+
+    # More filters reduce more, for optimal and CCF alike.
+    assert data["optimal"][counts[-1]] < data["optimal"][counts[0]]
+    assert data["ccf"][counts[-1]] < data["ccf"][counts[0]]
+    # The CCF curve sits between optimal and the no-predicate baseline.
+    for count in counts:
+        assert data["optimal"][count] <= data["ccf"][count] + 1e-9
+        assert data["ccf"][count] <= data["no_predicate"][count] + 0.02

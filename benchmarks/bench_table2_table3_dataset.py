@@ -1,0 +1,66 @@
+"""Tables 2 and 3: the synthetic IMDB dataset reproduces the published stats.
+
+Paper content: per-table row counts and predicate-column cardinalities
+(Table 2), and the avg/max distinct duplicate attribute values per join key
+(Table 3) that drive every duplicate-handling mechanism in the CCF.
+"""
+
+from repro.bench.joblight_experiments import get_context
+from repro.bench.reporting import env_scale, print_figure, save_json
+from repro.data.imdb import FACT_TABLE_SPECS, dupes_summary, table_summary
+
+#: Table 3 of the paper: (table, column) -> (avg dupes, max dupes).
+PAPER_TABLE3 = {
+    ("cast_info", "role_id"): (4.70, 11),
+    ("movie_companies", "company_id"): (2.14, 87),
+    ("movie_companies", "company_type_id"): (1.54, 2),
+    ("movie_info", "info_type_id"): (4.17, 68),
+    ("movie_info_idx", "info_type_id"): (3.00, 4),
+    ("movie_keyword", "keyword_id"): (9.48, 539),
+    ("title", "kind_id"): (1.00, 1),
+    ("title", "production_year"): (1.00, 1),
+}
+
+
+def test_table2_table3_dataset_statistics(benchmark):
+    context = benchmark.pedantic(
+        get_context, args=(env_scale(0.002),), kwargs=dict(seed=1), rounds=1, iterations=1
+    )
+    dataset = context.dataset
+
+    table2 = table_summary(dataset)
+    print_figure(
+        f"Table 2 (scale={dataset.scale}): rows and predicate cardinalities",
+        ["table", "rows", "column", "cardinality"],
+        [(r["table"], r["rows"], r["column"], r["cardinality"]) for r in table2],
+    )
+
+    table3 = dupes_summary(dataset)
+    print_figure(
+        "Table 3: distinct duplicate attribute values per join key",
+        ["table", "column", "avg dupes (paper)", "avg dupes (ours)", "max (paper)", "max (ours)"],
+        [
+            (
+                r["table"],
+                r["column"],
+                PAPER_TABLE3[(r["table"], r["column"])][0],
+                round(r["avg_dupes"], 2),
+                PAPER_TABLE3[(r["table"], r["column"])][1],
+                r["max_dupes"],
+            )
+            for r in table3
+        ],
+    )
+    save_json("table2_table3_dataset", {"table2": table2, "table3": table3})
+
+    # Scaled row counts track Table 2.
+    by_table = {r["table"]: r["rows"] for r in table2}
+    for spec in FACT_TABLE_SPECS:
+        assert by_table[spec.name] / (spec.rows * dataset.scale) == 1.0 or (
+            0.7 < by_table[spec.name] / (spec.rows * dataset.scale) < 1.3
+        )
+    # Average duplicates track Table 3 within tolerance; maxima stay capped.
+    for row in table3:
+        paper_avg, paper_max = PAPER_TABLE3[(row["table"], row["column"])]
+        assert row["avg_dupes"] == paper_avg or abs(row["avg_dupes"] - paper_avg) / paper_avg < 0.3
+        assert row["max_dupes"] <= paper_max

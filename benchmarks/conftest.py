@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+The JOB-light experiments (Figures 3 and 6-10, §10.6 aggregates) share one
+synthetic dataset, one workload and one set of filter bundles, evaluated a
+single time per pytest session; individual benchmark files slice what they
+need from the cached results.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — fraction of the full IMDB row counts (default 0.002,
+  i.e. ~72k-row cast_info).  Larger scales sharpen the numbers and cost
+  proportionally more time.
+* ``REPRO_RUNS`` — salted repetitions for the stochastic multiset
+  experiments (default 3; the paper used 20).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.joblight_experiments import (
+    JOBLIGHT_KINDS,
+    JoblightContext,
+    get_context,
+)
+from repro.bench.reporting import env_scale
+from repro.ccf.params import CCFParams, LARGE_PARAMS, SMALL_PARAMS
+
+#: The size ladder for Figure 8's space/accuracy trade-off; 'small' and
+#: 'large' are the paper's named configurations (§10.5).
+SIZE_PARAMS: dict[str, CCFParams] = {
+    "xsmall": SMALL_PARAMS.replace(bloom_bits=4),
+    "small": SMALL_PARAMS,
+    "medium": CCFParams(key_bits=12, attr_bits=4, bloom_bits=12, bloom_hashes=2),
+    "large": LARGE_PARAMS,
+}
+
+
+@pytest.fixture(scope="session")
+def ctx() -> JoblightContext:
+    """The shared JOB-light context at the env-selected scale."""
+    return get_context(env_scale(0.002), seed=1)
+
+
+@pytest.fixture(scope="session")
+def all_labels(ctx: JoblightContext) -> tuple[str, ...]:
+    """Build every (kind, size) bundle once."""
+    labels = []
+    for size, params in SIZE_PARAMS.items():
+        for kind in JOBLIGHT_KINDS:
+            label = f"{kind}-{size}"
+            ctx.bundle(kind, params, label)
+            labels.append(label)
+    return tuple(labels)
+
+
+@pytest.fixture(scope="session")
+def all_results(ctx: JoblightContext, all_labels: tuple[str, ...]):
+    """Evaluate the workload once under every bundle plus the baselines."""
+    return ctx.evaluate(all_labels)

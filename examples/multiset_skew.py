@@ -1,0 +1,48 @@
+"""Duplicate keys break cuckoo filters; chaining repairs them (§4.3, §6.2).
+
+A cuckoo filter stores a key's copies in just two buckets, so at most 2b
+duplicates fit.  Real keys are Zipf-distributed — a few keys carry hundreds
+of duplicates — and the paper's Figure 4 shows plain filters failing almost
+immediately on such data.  This example reproduces that experiment at demo
+size: fill identical tables from the same stream and report the load factor
+reached at the first failed insertion.
+
+Run:  python examples/multiset_skew.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.multiset_experiments import STREAM_SCHEMA, fill_until_failure
+from repro.ccf import CCFParams
+from repro.data import duplicate_statistics, stream_for_capacity
+
+
+def main() -> None:
+    num_buckets = 512
+    params = CCFParams(
+        key_bits=12, attr_bits=8, bucket_size=4, max_dupes=3, max_chain=None, seed=11
+    )
+    capacity = num_buckets * params.bucket_size
+
+    print(f"table: {num_buckets} buckets x {params.bucket_size} slots "
+          f"= {capacity} entries; d={params.max_dupes}, Lmax uncapped\n")
+    header = f"{'stream':30s} {'type':8s} {'items before failure':>21s} {'load at failure':>16s}"
+    print(header)
+    print("-" * len(header))
+
+    for shape, mean_dupes in (("constant", 2), ("constant", 8), ("zipf", 8)):
+        stream = stream_for_capacity(shape, capacity, mean_dupes, overfill=1.2, seed=3)
+        mean, peak = duplicate_statistics(stream)
+        label = f"{shape}, ~{mean:.1f} dupes (max {peak})"
+        for kind in ("plain", "chained"):
+            point = fill_until_failure(kind, shape, mean_dupes, num_buckets, params, seed=3)
+            status = f"{point.items_processed:21d} {point.load_factor:16.3f}"
+            print(f"{label:30s} {kind:8s} {status}")
+        print()
+
+    print("chaining sustains the same high load factor regardless of skew;")
+    print("the plain filter dies as soon as a hot key exceeds its 2b slots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Predicate-only queries: derive per-predicate filters from one CCF (Alg. 2).
+
+§3's point: a prebuilt filter for the `title` table is useless because it
+contains every movie id — but a filter for "titles WITH kind_id=1 produced
+after 2000" is a powerful semijoin reducer.  Instead of prebuilding one
+filter per predicate combination (exponentially many), a single CCF can be
+*specialised on demand*: Algorithm 2 erases (Bloom/Mixed) or marks (chained)
+non-matching entries and hands back a key-only membership filter.
+
+Run:  python examples/predicate_filter_extraction.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.ccf import Eq, LARGE_PARAMS, Range
+from repro.data import generate_imdb
+from repro.join import YearBinning, build_filter_bundle
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.002"))
+    dataset = generate_imdb(scale=scale, seed=1)
+    title = dataset.table("title")
+    print(f"title table: {title.num_rows} movies")
+
+    # One CCF over (kind_id, production_year bin) — built once, offline.
+    bundle = build_filter_bundle(dataset, "chained", LARGE_PARAMS, name="chained-large")
+    ccf = bundle.ccfs["title"]
+    binning = bundle.binning
+    assert binning is not None
+    print(f"title CCF: {ccf.size_in_bits() / 8 / 1024:.1f} KiB, "
+          f"{ccf.num_entries} entries\n")
+
+    # Specialise it for three different predicates without touching the data.
+    predicates = {
+        "kind_id = 1": Eq("kind_id", 1),
+        "produced after 2000": Range("production_year", low=2000, low_inclusive=False),
+        "kind 2 in the 90s": Eq("kind_id", 2) & Range("production_year", low=1990, high=1999),
+    }
+
+    movie_ids = title.column("id").tolist()
+    for label, predicate in predicates.items():
+        truth_mask = predicate.mask(title.columns)
+        truth = set(title.column("id")[truth_mask].tolist())
+        # Ranges must be binned into the vocabulary the CCF stores.
+        view = ccf.predicate_filter(binning.rewrite(predicate))
+        selected = [m for m in movie_ids if view.contains(m)]
+        false_positives = len(selected) - len(truth)
+        missed = sum(1 for m in truth if m not in set(selected))
+        print(f"predicate: {label}")
+        print(f"  true matches:     {len(truth)}")
+        print(f"  filter selects:   {len(selected)} "
+              f"({false_positives} false positives, {missed} false negatives)")
+        print(f"  extracted filter: {view.size_in_bits() / 8 / 1024:.1f} KiB "
+              f"(marking bits keep chains walkable)\n")
+        assert missed == 0, "CCF views must never produce false negatives"
+
+    print("one sketch served three predicate-specific filters; a system can")
+    print("ship these to remote scans instead of shipping the title table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-use-pep517`` work on environments without the
+``wheel`` package (editable PEP 517 installs require it); all metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

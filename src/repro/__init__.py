@@ -1,0 +1,64 @@
+"""repro — a reproduction of "Conditional Cuckoo Filters" (Ting & Cole, 2021).
+
+The package is organised bottom-up:
+
+* :mod:`repro.hashing` — Jenkins lookup3 port, 64-bit mixers, hash families;
+* :mod:`repro.sketches` — bit arrays and Bloom filters;
+* :mod:`repro.cuckoo` — cuckoo hash table, cuckoo filter, multiset filter;
+* :mod:`repro.ccf` — the conditional cuckoo filter variants (the paper's
+  contribution) plus predicates, binning, sizing and FPR analysis;
+* :mod:`repro.data` — Zipf-Mandelbrot streams and the synthetic IMDB dataset;
+* :mod:`repro.join` — join engine, semijoin reducers and the JOB-light-style
+  reduction-factor evaluation;
+* :mod:`repro.bench` — experiment drivers shared by the benchmark suite.
+
+Quick start::
+
+    from repro.ccf import AttributeSchema, CCFParams, Eq, build_ccf
+
+    schema = AttributeSchema(["color", "size"])
+    rows = [(1, ("red", 10)), (1, ("blue", 12)), (2, ("red", 9))]
+    ccf = build_ccf("chained", schema, rows, CCFParams())
+    ccf.query(1, Eq("color", "red"))      # True
+    ccf.query(2, Eq("color", "blue"))     # False (up to the FPR)
+"""
+
+from repro.ccf import (
+    AttributeSchema,
+    BloomCCF,
+    CCFParams,
+    ChainedCCF,
+    Eq,
+    In,
+    LARGE_PARAMS,
+    MixedCCF,
+    PlainCCF,
+    Range,
+    SMALL_PARAMS,
+    build_ccf,
+    make_ccf,
+)
+from repro.cuckoo import CuckooFilter, CuckooHashTable, MultisetCuckooFilter
+from repro.sketches import BloomFilter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSchema",
+    "BloomCCF",
+    "BloomFilter",
+    "CCFParams",
+    "ChainedCCF",
+    "CuckooFilter",
+    "CuckooHashTable",
+    "Eq",
+    "In",
+    "LARGE_PARAMS",
+    "MixedCCF",
+    "MultisetCuckooFilter",
+    "PlainCCF",
+    "Range",
+    "SMALL_PARAMS",
+    "build_ccf",
+    "make_ccf",
+]

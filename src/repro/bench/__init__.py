@@ -1,0 +1,11 @@
+"""Benchmark drivers shared by the benchmarks/ suite."""
+
+from repro.bench.reporting import (
+    env_runs,
+    env_scale,
+    format_table,
+    print_figure,
+    save_json,
+)
+
+__all__ = ["env_runs", "env_scale", "format_table", "print_figure", "save_json"]

@@ -1,0 +1,149 @@
+"""Command-line runner: regenerate the paper's experiments without pytest.
+
+Usage::
+
+    python -m repro.bench [--scale 0.002] [--runs 3] [--only fig4,fig8,...]
+
+Prints every figure/table series (the same drivers the benchmark suite
+uses) and writes JSON artifacts under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.fpr_experiments import correlation, run_figure2
+from repro.bench.joblight_experiments import (
+    figure3_points,
+    figure10_relative_sizes,
+    get_context,
+    standard_bundles,
+)
+from repro.bench.multiset_experiments import run_figure4, run_figure5, run_table1_check
+from repro.bench.reporting import print_figure, save_json
+from repro.join.reduction import aggregate_fpr, aggregate_rf, rf_by_join_count
+
+
+def _run_fig2() -> None:
+    points = run_figure2()
+    print_figure(
+        "Figure 2: estimated vs actual FPR",
+        ["attr bits", "key bits", "cause", "actual", "estimated"],
+        [(p.attr_bits, p.key_bits, p.cause, p.actual, p.estimated) for p in points],
+    )
+    print(f"correlation = {correlation(points):.3f}")
+    save_json("fig2_fpr_bounds", {"points": [vars(p) for p in points]})
+
+
+def _run_fig4(runs: int) -> None:
+    rows = run_figure4(runs=runs)
+    print_figure(
+        "Figure 4: load factor at first failure",
+        ["shape", "b", "avg dupes", "type", "load@failure"],
+        [
+            (r["shape"], r["bucket_size"], r["mean_duplicates"], r["type"], r["load_factor_at_failure"])
+            for r in rows
+        ],
+    )
+    save_json("fig4_load_factor", rows)
+
+
+def _run_fig5() -> None:
+    rows = run_figure5()
+    print_figure(
+        "Figure 5: bit efficiency vs fill",
+        ["d", "fill", "efficiency", "FPR"],
+        [(r["max_dupes"], r["fill"], r["bit_efficiency"], r["fpr"]) for r in rows],
+    )
+    save_json("fig5_bit_efficiency", rows)
+
+
+def _run_table1() -> None:
+    table = run_table1_check()
+    print_figure(
+        "Table 1: sizing bounds",
+        ["filter", "queries", "bound", "actual", "ok"],
+        [
+            (r["filter"], r["supported_queries"], r["bound"], r["actual_entries"], r["within_bound"])
+            for r in table
+        ],
+    )
+    save_json("table1_sizing_bounds", table)
+
+
+def _run_joblight(scale: float) -> None:
+    context = get_context(scale, seed=1)
+    labels = standard_bundles(context, "small") + standard_bundles(context, "large")
+    results = context.evaluate(labels)
+
+    points = figure3_points(context, standard_bundles(context, "small"))
+    print_figure(
+        "Figure 3: predicted vs actual entries",
+        ["filter", "table", "predicted", "actual"],
+        [(p["filter"], p["table"], p["predicted_entries"], p["actual_entries"]) for p in points],
+    )
+
+    methods = ["exact", "exact_binned", "cuckoo"] + list(labels)
+    print_figure(
+        "§10.6 aggregates (Figures 6-8 summary)",
+        ["method", "aggregate RF", "FPR vs binned"],
+        [
+            (
+                method,
+                aggregate_rf(results, method),
+                aggregate_fpr(results, method) if method in labels else "-",
+            )
+            for method in methods
+        ],
+    )
+
+    by_joins = rf_by_join_count(results, "exact")
+    ccf_by_joins = rf_by_join_count(results, "chained-small")
+    baseline_by_joins = rf_by_join_count(results, "cuckoo")
+    print_figure(
+        "Figure 9: RF by number of filters",
+        ["# filters", "optimal", "CCF", "no predicate"],
+        [
+            (count, by_joins[count], ccf_by_joins[count], baseline_by_joins[count])
+            for count in sorted(by_joins)
+        ],
+    )
+
+    rows = figure10_relative_sizes(context, standard_bundles(context, "small"))
+    print_figure(
+        "Figure 10: relative sizes",
+        ["filter", "table", "relative size"],
+        [(r["filter"], r["table"], r["relative_size"]) for r in rows],
+    )
+
+
+EXPERIMENTS = {
+    "fig2": lambda args: _run_fig2(),
+    "fig4": lambda args: _run_fig4(args.runs),
+    "fig5": lambda args: _run_fig5(),
+    "table1": lambda args: _run_table1(),
+    "joblight": lambda args: _run_joblight(args.scale),
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__, add_help=True
+    )
+    parser.add_argument("--scale", type=float, default=0.002, help="synthetic IMDB scale")
+    parser.add_argument("--runs", type=int, default=3, help="salted runs for Figure 4")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help=f"comma-separated subset of {sorted(EXPERIMENTS)} (default: all)",
+    )
+    args = parser.parse_args(argv)
+    selected = sorted(EXPERIMENTS) if args.only is None else args.only.split(",")
+    for name in selected:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+        EXPERIMENTS[name](args)
+
+
+if __name__ == "__main__":
+    main()

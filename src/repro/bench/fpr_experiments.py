@@ -1,0 +1,136 @@
+"""Driver for Figure 2: estimated vs actual FPR decomposition (§7).
+
+For a grid of configurations we build chained CCFs over synthetic keyed
+rows, then measure two families of guaranteed-negative queries:
+
+* *key absent* — the queried key was never inserted (FPR caused by key
+  fingerprint collisions);
+* *attribute mismatch* — the key exists but the queried attribute value does
+  not (FPR caused by attribute sketch collisions).
+
+For each family the §7 estimator produces a predicted rate; Figure 2's claim
+is that predictions track actuals well.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.factory import build_ccf
+from repro.ccf.fpr import estimate_query_fpr
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq
+
+SCHEMA = AttributeSchema(["attr"])
+
+
+@dataclass
+class FPRPoint:
+    """One (configuration, cause) comparison point for Figure 2."""
+
+    attr_bits: int
+    key_bits: int
+    cause: str
+    actual: float
+    estimated: float
+
+
+def _build_dataset(num_keys: int, values_per_key: int, seed: int) -> list[tuple[int, tuple]]:
+    rng = random.Random(seed)
+    rows = []
+    for key in range(num_keys):
+        for value in rng.sample(range(1000), values_per_key):
+            rows.append((key, (value,)))
+    return rows
+
+
+def run_figure2(
+    attr_bit_choices: tuple[int, ...] = (4, 8),
+    key_bit_choices: tuple[int, ...] = (7, 12),
+    num_keys: int = 1500,
+    values_per_key: int = 3,
+    num_queries: int = 4000,
+    seed: int = 0,
+) -> list[FPRPoint]:
+    """Produce Figure 2's (actual, estimated) points for each cause."""
+    points: list[FPRPoint] = []
+    rows = _build_dataset(num_keys, values_per_key, seed)
+    present_values = {key: set() for key in range(num_keys)}
+    for key, (value,) in rows:
+        present_values[key].add(value)
+
+    for attr_bits in attr_bit_choices:
+        for key_bits in key_bit_choices:
+            params = CCFParams(
+                key_bits=key_bits,
+                attr_bits=attr_bits,
+                bucket_size=6,
+                max_dupes=3,
+                seed=seed,
+                small_value_optimization=False,
+            )
+            ccf = build_ccf("chained", SCHEMA, rows, params)
+
+            # Cause 1: key absent.
+            absent_hits = 0
+            absent_estimates = 0.0
+            for probe in range(num_queries):
+                key = 10_000_000 + probe
+                predicate = Eq("attr", probe % 1000)
+                absent_hits += ccf.query(key, predicate)
+                if probe < 300:
+                    absent_estimates += estimate_query_fpr(
+                        ccf, key, predicate, key_in_data=False
+                    ).overall
+            points.append(
+                FPRPoint(
+                    attr_bits,
+                    key_bits,
+                    "key",
+                    absent_hits / num_queries,
+                    absent_estimates / min(300, num_queries),
+                )
+            )
+
+            # Cause 2: key present, attribute value absent.
+            mismatch_hits = 0
+            mismatch_estimates = 0.0
+            mismatch_count = 0
+            for key in range(min(num_keys, num_queries)):
+                value = 5000 + key  # never inserted (values < 1000)
+                predicate = Eq("attr", value)
+                mismatch_hits += ccf.query(key, predicate)
+                mismatch_count += 1
+                if key < 300:
+                    mismatch_estimates += estimate_query_fpr(
+                        ccf, key, predicate, key_in_data=True
+                    ).overall
+            points.append(
+                FPRPoint(
+                    attr_bits,
+                    key_bits,
+                    "attribute",
+                    mismatch_hits / mismatch_count,
+                    mismatch_estimates / min(300, mismatch_count),
+                )
+            )
+    return points
+
+
+def correlation(points: list[FPRPoint]) -> float:
+    """Pearson correlation between actual and estimated rates."""
+    if len(points) < 2:
+        return 1.0
+    actuals = [p.actual for p in points]
+    estimates = [p.estimated for p in points]
+    n = len(points)
+    mean_a = sum(actuals) / n
+    mean_e = sum(estimates) / n
+    cov = sum((a - mean_a) * (e - mean_e) for a, e in zip(actuals, estimates))
+    var_a = sum((a - mean_a) ** 2 for a in actuals)
+    var_e = sum((e - mean_e) ** 2 for e in estimates)
+    if var_a == 0 or var_e == 0:
+        return 1.0
+    return cov / (var_a * var_e) ** 0.5

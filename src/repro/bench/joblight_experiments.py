@@ -1,0 +1,152 @@
+"""Shared context and drivers for the JOB-light experiments (Figures 3, 6-10).
+
+Building the synthetic dataset, workload, filter bundles and the evaluation
+results is expensive, so one module-level cache shares them across benchmark
+files within a pytest session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ccf.params import CCFParams, LARGE_PARAMS, SMALL_PARAMS
+from repro.ccf.sizing import distinct_vector_counts, predicted_entries
+from repro.data.imdb import IMDBDataset, generate_imdb
+from repro.data.relation import Relation
+from repro.join.job_light import make_job_light_workload
+from repro.join.query import JoinQuery
+from repro.join.reduction import (
+    FilterBundle,
+    InstanceResult,
+    build_cuckoo_baseline,
+    build_filter_bundle,
+    ccf_attribute_columns,
+    evaluate_workload,
+)
+
+#: CCF kinds evaluated in the JOB-light experiments (plain is excluded: the
+#: paper found no reasonably sized plain filter; see bench_table1).
+JOBLIGHT_KINDS = ("bloom", "mixed", "chained")
+
+
+@dataclass
+class JoblightContext:
+    """Dataset + workload + lazily built bundles, shared across benches."""
+
+    scale: float
+    seed: int
+    dataset: IMDBDataset
+    workload: list[JoinQuery]
+    bundles: dict[str, FilterBundle] = field(default_factory=dict)
+    cuckoo: dict | None = None
+    _results: dict[tuple[str, ...], list[InstanceResult]] = field(default_factory=dict)
+
+    def bundle(self, kind: str, params: CCFParams, label: str) -> FilterBundle:
+        """Build (or reuse) a filter bundle for one kind/parameterisation."""
+        if label not in self.bundles:
+            self.bundles[label] = build_filter_bundle(
+                self.dataset, kind, params, name=label
+            )
+        return self.bundles[label]
+
+    def cuckoo_baseline(self) -> dict:
+        if self.cuckoo is None:
+            self.cuckoo = build_cuckoo_baseline(self.dataset)
+        return self.cuckoo
+
+    def evaluate(self, labels: tuple[str, ...]) -> list[InstanceResult]:
+        """Evaluate the workload under the named bundles (cached)."""
+        key = tuple(sorted(labels))
+        if key not in self._results:
+            bundles = [self.bundles[label] for label in key]
+            self._results[key] = evaluate_workload(
+                self.dataset, self.workload, bundles, self.cuckoo_baseline()
+            )
+        return self._results[key]
+
+
+_CONTEXT_CACHE: dict[tuple[float, int], JoblightContext] = {}
+
+
+def get_context(scale: float, seed: int = 1) -> JoblightContext:
+    """Build or fetch the shared JOB-light context at ``scale``."""
+    key = (scale, seed)
+    if key not in _CONTEXT_CACHE:
+        dataset = generate_imdb(scale=scale, seed=seed)
+        workload = make_job_light_workload(dataset, seed=seed + 2)
+        _CONTEXT_CACHE[key] = JoblightContext(scale, seed, dataset, workload)
+    return _CONTEXT_CACHE[key]
+
+
+def standard_bundles(context: JoblightContext, size: str) -> tuple[str, ...]:
+    """Build the paper's 'large'/'small' bundles for all three CCF kinds."""
+    params = LARGE_PARAMS if size == "large" else SMALL_PARAMS
+    labels = []
+    for kind in JOBLIGHT_KINDS:
+        label = f"{kind}-{size}"
+        context.bundle(kind, params, label)
+        labels.append(label)
+    return tuple(labels)
+
+
+def figure3_points(context: JoblightContext, labels: tuple[str, ...]) -> list[dict]:
+    """Figure 3: predicted vs actual filled entries per (table, filter)."""
+    points = []
+    for label in labels:
+        bundle = context.bundles[label]
+        for table, ccf in bundle.ccfs.items():
+            relation = context.dataset.table(table)
+            if bundle.binning is not None and table == "title":
+                relation = bundle.binning.augment(relation)
+            key_column = context.dataset.join_key(table)
+            attr_columns = ccf_attribute_columns(context.dataset, table)
+            keys = relation.column(key_column).tolist()
+            attrs = list(zip(*(relation.column(c).tolist() for c in attr_columns)))
+            counts = distinct_vector_counts(
+                (key, ccf.fingerprinter.vector(row)) for key, row in zip(keys, attrs)
+            )
+            predicted = predicted_entries(
+                bundle.kind,
+                counts,
+                bundle.params.max_dupes,
+                bundle.params.max_chain,
+                bundle.params.bucket_size,
+            )
+            points.append(
+                {
+                    "filter": label,
+                    "table": table,
+                    "predicted_entries": predicted,
+                    "actual_entries": ccf.num_entries,
+                }
+            )
+    return points
+
+
+def figure10_relative_sizes(
+    context: JoblightContext, labels: tuple[str, ...]
+) -> list[dict]:
+    """Figure 10: CCF size relative to the raw data it sketches (§10.7)."""
+    rows = []
+    dataset = context.dataset
+    for label in labels:
+        bundle = context.bundles[label]
+        total_ccf = 0
+        total_raw = 0
+        for table, ccf in bundle.ccfs.items():
+            relation: Relation = dataset.table(table)
+            raw_columns = (dataset.join_key(table),) + dataset.predicate_columns(table)
+            raw_bytes = relation.raw_size_bytes(raw_columns)
+            total_ccf += ccf.size_in_bits() // 8
+            total_raw += raw_bytes
+            rows.append(
+                {
+                    "filter": label,
+                    "table": table,
+                    "relative_size": (ccf.size_in_bits() / 8) / raw_bytes,
+                }
+            )
+        rows.append(
+            {"filter": label, "table": "Overall", "relative_size": total_ccf / total_raw}
+        )
+    return rows

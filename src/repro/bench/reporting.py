@@ -1,0 +1,80 @@
+"""Reporting utilities shared by the benchmark harness.
+
+Every benchmark prints the series of its paper figure/table as aligned text
+and writes a JSON artifact under ``bench_results/`` so EXPERIMENTS.md can be
+assembled from recorded runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+#: Environment knob: fraction of full IMDB row counts used by the join
+#: benchmarks (tests use smaller scales of their own).
+SCALE_ENV = "REPRO_SCALE"
+RUNS_ENV = "REPRO_RUNS"
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "bench_results"
+
+
+def env_scale(default: float = 0.002) -> float:
+    """Dataset scale for join benchmarks, overridable via REPRO_SCALE."""
+    value = os.environ.get(SCALE_ENV)
+    if value is None:
+        return default
+    scale = float(value)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"{SCALE_ENV} must be in (0, 1], got {value}")
+    return scale
+
+
+def env_runs(default: int = 3) -> int:
+    """Number of salted repetitions for stochastic experiments."""
+    value = os.environ.get(RUNS_ENV)
+    if value is None:
+        return default
+    runs = int(value)
+    if runs < 1:
+        raise ValueError(f"{RUNS_ENV} must be positive, got {value}")
+    return runs
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as an aligned text table."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)
+
+
+def print_figure(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+    """Print a figure/table reproduction with a banner."""
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(headers, rows))
+
+
+def save_json(name: str, payload: Any) -> Path:
+    """Write a JSON artifact under bench_results/ and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path

@@ -1,0 +1,315 @@
+"""Shared machinery for all conditional cuckoo filter variants (§5-§6).
+
+Every CCF is a bucketed table of entries addressed by partial-key cuckoo
+hashing: a key ``k`` hashes to a home bucket ``l`` and a ``key_bits``-wide
+fingerprint ``κ``; the partner bucket is ``l' = l XOR h(κ)``.  A *bucket
+pair* ``(l, l')`` is the unit the paper reasons about: at most ``d``
+(= ``max_dupes``) copies of one fingerprint may live in a pair (Lemma 1),
+and the chained variant extends a key to further pairs via the one-way step
+``l̃ = h(min(l, l'), κ)`` (§6.2).  All geometry lives in
+:class:`~repro.ccf.chain.PairGeometry`; this base class adds storage, the
+Algorithm 4 placement/kick loop, predicate compilation, and entry matching
+for the three entry shapes.
+
+The kick loop only ever relocates an entry between the two buckets of its
+own pair — the structural property from which Lemma 1 follows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.ccf.attributes import AttributeFingerprinter, AttributeSchema
+from repro.ccf.chain import PairGeometry
+from repro.ccf.entries import BloomEntry, GroupSlot, VectorEntry
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Predicate
+from repro.cuckoo.buckets import BucketArray
+from repro.hashing.mixers import derive_seed
+
+
+class CompiledQuery:
+    """A predicate compiled against a CCF's schema and fingerprinter.
+
+    ``constraints`` holds one triple per constrained attribute:
+    ``(attribute index, admissible raw values, admissible fingerprints)``.
+    Compiling once and reusing across many keys is the intended hot path.
+    """
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Sequence[tuple[int, tuple, frozenset[int]]]) -> None:
+        self.constraints = tuple(constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledQuery({self.constraints!r})"
+
+
+class ConditionalCuckooFilterBase:
+    """Common storage, hashing, walking and matching for CCF variants."""
+
+    #: Human-readable variant name, set by subclasses.
+    kind: str = "base"
+
+    @staticmethod
+    def make_fingerprinter(schema: AttributeSchema, params: CCFParams) -> AttributeFingerprinter:
+        """The attribute fingerprinter a CCF with these params will use.
+
+        Exposed so sizing code can predict occupancy from distinct
+        *fingerprint* vectors — the unit the filter actually stores — rather
+        than distinct raw attribute vectors (small fingerprints dedupe
+        colliding values, and predictions over raw values would overshoot).
+        """
+        return AttributeFingerprinter(
+            schema,
+            params.attr_bits,
+            seed=derive_seed(params.seed, "ccf-attr"),
+            small_value_optimization=params.small_value_optimization,
+        )
+
+    def __init__(self, schema: AttributeSchema, num_buckets: int, params: CCFParams) -> None:
+        if num_buckets < 2:
+            raise ValueError("a CCF needs at least 2 buckets")
+        self.schema = schema
+        self.params = params
+        self.geometry = PairGeometry(num_buckets, params.key_bits, seed=params.seed)
+        self.buckets = BucketArray(num_buckets, params.bucket_size)
+        self.fingerprinter = self.make_fingerprinter(schema, params)
+        self._bloom_salt = derive_seed(params.seed, "ccf-bloom")
+        self._rng = random.Random(derive_seed(params.seed, "ccf-rng"))
+        # Statistics and health flags.
+        self.num_rows_inserted = 0
+        self.num_rows_discarded = 0
+        self.num_kicks = 0
+        self.failed = False
+        self.stash: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Geometry delegation (kept on the filter for API convenience)
+    # ------------------------------------------------------------------
+
+    def fingerprint_of(self, key: object) -> int:
+        """Return the key fingerprint κ (``key_bits`` wide)."""
+        return self.geometry.fingerprint_of(key)
+
+    def home_index(self, key: object) -> int:
+        """Return the primary bucket l for ``key``."""
+        return self.geometry.home_index(key)
+
+    def alt_index(self, index: int, fingerprint: int) -> int:
+        """Return the partner bucket ``index XOR h(κ)`` (§4.2)."""
+        return self.geometry.alt_index(index, fingerprint)
+
+    def _pair_walk(self, home: int, fingerprint: int) -> Iterator[tuple[int, int]]:
+        return self.geometry.pair_walk(home, fingerprint)
+
+    def _walk_limit(self) -> int:
+        """Maximum number of pairs any walk may visit.
+
+        ``max_chain`` (Lmax) if set; otherwise the number of buckets, which
+        upper-bounds the number of distinct pairs and acts as a safety cap
+        for the "uncapped" configuration of the multiset experiments.
+        """
+        if self.params.max_chain is not None:
+            return self.params.max_chain
+        return self.buckets.num_buckets
+
+    # ------------------------------------------------------------------
+    # Pair-level storage helpers
+    # ------------------------------------------------------------------
+
+    def _pair_entries(self, left: int, right: int) -> list[Any]:
+        """All entries in the pair's (up to) 2b slots."""
+        entries = self.buckets.entries(left)
+        if right != left:
+            entries.extend(self.buckets.entries(right))
+        return entries
+
+    def _fp_slots_in_pair(self, left: int, right: int, fingerprint: int) -> list[Any]:
+        """Entries in the pair whose fingerprint matches (one per slot).
+
+        Reads the flat slot storage directly — this is the innermost loop of
+        every query.
+        """
+        slots = self.buckets.storage
+        size = self.buckets.bucket_size
+        base = left * size
+        matches = [
+            e for e in slots[base : base + size] if e is not None and e.fp == fingerprint
+        ]
+        if right != left:
+            base = right * size
+            matches.extend(
+                e for e in slots[base : base + size] if e is not None and e.fp == fingerprint
+            )
+        return matches
+
+    def _place_in_pair(self, left: int, right: int, entry: Any) -> bool:
+        """Algorithm 4's placement: prefer ``left``, then kick within ``right``.
+
+        Kicks swap the in-flight item into the victim's slot and continue
+        with the victim at *its* alternate bucket — which is always the other
+        bucket of the victim's own pair, so per-pair fingerprint counts are
+        invariant under kicking (the structural core of Lemma 1).  On
+        MaxKicks exhaustion the in-flight victim is stashed (queries consult
+        the stash) and the structure is flagged failed.
+        """
+        if self.buckets.try_add(left, entry):
+            return True
+        current = right
+        item = entry
+        for _ in range(self.params.max_kicks):
+            if self.buckets.try_add(current, item):
+                return True
+            victim_slot = self._rng.randrange(self.buckets.bucket_size)
+            victim = self.buckets.get_slot(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, item)
+            item = victim
+            current = self.alt_index(current, item.fp)
+            self.num_kicks += 1
+        self.stash.append(item)
+        self.failed = True
+        return False
+
+    # ------------------------------------------------------------------
+    # Predicate compilation and entry matching
+    # ------------------------------------------------------------------
+
+    def compile(self, predicate: Predicate | None) -> CompiledQuery | None:
+        """Compile a predicate against this CCF's schema.
+
+        Returns None for key-only queries (no predicate, or a predicate with
+        no constraints).  Raises ``KeyError`` if the predicate touches a
+        column the schema does not sketch, and
+        :class:`~repro.ccf.predicates.UnsupportedPredicateError` for
+        un-binned range predicates.
+        """
+        if predicate is None:
+            return None
+        constraint_map = predicate.constraints()
+        if not constraint_map:
+            return None
+        compiled = []
+        for column, values in constraint_map.items():
+            attr_index = self.schema.index_of(column)
+            raw_values = tuple(values)
+            fps = self.fingerprinter.candidate_fingerprints(attr_index, raw_values)
+            compiled.append((attr_index, raw_values, fps))
+        compiled.sort(key=lambda item: item[0])
+        return CompiledQuery(compiled)
+
+    def _entry_matches(self, entry: Any, compiled: CompiledQuery | None) -> bool:
+        """Does this entry's attribute sketch admit the compiled predicate?"""
+        if compiled is None:
+            return True
+        if not entry.matching:
+            return False
+        if isinstance(entry, VectorEntry):
+            avec = entry.avec
+            for attr_index, _values, fps in compiled.constraints:
+                if avec[attr_index] not in fps:
+                    return False
+            return True
+        if isinstance(entry, BloomEntry):
+            bloom = entry.bloom
+            for attr_index, values, _fps in compiled.constraints:
+                if not any((attr_index, value) in bloom for value in values):
+                    return False
+            return True
+        if isinstance(entry, GroupSlot):
+            bloom = entry.group.bloom
+            for attr_index, _values, fps in compiled.constraints:
+                if not any((attr_index, fp) in bloom for fp in fps):
+                    return False
+            return True
+        raise TypeError(f"unknown entry type {type(entry).__name__}")
+
+    def _resolve_compiled(
+        self, predicate: Predicate | CompiledQuery | None
+    ) -> CompiledQuery | None:
+        if predicate is None or isinstance(predicate, CompiledQuery):
+            return predicate
+        return self.compile(predicate)
+
+    # ------------------------------------------------------------------
+    # Shared statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Number of occupied slots (the paper's Z')."""
+        return self.buckets.filled
+
+    def load_factor(self) -> float:
+        """Fraction of slots occupied."""
+        return self.buckets.load_factor()
+
+    def slot_bits(self) -> int:
+        """Bits per table slot under the paper's size accounting."""
+        raise NotImplementedError
+
+    def size_in_bits(self) -> int:
+        """Total sketch size: slots plus any stashed overflow entries."""
+        return (self.buckets.capacity + len(self.stash)) * self.slot_bits()
+
+    def size_in_bytes(self) -> float:
+        """Total sketch size in bytes."""
+        return self.size_in_bits() / 8
+
+    # ------------------------------------------------------------------
+    # Insert / query interface (subclass responsibility)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Insert a (key, attribute row); subclasses implement the policy."""
+        raise NotImplementedError
+
+    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+        """Membership test for ``key`` under an optional predicate."""
+        raise NotImplementedError
+
+    def contains_key(self, key: object) -> bool:
+        """Key-only membership test (no predicate)."""
+        return self.query(key, None)
+
+    def _stash_matches(self, fingerprint: int, compiled: CompiledQuery | None) -> bool:
+        return any(
+            entry.fp == fingerprint and self._entry_matches(entry, compiled)
+            for entry in self.stash
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and experiments
+    # ------------------------------------------------------------------
+
+    def pair_fingerprint_counts(self) -> dict[tuple[int, int], int]:
+        """Map (pair id, fingerprint) -> slot count, for invariant checking."""
+        counts: dict[tuple[int, int], int] = {}
+        for bucket, _slot, entry in self.buckets.iter_entries():
+            alt = self.alt_index(bucket, entry.fp)
+            pair_id = bucket if bucket < alt else alt
+            counter_key = (pair_id, entry.fp)
+            counts[counter_key] = counts.get(counter_key, 0) + 1
+        return counts
+
+    def _max_copies_per_pair(self) -> int:
+        """The invariant cap on same-fingerprint slots in one pair."""
+        return self.params.max_dupes
+
+    def check_invariants(self) -> None:
+        """Assert the per-pair fingerprint cap (Lemma 1 for capped variants)."""
+        cap = self._max_copies_per_pair()
+        for (pair_id, fingerprint), count in self.pair_fingerprint_counts().items():
+            if count > cap:
+                raise AssertionError(
+                    f"pair {pair_id} holds {count} > cap={cap} copies of fingerprint "
+                    f"{fingerprint:#x} in a {self.kind} CCF"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(buckets={self.buckets.num_buckets}, "
+            f"b={self.params.bucket_size}, entries={self.num_entries}, "
+            f"load={self.load_factor():.3f}, failed={self.failed})"
+        )

@@ -1,0 +1,89 @@
+"""Bloom-attribute conditional cuckoo filter (§5.2; Algorithms 1 and 2).
+
+Each stored entry is a key fingerprint plus a small per-entry Bloom filter
+holding the key's (attribute name, value) pairs — raw values, hashed once by
+the Bloom filter itself.  Duplicate rows for a key merge into the key's
+single entry, so the occupied slots are exactly those of a regular cuckoo
+filter over the distinct keys (the property behind Table 1's ``n_k`` sizing
+and the theoretically guaranteed load factor).
+
+The price (§5.2): a Bloom sketch does not preserve attribute co-occurrence.
+If one row has attributes (a1, a2) and another (a1', a2'), the conjunctive
+predicate ``A1 = a1 AND A2 = a2'`` is a guaranteed false positive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
+from repro.ccf.entries import BloomEntry
+from repro.ccf.predicates import Predicate
+from repro.sketches.bloom import BloomFilter
+
+
+class BloomCCF(ConditionalCuckooFilterBase):
+    """CCF whose attribute sketch is a per-entry Bloom filter."""
+
+    kind = "bloom"
+
+    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Insert one (key, attribute row); Algorithm 1's build counterpart.
+
+        A row whose key fingerprint already owns an entry in the bucket pair
+        merges its attributes into that entry's Bloom sketch; otherwise a new
+        entry is created and placed with cuckoo kicks.  Returns False only on
+        a MaxKicks failure (victim stashed, ``failed`` latched).
+        """
+        values = self.schema.row_values(attrs)
+        fingerprint = self.geometry.fingerprint_of(key)
+        home = self.geometry.home_index(key)
+        self.num_rows_inserted += 1
+        left = home
+        right = self.geometry.alt_index(left, fingerprint)
+        slots = self._fp_slots_in_pair(left, right, fingerprint)
+        if slots:
+            slots[0].add_attributes(values)
+            return True
+        for stashed in self.stash:
+            if stashed.fp == fingerprint:
+                stashed.add_attributes(values)
+                return True
+        entry = BloomEntry(
+            fingerprint,
+            BloomFilter(self.params.bloom_bits, self.params.bloom_hashes, seed=self._bloom_salt),
+        )
+        entry.add_attributes(values)
+        return self._place_in_pair(left, right, entry)
+
+    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+        """Membership test under an optional predicate; Algorithm 1."""
+        compiled = self._resolve_compiled(predicate)
+        fingerprint = self.geometry.fingerprint_of(key)
+        if self.stash and self._stash_matches(fingerprint, compiled):
+            return True
+        left = self.geometry.home_index(key)
+        right = self.geometry.alt_index(left, fingerprint)
+        return any(
+            self._entry_matches(entry, compiled)
+            for entry in self._fp_slots_in_pair(left, right, fingerprint)
+        )
+
+    def slot_bits(self) -> int:
+        """|κ| + per-entry Bloom payload."""
+        return self.params.key_bits + self.params.bloom_bits
+
+    def _max_copies_per_pair(self) -> int:
+        """Rows merge by fingerprint, so a pair holds one entry per κ."""
+        return 1
+
+    def predicate_filter(self, predicate: Predicate) -> "ExtractedKeyFilter":
+        """Predicate-only query (Algorithm 2): return a key-only cuckoo filter.
+
+        Entries whose Bloom sketch cannot match the predicate are erased; the
+        result answers ``contains(key)`` for the (approximate) set of keys
+        with a matching attribute row.
+        """
+        from repro.ccf.views import ExtractedKeyFilter
+
+        return ExtractedKeyFilter.from_ccf(self, predicate)

@@ -1,0 +1,135 @@
+"""Pair geometry and the chained pair walk (§4.2, §6.2).
+
+:class:`PairGeometry` bundles everything that determines *where* a key's
+entries may live, independent of what is stored there: the home-bucket hash,
+the key fingerprint, the XOR alternate-bucket map and the one-way chain step
+``l̃ = h(min(l, l'), κ)``.  Both the CCF variants and the predicate-extracted
+filter views (Algorithm 2) share one ``PairGeometry`` instance, which is what
+guarantees a view probes exactly the buckets its source filter filled.
+
+The *pair walk* yields the deterministic sequence of bucket pairs a
+fingerprint may occupy.  Chain steps can collide with pairs already on the
+walk (a cycle); the paper detects cycles (Floyd) and extends the chain.  We
+reproduce that with a deterministic retry counter mixed into the chain hash —
+the same resolution is replayed identically at insert and query time, which
+is the property Lemma 2's correctness argument needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cuckoo.buckets import is_power_of_two
+from repro.hashing.mixers import derive_seed, hash64, mix64
+
+#: How many deterministic re-hashes the walk tries when the next pair is
+#: already visited, before giving up on extending the chain.
+CYCLE_BUMP_LIMIT = 16
+
+# Odd 64-bit multipliers decorrelating the chain-step inputs (SplitMix64 /
+# Murmur finalizer constants).
+_CHAIN_FP_MULT = 0x9E3779B97F4A7C15
+_CHAIN_BUMP_MULT = 0xBF58476D1CE4E5B9
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class PairGeometry:
+    """Hashing geometry of a cuckoo table: buckets, fingerprints, chains."""
+
+    __slots__ = (
+        "num_buckets",
+        "key_bits",
+        "seed",
+        "_fp_mask",
+        "_index_salt",
+        "_fp_salt",
+        "_jump_salt",
+        "_chain_salt",
+        "_jump_cache",
+    )
+
+    def __init__(self, num_buckets: int, key_bits: int, seed: int = 0) -> None:
+        if not is_power_of_two(num_buckets):
+            raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
+        if not 1 <= key_bits <= 62:
+            raise ValueError("key_bits must be in [1, 62]")
+        self.num_buckets = num_buckets
+        self.key_bits = key_bits
+        self.seed = seed
+        self._fp_mask = (1 << key_bits) - 1
+        self._index_salt = derive_seed(seed, "geom-index")
+        self._fp_salt = derive_seed(seed, "geom-fp")
+        self._jump_salt = derive_seed(seed, "geom-jump")
+        self._chain_salt = derive_seed(seed, "geom-chain")
+        self._jump_cache: dict[int, int] = {}
+
+    def fingerprint_of(self, key: object) -> int:
+        """Return the key fingerprint κ (``key_bits`` wide)."""
+        return hash64(key, self._fp_salt) & self._fp_mask
+
+    def home_index(self, key: object) -> int:
+        """Return the primary bucket l for ``key``."""
+        return hash64(key, self._index_salt) & (self.num_buckets - 1)
+
+    def fp_jump(self, fingerprint: int) -> int:
+        """Return ``h(κ) mod m``, the XOR offset between a pair's buckets."""
+        jump = self._jump_cache.get(fingerprint)
+        if jump is None:
+            jump = hash64(fingerprint, self._jump_salt) & (self.num_buckets - 1)
+            self._jump_cache[fingerprint] = jump
+        return jump
+
+    def alt_index(self, index: int, fingerprint: int) -> int:
+        """Return the partner bucket ``index XOR h(κ)`` (an involution)."""
+        return index ^ self.fp_jump(fingerprint)
+
+    def chain_step(self, pair_id: int, fingerprint: int, bump: int = 0) -> int:
+        """One-way chain hash ``h(min(l, l'), κ)`` with a cycle-retry bump.
+
+        Pure integer mixing (this is the hottest hash on the chained query
+        path): the three inputs are spread by odd multipliers, folded with
+        the chain salt and avalanched.
+        """
+        mixed = (
+            pair_id
+            ^ (fingerprint * _CHAIN_FP_MULT & _MASK64)
+            ^ (bump * _CHAIN_BUMP_MULT & _MASK64)
+            ^ self._chain_salt
+        )
+        return mix64(mixed) & (self.num_buckets - 1)
+
+    def pair_of(self, key: object) -> tuple[int, int]:
+        """Return the first bucket pair (home, alternate) for ``key``."""
+        fingerprint = self.fingerprint_of(key)
+        home = self.home_index(key)
+        return home, self.alt_index(home, fingerprint)
+
+    def pair_walk(self, home: int, fingerprint: int) -> Iterator[tuple[int, int]]:
+        """Yield the deterministic chain of bucket pairs for a fingerprint.
+
+        The first pair derives from the home bucket; each later pair from the
+        chain hash of the previous pair id (min of its two buckets, per
+        §6.2).  Already-visited pairs are skipped via the deterministic bump;
+        the generator ends when :data:`CYCLE_BUMP_LIMIT` consecutive retries
+        fail to find a fresh pair.
+        """
+        left = home
+        right = self.alt_index(left, fingerprint)
+        pair_id = left if left < right else right
+        visited = {pair_id}
+        yield left, right
+        while True:
+            bump = 0
+            nxt = self.chain_step(pair_id, fingerprint, bump)
+            nxt_right = self.alt_index(nxt, fingerprint)
+            nxt_id = nxt if nxt < nxt_right else nxt_right
+            while nxt_id in visited:
+                bump += 1
+                if bump > CYCLE_BUMP_LIMIT:
+                    return
+                nxt = self.chain_step(pair_id, fingerprint, bump)
+                nxt_right = self.alt_index(nxt, fingerprint)
+                nxt_id = nxt if nxt < nxt_right else nxt_right
+            visited.add(nxt_id)
+            left, right, pair_id = nxt, nxt_right, nxt_id
+            yield left, right

@@ -1,0 +1,132 @@
+"""Chained conditional cuckoo filter (§6.2; Algorithms 4 and 5).
+
+Attribute rows are stored as fingerprint vectors; duplicate keys beyond the
+per-pair cap ``d`` overflow into further bucket pairs reached by the one-way
+chain hash.  Queries walk the same pair sequence and stop at the first pair
+holding fewer than ``d`` copies of the key fingerprint (Lemma 2 ensures no
+entry can live beyond that point).  If ``Lmax`` pairs are exhausted with
+every pair ``d``-full, the query answers True unconditionally — the
+no-false-negative fallback of Theorem 3, which covers rows that insertion
+had to discard for exceeding the chain cap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
+from repro.ccf.entries import VectorEntry
+from repro.ccf.predicates import Predicate
+
+
+class ChainedCCF(ConditionalCuckooFilterBase):
+    """CCF with attribute fingerprint vectors and duplicate-key chaining."""
+
+    kind = "chained"
+
+    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Insert one (key, attribute row); Algorithm 4.
+
+        Returns True when the row is represented (stored, deduplicated, or —
+        with a finite ``Lmax`` — discarded past the chain cap, in which case
+        queries still answer True via the Theorem 3 fallback).  Returns False
+        only on a MaxKicks placement failure, which also latches
+        :attr:`failed`; the displaced victim is stashed so membership
+        answers remain superset-correct even then.
+        """
+        values = self.schema.row_values(attrs)
+        avec = self.fingerprinter.vector(values)
+        fingerprint = self.geometry.fingerprint_of(key)
+        home = self.geometry.home_index(key)
+        self.num_rows_inserted += 1
+        d = self.params.max_dupes
+        limit = self._walk_limit()
+        walked = 0
+        for left, right in self._pair_walk(home, fingerprint):
+            if walked >= limit:
+                break
+            walked += 1
+            slots = self._fp_slots_in_pair(left, right, fingerprint)
+            if any(entry.same_row(fingerprint, avec) for entry in slots):
+                return True
+            if len(slots) >= d:
+                continue
+            return self._place_in_pair(left, right, VectorEntry(fingerprint, avec))
+        # Chain cap reached with every pair d-full: the row is discarded,
+        # Theorem 3's query fallback keeps it a (true) positive.
+        self.num_rows_discarded += 1
+        return True
+
+    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+        """Membership test under an optional predicate; Algorithm 5."""
+        compiled = self._resolve_compiled(predicate)
+        fingerprint = self.geometry.fingerprint_of(key)
+        if self.stash and self._stash_matches(fingerprint, compiled):
+            return True
+        # A stashed victim with this fingerprint means some pair on its chain
+        # lost a copy (violating Lemma 1's never-decrease property), so the
+        # d-count early-stop below is no longer trustworthy for this
+        # fingerprint: fall through to the conservative True instead.
+        stash_has_fp = any(entry.fp == fingerprint for entry in self.stash)
+        home = self.geometry.home_index(key)
+        d = self.params.max_dupes
+        if compiled is None and not stash_has_fp:
+            # §7.1: for key-only queries the chain is irrelevant — an
+            # inserted key always leaves at least one copy in its first pair.
+            left = home
+            right = self.geometry.alt_index(left, fingerprint)
+            return bool(self._fp_slots_in_pair(left, right, fingerprint))
+        limit = self._walk_limit()
+        walked = 0
+        for left, right in self._pair_walk(home, fingerprint):
+            if walked >= limit:
+                break
+            walked += 1
+            slots = self._fp_slots_in_pair(left, right, fingerprint)
+            for entry in slots:
+                if self._entry_matches(entry, compiled):
+                    return True
+            if len(slots) == d or stash_has_fp:
+                continue
+            return False
+        # Lmax pairs exhausted (or the walk could not be extended) with every
+        # pair d-full: answer True to preserve no-false-negatives.
+        return True
+
+    def chain_length(self, key: object) -> int:
+        """Number of bucket pairs currently used by ``key``'s fingerprint.
+
+        Introspection helper for experiments: walks until the first pair that
+        holds fewer than ``d`` copies.
+        """
+        fingerprint = self.geometry.fingerprint_of(key)
+        home = self.geometry.home_index(key)
+        d = self.params.max_dupes
+        limit = self._walk_limit()
+        length = 0
+        for left, right in self._pair_walk(home, fingerprint):
+            if length >= limit:
+                break
+            length += 1
+            if len(self._fp_slots_in_pair(left, right, fingerprint)) < d:
+                break
+        return length
+
+    def slot_bits(self) -> int:
+        """|κ| + |α| + 1 marking bit (the flag §6.2's predicate views need)."""
+        return (
+            self.params.key_bits
+            + self.schema.num_attributes * self.params.attr_bits
+            + 1
+        )
+
+    def predicate_filter(self, predicate: Predicate) -> "MarkedKeyFilter":
+        """Predicate-only query (§6.2): extract a key filter for ``predicate``.
+
+        Chained CCFs cannot erase non-matching entries — that would open gaps
+        in chains and cause false negatives — so the extracted filter keeps
+        every fingerprint and marks non-matching entries with one bit.
+        """
+        from repro.ccf.views import MarkedKeyFilter
+
+        return MarkedKeyFilter.from_ccf(self, predicate)

@@ -1,0 +1,119 @@
+"""Construction helpers: variant registry and data-driven sizing (§8, §10.4).
+
+The paper sizes each filter from the predicted number of occupied entries
+(estimable from a sample in practice; exact here) and a bucket size whose
+empirical load factor makes all insertions likely to succeed.
+:func:`build_ccf` packages that procedure: predict entries, pick the
+power-of-two bucket count, build, and insert every row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Type
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.base import ConditionalCuckooFilterBase
+from repro.ccf.bloom_ccf import BloomCCF
+from repro.ccf.chained import ChainedCCF
+from repro.ccf.mixed import MixedCCF
+from repro.ccf.params import CCFParams
+from repro.ccf.plain import PlainCCF
+from repro.ccf.sizing import distinct_vector_counts, predicted_entries, recommended_num_buckets
+
+#: All CCF variants by their paper name.
+CCF_KINDS: dict[str, Type[ConditionalCuckooFilterBase]] = {
+    "plain": PlainCCF,
+    "chained": ChainedCCF,
+    "bloom": BloomCCF,
+    "mixed": MixedCCF,
+}
+
+
+def make_ccf(
+    kind: str, schema: AttributeSchema, num_buckets: int, params: CCFParams
+) -> ConditionalCuckooFilterBase:
+    """Instantiate a CCF variant by name ('plain'|'chained'|'bloom'|'mixed')."""
+    try:
+        cls = CCF_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown CCF kind {kind!r}; expected one of {sorted(CCF_KINDS)}") from None
+    return cls(schema, num_buckets, params)
+
+
+def build_ccf(
+    kind: str,
+    schema: AttributeSchema,
+    rows: Iterable[tuple[object, Sequence[Any]]],
+    params: CCFParams,
+    target_load: float | None = None,
+    headroom: float = 1.0,
+    max_retries: int = 3,
+    sample_k: int | None = None,
+) -> ConditionalCuckooFilterBase:
+    """Size a CCF for ``rows`` (pairs of key, attribute values) and fill it.
+
+    ``headroom`` scales the predicted entry count before sizing — useful when
+    rows come from a sample rather than the full data.  ``sample_k`` switches
+    the occupancy prediction from exact per-key counting to §10.4's one-pass
+    bottom-k estimate (give it a little ``headroom``, e.g. 1.1, to absorb
+    sampling error).  If the build overflows (MaxKicks failure), the table is
+    doubled and rebuilt up to ``max_retries`` times — the offline analogue of
+    §4.1's resize-on-failure — before a RuntimeError reports that the variant
+    cannot hold the data at a reasonable size (the paper's verdict on the
+    plain variant).
+    """
+    materialised = [(key, tuple(schema.row_values(attrs))) for key, attrs in rows]
+    # Predict occupancy from distinct fingerprint vectors per key — the unit
+    # the filter stores — so small attribute fingerprints (which dedupe
+    # colliding values) don't cause systematic over-allocation.
+    fingerprinter = ConditionalCuckooFilterBase.make_fingerprinter(schema, params)
+    if sample_k is not None:
+        # §10.4's practical path: a one-pass bottom-k estimate instead of
+        # exact per-key state (what a system would run during stats
+        # collection over data too large to hold per-key sets for).
+        from repro.sketches.bottomk import EntryCountEstimator
+
+        estimator = EntryCountEstimator(k=sample_k, seed=params.seed)
+        for key, values in materialised:
+            estimator.add(key, fingerprinter.vector(values))
+        predicted = max(
+            1,
+            round(
+                estimator.estimate(
+                    kind,
+                    params.max_dupes,
+                    max_chain=params.max_chain,
+                    bucket_size=params.bucket_size,
+                )
+            ),
+        )
+    else:
+        counts = distinct_vector_counts(
+            (key, fingerprinter.vector(values)) for key, values in materialised
+        )
+        predicted = predicted_entries(
+            kind,
+            counts,
+            params.max_dupes,
+            max_chain=params.max_chain,
+            bucket_size=params.bucket_size,
+        )
+    num_buckets = recommended_num_buckets(
+        max(1, round(predicted * headroom)), params.bucket_size, target_load
+    )
+    for _attempt in range(max_retries + 1):
+        ccf = make_ccf(kind, schema, num_buckets, params)
+        for key, values in materialised:
+            ccf.insert(key, values)
+        # With an uncapped chain, discarded rows mean the walk ran out of
+        # fresh pairs — a size problem, not a policy choice — so retry those
+        # too.  With a finite Lmax, discards are the configured behaviour.
+        unexpected_discards = params.max_chain is None and ccf.num_rows_discarded > 0
+        if not ccf.failed and not unexpected_discards:
+            return ccf
+        num_buckets *= 2
+    raise RuntimeError(
+        f"{kind} CCF overflowed during build even at {num_buckets // 2} buckets "
+        f"(b={params.bucket_size}, predicted={predicted} entries); the variant "
+        "cannot hold this duplicate skew at a reasonable size"
+    )

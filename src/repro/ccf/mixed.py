@@ -1,0 +1,165 @@
+"""Mixed conditional cuckoo filter: Bloom conversion of duplicates (§6.1).
+
+Attribute rows start as fingerprint vectors.  When a bucket pair already
+holds ``d`` vector entries for a key fingerprint and another distinct row
+arrives, the ``d`` vectors (plus the new one) are converted into a single
+Bloom filter occupying the same ``d`` slots — Algorithm 3.  Conversion can
+never fail, so the Mixed CCF absorbs unlimited duplicates without chaining,
+at the cost of double hashing (value → fingerprint → Bloom bits) and lost
+co-occurrence information for converted keys.
+
+Bit accounting follows §6.1 exactly: the converted group stores one key
+fingerprint copy and a slot count per bucket, leaving
+``d·s − 2(|κ| + ⌈log2 d⌉)`` bits of Bloom payload where ``s`` is the single
+entry size; the Bloom hash count follows Eq. (2)/(3),
+``numHash ≈ (|α|/#α) · (d/(d+1)) · ln 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
+from repro.ccf.entries import ConvertedGroup, GroupSlot, VectorEntry
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Predicate
+from repro.sketches.bloom import BloomFilter
+
+
+def conversion_num_hashes(attr_bits: int, num_attributes: int, max_dupes: int) -> int:
+    """Eq. (3): ``(|α|/#α) · (d/(d+1)) · ln 2``, at least one hash.
+
+    ``|α|`` is the whole vector (``num_attributes * attr_bits`` bits), so the
+    per-attribute ratio reduces to ``attr_bits``.
+    """
+    del num_attributes  # the ratio |α|/#α is attr_bits by construction
+    optimal = attr_bits * (max_dupes / (max_dupes + 1)) * math.log(2)
+    return max(1, round(optimal))
+
+
+def conversion_total_bits(slot_bits: int, key_bits: int, max_dupes: int) -> int:
+    """§6.1: Bloom payload bits across the group's ``d`` slots.
+
+    ``d·s`` raw bits minus two (fingerprint, slot-count) headers — one per
+    bucket of the pair: ``d·s − 2(|κ| + ⌈log2 d⌉)``.  Clamped to at least
+    one bit so degenerate parameterisations stay functional.
+    """
+    header = key_bits + max(1, math.ceil(math.log2(max_dupes)) if max_dupes > 1 else 1)
+    return max(1, max_dupes * slot_bits - 2 * header)
+
+
+class MixedCCF(ConditionalCuckooFilterBase):
+    """CCF with fingerprint vectors that convert to Bloom filters (§6.1)."""
+
+    kind = "mixed"
+
+    def __init__(self, schema: Any, num_buckets: int, params: CCFParams) -> None:
+        super().__init__(schema, num_buckets, params)
+        self.num_conversions = 0
+        self.num_absorbed = 0
+
+    # -- conversion sizing -------------------------------------------------
+
+    def _conversion_bits(self) -> int:
+        return conversion_total_bits(
+            self.slot_bits(), self.params.key_bits, self.params.max_dupes
+        )
+
+    def _conversion_hashes(self) -> int:
+        if self.params.conversion_hashes is not None:
+            return self.params.conversion_hashes
+        return conversion_num_hashes(
+            self.params.attr_bits, self.schema.num_attributes, self.params.max_dupes
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Insert one (key, attribute row), converting on duplicate overflow.
+
+        Returns False only on a MaxKicks placement failure for a *new*
+        (pre-conversion) entry; merges into an existing converted group and
+        conversions themselves always succeed.
+        """
+        values = self.schema.row_values(attrs)
+        avec = self.fingerprinter.vector(values)
+        fingerprint = self.geometry.fingerprint_of(key)
+        home = self.geometry.home_index(key)
+        self.num_rows_inserted += 1
+        left = home
+        right = self.geometry.alt_index(left, fingerprint)
+        slots = self._fp_slots_in_pair(left, right, fingerprint)
+        for entry in slots:
+            if isinstance(entry, GroupSlot):
+                entry.group.add_vector(avec)
+                self.num_absorbed += 1
+                return True
+        if any(entry.same_row(fingerprint, avec) for entry in slots):
+            return True
+        if len(slots) < self.params.max_dupes:
+            return self._place_in_pair(left, right, VectorEntry(fingerprint, avec))
+        self._convert(left, right, fingerprint, avec)
+        return True
+
+    def _convert(self, left: int, right: int, fingerprint: int, new_avec: tuple[int, ...]) -> None:
+        """Algorithm 3: fold the pair's d vectors plus ``new_avec`` into a Bloom group."""
+        bloom = BloomFilter(self._conversion_bits(), self._conversion_hashes(), seed=self._bloom_salt)
+        group = ConvertedGroup(fingerprint, bloom, self.params.max_dupes)
+        converted = 0
+        for bucket in (left, right) if left != right else (left,):
+            for slot, entry in self.buckets.iter_slots(bucket):
+                if isinstance(entry, VectorEntry) and entry.fp == fingerprint:
+                    group.add_vector(entry.avec)
+                    self.buckets.set_slot(bucket, slot, GroupSlot(group))
+                    converted += 1
+        if converted != self.params.max_dupes:
+            raise AssertionError(
+                f"conversion expected d={self.params.max_dupes} vector entries, "
+                f"found {converted}"
+            )
+        group.add_vector(new_avec)
+        self.num_conversions += 1
+
+    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+        """Membership test under an optional predicate (single pair probe)."""
+        compiled = self._resolve_compiled(predicate)
+        fingerprint = self.geometry.fingerprint_of(key)
+        if self.stash and self._stash_matches(fingerprint, compiled):
+            return True
+        left = self.geometry.home_index(key)
+        right = self.geometry.alt_index(left, fingerprint)
+        return any(
+            self._entry_matches(entry, compiled)
+            for entry in self._fp_slots_in_pair(left, right, fingerprint)
+        )
+
+    def slot_bits(self) -> int:
+        """|κ| + |α| + 1 bit flagging vector vs converted-Bloom content."""
+        return (
+            self.params.key_bits
+            + self.schema.num_attributes * self.params.attr_bits
+            + 1
+        )
+
+    def check_invariants(self) -> None:
+        """Base d-cap plus: vectors and groups never coexist for one (pair, κ)."""
+        super().check_invariants()
+        shapes: dict[tuple[int, int], set[str]] = {}
+        for bucket, _slot, entry in self.buckets.iter_entries():
+            alt = self.geometry.alt_index(bucket, entry.fp)
+            pair_id = bucket if bucket < alt else alt
+            shape = "group" if isinstance(entry, GroupSlot) else "vector"
+            shapes.setdefault((pair_id, entry.fp), set()).add(shape)
+        for (pair_id, fingerprint), kinds in shapes.items():
+            if len(kinds) > 1:
+                raise AssertionError(
+                    f"pair {pair_id} mixes vector and group entries for "
+                    f"fingerprint {fingerprint:#x}"
+                )
+
+    def predicate_filter(self, predicate: Predicate) -> "ExtractedKeyFilter":
+        """Predicate-only query: erase non-matching entries (safe — no chains)."""
+        from repro.ccf.views import ExtractedKeyFilter
+
+        return ExtractedKeyFilter.from_ccf(self, predicate)

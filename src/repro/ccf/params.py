@@ -1,0 +1,71 @@
+"""Parameter bundles for conditional cuckoo filters (§8, §10.4).
+
+The paper's evaluation sweeps key-fingerprint size, attribute-fingerprint
+size, per-entry Bloom sketch size and hash count; ``SMALL_PARAMS`` and
+``LARGE_PARAMS`` capture the two named configurations of §10.5:
+
+* large: 8-bit attributes, 12-bit key fingerprints, large Bloom sketches with
+  4 hash functions;
+* small: 4-bit attributes, 7-bit key fingerprints, 2 Bloom hash functions —
+  "reducing filter size by more than half".
+
+``max_dupes`` is the paper's ``d`` (always 3 in the JOB-light experiments)
+and ``max_chain`` is ``Lmax`` (None = uncapped, the multiset-experiment
+setting, with deterministic cycle resolution extending the walk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CCFParams:
+    """Immutable parameter bundle shared by all CCF variants."""
+
+    key_bits: int = 12
+    attr_bits: int = 8
+    bucket_size: int = 6
+    max_dupes: int = 3
+    max_chain: int | None = None
+    max_kicks: int = 500
+    bloom_bits: int = 16
+    bloom_hashes: int = 2
+    conversion_hashes: int | None = None
+    small_value_optimization: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.key_bits <= 62:
+            raise ValueError("key_bits must be in [1, 62]")
+        if not 1 <= self.attr_bits <= 62:
+            raise ValueError("attr_bits must be in [1, 62]")
+        if self.bucket_size < 1:
+            raise ValueError("bucket_size must be at least 1")
+        if self.max_dupes < 1:
+            raise ValueError("max_dupes (d) must be at least 1")
+        if self.max_chain is not None and self.max_chain < 1:
+            raise ValueError("max_chain (Lmax) must be at least 1 or None")
+        if self.max_kicks < 1:
+            raise ValueError("max_kicks must be at least 1")
+        if self.bloom_bits < 1:
+            raise ValueError("bloom_bits must be at least 1")
+        if self.bloom_hashes < 1:
+            raise ValueError("bloom_hashes must be at least 1")
+        if self.max_dupes > 2 * self.bucket_size:
+            raise ValueError("max_dupes cannot exceed the 2b slots of a bucket pair")
+
+    def with_seed(self, seed: int) -> "CCFParams":
+        """Return a copy with a different seed (for salted repeat runs)."""
+        return replace(self, seed=seed)
+
+    def replace(self, **changes: object) -> "CCFParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: §10.5 "small" configuration: 4-bit attributes, 7-bit fingerprints, 2 hashes.
+SMALL_PARAMS = CCFParams(key_bits=7, attr_bits=4, bloom_bits=8, bloom_hashes=2)
+
+#: §10.5 "large" configuration: 8-bit attributes, 12-bit fingerprints, 4 hashes.
+LARGE_PARAMS = CCFParams(key_bits=12, attr_bits=8, bloom_bits=24, bloom_hashes=4)

@@ -1,0 +1,66 @@
+"""Plain conditional cuckoo filter: the no-chaining baseline (§4.3, §10.4).
+
+A regular cuckoo filter that stores attribute fingerprint vectors and simply
+allows duplicate key fingerprints in a bucket pair.  A key's two buckets can
+hold at most ``2b`` copies, and — as §4.3 and Figure 4 show — insertion
+starts failing at low load factors once keys are duplicated, catastrophically
+so under skewed (Zipf) duplication.  This is the "Plain" method of the
+JOB-light experiments, which never produced reasonably sized filters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
+from repro.ccf.entries import VectorEntry
+from repro.ccf.predicates import Predicate
+
+
+class PlainCCF(ConditionalCuckooFilterBase):
+    """CCF with fingerprint vectors, duplicates allowed, no chaining."""
+
+    kind = "plain"
+
+    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Insert one (key, attribute row) into the key's single bucket pair.
+
+        Returns False on a MaxKicks placement failure (the structure is then
+        flagged failed; the displaced victim is stashed so queries stay
+        superset-correct).  Exact duplicate (fingerprint, vector) rows are
+        deduplicated, matching the failure criterion of the multiset
+        experiments: a failure is a *unique* pair that cannot generate a new
+        entry.
+        """
+        values = self.schema.row_values(attrs)
+        avec = self.fingerprinter.vector(values)
+        fingerprint = self.geometry.fingerprint_of(key)
+        home = self.geometry.home_index(key)
+        self.num_rows_inserted += 1
+        left = home
+        right = self.geometry.alt_index(left, fingerprint)
+        slots = self._fp_slots_in_pair(left, right, fingerprint)
+        if any(entry.same_row(fingerprint, avec) for entry in slots):
+            return True
+        return self._place_in_pair(left, right, VectorEntry(fingerprint, avec))
+
+    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+        """Membership test under an optional predicate (single pair probe)."""
+        compiled = self._resolve_compiled(predicate)
+        fingerprint = self.geometry.fingerprint_of(key)
+        if self.stash and self._stash_matches(fingerprint, compiled):
+            return True
+        left = self.geometry.home_index(key)
+        right = self.geometry.alt_index(left, fingerprint)
+        return any(
+            self._entry_matches(entry, compiled)
+            for entry in self._fp_slots_in_pair(left, right, fingerprint)
+        )
+
+    def slot_bits(self) -> int:
+        """|κ| + |α|; no marking or conversion flag is needed."""
+        return self.params.key_bits + self.schema.num_attributes * self.params.attr_bits
+
+    def _max_copies_per_pair(self) -> int:
+        """Plain filters have no d-cap; a pair holds at most its 2b slots."""
+        return 2 * self.params.bucket_size

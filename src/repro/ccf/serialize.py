@@ -1,0 +1,434 @@
+"""Binary serialisation for filters and extracted views.
+
+The paper's deployment model (§2-§3) is that filters are *precomputed and
+stored*, then shipped to scans — so round-trippable wire formats are part of
+the system, not an afterthought.  Everything a structure needs is its
+parameters (all hash salts derive from the seed), its schema, and its slot
+contents; RNG state for future kicks is deliberately not preserved (it
+affects only the randomness of later insertions, never answers).
+
+:func:`dumps` / :func:`loads` handle every CCF variant, the two
+predicate-extracted views, and the plain cuckoo filter.  Slot payloads are
+bit-packed at their declared widths (12-bit fingerprints cost 12 bits), so
+the on-wire size tracks ``size_in_bits()`` up to small headers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.base import ConditionalCuckooFilterBase
+from repro.ccf.chain import PairGeometry
+from repro.ccf.entries import BloomEntry, ConvertedGroup, GroupSlot, VectorEntry
+from repro.ccf.factory import CCF_KINDS, make_ccf
+from repro.ccf.params import CCFParams
+from repro.ccf.views import ExtractedKeyFilter, MarkedKeyFilter
+from repro.cuckoo.filter import CuckooFilter
+from repro.sketches.bitarray import BitArray
+from repro.sketches.bitpack import BitReader, BitWriter
+from repro.sketches.bloom import BloomFilter
+
+_MAGIC_CCF = b"CCF1"
+_MAGIC_VIEW = b"CCV1"
+_MAGIC_CUCKOO = b"CKF1"
+
+_KIND_CODES = {"plain": 0, "chained": 1, "bloom": 2, "mixed": 3}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+# Slot tags.
+_EMPTY, _VECTOR, _BLOOM, _GROUP = 0, 1, 2, 3
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialise a CCF, extracted view, or cuckoo filter to bytes."""
+    if isinstance(obj, ConditionalCuckooFilterBase):
+        return _dump_ccf(obj)
+    if isinstance(obj, (ExtractedKeyFilter, MarkedKeyFilter)):
+        return _dump_view(obj)
+    if isinstance(obj, CuckooFilter):
+        return _dump_cuckoo(obj)
+    raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def loads(data: bytes) -> Any:
+    """Inverse of :func:`dumps`."""
+    if data[:4] == _MAGIC_CCF:
+        return _load_ccf(BitReader(data[4:]))
+    if data[:4] == _MAGIC_VIEW:
+        return _load_view(BitReader(data[4:]))
+    if data[:4] == _MAGIC_CUCKOO:
+        return _load_cuckoo(BitReader(data[4:]))
+    raise ValueError("unrecognised magic header")
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _write_params(writer: BitWriter, params: CCFParams, num_buckets: int) -> None:
+    writer.write(params.key_bits, 8)
+    writer.write(params.attr_bits, 8)
+    writer.write(params.bucket_size, 8)
+    writer.write(params.max_dupes, 8)
+    writer.write(0 if params.max_chain is None else params.max_chain + 1, 32)
+    writer.write(params.max_kicks, 32)
+    writer.write(params.bloom_bits, 16)
+    writer.write(params.bloom_hashes, 8)
+    writer.write(0 if params.conversion_hashes is None else params.conversion_hashes + 1, 8)
+    writer.write_bool(params.small_value_optimization)
+    writer.write(params.seed & ((1 << 64) - 1), 64)
+    writer.write(num_buckets, 32)
+
+
+def _read_params(reader: BitReader) -> tuple[CCFParams, int]:
+    key_bits = reader.read(8)
+    attr_bits = reader.read(8)
+    bucket_size = reader.read(8)
+    max_dupes = reader.read(8)
+    max_chain_raw = reader.read(32)
+    max_kicks = reader.read(32)
+    bloom_bits = reader.read(16)
+    bloom_hashes = reader.read(8)
+    conversion_raw = reader.read(8)
+    svo = reader.read_bool()
+    seed = reader.read(64)
+    num_buckets = reader.read(32)
+    params = CCFParams(
+        key_bits=key_bits,
+        attr_bits=attr_bits,
+        bucket_size=bucket_size,
+        max_dupes=max_dupes,
+        max_chain=None if max_chain_raw == 0 else max_chain_raw - 1,
+        max_kicks=max_kicks,
+        bloom_bits=bloom_bits,
+        bloom_hashes=bloom_hashes,
+        conversion_hashes=None if conversion_raw == 0 else conversion_raw - 1,
+        small_value_optimization=svo,
+        seed=seed,
+    )
+    return params, num_buckets
+
+
+def _write_schema(writer: BitWriter, schema: AttributeSchema) -> None:
+    writer.write(schema.num_attributes, 8)
+    for name in schema.names:
+        raw = name.encode("utf-8")
+        writer.write(len(raw), 16)
+        writer.write_bytes(raw)
+
+
+def _read_schema(reader: BitReader) -> AttributeSchema:
+    count = reader.read(8)
+    names = []
+    for _ in range(count):
+        length = reader.read(16)
+        names.append(reader.read_bytes(length).decode("utf-8"))
+    return AttributeSchema(names)
+
+
+def _write_varint(writer: BitWriter, value: int) -> None:
+    """LEB128-style varint: 7 data bits per group, high bit continues."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        group = value & 0x7F
+        value >>= 7
+        if value:
+            writer.write(group | 0x80, 8)
+        else:
+            writer.write(group, 8)
+            return
+
+
+def _read_varint(reader: BitReader) -> int:
+    value = 0
+    shift = 0
+    while True:
+        group = reader.read(8)
+        value |= (group & 0x7F) << shift
+        if not group & 0x80:
+            return value
+        shift += 7
+
+
+def _write_bloom_payload(writer: BitWriter, bloom: BloomFilter) -> None:
+    _write_varint(writer, bloom.num_inserted)
+    writer.write_bytes(bloom.payload_bytes())
+
+
+def _read_bloom_payload(
+    reader: BitReader, num_bits: int, num_hashes: int, seed: int
+) -> BloomFilter:
+    num_inserted = _read_varint(reader)
+    payload = reader.read_bytes((num_bits + 7) // 8)
+    return BloomFilter.from_payload(num_bits, num_hashes, seed, payload, num_inserted)
+
+
+# ---------------------------------------------------------------------------
+# CCF variants
+# ---------------------------------------------------------------------------
+
+
+def _dump_ccf(ccf: ConditionalCuckooFilterBase) -> bytes:
+    if ccf.kind not in _KIND_CODES:
+        raise TypeError(f"unknown CCF kind {ccf.kind!r}")
+    writer = BitWriter()
+    writer.write_bytes(_MAGIC_CCF)
+    writer.write(_KIND_CODES[ccf.kind], 8)
+    _write_params(writer, ccf.params, ccf.buckets.num_buckets)
+    _write_schema(writer, ccf.schema)
+    writer.write(ccf.num_rows_inserted, 64)
+    writer.write(ccf.num_rows_discarded, 64)
+    writer.write(ccf.num_kicks, 64)
+    writer.write_bool(ccf.failed)
+    if ccf.kind == "mixed":
+        writer.write(ccf.num_conversions, 32)
+        writer.write(ccf.num_absorbed, 64)
+
+    # Converted groups are shared across slots: emit them once, indexed.
+    groups: list[ConvertedGroup] = []
+    group_index: dict[int, int] = {}
+    for _bucket, _slot, entry in ccf.buckets.iter_entries():
+        if isinstance(entry, GroupSlot) and id(entry.group) not in group_index:
+            group_index[id(entry.group)] = len(groups)
+            groups.append(entry.group)
+    writer.write(len(groups), 32)
+    for group in groups:
+        writer.write(group.fp, ccf.params.key_bits)
+        writer.write(group.num_slots, 8)
+        writer.write_bool(group.matching)
+        _write_bloom_payload(writer, group.bloom)
+
+    def write_entry(entry: Any) -> None:
+        if isinstance(entry, VectorEntry):
+            writer.write(_VECTOR, 2)
+            writer.write(entry.fp, ccf.params.key_bits)
+            for component in entry.avec:
+                writer.write(component, ccf.params.attr_bits)
+            writer.write_bool(entry.matching)
+        elif isinstance(entry, BloomEntry):
+            writer.write(_BLOOM, 2)
+            writer.write(entry.fp, ccf.params.key_bits)
+            writer.write_bool(entry.matching)
+            _write_bloom_payload(writer, entry.bloom)
+        elif isinstance(entry, GroupSlot):
+            writer.write(_GROUP, 2)
+            writer.write(group_index[id(entry.group)], 32)
+        else:
+            raise TypeError(f"unknown entry type {type(entry).__name__}")
+
+    for bucket in range(ccf.buckets.num_buckets):
+        for slot in range(ccf.buckets.bucket_size):
+            entry = ccf.buckets.get_slot(bucket, slot)
+            if entry is None:
+                writer.write(_EMPTY, 2)
+            else:
+                write_entry(entry)
+    writer.write(len(ccf.stash), 16)
+    for entry in ccf.stash:
+        write_entry(entry)
+    return writer.getvalue()
+
+
+def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
+    kind = _KIND_NAMES[reader.read(8)]
+    params, num_buckets = _read_params(reader)
+    schema = _read_schema(reader)
+    ccf = make_ccf(kind, schema, num_buckets, params)
+    ccf.num_rows_inserted = reader.read(64)
+    ccf.num_rows_discarded = reader.read(64)
+    ccf.num_kicks = reader.read(64)
+    ccf.failed = reader.read_bool()
+    if kind == "mixed":
+        ccf.num_conversions = reader.read(32)
+        ccf.num_absorbed = reader.read(64)
+
+    groups: list[ConvertedGroup] = []
+    num_groups = reader.read(32)
+    for _ in range(num_groups):
+        fp = reader.read(params.key_bits)
+        num_slots = reader.read(8)
+        matching = reader.read_bool()
+        bloom = _read_bloom_payload(
+            reader, ccf._conversion_bits(), ccf._conversion_hashes(), ccf._bloom_salt
+        )
+        group = ConvertedGroup(fp, bloom, num_slots)
+        group.matching = matching
+        groups.append(group)
+
+    num_attrs = schema.num_attributes
+
+    def read_entry() -> Any:
+        tag = reader.read(2)
+        if tag == _VECTOR:
+            fp = reader.read(params.key_bits)
+            avec = tuple(reader.read(params.attr_bits) for _ in range(num_attrs))
+            matching = reader.read_bool()
+            return VectorEntry(fp, avec, matching)
+        if tag == _BLOOM:
+            fp = reader.read(params.key_bits)
+            matching = reader.read_bool()
+            bloom = _read_bloom_payload(
+                reader, params.bloom_bits, params.bloom_hashes, ccf._bloom_salt
+            )
+            return BloomEntry(fp, bloom, matching)
+        if tag == _GROUP:
+            return GroupSlot(groups[reader.read(32)])
+        raise ValueError("unexpected empty tag inside entry")
+
+    for bucket in range(num_buckets):
+        for slot in range(params.bucket_size):
+            tag_peek = reader.read(2)
+            if tag_peek == _EMPTY:
+                continue
+            if tag_peek == _VECTOR:
+                fp = reader.read(params.key_bits)
+                avec = tuple(reader.read(params.attr_bits) for _ in range(num_attrs))
+                matching = reader.read_bool()
+                ccf.buckets.set_slot(bucket, slot, VectorEntry(fp, avec, matching))
+            elif tag_peek == _BLOOM:
+                fp = reader.read(params.key_bits)
+                matching = reader.read_bool()
+                bloom = _read_bloom_payload(
+                    reader, params.bloom_bits, params.bloom_hashes, ccf._bloom_salt
+                )
+                ccf.buckets.set_slot(bucket, slot, BloomEntry(fp, bloom, matching))
+            else:
+                ccf.buckets.set_slot(bucket, slot, GroupSlot(groups[reader.read(32)]))
+    stash_count = reader.read(16)
+    for _ in range(stash_count):
+        ccf.stash.append(read_entry())
+    return ccf
+
+
+# ---------------------------------------------------------------------------
+# Views
+# ---------------------------------------------------------------------------
+
+_VIEW_EXTRACTED, _VIEW_MARKED = 0, 1
+
+
+def _dump_view(view: ExtractedKeyFilter | MarkedKeyFilter) -> bytes:
+    writer = BitWriter()
+    writer.write_bytes(_MAGIC_VIEW)
+    is_marked = isinstance(view, MarkedKeyFilter)
+    writer.write(_VIEW_MARKED if is_marked else _VIEW_EXTRACTED, 8)
+    geometry = view.geometry
+    writer.write(geometry.num_buckets, 32)
+    writer.write(geometry.key_bits, 8)
+    writer.write(geometry.seed & ((1 << 64) - 1), 64)
+    writer.write(view.buckets.bucket_size, 8)
+    if is_marked:
+        writer.write(view.max_dupes, 8)
+        writer.write(0 if view.max_chain is None else view.max_chain + 1, 32)
+    for bucket in range(view.buckets.num_buckets):
+        for slot in range(view.buckets.bucket_size):
+            stored = view.buckets.get_slot(bucket, slot)
+            if stored is None:
+                writer.write_bool(False)
+                continue
+            writer.write_bool(True)
+            if is_marked:
+                fp, matching = stored
+                writer.write(fp, geometry.key_bits)
+                writer.write_bool(matching)
+            else:
+                writer.write(stored, geometry.key_bits)
+    if is_marked:
+        writer.write(len(view.stash_entries), 16)
+        for fp, matching in view.stash_entries:
+            writer.write(fp, geometry.key_bits)
+            writer.write_bool(matching)
+    else:
+        writer.write(len(view.stash_fingerprints), 16)
+        for fp in view.stash_fingerprints:
+            writer.write(fp, geometry.key_bits)
+    return writer.getvalue()
+
+
+def _load_view(reader: BitReader) -> ExtractedKeyFilter | MarkedKeyFilter:
+    view_type = reader.read(8)
+    num_buckets = reader.read(32)
+    key_bits = reader.read(8)
+    seed = reader.read(64)
+    bucket_size = reader.read(8)
+    geometry = PairGeometry(num_buckets, key_bits, seed)
+    if view_type == _VIEW_MARKED:
+        max_dupes = reader.read(8)
+        max_chain_raw = reader.read(32)
+        view: MarkedKeyFilter | ExtractedKeyFilter = MarkedKeyFilter(
+            geometry,
+            bucket_size,
+            max_dupes,
+            None if max_chain_raw == 0 else max_chain_raw - 1,
+        )
+    else:
+        view = ExtractedKeyFilter(geometry, bucket_size)
+    for bucket in range(num_buckets):
+        for slot in range(bucket_size):
+            if not reader.read_bool():
+                continue
+            if view_type == _VIEW_MARKED:
+                fp = reader.read(key_bits)
+                matching = reader.read_bool()
+                view.buckets.set_slot(bucket, slot, (fp, matching))
+            else:
+                view.buckets.set_slot(bucket, slot, reader.read(key_bits))
+    stash_count = reader.read(16)
+    for _ in range(stash_count):
+        if view_type == _VIEW_MARKED:
+            fp = reader.read(key_bits)
+            view.stash_entries.append((fp, reader.read_bool()))
+        else:
+            view.stash_fingerprints.append(reader.read(key_bits))
+    return view
+
+
+# ---------------------------------------------------------------------------
+# Plain cuckoo filter
+# ---------------------------------------------------------------------------
+
+
+def _dump_cuckoo(cuckoo: CuckooFilter) -> bytes:
+    writer = BitWriter()
+    writer.write_bytes(_MAGIC_CUCKOO)
+    writer.write(cuckoo.buckets.num_buckets, 32)
+    writer.write(cuckoo.buckets.bucket_size, 8)
+    writer.write(cuckoo.fingerprint_bits, 8)
+    writer.write(cuckoo.max_kicks, 32)
+    writer.write(cuckoo.seed & ((1 << 64) - 1), 64)
+    writer.write(cuckoo.num_items, 64)
+    writer.write_bool(cuckoo.failed)
+    for bucket in range(cuckoo.buckets.num_buckets):
+        for slot in range(cuckoo.buckets.bucket_size):
+            fp = cuckoo.buckets.get_slot(bucket, slot)
+            if fp is None:
+                writer.write_bool(False)
+            else:
+                writer.write_bool(True)
+                writer.write(fp, cuckoo.fingerprint_bits)
+    writer.write(len(cuckoo.stash), 16)
+    for fp in cuckoo.stash:
+        writer.write(fp, cuckoo.fingerprint_bits)
+    return writer.getvalue()
+
+
+def _load_cuckoo(reader: BitReader) -> CuckooFilter:
+    num_buckets = reader.read(32)
+    bucket_size = reader.read(8)
+    fingerprint_bits = reader.read(8)
+    max_kicks = reader.read(32)
+    seed = reader.read(64)
+    cuckoo = CuckooFilter(num_buckets, bucket_size, fingerprint_bits, max_kicks, seed)
+    cuckoo.num_items = reader.read(64)
+    cuckoo.failed = reader.read_bool()
+    for bucket in range(num_buckets):
+        for slot in range(bucket_size):
+            if reader.read_bool():
+                cuckoo.buckets.set_slot(bucket, slot, reader.read(fingerprint_bits))
+    stash_count = reader.read(16)
+    for _ in range(stash_count):
+        cuckoo.stash.append(reader.read(fingerprint_bits))
+    return cuckoo

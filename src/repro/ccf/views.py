@@ -1,0 +1,174 @@
+"""Predicate-only filter extraction — Algorithm 2 and its chained analogue.
+
+Given only a predicate ``P`` (no key), a CCF can be *specialised* into a
+key-only approximate membership filter for the set ``S_P`` of keys that have
+a matching attribute row:
+
+* :class:`ExtractedKeyFilter` (Bloom and Mixed CCFs, Algorithm 2): every
+  entry whose attribute sketch cannot match ``P`` is simply erased; what
+  remains is a plain cuckoo-filter bit pattern over the same geometry.
+* :class:`MarkedKeyFilter` (chained CCFs, §6.2): erasing entries would open
+  gaps in chains — a pair could drop below ``d`` copies and make queries
+  stop probing early, yielding false negatives.  Instead every fingerprint
+  is kept and non-matching entries carry a one-bit mark; lookups replay the
+  chain walk counting marked and unmarked copies alike.
+
+Both views share their source filter's :class:`~repro.ccf.chain.PairGeometry`
+(the salts a real system would serialise alongside the table) but snapshot
+the slot contents, so later source mutations don't leak into the view.
+"""
+
+from __future__ import annotations
+
+from repro.ccf.base import ConditionalCuckooFilterBase
+from repro.ccf.chain import PairGeometry
+from repro.ccf.predicates import Predicate
+from repro.cuckoo.buckets import BucketArray
+
+
+class ExtractedKeyFilter:
+    """Key-only cuckoo filter extracted from a Bloom/Mixed CCF (Algorithm 2)."""
+
+    def __init__(self, geometry: PairGeometry, bucket_size: int) -> None:
+        self.geometry = geometry
+        self.buckets = BucketArray(geometry.num_buckets, bucket_size)
+        self.stash_fingerprints: list[int] = []
+
+    @classmethod
+    def from_ccf(cls, source: ConditionalCuckooFilterBase, predicate: Predicate) -> "ExtractedKeyFilter":
+        """Erase non-matching entries of ``source`` into a key-only filter."""
+        compiled = source.compile(predicate)
+        view = cls(source.geometry, source.params.bucket_size)
+        for bucket, slot, entry in source.buckets.iter_entries():
+            if source._entry_matches(entry, compiled):
+                view.buckets.set_slot(bucket, slot, entry.fp)
+        for entry in source.stash:
+            if source._entry_matches(entry, compiled):
+                view.stash_fingerprints.append(entry.fp)
+        return view
+
+    def contains(self, key: object) -> bool:
+        """Key-only membership against the extracted set (no false negatives)."""
+        fingerprint = self.geometry.fingerprint_of(key)
+        left = self.geometry.home_index(key)
+        right = self.geometry.alt_index(left, fingerprint)
+        if fingerprint in self.buckets.entries(left):
+            return True
+        if right != left and fingerprint in self.buckets.entries(right):
+            return True
+        return fingerprint in self.stash_fingerprints
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of surviving fingerprints."""
+        return self.buckets.filled + len(self.stash_fingerprints)
+
+    def size_in_bits(self) -> int:
+        """Size as a shipped artifact: one key fingerprint per slot."""
+        return (self.buckets.capacity + len(self.stash_fingerprints)) * self.geometry.key_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExtractedKeyFilter(entries={self.num_entries})"
+
+
+class MarkedKeyFilter:
+    """Chain-preserving predicate view of a chained CCF (§6.2).
+
+    Slots hold ``(fingerprint, matching)`` pairs; the lookup replays
+    Algorithm 5's walk, counting every fingerprint copy toward the ``d``
+    continue-condition but reporting a hit only on matching copies.
+    """
+
+    def __init__(
+        self,
+        geometry: PairGeometry,
+        bucket_size: int,
+        max_dupes: int,
+        max_chain: int | None,
+    ) -> None:
+        self.geometry = geometry
+        self.buckets = BucketArray(geometry.num_buckets, bucket_size)
+        self.max_dupes = max_dupes
+        self.max_chain = max_chain
+        self.stash_entries: list[tuple[int, bool]] = []
+
+    @classmethod
+    def from_ccf(cls, source: ConditionalCuckooFilterBase, predicate: Predicate) -> "MarkedKeyFilter":
+        """Mark (not erase) entries of a chained CCF against ``predicate``."""
+        compiled = source.compile(predicate)
+        view = cls(
+            source.geometry,
+            source.params.bucket_size,
+            source.params.max_dupes,
+            source.params.max_chain,
+        )
+        for bucket, slot, entry in source.buckets.iter_entries():
+            matches = source._entry_matches(entry, compiled)
+            view.buckets.set_slot(bucket, slot, (entry.fp, matches))
+        for entry in source.stash:
+            view.stash_entries.append((entry.fp, source._entry_matches(entry, compiled)))
+        return view
+
+    def _walk_limit(self) -> int:
+        if self.max_chain is not None:
+            return self.max_chain
+        return self.geometry.num_buckets
+
+    def contains(self, key: object) -> bool:
+        """Key membership in the predicate-selected set (no false negatives)."""
+        fingerprint = self.geometry.fingerprint_of(key)
+        stash_has_fp = False
+        for stash_fp, matches in self.stash_entries:
+            if stash_fp == fingerprint:
+                if matches:
+                    return True
+                # A stashed copy means d-counts along this fingerprint's
+                # chain may have decreased; disable the early stop below.
+                stash_has_fp = True
+        home = self.geometry.home_index(key)
+        limit = self._walk_limit()
+        walked = 0
+        for left, right in self.geometry.pair_walk(home, fingerprint):
+            if walked >= limit:
+                break
+            walked += 1
+            copies = 0
+            hit = False
+            buckets = (left,) if left == right else (left, right)
+            for bucket in buckets:
+                for stored_fp, matches in self.buckets.entries(bucket):
+                    if stored_fp == fingerprint:
+                        copies += 1
+                        hit = hit or matches
+            if hit:
+                return True
+            if copies == self.max_dupes or stash_has_fp:
+                continue
+            return False
+        # Lmax exhausted with every pair d-full: conservative True (Theorem 3).
+        return True
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of retained fingerprint slots (marked or not)."""
+        return self.buckets.filled + len(self.stash_entries)
+
+    def num_matching(self) -> int:
+        """Number of slots still marked as matching the predicate."""
+        table = sum(1 for _, _, (_fp, m) in self.buckets.iter_entries() if m)
+        return table + sum(1 for _fp, m in self.stash_entries if m)
+
+    def size_in_bits(self) -> int:
+        """Size as a shipped artifact: fingerprint plus one marking bit."""
+        return (self.buckets.capacity + len(self.stash_entries)) * (self.geometry.key_bits + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MarkedKeyFilter(entries={self.num_entries}, matching={self.num_matching()})"
+        )

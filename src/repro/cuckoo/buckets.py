@@ -1,0 +1,155 @@
+"""Bucketed slot storage shared by every cuckoo structure in the repository.
+
+A :class:`BucketArray` is a fixed grid of ``num_buckets x bucket_size`` slots,
+each holding either ``None`` (empty) or an arbitrary entry object.  All cuckoo
+structures (hash table, filter, conditional filters) sit on top of it; it
+knows nothing about hashing or collision policy.
+
+``num_buckets`` must be a power of two because partial-key cuckoo hashing
+derives the alternate bucket with XOR (§4.2 of the paper), which only stays
+in range for power-of-two table sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two >= n (minimum 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if n is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class BucketArray:
+    """Fixed array of buckets, each with ``bucket_size`` object slots."""
+
+    __slots__ = ("num_buckets", "bucket_size", "_slots", "_filled")
+
+    def __init__(self, num_buckets: int, bucket_size: int) -> None:
+        if not is_power_of_two(num_buckets):
+            raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
+        if bucket_size < 1:
+            raise ValueError("bucket_size must be at least 1")
+        self.num_buckets = num_buckets
+        self.bucket_size = bucket_size
+        self._slots: list[Any] = [None] * (num_buckets * bucket_size)
+        self._filled = 0
+
+    # -- basic slot access ------------------------------------------------
+
+    def _base(self, bucket: int) -> int:
+        if not 0 <= bucket < self.num_buckets:
+            raise IndexError(f"bucket {bucket} out of range")
+        return bucket * self.bucket_size
+
+    def get_slot(self, bucket: int, slot: int) -> Any:
+        """Return the entry at (bucket, slot), or None."""
+        if not 0 <= slot < self.bucket_size:
+            raise IndexError(f"slot {slot} out of range")
+        return self._slots[self._base(bucket) + slot]
+
+    def set_slot(self, bucket: int, slot: int, entry: Any) -> None:
+        """Overwrite the entry at (bucket, slot); entry may be None."""
+        if not 0 <= slot < self.bucket_size:
+            raise IndexError(f"slot {slot} out of range")
+        index = self._base(bucket) + slot
+        before = self._slots[index]
+        self._slots[index] = entry
+        if before is None and entry is not None:
+            self._filled += 1
+        elif before is not None and entry is None:
+            self._filled -= 1
+
+    # -- bucket-level operations ------------------------------------------
+
+    def entries(self, bucket: int) -> list[Any]:
+        """Return the non-empty entries of a bucket (in slot order)."""
+        base = self._base(bucket)
+        return [e for e in self._slots[base : base + self.bucket_size] if e is not None]
+
+    def iter_slots(self, bucket: int) -> Iterator[tuple[int, Any]]:
+        """Yield (slot, entry) for non-empty slots of a bucket."""
+        base = self._base(bucket)
+        for slot in range(self.bucket_size):
+            entry = self._slots[base + slot]
+            if entry is not None:
+                yield slot, entry
+
+    def count(self, bucket: int) -> int:
+        """Return the number of occupied slots in a bucket."""
+        base = self._base(bucket)
+        return sum(1 for e in self._slots[base : base + self.bucket_size] if e is not None)
+
+    def is_full(self, bucket: int) -> bool:
+        """Return True if the bucket has no free slot."""
+        base = self._base(bucket)
+        return all(e is not None for e in self._slots[base : base + self.bucket_size])
+
+    def try_add(self, bucket: int, entry: Any) -> bool:
+        """Place ``entry`` in the first free slot of ``bucket``; False if full."""
+        if entry is None:
+            raise ValueError("cannot store None as an entry")
+        base = self._base(bucket)
+        for slot in range(self.bucket_size):
+            if self._slots[base + slot] is None:
+                self._slots[base + slot] = entry
+                self._filled += 1
+                return True
+        return False
+
+    def remove(self, bucket: int, predicate: Callable[[Any], bool]) -> Any:
+        """Remove and return the first entry matching ``predicate``, or None."""
+        base = self._base(bucket)
+        for slot in range(self.bucket_size):
+            entry = self._slots[base + slot]
+            if entry is not None and predicate(entry):
+                self._slots[base + slot] = None
+                self._filled -= 1
+                return entry
+        return None
+
+    def find(self, bucket: int, predicate: Callable[[Any], bool]) -> list[Any]:
+        """Return all entries in the bucket matching ``predicate``."""
+        return [e for e in self.entries(bucket) if predicate(e)]
+
+    # -- whole-table statistics -------------------------------------------
+
+    @property
+    def storage(self) -> list[Any]:
+        """The flat slot list (bucket-major).  Exposed for hot read paths
+        that cannot afford per-bucket list allocation; treat as read-only."""
+        return self._slots
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self.num_buckets * self.bucket_size
+
+    @property
+    def filled(self) -> int:
+        """Number of occupied slots."""
+        return self._filled
+
+    def load_factor(self) -> float:
+        """Fraction of slots occupied."""
+        return self._filled / self.capacity
+
+    def iter_entries(self) -> Iterator[tuple[int, int, Any]]:
+        """Yield (bucket, slot, entry) for every occupied slot."""
+        size = self.bucket_size
+        for index, entry in enumerate(self._slots):
+            if entry is not None:
+                yield index // size, index % size, entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BucketArray(num_buckets={self.num_buckets}, bucket_size={self.bucket_size}, "
+            f"load={self.load_factor():.3f})"
+        )

@@ -1,0 +1,185 @@
+"""Standard cuckoo filter (Fan et al. 2014), as reviewed in §4.2 of the paper.
+
+Stores only a small fingerprint per key and uses *partial-key cuckoo hashing*:
+the alternate bucket is ``l' = l XOR h(fingerprint)``, computable from the
+stored fingerprint alone.  Supports insertion, membership testing and
+deletion, with no false negatives for inserted keys.
+
+One deliberate deviation from the textbook structure, recorded in DESIGN.md:
+on a MaxKicks failure the in-flight victim entry is retained in a small
+overflow stash (consulted by queries) instead of being dropped, so the
+no-false-negative guarantee survives overload.  ``insert`` still reports the
+failure by returning False and setting :attr:`failed`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cuckoo.buckets import BucketArray, next_power_of_two
+from repro.hashing.mixers import derive_seed, hash64
+
+DEFAULT_MAX_KICKS = 500
+
+
+class CuckooFilter:
+    """Approximate-set-membership filter with partial-key cuckoo hashing."""
+
+    def __init__(
+        self,
+        num_buckets: int,
+        bucket_size: int = 4,
+        fingerprint_bits: int = 12,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        seed: int = 0,
+    ) -> None:
+        if fingerprint_bits < 1 or fingerprint_bits > 62:
+            raise ValueError("fingerprint_bits must be in [1, 62]")
+        self.fingerprint_bits = fingerprint_bits
+        self.max_kicks = max_kicks
+        self.seed = seed
+        self.buckets = BucketArray(num_buckets, bucket_size)
+        self.num_items = 0
+        self.failed = False
+        self.stash: list[int] = []
+        self._fp_mask = (1 << fingerprint_bits) - 1
+        self._index_salt = derive_seed(seed, "cf-index")
+        self._fp_salt = derive_seed(seed, "cf-fingerprint")
+        self._jump_salt = derive_seed(seed, "cf-jump")
+        self._jump_cache: dict[int, int] = {}
+        self._rng = random.Random(derive_seed(seed, "cf-rng"))
+
+    @classmethod
+    def from_capacity(
+        cls,
+        capacity: int,
+        bucket_size: int = 4,
+        fingerprint_bits: int = 12,
+        target_load: float = 0.95,
+        **kwargs: object,
+    ) -> "CuckooFilter":
+        """Size a filter for ``capacity`` items at ``target_load`` occupancy.
+
+        §4.2: an optimally sized filter with b=4 empirically reaches ~95%
+        load, hence the default target.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < target_load <= 1.0:
+            raise ValueError("target_load must be in (0, 1]")
+        slots_needed = capacity / target_load
+        num_buckets = next_power_of_two(max(1, round(slots_needed / bucket_size)))
+        return cls(num_buckets, bucket_size, fingerprint_bits, **kwargs)
+
+    # -- hashing ------------------------------------------------------------
+
+    def fingerprint_of(self, key: object) -> int:
+        """Return the fingerprint of ``key`` (``fingerprint_bits`` wide)."""
+        return hash64(key, self._fp_salt) & self._fp_mask
+
+    def home_index(self, key: object) -> int:
+        """Return the primary bucket for ``key``."""
+        return hash64(key, self._index_salt) & (self.buckets.num_buckets - 1)
+
+    def _fp_jump(self, fingerprint: int) -> int:
+        """Return ``h(fingerprint) mod m``, the XOR offset to the alternate bucket."""
+        jump = self._jump_cache.get(fingerprint)
+        if jump is None:
+            jump = hash64(fingerprint, self._jump_salt) & (self.buckets.num_buckets - 1)
+            self._jump_cache[fingerprint] = jump
+        return jump
+
+    def alt_index(self, index: int, fingerprint: int) -> int:
+        """Return the partner bucket of ``index`` for ``fingerprint``."""
+        return index ^ self._fp_jump(fingerprint)
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, key: object) -> bool:
+        """Insert ``key``; returns False only on a MaxKicks failure.
+
+        A failure leaves the filter still correct (the displaced victim is
+        stashed) but flags it as over capacity via :attr:`failed`.
+        """
+        fp = self.fingerprint_of(key)
+        i1 = self.home_index(key)
+        i2 = self.alt_index(i1, fp)
+        self.num_items += 1
+        if self.buckets.try_add(i1, fp) or self.buckets.try_add(i2, fp):
+            return True
+        return self._kick_loop(self._rng.choice((i1, i2)), fp)
+
+    def _kick_loop(self, start: int, fingerprint: int) -> bool:
+        current = start
+        item = fingerprint
+        for _ in range(self.max_kicks):
+            victim_slot = self._rng.randrange(self.buckets.bucket_size)
+            victim = self.buckets.get_slot(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, item)
+            item = victim
+            current = self.alt_index(current, item)
+            if self.buckets.try_add(current, item):
+                return True
+        self.stash.append(item)
+        self.failed = True
+        return False
+
+    def contains(self, key: object) -> bool:
+        """Return True if ``key`` may be in the set (no false negatives)."""
+        fp = self.fingerprint_of(key)
+        i1 = self.home_index(key)
+        i2 = self.alt_index(i1, fp)
+        if fp in self.buckets.entries(i1) or fp in self.buckets.entries(i2):
+            return True
+        return fp in self.stash
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def delete(self, key: object) -> bool:
+        """Remove one copy of ``key``; True if a fingerprint was removed.
+
+        As with any cuckoo filter, deleting a key that was never inserted may
+        remove another key's colliding fingerprint; callers must only delete
+        keys they know to be present.
+        """
+        fp = self.fingerprint_of(key)
+        i1 = self.home_index(key)
+        i2 = self.alt_index(i1, fp)
+        for bucket in (i1, i2):
+            if self.buckets.remove(bucket, lambda e: e == fp) is not None:
+                self.num_items -= 1
+                return True
+        if fp in self.stash:
+            self.stash.remove(fp)
+            self.num_items -= 1
+            return True
+        return False
+
+    # -- statistics -----------------------------------------------------------
+
+    def load_factor(self) -> float:
+        """Fraction of table slots occupied (stash excluded)."""
+        return self.buckets.load_factor()
+
+    def size_in_bits(self) -> int:
+        """Table size under the paper's accounting: one fingerprint per slot."""
+        return self.buckets.capacity * self.fingerprint_bits
+
+    def fpr_bound(self) -> float:
+        """Upper bound 2b * 2^-f on the false positive rate (§4.2)."""
+        return min(1.0, 2 * self.buckets.bucket_size * 2.0**-self.fingerprint_bits)
+
+    def expected_fpr(self) -> float:
+        """Refined bound E[D] * 2^-f using the realised fill (§7.1, Eq. 4)."""
+        mean_filled_pair = 2 * self.buckets.bucket_size * self.load_factor()
+        return min(1.0, mean_filled_pair * 2.0**-self.fingerprint_bits)
+
+    def __len__(self) -> int:
+        return self.num_items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CuckooFilter(buckets={self.buckets.num_buckets}, b={self.buckets.bucket_size}, "
+            f"f={self.fingerprint_bits}, items={self.num_items}, load={self.load_factor():.3f})"
+        )

@@ -1,0 +1,165 @@
+"""Classic cuckoo hash table (key -> value), as reviewed in §4/§4.1.
+
+Unlike the filters, the table stores full keys, uses two independent bucket
+hashes (not partial-key hashing), updates values for duplicate keys, and
+resizes itself (doubling) when an insertion cannot be placed within MaxKicks
+— exactly the behaviour described in §4.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+from repro.cuckoo.buckets import BucketArray, next_power_of_two
+from repro.hashing.mixers import derive_seed, hash64
+
+DEFAULT_MAX_KICKS = 500
+
+_MISSING = object()
+
+
+class CuckooHashTable:
+    """An open-addressing key/value map with cuckoo collision resolution."""
+
+    def __init__(
+        self,
+        num_buckets: int = 8,
+        bucket_size: int = 4,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        seed: int = 0,
+    ) -> None:
+        self.bucket_size = bucket_size
+        self.max_kicks = max_kicks
+        self.seed = seed
+        self.num_resizes = 0
+        self._rng = random.Random(derive_seed(seed, "cht-rng"))
+        self._generation = 0
+        self._init_table(next_power_of_two(num_buckets))
+
+    def _init_table(self, num_buckets: int) -> None:
+        self.buckets = BucketArray(num_buckets, self.bucket_size)
+        self._salt1 = derive_seed(self.seed, "cht-h1", self._generation)
+        self._salt2 = derive_seed(self.seed, "cht-h2", self._generation)
+        self._count = 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def _indexes(self, key: object) -> tuple[int, int]:
+        mask = self.buckets.num_buckets - 1
+        return hash64(key, self._salt1) & mask, hash64(key, self._salt2) & mask
+
+    # -- mapping protocol -----------------------------------------------------
+
+    def __setitem__(self, key: object, value: Any) -> None:
+        i1, i2 = self._indexes(key)
+        # Update in place if the key is already present.
+        for bucket in (i1, i2):
+            for slot, entry in self.buckets.iter_slots(bucket):
+                if entry[0] == key:
+                    self.buckets.set_slot(bucket, slot, (key, value))
+                    return
+        self._insert_new((key, value), i1, i2)
+
+    def _insert_new(self, pair: tuple[object, Any], i1: int, i2: int) -> None:
+        if self.buckets.try_add(i1, pair) or self.buckets.try_add(i2, pair):
+            self._count += 1
+            return
+        item = pair
+        current = self._rng.choice((i1, i2))
+        for _ in range(self.max_kicks):
+            victim_slot = self._rng.randrange(self.bucket_size)
+            victim = self.buckets.get_slot(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, item)
+            item = victim
+            a, b = self._indexes(item[0])
+            current = b if current == a else a
+            if self.buckets.try_add(current, item):
+                self._count += 1
+                return
+        # MaxKicks exhausted: grow the table and retry (§4.1), carrying the
+        # displaced victim along with all resident pairs.
+        self._resize(item)
+
+    def _resize(self, pending: tuple[object, Any]) -> None:
+        old_entries = [entry for _, _, entry in self.buckets.iter_entries()]
+        old_entries.append(pending)
+        new_size = self.buckets.num_buckets * 2
+        while True:
+            self._generation += 1
+            self.num_resizes += 1
+            self._init_table(new_size)
+            if self._try_bulk_insert(old_entries):
+                self._count = len(old_entries)
+                return
+            new_size *= 2
+
+    def _try_bulk_insert(self, entries: list[tuple[object, Any]]) -> bool:
+        for pair in entries:
+            i1, i2 = self._indexes(pair[0])
+            if not self._try_place(pair, i1, i2):
+                return False
+        return True
+
+    def _try_place(self, pair: tuple[object, Any], i1: int, i2: int) -> bool:
+        if self.buckets.try_add(i1, pair) or self.buckets.try_add(i2, pair):
+            return True
+        item = pair
+        current = self._rng.choice((i1, i2))
+        for _ in range(self.max_kicks):
+            victim_slot = self._rng.randrange(self.bucket_size)
+            victim = self.buckets.get_slot(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, item)
+            item = victim
+            a, b = self._indexes(item[0])
+            current = b if current == a else a
+            if self.buckets.try_add(current, item):
+                return True
+        return False
+
+    def __getitem__(self, key: object) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def get(self, key: object, default: Any = None) -> Any:
+        """Return the value stored for ``key``, or ``default``."""
+        for bucket in self._indexes(key):
+            for _slot, entry in self.buckets.iter_slots(bucket):
+                if entry[0] == key:
+                    return entry[1]
+        return default
+
+    def __delitem__(self, key: object) -> None:
+        for bucket in self._indexes(key):
+            if self.buckets.remove(bucket, lambda e: e[0] == key) is not None:
+                self._count -= 1
+                return
+        raise KeyError(key)
+
+    def __contains__(self, key: object) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def __len__(self) -> int:
+        return self._count
+
+    def keys(self) -> Iterator[object]:
+        """Yield all keys (arbitrary order)."""
+        for _, _, entry in self.buckets.iter_entries():
+            yield entry[0]
+
+    def items(self) -> Iterator[tuple[object, Any]]:
+        """Yield all (key, value) pairs (arbitrary order)."""
+        for _, _, entry in self.buckets.iter_entries():
+            yield entry
+
+    def load_factor(self) -> float:
+        """Fraction of slots occupied."""
+        return self.buckets.load_factor()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CuckooHashTable(buckets={self.buckets.num_buckets}, b={self.bucket_size}, "
+            f"items={self._count}, load={self.load_factor():.3f})"
+        )

@@ -1,0 +1,146 @@
+"""Multiset cuckoo filter: the duplicate-key baseline of §4.3.
+
+A regular cuckoo filter extended in the simplest possible way to multisets:
+every insertion adds another copy of the key's fingerprint.  A key's two
+buckets can hold at most ``2 * bucket_size`` copies, so heavily duplicated
+keys exhaust their bucket pair and insertion fails — the failure mode that
+Figure 4 quantifies and that the paper's chaining technique repairs.
+
+``insert`` returns False at the first placement failure and latches
+:attr:`failed`; experiment harnesses read the load factor at that point.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cuckoo.buckets import BucketArray, next_power_of_two
+from repro.hashing.mixers import derive_seed, hash64
+
+DEFAULT_MAX_KICKS = 500
+
+
+class MultisetCuckooFilter:
+    """Cuckoo filter that stores one fingerprint copy per insertion."""
+
+    def __init__(
+        self,
+        num_buckets: int,
+        bucket_size: int = 4,
+        fingerprint_bits: int = 12,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        seed: int = 0,
+    ) -> None:
+        self.fingerprint_bits = fingerprint_bits
+        self.max_kicks = max_kicks
+        self.seed = seed
+        self.buckets = BucketArray(next_power_of_two(num_buckets), bucket_size)
+        self.num_items = 0
+        self.failed = False
+        self.stash: list[int] = []
+        self._fp_mask = (1 << fingerprint_bits) - 1
+        self._index_salt = derive_seed(seed, "mcf-index")
+        self._fp_salt = derive_seed(seed, "mcf-fingerprint")
+        self._jump_salt = derive_seed(seed, "mcf-jump")
+        self._jump_cache: dict[int, int] = {}
+        self._rng = random.Random(derive_seed(seed, "mcf-rng"))
+
+    # -- hashing ------------------------------------------------------------
+
+    def fingerprint_of(self, key: object) -> int:
+        """Return the fingerprint of ``key``."""
+        return hash64(key, self._fp_salt) & self._fp_mask
+
+    def home_index(self, key: object) -> int:
+        """Return the primary bucket for ``key``."""
+        return hash64(key, self._index_salt) & (self.buckets.num_buckets - 1)
+
+    def _fp_jump(self, fingerprint: int) -> int:
+        jump = self._jump_cache.get(fingerprint)
+        if jump is None:
+            jump = hash64(fingerprint, self._jump_salt) & (self.buckets.num_buckets - 1)
+            self._jump_cache[fingerprint] = jump
+        return jump
+
+    def alt_index(self, index: int, fingerprint: int) -> int:
+        """Return the partner bucket of ``index`` for ``fingerprint``."""
+        return index ^ self._fp_jump(fingerprint)
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, key: object) -> bool:
+        """Add one copy of ``key``; False once the bucket pair is exhausted."""
+        fp = self.fingerprint_of(key)
+        i1 = self.home_index(key)
+        i2 = self.alt_index(i1, fp)
+        self.num_items += 1
+        if self.buckets.try_add(i1, fp) or self.buckets.try_add(i2, fp):
+            return True
+        current = self._rng.choice((i1, i2))
+        item = fp
+        for _ in range(self.max_kicks):
+            victim_slot = self._rng.randrange(self.buckets.bucket_size)
+            victim = self.buckets.get_slot(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, item)
+            item = victim
+            current = self.alt_index(current, item)
+            if self.buckets.try_add(current, item):
+                return True
+        self.stash.append(item)
+        self.failed = True
+        return False
+
+    def contains(self, key: object) -> bool:
+        """Return True if at least one copy of ``key`` may be present."""
+        return self.count(key) > 0
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def count(self, key: object) -> int:
+        """Return the number of stored fingerprint copies matching ``key``.
+
+        Upper-bounds the true multiplicity (fingerprint collisions inflate
+        it); never undercounts an inserted key.
+        """
+        fp = self.fingerprint_of(key)
+        i1 = self.home_index(key)
+        i2 = self.alt_index(i1, fp)
+        total = sum(1 for e in self.buckets.entries(i1) if e == fp)
+        if i2 != i1:
+            total += sum(1 for e in self.buckets.entries(i2) if e == fp)
+        total += sum(1 for e in self.stash if e == fp)
+        return total
+
+    def delete(self, key: object) -> bool:
+        """Remove one copy of ``key``; True if a fingerprint was removed."""
+        fp = self.fingerprint_of(key)
+        i1 = self.home_index(key)
+        i2 = self.alt_index(i1, fp)
+        for bucket in (i1, i2) if i1 != i2 else (i1,):
+            if self.buckets.remove(bucket, lambda e: e == fp) is not None:
+                self.num_items -= 1
+                return True
+        if fp in self.stash:
+            self.stash.remove(fp)
+            self.num_items -= 1
+            return True
+        return False
+
+    def load_factor(self) -> float:
+        """Fraction of table slots occupied."""
+        return self.buckets.load_factor()
+
+    def size_in_bits(self) -> int:
+        """Table size: one fingerprint per slot."""
+        return self.buckets.capacity * self.fingerprint_bits
+
+    def __len__(self) -> int:
+        return self.num_items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultisetCuckooFilter(buckets={self.buckets.num_buckets}, "
+            f"b={self.buckets.bucket_size}, items={self.num_items}, "
+            f"load={self.load_factor():.3f}, failed={self.failed})"
+        )

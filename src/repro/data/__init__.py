@@ -1,0 +1,25 @@
+"""Data substrate: skewed streams, column relations, synthetic IMDB."""
+
+from repro.data.imdb import IMDBDataset, dupes_summary, generate_imdb, table_summary
+from repro.data.relation import Relation
+from repro.data.streams import (
+    constant_stream,
+    duplicate_statistics,
+    stream_for_capacity,
+    zipf_stream,
+)
+from repro.data.zipf import ZipfMandelbrot, solve_alpha_for_mean_duplicates
+
+__all__ = [
+    "IMDBDataset",
+    "Relation",
+    "ZipfMandelbrot",
+    "constant_stream",
+    "dupes_summary",
+    "duplicate_statistics",
+    "generate_imdb",
+    "solve_alpha_for_mean_duplicates",
+    "stream_for_capacity",
+    "table_summary",
+    "zipf_stream",
+]

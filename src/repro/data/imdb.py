@@ -1,0 +1,395 @@
+"""Synthetic IMDB-like dataset matching the paper's Tables 2 and 3.
+
+The paper evaluates on a pre-2017 IMDB snapshot (Join Order Benchmark data),
+which is not redistributable; DESIGN.md records the substitution.  This
+generator reproduces the *published statistics* that drive every CCF
+phenomenon the paper measures:
+
+* per-table row counts (Table 2), scaled by a configurable factor;
+* predicate-column cardinalities (Table 2) — low cardinalities kept exact,
+  high cardinalities scaled with the data;
+* per-join-key distinct-duplicate distributions (Table 3's avg/max dupes,
+  e.g. ``movie_keyword.keyword_id`` averaging 9.48 with a 539 maximum),
+  realised with truncated-geometric duplicate counts solved to the target
+  mean and value popularity skew;
+* partial join-key coverage per fact table, which shapes semijoin
+  selectivities.
+
+All tables join ``title.id = <fact>.movie_id``, exactly as in JOB-light.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+#: Production years span 1888-2019: the 132 distinct values of Table 2.
+YEAR_LOW = 1888
+YEAR_HIGH = 2019
+
+
+@dataclass(frozen=True)
+class PredicateColumnSpec:
+    """One predicate column of a table (Table 2/3 row)."""
+
+    name: str
+    cardinality: int
+    avg_dupes: float
+    max_dupes: int
+    #: Zipf-like skew exponent for value popularity (0 = uniform).
+    value_skew: float = 1.0
+    #: High-cardinality columns scale with the dataset; small ones stay exact.
+    scale_cardinality: bool = False
+
+
+@dataclass(frozen=True)
+class FactTableSpec:
+    """One fact table joining ``movie_id`` against ``title.id``."""
+
+    name: str
+    rows: int
+    #: Fraction of movies appearing in this table at all.
+    coverage: float
+    #: The column whose per-key duplicate distribution Table 3 reports first.
+    primary: PredicateColumnSpec
+    #: Optional second predicate column stored on the same rows.
+    secondary: PredicateColumnSpec | None = None
+
+
+#: Table 2/3 of the paper, transcribed.  Coverage fractions are not published;
+#: they are chosen so row counts, duplicate averages and plausible row
+#: multiplicities coexist (see DESIGN.md).
+TITLE_ROWS = 2_528_312
+
+FACT_TABLE_SPECS: tuple[FactTableSpec, ...] = (
+    FactTableSpec(
+        name="cast_info",
+        rows=36_244_344,
+        coverage=0.76,
+        primary=PredicateColumnSpec("role_id", 11, 4.70, 11, value_skew=0.8),
+    ),
+    FactTableSpec(
+        name="movie_companies",
+        rows=2_609_129,
+        coverage=0.42,
+        primary=PredicateColumnSpec(
+            "company_id", 234_997, 2.14, 87, value_skew=1.1, scale_cardinality=True
+        ),
+        secondary=PredicateColumnSpec("company_type_id", 2, 1.54, 2, value_skew=0.3),
+    ),
+    FactTableSpec(
+        name="movie_info",
+        rows=14_835_720,
+        coverage=0.70,
+        primary=PredicateColumnSpec("info_type_id", 71, 4.17, 68, value_skew=1.0),
+    ),
+    FactTableSpec(
+        name="movie_info_idx",
+        rows=1_380_035,
+        coverage=0.18,
+        primary=PredicateColumnSpec("info_type_id", 5, 3.00, 4, value_skew=0.5),
+    ),
+    FactTableSpec(
+        name="movie_keyword",
+        rows=4_523_930,
+        coverage=0.19,
+        primary=PredicateColumnSpec(
+            "keyword_id", 134_170, 9.48, 539, value_skew=1.05, scale_cardinality=True
+        ),
+    ),
+)
+
+#: kind_id popularity (6 kinds; movies dominate).
+KIND_WEIGHTS = np.array([0.65, 0.15, 0.08, 0.06, 0.04, 0.02])
+
+
+@dataclass
+class IMDBDataset:
+    """The generated tables plus the metadata experiments need."""
+
+    scale: float
+    seed: int
+    num_movies: int
+    tables: dict[str, Relation] = field(default_factory=dict)
+    #: table name -> (join key column, predicate column names)
+    schema: dict[str, tuple[str, tuple[str, ...]]] = field(default_factory=dict)
+
+    def table(self, name: str) -> Relation:
+        """Return a table by name."""
+        return self.tables[name]
+
+    def join_key(self, name: str) -> str:
+        """Return the join-key column of a table ('id' for title)."""
+        return self.schema[name][0]
+
+    def predicate_columns(self, name: str) -> tuple[str, ...]:
+        """Return the predicate columns of a table."""
+        return self.schema[name][1]
+
+
+def _power_law_weights(gamma: float, maximum: int) -> np.ndarray:
+    ranks = np.arange(1, maximum + 1, dtype=np.float64)
+    weights = ranks**-gamma
+    return weights / weights.sum()
+
+
+def _solve_power_law_gamma(mean: float, maximum: int) -> float:
+    """Find γ so a 1..maximum distribution with P(r) ∝ r^-γ has ``mean``.
+
+    The mean decreases continuously in γ from ``maximum`` (γ → -∞) to 1
+    (γ → +∞), so bisection suffices.  A power law (rather than a geometric)
+    matches the heavy tails of Table 3 — e.g. ``movie_keyword`` averages
+    9.48 distinct keywords per movie yet peaks at 539.
+    """
+    if maximum == 1 or mean <= 1.0:
+        return 64.0
+    mean = min(mean, maximum - 1e-6)
+
+    def mean_at(gamma: float) -> float:
+        weights = _power_law_weights(gamma, maximum)
+        ranks = np.arange(1, maximum + 1, dtype=np.float64)
+        return float((ranks * weights).sum())
+
+    low, high = -32.0, 64.0  # mean_at decreasing in gamma
+    for _ in range(100):
+        mid = (low + high) / 2
+        if mean_at(mid) > mean:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def sample_duplicate_counts(
+    size: int, mean: float, maximum: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw per-key distinct-duplicate counts in [1, maximum] with ``mean``."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if maximum < 1:
+        raise ValueError("maximum must be at least 1")
+    if maximum == 1 or mean <= 1.0:
+        return np.ones(size, dtype=np.int64)
+    gamma = _solve_power_law_gamma(mean, maximum)
+    weights = _power_law_weights(gamma, maximum)
+    return rng.choice(np.arange(1, maximum + 1), size=size, p=weights)
+
+
+def _skewed_value_cdf(cardinality: int, skew: float) -> np.ndarray:
+    """CDF of a Zipf(skew) popularity law over value ids 1..cardinality."""
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks**-skew if skew > 0 else np.ones_like(ranks)
+    return np.cumsum(weights / weights.sum())
+
+
+def _sample_distinct_values(
+    value_cdf: np.ndarray, count: int, rng: np.random.Generator, max_rounds: int = 8
+) -> np.ndarray:
+    """Sample ``count`` distinct values from a popularity CDF.
+
+    Draws with replacement and tops up until the distinct set is full (or the
+    round budget runs out — skewed laws over tiny domains can fall short,
+    which the measured Table 3 statistics then report honestly).
+    """
+    count = min(count, len(value_cdf))
+    distinct = np.unique(np.searchsorted(value_cdf, rng.random(count), side="right"))
+    for _ in range(max_rounds):
+        missing = count - len(distinct)
+        if missing <= 0:
+            break
+        extra = np.searchsorted(value_cdf, rng.random(2 * missing), side="right")
+        distinct = np.union1d(distinct, extra)
+    return (distinct[:count] + 1).astype(np.int64)
+
+
+def _scaled_cardinality(spec: PredicateColumnSpec, scale: float) -> int:
+    if not spec.scale_cardinality:
+        return spec.cardinality
+    return max(50, round(spec.cardinality * scale))
+
+
+def _generate_title(num_movies: int, rng: np.random.Generator) -> Relation:
+    ids = np.arange(1, num_movies + 1, dtype=np.int64)
+    kind = rng.choice(np.arange(1, 7), size=num_movies, p=KIND_WEIGHTS)
+    years = np.arange(YEAR_LOW, YEAR_HIGH + 1, dtype=np.int64)
+    # Recent years hold far more titles; quadratic ramp approximates IMDB.
+    year_weights = (years - (YEAR_LOW - 1)).astype(np.float64) ** 2
+    year_weights /= year_weights.sum()
+    production_year = rng.choice(years, size=num_movies, p=year_weights)
+    return Relation(
+        "title", {"id": ids, "kind_id": kind, "production_year": production_year}
+    )
+
+
+def _popularity(num_movies: int, rng: np.random.Generator, skew: float = 1.0) -> np.ndarray:
+    """Per-movie popularity weights (Zipf over a random rank permutation).
+
+    Real IMDB concentrates fact-table rows on popular movies, which appear in
+    *every* fact table; this shared popularity vector correlates the tables'
+    join-key coverage and row mass the same way.  Without it, independently
+    chosen coverage sets would make cross-table semijoin selectivities far
+    smaller than the paper reports.
+    """
+    ranks = rng.permutation(num_movies).astype(np.float64) + 1.0
+    return ranks**-skew
+
+
+def _rank_matched(
+    values: np.ndarray, priority: np.ndarray, rng: np.random.Generator, jitter: float = 0.15
+) -> np.ndarray:
+    """Assign the largest ``values`` to the highest ``priority`` slots, noisily."""
+    noisy = np.argsort(-(priority + rng.normal(0.0, jitter * priority.std() + 1e-12, len(priority))))
+    assigned = np.empty(len(values), dtype=values.dtype)
+    assigned[noisy] = np.sort(values)[::-1]
+    return assigned
+
+
+def _generate_fact_table(
+    spec: FactTableSpec,
+    num_movies: int,
+    scale: float,
+    rng: np.random.Generator,
+    popularity: np.ndarray,
+) -> Relation:
+    covered_count = max(1, round(spec.coverage * num_movies))
+    # Popularity-weighted coverage via Gumbel top-k: popular movies are in
+    # (nearly) every table, unpopular ones in few.  The 0.6 temperature keeps
+    # the tables' coverage sets strongly (not perfectly) nested.
+    scores = np.log(popularity) + 0.6 * rng.gumbel(size=num_movies)
+    covered = np.argsort(-scores)[:covered_count] + 1
+    primary_card = _scaled_cardinality(spec.primary, scale)
+    max_dupes = min(spec.primary.max_dupes, primary_card)
+    counts = sample_duplicate_counts(
+        covered_count, spec.primary.avg_dupes, max_dupes, rng
+    )
+    # Popular movies also get the larger duplicate counts (more cast members,
+    # more keywords), concentrating row mass where every table has coverage.
+    counts = _rank_matched(counts, popularity[covered - 1], rng)
+    value_cdf = _skewed_value_cdf(primary_card, spec.primary.value_skew)
+
+    # Draw each movie's distinct primary values from the popularity law.
+    movie_ids: list[np.ndarray] = []
+    primary_values: list[np.ndarray] = []
+    for movie, count in zip(covered.tolist(), counts.tolist()):
+        distinct = _sample_distinct_values(value_cdf, count, rng)
+        primary_values.append(distinct)
+        movie_ids.append(np.full(len(distinct), movie, dtype=np.int64))
+    movie_column = np.concatenate(movie_ids)
+    primary_column = np.concatenate(primary_values).astype(np.int64)
+
+    # Row multiplicity brings the table to its target row count.
+    target_rows = max(len(movie_column), round(spec.rows * scale))
+    mean_multiplicity = target_rows / len(movie_column)
+    if mean_multiplicity > 1.0:
+        multiplicities = rng.geometric(1.0 / mean_multiplicity, size=len(movie_column))
+    else:
+        multiplicities = np.ones(len(movie_column), dtype=np.int64)
+    movie_column = np.repeat(movie_column, multiplicities)
+    primary_column = np.repeat(primary_column, multiplicities)
+
+    columns = {"movie_id": movie_column, spec.primary.name: primary_column}
+
+    if spec.secondary is not None:
+        secondary_card = _scaled_cardinality(spec.secondary, scale)
+        sec_max = min(spec.secondary.max_dupes, secondary_card)
+        sec_cdf = _skewed_value_cdf(secondary_card, spec.secondary.value_skew)
+        # Per movie: a small set of admissible secondary values, then one
+        # draw per row from the movie's set (Table 3's distinct-per-key
+        # statistic is over the sets).
+        sec_counts = sample_duplicate_counts(
+            covered_count, spec.secondary.avg_dupes, sec_max, rng
+        )
+        # Rows are grouped by movie; work out each movie's row span first.
+        boundaries = np.flatnonzero(np.diff(movie_column) != 0) + 1
+        segment_starts = np.concatenate(([0], boundaries))
+        segment_ends = np.concatenate((boundaries, [len(movie_column)]))
+        spans = segment_ends - segment_starts
+        # A movie can only express as many distinct values as it has rows, so
+        # hand the larger sampled set sizes to the movies with more rows
+        # (plausible for real data too: more companies -> more company types)
+        # — otherwise the realised Table 3 average undershoots its target.
+        order = np.argsort(-(spans + rng.random(len(spans))))
+        sorted_counts = np.sort(sec_counts)[::-1]
+        counts_by_segment = np.empty(len(spans), dtype=np.int64)
+        counts_by_segment[order] = sorted_counts[: len(spans)]
+        # Express each admissible value at least once, then draw the rest.
+        secondary_column = np.empty(len(movie_column), dtype=np.int64)
+        for start, end, count in zip(
+            segment_starts.tolist(), segment_ends.tolist(), counts_by_segment.tolist()
+        ):
+            options = _sample_distinct_values(sec_cdf, count, rng)
+            span = end - start
+            guaranteed = min(span, len(options))
+            secondary_column[start : start + guaranteed] = options[:guaranteed]
+            if span > guaranteed:
+                secondary_column[start + guaranteed : end] = options[
+                    rng.integers(len(options), size=span - guaranteed)
+                ]
+        columns[spec.secondary.name] = secondary_column
+
+    return Relation(spec.name, columns)
+
+
+def generate_imdb(scale: float = 0.01, seed: int = 0) -> IMDBDataset:
+    """Generate the six-table synthetic IMDB dataset at ``scale``.
+
+    ``scale`` multiplies every row count of Table 2 (1.0 would reproduce the
+    full 36M-row ``cast_info``); high-cardinality predicate domains scale
+    with it, low-cardinality domains stay exact.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    num_movies = max(200, round(TITLE_ROWS * scale))
+    dataset = IMDBDataset(scale=scale, seed=seed, num_movies=num_movies)
+
+    dataset.tables["title"] = _generate_title(num_movies, rng)
+    dataset.schema["title"] = ("id", ("kind_id", "production_year"))
+
+    popularity = _popularity(num_movies, rng)
+    for spec in FACT_TABLE_SPECS:
+        dataset.tables[spec.name] = _generate_fact_table(spec, num_movies, scale, rng, popularity)
+        predicate_columns = (spec.primary.name,) + (
+            (spec.secondary.name,) if spec.secondary else ()
+        )
+        dataset.schema[spec.name] = ("movie_id", predicate_columns)
+    return dataset
+
+
+def table_summary(dataset: IMDBDataset) -> list[dict]:
+    """Regenerate Table 2: per-table rows and predicate column cardinality."""
+    rows = []
+    for name, relation in dataset.tables.items():
+        for column in dataset.predicate_columns(name):
+            rows.append(
+                {
+                    "table": name,
+                    "rows": relation.num_rows,
+                    "column": column,
+                    "cardinality": relation.cardinality(column),
+                }
+            )
+    return rows
+
+
+def dupes_summary(dataset: IMDBDataset) -> list[dict]:
+    """Regenerate Table 3: avg/max distinct duplicate values per join key."""
+    rows = []
+    for name, relation in dataset.tables.items():
+        key = dataset.join_key(name)
+        for column in dataset.predicate_columns(name):
+            avg, peak = relation.duplicate_stats(key, column)
+            rows.append(
+                {
+                    "table": name,
+                    "join_key": key,
+                    "column": column,
+                    "avg_dupes": avg,
+                    "max_dupes": peak,
+                }
+            )
+    return rows

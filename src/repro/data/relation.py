@@ -1,0 +1,89 @@
+"""A minimal column-store relation used by the join experiments (§10.3).
+
+Columns are numpy arrays of equal length; scans are boolean-mask selections.
+The class also implements the paper's §10.7 raw-size accounting — keys and
+high-cardinality attributes cost 32 bits per row, low-cardinality attributes
+8 bits — which Figure 10 normalises CCF sizes against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+#: §10.7: columns with at most this many distinct values count as 8-bit.
+LOW_CARDINALITY_LIMIT = 256
+
+
+class Relation:
+    """A named, immutable-by-convention bundle of equal-length columns."""
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        lengths = {len(array) for array in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"column length mismatch in {name!r}: {sorted(lengths)}")
+        self.name = name
+        self.columns = {key: np.asarray(array) for key, array in columns.items()}
+        self.num_rows = lengths.pop()
+
+    def column(self, name: str) -> np.ndarray:
+        """Return a column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"relation {self.name!r} has no column {name!r}") from None
+
+    def column_names(self) -> tuple[str, ...]:
+        """Return the column names."""
+        return tuple(self.columns)
+
+    def select(self, mask: np.ndarray) -> "Relation":
+        """Return a new relation with only the rows where ``mask`` is True."""
+        if len(mask) != self.num_rows:
+            raise ValueError("mask length does not match row count")
+        return Relation(self.name, {k: v[mask] for k, v in self.columns.items()})
+
+    def distinct(self, name: str) -> np.ndarray:
+        """Return the sorted distinct values of a column."""
+        return np.unique(self.column(name))
+
+    def cardinality(self, name: str) -> int:
+        """Return the number of distinct values in a column."""
+        return int(len(self.distinct(name)))
+
+    def iter_rows(self, names: tuple[str, ...] | None = None) -> Iterator[dict[str, Any]]:
+        """Yield rows as dicts (for tests/small relations; scans use masks)."""
+        names = names or self.column_names()
+        arrays = [self.columns[n] for n in names]
+        for values in zip(*(a.tolist() for a in arrays)):
+            yield dict(zip(names, values))
+
+    def rows_as_tuples(self, names: tuple[str, ...]) -> list[tuple]:
+        """Return selected columns as a list of row tuples."""
+        arrays = [self.columns[n].tolist() for n in names]
+        return list(zip(*arrays))
+
+    def raw_size_bytes(self, columns: tuple[str, ...] | None = None) -> int:
+        """§10.7 size model: 32 bits for keys/high-cardinality, 8 bits otherwise."""
+        names = columns or self.column_names()
+        bits_per_row = 0
+        for name in names:
+            cardinality = self.cardinality(name)
+            bits_per_row += 32 if cardinality > LOW_CARDINALITY_LIMIT else 8
+        return bits_per_row * self.num_rows // 8
+
+    def duplicate_stats(self, key: str, attribute: str) -> tuple[float, int]:
+        """Table 3's statistic: (avg, max) distinct attribute values per key."""
+        keys = self.column(key)
+        values = self.column(attribute)
+        pairs = np.unique(np.stack([keys, values], axis=1), axis=0)
+        _unique_keys, counts = np.unique(pairs[:, 0], return_counts=True)
+        if len(counts) == 0:
+            return 0.0, 0
+        return float(counts.mean()), int(counts.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, rows={self.num_rows}, cols={list(self.columns)})"

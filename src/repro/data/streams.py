@@ -1,0 +1,123 @@
+"""Multiset insertion streams for the §10.1 experiments.
+
+The multiset experiments feed a filter with (key, attribute) rows where each
+key recurs with *distinct* attribute values — "duplicates" in the paper's
+sense (distinct attribute vectors sharing a key).  Two frequency shapes are
+used:
+
+* ``constant`` — every key has exactly the same number of duplicates;
+* ``zipf`` — duplicate counts follow a truncated Zipf-Mandelbrot law
+  (offset 2.7, support [1, 500]), the highly skewed case where plain cuckoo
+  filters fail almost immediately.
+
+Streams are materialised as lists of ``(key, (attr,))`` rows and shuffled
+(the paper randomly permutes insertion order).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.data.zipf import ZipfMandelbrot, solve_alpha_for_mean_duplicates
+
+
+def constant_stream(
+    num_keys: int, dupes_per_key: int, seed: int = 0
+) -> list[tuple[int, tuple[int]]]:
+    """Rows with exactly ``dupes_per_key`` distinct attribute values per key."""
+    if num_keys < 1:
+        raise ValueError("num_keys must be positive")
+    if dupes_per_key < 1:
+        raise ValueError("dupes_per_key must be positive")
+    rows = [
+        (key, (duplicate,))
+        for key in range(num_keys)
+        for duplicate in range(dupes_per_key)
+    ]
+    random.Random(seed).shuffle(rows)
+    return rows
+
+
+def zipf_stream(
+    total_rows: int,
+    mean_duplicates: float,
+    seed: int = 0,
+    offset: float = 2.7,
+    support: int = 500,
+) -> list[tuple[int, tuple[int]]]:
+    """Rows whose per-key duplicate counts follow Zipf-Mandelbrot skew.
+
+    ``support`` ranks are mapped to key blocks: rank r keys draw their
+    duplicate count from the skewed law solved to give ``mean_duplicates``
+    on average over ``total_rows`` rows.  Attribute values within a key are
+    the distinct duplicate indexes 0..count-1.
+    """
+    if total_rows < 1:
+        raise ValueError("total_rows must be positive")
+    # A truncated support bounds the mean duplicates from below: uniform
+    # draws over ``support`` keys already collide (birthday effect), so for
+    # targets near 1 the support must far exceed the row count.  Double it
+    # until the uniform floor sits below the target, mirroring how the paper
+    # picks its data size relative to the support.
+    support = max(support, int(np.ceil(total_rows / max(1.0, mean_duplicates) * 1.5)))
+    for _ in range(20):
+        floor = ZipfMandelbrot(0.0, offset, support).mean_duplicates_per_key(total_rows)
+        if floor <= mean_duplicates * 1.01:
+            break
+        support *= 2
+    alpha = solve_alpha_for_mean_duplicates(
+        mean_duplicates, total_rows, offset=offset, support=support
+    )
+    distribution = ZipfMandelbrot(alpha, offset, support, seed=seed)
+    ranks = distribution.sample(total_rows)
+    # Each sampled rank r is one row of key r; duplicates of a key get
+    # successive attribute values.
+    rows: list[tuple[int, tuple[int]]] = []
+    seen: dict[int, int] = {}
+    for rank in ranks.tolist():
+        duplicate_index = seen.get(rank, 0)
+        seen[rank] = duplicate_index + 1
+        rows.append((rank, (duplicate_index,)))
+    random.Random(seed).shuffle(rows)
+    return rows
+
+
+def stream_for_capacity(
+    shape: str,
+    capacity: int,
+    mean_duplicates: float,
+    overfill: float = 1.2,
+    seed: int = 0,
+) -> list[tuple[int, tuple[int]]]:
+    """Build a §10.1 stream ~``overfill``x the sketch capacity.
+
+    The paper generates data "approximately 20% larger than the capacity of
+    the sketch" and measures the first failed insertion.  For the constant
+    shape, the duplicate count is rounded to at least one.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    total_rows = max(1, round(capacity * overfill))
+    if shape == "constant":
+        dupes = max(1, round(mean_duplicates))
+        num_keys = max(1, total_rows // dupes)
+        return constant_stream(num_keys, dupes, seed=seed)
+    if shape == "zipf":
+        # The truncated support caps how many distinct keys exist; scale the
+        # support so the uniform case could still fit the row budget.
+        support = max(500, int(np.ceil(total_rows / max(1.0, mean_duplicates) * 1.5)))
+        return zipf_stream(total_rows, mean_duplicates, seed=seed, support=support)
+    raise ValueError(f"unknown stream shape {shape!r}; expected 'constant' or 'zipf'")
+
+
+def duplicate_statistics(rows: list[tuple[int, tuple]]) -> tuple[float, int]:
+    """Return (mean, max) distinct attribute values per key for a stream."""
+    per_key: dict[int, set] = {}
+    for key, attrs in rows:
+        per_key.setdefault(key, set()).add(attrs)
+    counts = [len(v) for v in per_key.values()]
+    if not counts:
+        return 0.0, 0
+    return sum(counts) / len(counts), max(counts)

@@ -1,0 +1,126 @@
+"""Truncated Zipf-Mandelbrot distribution (§10.1).
+
+The paper's multiset experiments draw key frequencies from a truncated
+Zipf-Mandelbrot law ``p(x) ∝ (c + x)^-α`` with offset ``c = 2.7`` on the
+support ``x ∈ [1, 500]``, varying ``α`` to hit a target average number of
+duplicates per key.  This module provides the distribution (exact pmf,
+inverse-CDF sampling via numpy) and the numeric solver for ``α``.
+
+The "average number of duplicates per key" of a stream of ``n`` draws is
+``n / E[#distinct keys]`` with ``E[#distinct] = Σ_x (1 - (1 - p_x)^n)`` —
+the quantity the solver inverts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_OFFSET = 2.7
+DEFAULT_SUPPORT = 500
+
+
+class ZipfMandelbrot:
+    """Truncated Zipf-Mandelbrot distribution over ``{1, ..., support}``."""
+
+    def __init__(
+        self,
+        alpha: float,
+        offset: float = DEFAULT_OFFSET,
+        support: int = DEFAULT_SUPPORT,
+        seed: int = 0,
+    ) -> None:
+        if support < 1:
+            raise ValueError("support must be at least 1")
+        if offset <= -1.0:
+            raise ValueError("offset must exceed -1 so all masses are positive")
+        self.alpha = alpha
+        self.offset = offset
+        self.support = support
+        self.seed = seed
+        ranks = np.arange(1, support + 1, dtype=np.float64)
+        weights = (offset + ranks) ** -alpha
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+        self._rng = np.random.default_rng(seed)
+
+    def pmf(self) -> np.ndarray:
+        """Return the probability mass function as an array over ranks 1..support."""
+        return self._pmf.copy()
+
+    def probability(self, rank: int) -> float:
+        """Return ``p(rank)``; ranks outside the support have mass zero."""
+        if not 1 <= rank <= self.support:
+            return 0.0
+        return float(self._pmf[rank - 1])
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` ranks by inverse-CDF sampling (values in 1..support)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        uniforms = self._rng.random(size)
+        return np.searchsorted(self._cdf, uniforms, side="right").astype(np.int64) + 1
+
+    def expected_distinct(self, num_draws: int) -> float:
+        """Return ``E[#distinct keys]`` among ``num_draws`` i.i.d. draws."""
+        if num_draws < 0:
+            raise ValueError("num_draws must be non-negative")
+        if num_draws == 0:
+            return 0.0
+        # log1p for numerical stability with tiny tail masses.
+        return float(np.sum(-np.expm1(num_draws * np.log1p(-self._pmf))))
+
+    def mean_duplicates_per_key(self, num_draws: int) -> float:
+        """Return ``num_draws / E[#distinct]`` — the paper's x-axis quantity."""
+        expected = self.expected_distinct(num_draws)
+        if expected == 0.0:
+            return 0.0
+        return num_draws / expected
+
+
+def solve_alpha_for_mean_duplicates(
+    target_mean: float,
+    num_draws: int,
+    offset: float = DEFAULT_OFFSET,
+    support: int = DEFAULT_SUPPORT,
+    tolerance: float = 1e-3,
+    max_iterations: int = 80,
+) -> float:
+    """Find ``α`` so ``num_draws`` draws average ``target_mean`` duplicates/key.
+
+    Mean duplicates per key increases monotonically in ``α`` (more skew →
+    fewer distinct keys), so a bisection over ``α ∈ [0, 32]`` suffices.  The
+    achievable range is bounded below by the α=0 (uniform) value — e.g. one
+    cannot average fewer duplicates than ``num_draws/support`` — and a
+    ValueError reports an unreachable target.
+    """
+    if target_mean <= 0:
+        raise ValueError("target_mean must be positive")
+    if num_draws < 1:
+        raise ValueError("num_draws must be positive")
+
+    def mean_at(alpha: float) -> float:
+        return ZipfMandelbrot(alpha, offset, support).mean_duplicates_per_key(num_draws)
+
+    low_alpha, high_alpha = 0.0, 32.0
+    low_mean = mean_at(low_alpha)
+    high_mean = mean_at(high_alpha)
+    if target_mean <= low_mean:
+        if low_mean - target_mean < max(tolerance, 0.05 * target_mean):
+            return low_alpha
+        raise ValueError(
+            f"target mean {target_mean:.3f} unreachable: even α=0 yields "
+            f"{low_mean:.3f} duplicates/key for {num_draws} draws over "
+            f"support {support}"
+        )
+    if target_mean >= high_mean:
+        return high_alpha
+    for _ in range(max_iterations):
+        mid = (low_alpha + high_alpha) / 2
+        mid_mean = mean_at(mid)
+        if abs(mid_mean - target_mean) <= tolerance:
+            return mid
+        if mid_mean < target_mean:
+            low_alpha = mid
+        else:
+            high_alpha = mid
+    return (low_alpha + high_alpha) / 2

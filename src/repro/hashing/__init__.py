@@ -1,0 +1,16 @@
+"""Hashing substrate: lookup3 port, 64-bit mixers, and salted hash families."""
+
+from repro.hashing.families import HashFamily
+from repro.hashing.lookup3 import hashlittle, hashlittle2, hashlittle64
+from repro.hashing.mixers import canonical_bytes, derive_seed, hash64, mix64
+
+__all__ = [
+    "HashFamily",
+    "canonical_bytes",
+    "derive_seed",
+    "hash64",
+    "hashlittle",
+    "hashlittle2",
+    "hashlittle64",
+    "mix64",
+]

@@ -1,0 +1,112 @@
+"""Pure-Python port of Bob Jenkins' lookup3 hash (hashlittle / hashlittle2).
+
+The paper's reference implementation (and the original cuckoo filter paper)
+hash keys with Jenkins lookup3, so this module provides a faithful port of the
+byte-oriented ``hashlittle`` routines.  The port follows lookup3.c's
+little-endian path; the per-byte "tail" switch in the C code is equivalent to
+zero-padding the final partial 12-byte block, which is what we do here.
+
+All arithmetic is performed modulo 2**32 to match the C unsigned overflow
+semantics.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rot(x: int, k: int) -> int:
+    """Rotate a 32-bit value left by ``k`` bits."""
+    return ((x << k) | (x >> (32 - k))) & _MASK32
+
+
+def _mix(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """lookup3's reversible 96-bit mixing step."""
+    a = (a - c) & _MASK32
+    a ^= _rot(c, 4)
+    c = (c + b) & _MASK32
+    b = (b - a) & _MASK32
+    b ^= _rot(a, 6)
+    a = (a + c) & _MASK32
+    c = (c - b) & _MASK32
+    c ^= _rot(b, 8)
+    b = (b + a) & _MASK32
+    a = (a - c) & _MASK32
+    a ^= _rot(c, 16)
+    c = (c + b) & _MASK32
+    b = (b - a) & _MASK32
+    b ^= _rot(a, 19)
+    a = (a + c) & _MASK32
+    c = (c - b) & _MASK32
+    c ^= _rot(b, 4)
+    b = (b + a) & _MASK32
+    return a, b, c
+
+
+def _final(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """lookup3's final avalanche of the last 96-bit block."""
+    c ^= b
+    c = (c - _rot(b, 14)) & _MASK32
+    a ^= c
+    a = (a - _rot(c, 11)) & _MASK32
+    b ^= a
+    b = (b - _rot(a, 25)) & _MASK32
+    c ^= b
+    c = (c - _rot(b, 16)) & _MASK32
+    a ^= c
+    a = (a - _rot(c, 4)) & _MASK32
+    b ^= a
+    b = (b - _rot(a, 14)) & _MASK32
+    c ^= b
+    c = (c - _rot(b, 24)) & _MASK32
+    return a, b, c
+
+
+def hashlittle2(data: bytes, initval: int = 0, initval2: int = 0) -> tuple[int, int]:
+    """Return two 32-bit hash values of ``data``.
+
+    ``initval`` seeds the primary hash and ``initval2`` the secondary one,
+    mirroring the ``*pc`` / ``*pb`` in-out parameters of the C function.  The
+    returned pair is ``(c, b)`` in lookup3's naming: the primary and secondary
+    hash words.
+    """
+    length = len(data)
+    a = b = c = (0xDEADBEEF + length + (initval & _MASK32)) & _MASK32
+    c = (c + (initval2 & _MASK32)) & _MASK32
+
+    offset = 0
+    remaining = length
+    while remaining > 12:
+        a = (a + int.from_bytes(data[offset : offset + 4], "little")) & _MASK32
+        b = (b + int.from_bytes(data[offset + 4 : offset + 8], "little")) & _MASK32
+        c = (c + int.from_bytes(data[offset + 8 : offset + 12], "little")) & _MASK32
+        a, b, c = _mix(a, b, c)
+        offset += 12
+        remaining -= 12
+
+    if remaining == 0:
+        # lookup3's "case 0" returns without a final mix.
+        return c, b
+
+    tail = data[offset:] + b"\x00" * (12 - remaining)
+    a = (a + int.from_bytes(tail[0:4], "little")) & _MASK32
+    b = (b + int.from_bytes(tail[4:8], "little")) & _MASK32
+    c = (c + int.from_bytes(tail[8:12], "little")) & _MASK32
+    a, b, c = _final(a, b, c)
+    return c, b
+
+
+def hashlittle(data: bytes, initval: int = 0) -> int:
+    """Return a single 32-bit hash of ``data`` (lookup3's ``hashlittle``)."""
+    c, _b = hashlittle2(data, initval, 0)
+    return c
+
+
+def hashlittle64(data: bytes, seed: int = 0) -> int:
+    """Return a 64-bit hash of ``data`` by combining both lookup3 words.
+
+    The 64-bit seed is split across the two 32-bit init values, matching how
+    lookup3.c documents building a 64-bit result from ``hashlittle2``.
+    """
+    c, b = hashlittle2(data, seed & _MASK32, (seed >> 32) & _MASK32)
+    return (b << 32) | c

@@ -1,0 +1,106 @@
+"""64-bit hashing utilities: canonical value encoding and fast integer mixing.
+
+Two hash paths are offered behind one ``hash64`` entry point:
+
+* Machine integers go through a SplitMix64-style finalizer (`mix64`), which is
+  a handful of arithmetic operations in pure Python — important because the
+  hot paths of the filters hash integer join keys and attribute values.
+* Everything else (strings, bytes, floats, tuples, ...) is canonically
+  serialised to bytes and hashed with the Jenkins lookup3 port, the hash
+  family used by the paper's implementation.
+
+Both paths accept a 64-bit ``seed`` so independent structures (and independent
+hash functions within one structure) can derive uncorrelated hashes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.hashing.lookup3 import hashlittle64
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Fixed odd constants from SplitMix64 / MurmurHash3's 64-bit finalizers.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def mix64(x: int) -> int:
+    """Avalanche a 64-bit integer (SplitMix64 finalizer).
+
+    Bijective on 64-bit integers, so distinct inputs never collide; its role
+    is purely to decorrelate the bits of structured inputs such as sequential
+    ids.
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def canonical_bytes(value: object) -> bytes:
+    """Serialise ``value`` into a canonical, type-tagged byte string.
+
+    Distinct values of the same type always produce distinct byte strings, and
+    type tags keep e.g. ``1`` and ``"1"`` from colliding.  Supported types:
+    ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes`` and (possibly
+    nested) tuples/lists thereof.
+    """
+    if value is None:
+        return b"n"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        length = (value.bit_length() + 8) // 8 or 1
+        return b"i" + length.to_bytes(2, "little") + value.to_bytes(length, "little", signed=True)
+    if isinstance(value, float):
+        return b"f" + struct.pack("<d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"s" + len(raw).to_bytes(4, "little") + raw
+    if isinstance(value, bytes):
+        return b"b" + len(value).to_bytes(4, "little") + value
+    if isinstance(value, (tuple, list)):
+        parts = [b"t", len(value).to_bytes(4, "little")]
+        for item in value:
+            encoded = canonical_bytes(item)
+            parts.append(len(encoded).to_bytes(4, "little"))
+            parts.append(encoded)
+        return b"".join(parts)
+    raise TypeError(f"cannot canonically encode values of type {type(value).__name__}")
+
+
+#: Per-seed cache of the mixed salt used by the integer fast path.  Seeds are
+#: few (a handful of salts per structure), so this stays tiny.
+_MIXED_SEED_CACHE: dict[int, int] = {}
+
+
+def _mixed_seed(seed: int) -> int:
+    mixed = _MIXED_SEED_CACHE.get(seed)
+    if mixed is None:
+        mixed = mix64(seed ^ _GOLDEN)
+        _MIXED_SEED_CACHE[seed] = mixed
+    return mixed
+
+
+def hash64(value: object, seed: int = 0) -> int:
+    """Hash an arbitrary supported value to 64 bits under ``seed``.
+
+    Integers (excluding bools) take the fast `mix64` path; all other values
+    are canonically encoded and hashed with lookup3.  The two paths occupy
+    disjoint input spaces, so mixing them in one structure is safe.
+    """
+    if isinstance(value, int) and not isinstance(value, bool):
+        return mix64(value ^ _mixed_seed(seed))
+    return hashlittle64(canonical_bytes(value), seed & _MASK64)
+
+
+def derive_seed(seed: int, purpose: str, index: int = 0) -> int:
+    """Derive an independent 64-bit sub-seed for a named purpose.
+
+    Structures use this to split one user-provided seed into uncorrelated
+    salts (bucket hash, fingerprint hash, chain hash, kick RNG, ...).
+    """
+    return hash64((purpose, index), seed)

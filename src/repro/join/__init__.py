@@ -1,0 +1,43 @@
+"""Join-processing evaluation: engine, workload, reduction factors."""
+
+from repro.join.engine import (
+    count_matching,
+    hash_join,
+    join_cardinality,
+    scan,
+    semijoin_keys,
+)
+from repro.join.job_light import count_instances, make_job_light_workload
+from repro.join.query import JoinQuery, TableRef
+from repro.join.reduction import (
+    FilterBundle,
+    InstanceResult,
+    YearBinning,
+    aggregate_fpr,
+    aggregate_rf,
+    build_cuckoo_baseline,
+    build_filter_bundle,
+    evaluate_workload,
+    rf_by_join_count,
+)
+
+__all__ = [
+    "FilterBundle",
+    "InstanceResult",
+    "JoinQuery",
+    "TableRef",
+    "YearBinning",
+    "aggregate_fpr",
+    "aggregate_rf",
+    "build_cuckoo_baseline",
+    "build_filter_bundle",
+    "count_instances",
+    "count_matching",
+    "evaluate_workload",
+    "hash_join",
+    "join_cardinality",
+    "make_job_light_workload",
+    "rf_by_join_count",
+    "scan",
+    "semijoin_keys",
+]

@@ -1,0 +1,86 @@
+"""Vectorised scan/join primitives over :class:`~repro.data.relation.Relation`.
+
+Only what the evaluation needs: predicate scans, distinct-key semijoin
+reducers, a hash join (used by the examples to show build-side sizes), and
+key-intersection counting.  Everything operates on numpy columns; exactness
+of these primitives is what the CCF results are judged against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccf.predicates import Predicate
+from repro.data.relation import Relation
+
+
+def scan(relation: Relation, predicate: Predicate) -> np.ndarray:
+    """Return the boolean row mask of ``predicate`` over ``relation``."""
+    return predicate.mask(relation.columns)
+
+
+def semijoin_keys(relation: Relation, predicate: Predicate, key_column: str) -> np.ndarray:
+    """Distinct join keys of rows satisfying ``predicate`` (a semijoin reducer)."""
+    mask = scan(relation, predicate)
+    return np.unique(relation.column(key_column)[mask])
+
+
+def count_matching(
+    base_keys: np.ndarray, key_sets: list[np.ndarray]
+) -> int:
+    """Count base rows whose key appears in every key set (exact semijoin)."""
+    if not key_sets:
+        return int(len(base_keys))
+    passing = np.ones(len(base_keys), dtype=bool)
+    for keys in key_sets:
+        passing &= np.isin(base_keys, keys)
+    return int(passing.sum())
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    left_key: str,
+    right_key: str,
+) -> Relation:
+    """Inner hash join; result columns are prefixed with the source names.
+
+    Builds on the smaller input (by rows), probes with the larger — the
+    textbook plan whose build-side size the CCF pre-filtering shrinks (§3).
+    """
+    build, probe = (left, right) if left.num_rows <= right.num_rows else (right, left)
+    build_key, probe_key = (
+        (left_key, right_key) if build is left else (right_key, left_key)
+    )
+    table: dict[object, list[int]] = {}
+    for row_index, key in enumerate(build.column(build_key).tolist()):
+        table.setdefault(key, []).append(row_index)
+
+    build_rows: list[int] = []
+    probe_rows: list[int] = []
+    for row_index, key in enumerate(probe.column(probe_key).tolist()):
+        for match in table.get(key, ()):
+            build_rows.append(match)
+            probe_rows.append(row_index)
+
+    build_idx = np.asarray(build_rows, dtype=np.int64)
+    probe_idx = np.asarray(probe_rows, dtype=np.int64)
+    columns: dict[str, np.ndarray] = {}
+    for name, column in build.columns.items():
+        columns[f"{build.name}.{name}"] = column[build_idx]
+    for name, column in probe.columns.items():
+        columns[f"{probe.name}.{name}"] = column[probe_idx]
+    return Relation(f"{left.name}_join_{right.name}", columns)
+
+
+def join_cardinality(
+    left: Relation, right: Relation, left_key: str, right_key: str
+) -> int:
+    """Exact inner-join output cardinality, without materialising rows."""
+    left_values, left_counts = np.unique(left.column(left_key), return_counts=True)
+    right_values, right_counts = np.unique(right.column(right_key), return_counts=True)
+    common, left_pos, right_pos = np.intersect1d(
+        left_values, right_values, return_indices=True
+    )
+    del common
+    return int((left_counts[left_pos] * right_counts[right_pos]).sum())

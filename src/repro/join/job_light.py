@@ -1,0 +1,144 @@
+"""A JOB-light-style workload over the synthetic IMDB dataset (§10.3).
+
+The real JOB-light has 70 fixed queries joining ``title`` with one to four
+fact tables on the movie identifier.  Its text is tied to the IMDB snapshot,
+so this module generates a seeded workload with the same published shape:
+
+* 70 queries, joining 2-5 tables each — sized (14, 24, 23, 9) so the
+  workload yields exactly 237 (query, base-table) evaluation instances, the
+  paper's count;
+* 55 queries carry an inequality predicate on ``title.production_year``
+  (the paper's count), the rest at most a ``kind_id`` equality;
+* fact-table predicates are equalities on the Table 2 predicate columns,
+  with values drawn from actual rows (popularity-weighted, so selectivities
+  vary realistically and are never trivially empty).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.ccf.predicates import And, Eq, Predicate, Range, TRUE
+from repro.data.imdb import IMDBDataset, YEAR_HIGH
+from repro.join.query import JoinQuery, TableRef
+
+#: Tables-per-query histogram: {query size: count}; 70 queries, 237 instances.
+QUERY_SIZE_COUNTS: dict[int, int] = {2: 14, 3: 24, 4: 23, 5: 9}
+
+#: Number of queries with a production_year inequality (paper: 55 of 70).
+NUM_YEAR_RANGE_QUERIES = 55
+
+#: Fact-table selection weights, echoing JOB-light's emphasis.
+FACT_WEIGHTS: dict[str, float] = {
+    "cast_info": 0.26,
+    "movie_companies": 0.22,
+    "movie_info": 0.20,
+    "movie_keyword": 0.17,
+    "movie_info_idx": 0.15,
+}
+
+#: Probability that a fact table in a query carries a predicate at all.
+FACT_PREDICATE_PROBABILITY = 0.85
+
+
+def _sample_column_value(dataset: IMDBDataset, table: str, column: str, rng: random.Random):
+    """Draw a predicate value by sampling a random row (popularity-weighted)."""
+    values = dataset.table(table).column(column)
+    return int(values[rng.randrange(len(values))])
+
+
+def _year_range_predicate(dataset: IMDBDataset, rng: random.Random) -> Range:
+    """An inequality on production_year in JOB-light's three shapes."""
+    years = dataset.table("title").column("production_year")
+    pivot = int(years[rng.randrange(len(years))])
+    shape = rng.random()
+    if shape < 0.45:
+        return Range("production_year", low=pivot, low_inclusive=rng.random() < 0.5)
+    if shape < 0.65:
+        return Range("production_year", high=pivot, high_inclusive=rng.random() < 0.5)
+    width = rng.choice((3, 5, 8, 10, 15))
+    return Range("production_year", low=pivot, high=min(pivot + width, YEAR_HIGH))
+
+
+def _title_predicate(dataset: IMDBDataset, rng: random.Random, with_year: bool) -> Predicate:
+    parts: list[Predicate] = []
+    if with_year:
+        parts.append(_year_range_predicate(dataset, rng))
+        if rng.random() < 0.4:
+            parts.append(Eq("kind_id", _sample_column_value(dataset, "title", "kind_id", rng)))
+    elif rng.random() < 0.7:
+        parts.append(Eq("kind_id", _sample_column_value(dataset, "title", "kind_id", rng)))
+    if not parts:
+        return TRUE
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def _fact_predicate(dataset: IMDBDataset, table: str, rng: random.Random) -> Predicate:
+    if rng.random() > FACT_PREDICATE_PROBABILITY:
+        return TRUE
+    if table == "movie_companies":
+        # Mix of type-only, company-only and conjunctive predicates, giving
+        # the multi-attribute CCF single- and multi-column queries.
+        roll = rng.random()
+        parts: list[Predicate] = []
+        if roll < 0.55:
+            parts.append(
+                Eq("company_type_id", _sample_column_value(dataset, table, "company_type_id", rng))
+            )
+        elif roll < 0.8:
+            parts.append(Eq("company_id", _sample_column_value(dataset, table, "company_id", rng)))
+        else:
+            parts.append(
+                Eq("company_type_id", _sample_column_value(dataset, table, "company_type_id", rng))
+            )
+            parts.append(Eq("company_id", _sample_column_value(dataset, table, "company_id", rng)))
+        return parts[0] if len(parts) == 1 else And(parts)
+    column = dataset.predicate_columns(table)[0]
+    return Eq(column, _sample_column_value(dataset, table, column, rng))
+
+
+def _weighted_fact_sample(num_facts: int, rng: random.Random) -> list[str]:
+    tables = list(FACT_WEIGHTS)
+    weights = np.array([FACT_WEIGHTS[t] for t in tables])
+    chosen: list[str] = []
+    for _ in range(num_facts):
+        probabilities = weights / weights.sum()
+        pick = rng.random()
+        cumulative = 0.0
+        for table, probability in zip(tables, probabilities):
+            cumulative += probability
+            if pick <= cumulative:
+                chosen.append(table)
+                break
+        else:  # floating-point slack
+            chosen.append(tables[-1])
+        index = tables.index(chosen[-1])
+        tables.pop(index)
+        weights = np.delete(weights, index)
+    return chosen
+
+
+def make_job_light_workload(dataset: IMDBDataset, seed: int = 0) -> list[JoinQuery]:
+    """Generate the 70-query workload against ``dataset``."""
+    rng = random.Random(seed)
+    sizes = [size for size, count in QUERY_SIZE_COUNTS.items() for _ in range(count)]
+    rng.shuffle(sizes)
+    year_flags = [True] * NUM_YEAR_RANGE_QUERIES + [False] * (len(sizes) - NUM_YEAR_RANGE_QUERIES)
+    rng.shuffle(year_flags)
+
+    queries: list[JoinQuery] = []
+    for query_id, (size, with_year) in enumerate(zip(sizes, year_flags)):
+        facts = _weighted_fact_sample(size - 1, rng)
+        refs = [TableRef("title", _title_predicate(dataset, rng, with_year))]
+        refs.extend(TableRef(fact, _fact_predicate(dataset, fact, rng)) for fact in facts)
+        queries.append(JoinQuery(query_id=query_id, tables=tuple(refs)))
+    return queries
+
+
+def count_instances(queries: list[JoinQuery]) -> int:
+    """Number of (query, base-table) evaluation instances (paper: 237)."""
+    return sum(query.num_tables for query in queries)

@@ -1,0 +1,63 @@
+"""Join-query descriptions for the JOB-light-style evaluation (§10.3).
+
+A :class:`JoinQuery` is a star join: every listed table joins on the movie
+identifier (``title.id = fact.movie_id``), each carrying its own (possibly
+empty) predicate.  This captures exactly the structure the paper evaluates —
+"each query involves 2 to 5 of the 6 tables ... and all joins are on the
+movie identifier".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ccf.predicates import Predicate, TRUE
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One table's role in a query: its name and local predicate."""
+
+    table: str
+    predicate: Predicate = TRUE
+
+    def has_predicate(self) -> bool:
+        """True if this reference constrains any column."""
+        return bool(self.predicate.columns())
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A star join over ``tables``, all on the movie identifier."""
+
+    query_id: int
+    tables: tuple[TableRef, ...]
+
+    def __post_init__(self) -> None:
+        names = [ref.table for ref in self.tables]
+        if len(names) < 2:
+            raise ValueError("a join query needs at least two tables")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tables in query {self.query_id}: {names}")
+
+    @property
+    def num_tables(self) -> int:
+        """Number of joined tables."""
+        return len(self.tables)
+
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all joined tables."""
+        return tuple(ref.table for ref in self.tables)
+
+    def ref(self, table: str) -> TableRef:
+        """Return the reference for ``table``."""
+        for candidate in self.tables:
+            if candidate.table == table:
+                return candidate
+        raise KeyError(f"table {table!r} not in query {self.query_id}")
+
+    def others(self, base: str) -> tuple[TableRef, ...]:
+        """All references except ``base`` (the semijoin sources for it)."""
+        if base not in self.table_names():
+            raise KeyError(f"table {base!r} not in query {self.query_id}")
+        return tuple(ref for ref in self.tables if ref.table != base)

@@ -1,0 +1,15 @@
+"""Bit-level sketch substrate: bit arrays and Bloom filters."""
+
+from repro.sketches.bitarray import BitArray
+from repro.sketches.bitpack import BitReader, BitWriter
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.bottomk import BottomKSketch, EntryCountEstimator
+
+__all__ = [
+    "BitArray",
+    "BitReader",
+    "BitWriter",
+    "BloomFilter",
+    "BottomKSketch",
+    "EntryCountEstimator",
+]

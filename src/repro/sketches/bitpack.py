@@ -1,0 +1,98 @@
+"""Bit-granular binary packing for sketch serialisation.
+
+Sketches are defined by sub-byte fields (12-bit fingerprints, 4-bit
+attribute fingerprints, 1-bit flags), so their wire format packs values at
+bit granularity.  :class:`BitWriter` appends fixed-width unsigned fields;
+:class:`BitReader` consumes them in the same order.  Bits are packed LSB
+first within bytes, matching :class:`~repro.sketches.bitarray.BitArray`.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only bit stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._bit_position = 0
+
+    def write(self, value: int, num_bits: int) -> None:
+        """Append ``value`` as ``num_bits`` unsigned bits."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        if value < 0 or (num_bits < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {num_bits} bits")
+        position = self._bit_position
+        self._bit_position += num_bits
+        needed = (self._bit_position + 7) // 8
+        if len(self._buf) < needed:
+            self._buf.extend(b"\x00" * (needed - len(self._buf)))
+        while num_bits > 0:
+            byte_index, bit_index = divmod(position, 8)
+            take = min(8 - bit_index, num_bits)
+            chunk = value & ((1 << take) - 1)
+            self._buf[byte_index] |= chunk << bit_index
+            value >>= take
+            position += take
+            num_bits -= take
+
+    def write_bool(self, flag: bool) -> None:
+        """Append a single bit."""
+        self.write(1 if flag else 0, 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes (bit-aligned within the stream)."""
+        for byte in data:
+            self.write(byte, 8)
+
+    @property
+    def num_bits(self) -> int:
+        """Bits written so far."""
+        return self._bit_position
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes (final partial byte zero-padded)."""
+        return bytes(self._buf)
+
+
+class BitReader:
+    """Sequential reader over :class:`BitWriter` output."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._bit_position = 0
+
+    def read(self, num_bits: int) -> int:
+        """Consume ``num_bits`` and return them as an unsigned integer."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        if self._bit_position + num_bits > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        shift = 0
+        position = self._bit_position
+        remaining = num_bits
+        while remaining > 0:
+            byte_index, bit_index = divmod(position, 8)
+            take = min(8 - bit_index, remaining)
+            chunk = (self._data[byte_index] >> bit_index) & ((1 << take) - 1)
+            value |= chunk << shift
+            shift += take
+            position += take
+            remaining -= take
+        self._bit_position = position
+        return value
+
+    def read_bool(self) -> bool:
+        """Consume one bit."""
+        return bool(self.read(1))
+
+    def read_bytes(self, count: int) -> bytes:
+        """Consume ``count`` whole bytes."""
+        return bytes(self.read(8) for _ in range(count))
+
+    @property
+    def bits_remaining(self) -> int:
+        """Unread bits (includes any final padding)."""
+        return len(self._data) * 8 - self._bit_position

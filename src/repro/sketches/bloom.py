@@ -1,0 +1,138 @@
+"""Standard Bloom filter built on :class:`~repro.sketches.bitarray.BitArray`.
+
+Used in three places in the reproduction:
+
+* as the per-entry attribute sketch of the Bloom-CCF variant (§5.2),
+* as the conversion target of the Mixed CCF (§6.1), and
+* as the classical baseline in bit-efficiency comparisons (§10.2).
+
+The filter is parameterised directly by bit count and hash count because the
+paper sizes the per-entry sketches that way (4-24 bits, 2-4 hashes);
+:meth:`BloomFilter.optimal_params` provides the textbook sizing for callers
+that start from an (n, target FPR) pair instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.families import HashFamily
+from repro.sketches.bitarray import BitArray
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter for arbitrary hashable values."""
+
+    def __init__(self, num_bits: int, num_hashes: int, seed: int = 0) -> None:
+        if num_bits < 1:
+            raise ValueError("a Bloom filter needs at least one bit")
+        if num_hashes < 1:
+            raise ValueError("a Bloom filter needs at least one hash function")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self.num_inserted = 0
+        self._bits = BitArray(num_bits)
+        self._family = HashFamily(num_hashes, seed)
+
+    @staticmethod
+    def optimal_params(num_items: int, target_fpr: float) -> tuple[int, int]:
+        """Return ``(num_bits, num_hashes)`` for ``num_items`` at ``target_fpr``.
+
+        Classical sizing: ``m = -n ln(p) / (ln 2)^2`` and ``k = (m/n) ln 2``.
+        """
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        if not 0.0 < target_fpr < 1.0:
+            raise ValueError("target_fpr must be in (0, 1)")
+        num_bits = max(1, math.ceil(-num_items * math.log(target_fpr) / math.log(2) ** 2))
+        num_hashes = max(1, round(num_bits / num_items * math.log(2)))
+        return num_bits, num_hashes
+
+    @staticmethod
+    def optimal_num_hashes(num_bits: int, num_items: int) -> int:
+        """Return the FPR-minimising hash count for a fixed bit budget."""
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        return max(1, round(num_bits / num_items * math.log(2)))
+
+    def add(self, value: object) -> None:
+        """Insert ``value`` into the filter."""
+        for index in self._family.indexes(value, self.num_bits):
+            self._bits.set(index)
+        self.num_inserted += 1
+
+    def __contains__(self, value: object) -> bool:
+        return all(self._bits.get(i) for i in self._family.indexes(value, self.num_bits))
+
+    def contains(self, value: object) -> bool:
+        """Return True if ``value`` may have been inserted (no false negatives)."""
+        return value in self
+
+    def fill_ratio(self) -> float:
+        """Return the fraction of bits set."""
+        return self._bits.fill_ratio()
+
+    def expected_fpr(self, num_items: int | None = None) -> float:
+        """Return the textbook FPR estimate ``(1 - e^{-kn/m})^k``.
+
+        With no argument, uses the number of :meth:`add` calls so far.  Note
+        (per §7 of the paper, citing Bose et al.) that for very small filters
+        this approximation underestimates the true FPR.
+        """
+        n = self.num_inserted if num_items is None else num_items
+        if n < 0:
+            raise ValueError("num_items must be non-negative")
+        k, m = self.num_hashes, self.num_bits
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    def empirical_fpr(self) -> float:
+        """Return the FPR implied by the current fill ratio (``fill^k``).
+
+        This is exact in expectation for a query value never inserted, given
+        the realised bit pattern, and is the estimator the evaluation harness
+        uses for per-entry attribute sketches.
+        """
+        return self.fill_ratio() ** self.num_hashes
+
+    def union_update(self, other: "BloomFilter") -> None:
+        """Merge another filter built with identical parameters and seed."""
+        if (self.num_bits, self.num_hashes, self.seed) != (
+            other.num_bits,
+            other.num_hashes,
+            other.seed,
+        ):
+            raise ValueError("can only union Bloom filters with identical parameters")
+        self._bits.union_update(other._bits)
+        self.num_inserted += other.num_inserted
+
+    def copy(self) -> "BloomFilter":
+        """Return an independent copy."""
+        clone = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        clone._bits = self._bits.copy()
+        clone.num_inserted = self.num_inserted
+        return clone
+
+    def size_in_bits(self) -> int:
+        """Return the size of the bit payload (excludes parameters)."""
+        return self.num_bits
+
+    def payload_bytes(self) -> bytes:
+        """Serialise the bit payload (parameters travel separately)."""
+        return self._bits.to_bytes()
+
+    @classmethod
+    def from_payload(
+        cls, num_bits: int, num_hashes: int, seed: int, payload: bytes, num_inserted: int
+    ) -> "BloomFilter":
+        """Reconstruct a filter from :meth:`payload_bytes` output."""
+        bloom = cls(num_bits, num_hashes, seed)
+        bloom._bits = BitArray.from_bytes(payload, num_bits)
+        bloom.num_inserted = num_inserted
+        return bloom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"inserted={self.num_inserted}, fill={self.fill_ratio():.3f})"
+        )

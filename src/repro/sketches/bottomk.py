@@ -1,0 +1,176 @@
+"""Bottom-k sampling for CCF sizing estimation (§10.4).
+
+Sizing a CCF needs the predicted occupied-entry count
+``n_k · E[min(A, cap)]`` (Table 1), which §10.4 notes "can be estimated from
+the data using a bottom-k or two-level sampling scheme" in one pass over a
+sample — the full data never needs a second scan.
+
+A :class:`BottomKSketch` keeps the ``k`` keys with the smallest hash values.
+Because hashing is uniform, those keys are a uniform sample of the
+*distinct* keys, and the k-th smallest hash (mapped to [0,1]) estimates the
+distinct count as ``(k-1)/h_(k)``.  :class:`EntryCountEstimator` rides on
+top: for each sampled key it tracks the distinct attribute-fingerprint
+vectors seen, giving an unbiased per-key ``E[min(A, cap)]`` to scale by the
+distinct-count estimate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Hashable, Iterable
+
+from repro.hashing.mixers import derive_seed, hash64
+
+_MAX_HASH = float(1 << 64)
+
+
+class BottomKSketch:
+    """The k distinct keys with the smallest hash values."""
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k < 2:
+            raise ValueError("bottom-k needs k >= 2 (the estimator divides by h_(k))")
+        self.k = k
+        self.seed = seed
+        self._salt = derive_seed(seed, "bottomk")
+        # Max-heap (negated hashes) of the current bottom-k.
+        self._heap: list[tuple[int, Any]] = []
+        self._members: dict[Any, int] = {}
+
+    def add(self, key: Hashable) -> bool:
+        """Offer a key; returns True if it is (now) in the bottom-k."""
+        if key in self._members:
+            return True
+        hashed = hash64(key, self._salt)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-hashed, key))
+            self._members[key] = hashed
+            return True
+        largest = -self._heap[0][0]
+        if hashed >= largest:
+            return False
+        _negated, evicted = heapq.heapreplace(self._heap, (-hashed, key))
+        del self._members[evicted]
+        self._members[key] = hashed
+        return True
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._members
+
+    def keys(self) -> list[Any]:
+        """The sampled keys (a uniform sample of the distinct keys)."""
+        return list(self._members)
+
+    @property
+    def saturated(self) -> bool:
+        """True once k keys have been collected."""
+        return len(self._heap) >= self.k
+
+    def distinct_estimate(self) -> float:
+        """Estimate the number of distinct keys offered: ``(k-1)/h_(k)``."""
+        if not self._heap:
+            return 0.0
+        if not self.saturated:
+            return float(len(self._heap))
+        kth_smallest = -self._heap[0][0]
+        return (self.k - 1) / (kth_smallest / _MAX_HASH)
+
+    def merge(self, other: "BottomKSketch") -> None:
+        """Union with another sketch built with the same k and seed."""
+        if (self.k, self.seed) != (other.k, other.seed):
+            raise ValueError("can only merge bottom-k sketches with identical parameters")
+        for key in other.keys():
+            self.add(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BottomKSketch(k={self.k}, collected={len(self._heap)})"
+
+
+class EntryCountEstimator:
+    """One-pass estimator for a CCF's occupied entries (§10.4, Table 1).
+
+    Two levels of sampling (the flavour of Chen & Yi's two-level scheme the
+    paper cites):
+
+    * a bottom-k over *keys* samples distinct keys uniformly and tracks each
+      sampled key's distinct attribute vectors — this estimates
+      ``E[min(A, cap)]`` for the capped variants (mixed, plain, finite
+      Lmax), where the cap bounds the heavy tail's variance;
+    * a bottom-k over *(key, vector) pairs* estimates the distinct-row count
+      directly — exactly ``Σ_k r_k``, the uncapped chained prediction —
+      with variance independent of the duplicate skew (a key-level sample
+      would inherit the tail's variance).
+
+    Note rows for a key can arrive *after* the key is evicted from the
+    sample; the per-key vector sets are only trusted for keys still in the
+    sample at the end, which keeps the estimate consistent (every retained
+    key has seen all its rows — eviction only happens on insertion of a
+    smaller-hashed key, never removal).
+    """
+
+    def __init__(self, k: int = 256, seed: int = 0) -> None:
+        self._sketch = BottomKSketch(k, seed)
+        self._pair_sketch = BottomKSketch(k, derive_seed(seed, "pairs"))
+        self._vectors: dict[Any, set] = {}
+
+    def add(self, key: Hashable, vector: tuple) -> None:
+        """Offer one row."""
+        vector = tuple(vector)
+        self._pair_sketch.add((key, vector))
+        if self._sketch.add(key):
+            self._vectors.setdefault(key, set()).add(vector)
+        # Drop state for evicted keys lazily.
+        if len(self._vectors) > 2 * self._sketch.k:
+            self._vectors = {
+                key: vectors for key, vectors in self._vectors.items() if key in self._sketch
+            }
+
+    def add_stream(self, rows: Iterable[tuple[Hashable, tuple]]) -> "EntryCountEstimator":
+        """Offer many rows; returns self for chaining."""
+        for key, vector in rows:
+            self.add(key, vector)
+        return self
+
+    def distinct_keys(self) -> float:
+        """Estimated number of distinct keys."""
+        return self._sketch.distinct_estimate()
+
+    def distinct_rows(self) -> float:
+        """Estimated number of distinct (key, vector) rows (``Σ_k r_k``)."""
+        return self._pair_sketch.distinct_estimate()
+
+    def mean_capped_duplicates(self, cap: float) -> float:
+        """Estimated ``E[min(A, cap)]`` over distinct keys."""
+        sampled = [
+            len(vectors)
+            for key, vectors in self._vectors.items()
+            if key in self._sketch
+        ]
+        if not sampled:
+            return 0.0
+        return sum(min(count, cap) for count in sampled) / len(sampled)
+
+    def estimate(
+        self,
+        kind: str,
+        max_dupes: int,
+        max_chain: int | None = None,
+        bucket_size: int | None = None,
+    ) -> float:
+        """Estimated occupied entries for a CCF variant (Table 1 min-form)."""
+        n_keys = self.distinct_keys()
+        if kind == "bloom":
+            return n_keys
+        if kind == "mixed":
+            return n_keys * self.mean_capped_duplicates(max_dupes)
+        if kind == "chained":
+            if max_chain is None:
+                # Uncapped: the prediction is the distinct-row count, which
+                # the pair-level sample estimates without tail variance.
+                return self.distinct_rows()
+            return n_keys * self.mean_capped_duplicates(max_dupes * max_chain)
+        if kind == "plain":
+            if bucket_size is None:
+                raise ValueError("plain sizing needs bucket_size")
+            return n_keys * self.mean_capped_duplicates(2 * bucket_size)
+        raise ValueError(f"unknown CCF kind {kind!r}")

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+
+
+@pytest.fixture
+def two_attr_schema() -> AttributeSchema:
+    return AttributeSchema(["color", "size"])
+
+
+@pytest.fixture
+def default_params() -> CCFParams:
+    return CCFParams(bucket_size=6, max_dupes=3, key_bits=12, attr_bits=8, seed=17)
+
+
+def random_rows(
+    num_keys: int,
+    max_dupes: int,
+    seed: int = 0,
+    colors: tuple = ("red", "green", "blue", "black"),
+    max_size: int = 40,
+) -> list[tuple[int, tuple]]:
+    """Keyed rows with a random number of distinct attribute pairs per key."""
+    rng = random.Random(seed)
+    rows: list[tuple[int, tuple]] = []
+    for key in range(num_keys):
+        seen: set[tuple] = set()
+        for _ in range(rng.randint(1, max_dupes)):
+            attrs = (rng.choice(colors), rng.randint(0, max_size))
+            if attrs not in seen:
+                seen.add(attrs)
+                rows.append((key, attrs))
+    rng.shuffle(rows)
+    return rows

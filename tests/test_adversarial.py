@@ -1,0 +1,144 @@
+"""Failure injection and adversarial configurations.
+
+Degenerate geometries (minimum buckets, one-slot buckets, starved kick
+budgets), hostile workloads (single hot key, colliding fingerprints) and
+misuse (predicates on unknown columns, un-binned ranges).  The contract
+under all of them: errors are loud, and answers never false-negative.
+"""
+
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.bloom_ccf import BloomCCF
+from repro.ccf.chained import ChainedCCF
+from repro.ccf.mixed import MixedCCF
+from repro.ccf.params import CCFParams
+from repro.ccf.plain import PlainCCF
+from repro.ccf.predicates import And, Eq, Range, UnsupportedPredicateError
+
+SCHEMA = AttributeSchema(["a", "b"])
+
+
+class TestDegenerateGeometry:
+    def test_minimum_two_buckets(self):
+        params = CCFParams(bucket_size=4, max_dupes=2, seed=1)
+        ccf = ChainedCCF(SCHEMA, 2, params)
+        rows = [(key, ("x", key)) for key in range(6)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        for key, (x, v) in rows:
+            assert ccf.query(key, And([Eq("a", x), Eq("b", v)]))
+
+    def test_single_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            ChainedCCF(SCHEMA, 1, CCFParams())
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ChainedCCF(SCHEMA, 100, CCFParams())
+
+    def test_one_slot_buckets(self):
+        params = CCFParams(bucket_size=1, max_dupes=1, max_kicks=32, seed=2)
+        ccf = ChainedCCF(SCHEMA, 64, params)
+        rows = [(key, ("x", key)) for key in range(30)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        for key, (x, v) in rows:
+            assert ccf.query(key, And([Eq("a", x), Eq("b", v)]))
+
+    def test_starved_kick_budget(self):
+        params = CCFParams(bucket_size=2, max_dupes=2, max_kicks=1, seed=3)
+        ccf = ChainedCCF(SCHEMA, 8, params)
+        rows = [(key, ("x", key)) for key in range(40)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        # With one kick allowed, failures are expected — but answers must
+        # remain superset-correct via the stash.
+        for key, (x, v) in rows:
+            assert ccf.query(key, And([Eq("a", x), Eq("b", v)]))
+
+    @pytest.mark.parametrize("cls", [ChainedCCF, BloomCCF, MixedCCF, PlainCCF])
+    def test_all_variants_survive_overload(self, cls):
+        params = CCFParams(bucket_size=2, max_dupes=2, max_kicks=4, seed=4)
+        ccf = cls(SCHEMA, 4, params)
+        rows = [(key, ("x", key % 7)) for key in range(100)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        missing = [
+            (key, attrs)
+            for key, attrs in rows
+            if not ccf.query(key, And([Eq("a", attrs[0]), Eq("b", attrs[1])]))
+        ]
+        assert missing == []
+
+
+class TestHostileWorkloads:
+    def test_single_hot_key_thousands_of_rows(self):
+        params = CCFParams(bucket_size=6, max_dupes=3, seed=5)
+        ccf = MixedCCF(SCHEMA, 64, params)
+        for i in range(5000):
+            assert ccf.insert("hot", ("v", i))
+        assert ccf.query("hot", Eq("b", 4999))
+        assert not ccf.failed
+
+    def test_many_keys_same_fingerprint_pair(self):
+        """Keys engineered to share one bucket pair + fingerprint."""
+        params = CCFParams(bucket_size=6, max_dupes=3, key_bits=4, seed=6)
+        ccf = ChainedCCF(SCHEMA, 4, params)
+        # With 4 buckets and 4-bit fingerprints, collisions are guaranteed.
+        rows = [(key, ("x", key)) for key in range(60)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        ccf.check_invariants()
+        for key, (x, v) in rows:
+            assert ccf.query(key, And([Eq("a", x), Eq("b", v)]))
+
+    def test_attribute_domain_of_one(self):
+        params = CCFParams(bucket_size=6, max_dupes=3, seed=7)
+        ccf = ChainedCCF(SCHEMA, 64, params)
+        for key in range(100):
+            ccf.insert(key, ("only", 0))
+        assert all(ccf.query(key, Eq("a", "only")) for key in range(100))
+
+    def test_unicode_and_mixed_type_keys(self):
+        params = CCFParams(bucket_size=4, max_dupes=2, seed=8)
+        ccf = ChainedCCF(SCHEMA, 64, params)
+        keys = ["héllo", "δοκιμή", ("tuple", 1), b"bytes", 3.14159, -42]
+        for key in keys:
+            ccf.insert(key, ("x", 1))
+        assert all(ccf.contains_key(key) for key in keys)
+
+
+class TestMisuse:
+    def test_unknown_predicate_column(self):
+        ccf = ChainedCCF(SCHEMA, 64, CCFParams())
+        with pytest.raises(KeyError):
+            ccf.query(1, Eq("nope", 1))
+
+    def test_unbinned_range_predicate(self):
+        ccf = ChainedCCF(SCHEMA, 64, CCFParams())
+        with pytest.raises(UnsupportedPredicateError):
+            ccf.query(1, Range("b", low=1, high=5))
+
+    def test_wrong_attribute_arity(self):
+        ccf = ChainedCCF(SCHEMA, 64, CCFParams())
+        with pytest.raises(ValueError):
+            ccf.insert(1, ("only-one",))
+
+    def test_compiled_query_reusable_across_keys(self):
+        ccf = ChainedCCF(SCHEMA, 64, CCFParams(seed=9))
+        for key in range(50):
+            ccf.insert(key, ("x", key % 5))
+        compiled = ccf.compile(Eq("b", 3))
+        hits = sum(ccf.query(key, compiled) for key in range(50))
+        direct = sum(ccf.query(key, Eq("b", 3)) for key in range(50))
+        assert hits == direct
+
+    def test_true_predicate_equals_key_only(self):
+        from repro.ccf.predicates import TRUE
+
+        ccf = ChainedCCF(SCHEMA, 64, CCFParams(seed=10))
+        for key in range(30):
+            ccf.insert(key, ("x", key))
+        for key in range(60):
+            assert ccf.query(key, TRUE) == ccf.contains_key(key)

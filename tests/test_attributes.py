@@ -1,0 +1,101 @@
+"""Tests for attribute schemas and fingerprinting (§5.1, §9)."""
+
+import pytest
+
+from repro.ccf.attributes import AttributeFingerprinter, AttributeSchema
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = AttributeSchema(["a", "b"])
+        assert schema.num_attributes == 2
+        assert schema.index_of("b") == 1
+        assert "a" in schema and "c" not in schema
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AttributeSchema([])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(["a", "a"])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            AttributeSchema(["a"]).index_of("z")
+
+    def test_row_values_from_mapping(self):
+        schema = AttributeSchema(["x", "y"])
+        assert schema.row_values({"y": 2, "x": 1, "extra": 9}) == (1, 2)
+
+    def test_row_values_from_sequence(self):
+        schema = AttributeSchema(["x", "y"])
+        assert schema.row_values([1, 2]) == (1, 2)
+
+    def test_row_values_wrong_length(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(["x", "y"]).row_values([1])
+
+    def test_equality_and_hash(self):
+        assert AttributeSchema(["a", "b"]) == AttributeSchema(["a", "b"])
+        assert AttributeSchema(["a"]) != AttributeSchema(["b"])
+        assert hash(AttributeSchema(["a"])) == hash(AttributeSchema(["a"]))
+
+
+class TestFingerprinter:
+    def make(self, bits=8, svo=True):
+        return AttributeFingerprinter(
+            AttributeSchema(["a", "b"]), bits, seed=3, small_value_optimization=svo
+        )
+
+    def test_fingerprints_in_range(self):
+        fingerprinter = self.make(bits=6)
+        for value in ("string", 12345, (1, 2), -5, 3.5):
+            fp = fingerprinter.fingerprint(0, value)
+            assert 0 <= fp < (1 << 6)
+
+    def test_small_value_optimization_stores_exactly(self):
+        """§9: integer values below 2^|α| are stored verbatim."""
+        fingerprinter = self.make(bits=8)
+        for value in range(0, 256, 17):
+            assert fingerprinter.fingerprint(0, value) == value
+
+    def test_small_value_optimization_off_hashes(self):
+        fingerprinter = self.make(bits=8, svo=False)
+        hashed = [fingerprinter.fingerprint(0, v) for v in range(256)]
+        assert hashed != list(range(256))
+
+    def test_large_and_negative_ints_hashed(self):
+        fingerprinter = self.make(bits=8)
+        assert 0 <= fingerprinter.fingerprint(0, 1000) < 256
+        assert 0 <= fingerprinter.fingerprint(0, -1) < 256
+
+    def test_bool_not_treated_as_small_int(self):
+        fingerprinter = self.make(bits=8)
+        # Booleans take the hash path, not the store-exact path.
+        assert fingerprinter.fingerprint(0, True) != 1 or fingerprinter.fingerprint(
+            0, False
+        ) != 0
+
+    def test_per_attribute_salts_differ(self):
+        fingerprinter = self.make(bits=16, svo=False)
+        assert fingerprinter.fingerprint(0, "value") != fingerprinter.fingerprint(1, "value")
+
+    def test_vector(self):
+        fingerprinter = self.make(bits=8)
+        vector = fingerprinter.vector((3, "text"))
+        assert len(vector) == 2
+        assert vector[0] == 3  # small value optimisation
+
+    def test_vector_wrong_length(self):
+        with pytest.raises(ValueError):
+            self.make().vector((1,))
+
+    def test_candidate_fingerprints(self):
+        fingerprinter = self.make(bits=8)
+        candidates = fingerprinter.candidate_fingerprints(0, [1, 2, 3])
+        assert candidates == frozenset({1, 2, 3})
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            AttributeFingerprinter(AttributeSchema(["a"]), 0)

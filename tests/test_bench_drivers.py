@@ -1,0 +1,132 @@
+"""Integration tests for the experiment drivers behind the benchmarks.
+
+Each driver runs at miniature size here; the full-size runs live in
+benchmarks/.  These tests pin the drivers' output *structure* and their key
+qualitative properties so benchmark regressions surface in the fast suite.
+"""
+
+import pytest
+
+from repro.bench.fpr_experiments import FPRPoint, correlation, run_figure2
+from repro.bench.joblight_experiments import (
+    JOBLIGHT_KINDS,
+    figure3_points,
+    figure10_relative_sizes,
+    get_context,
+    standard_bundles,
+)
+from repro.bench.multiset_experiments import (
+    fill_until_failure,
+    load_factor_at_failure,
+    run_figure4,
+    run_figure5,
+    run_table1_check,
+)
+from repro.ccf.params import CCFParams
+
+
+class TestMultisetDrivers:
+    PARAMS = CCFParams(bucket_size=4, max_dupes=3, max_chain=None, seed=2)
+
+    def test_fill_until_failure_reports_failure_point(self):
+        point = fill_until_failure("plain", "constant", 8, 64, self.PARAMS, seed=1)
+        assert point.failed
+        assert 0.0 < point.load_factor < 1.0
+        assert point.items_processed > 0
+
+    def test_chained_survives_longer_than_plain(self):
+        plain = fill_until_failure("plain", "zipf", 6, 64, self.PARAMS, seed=1)
+        chained = fill_until_failure("chained", "zipf", 6, 64, self.PARAMS, seed=1)
+        assert chained.load_factor > plain.load_factor
+
+    def test_load_factor_at_failure_averages_runs(self):
+        value = load_factor_at_failure("chained", "constant", 4, 64, self.PARAMS, runs=2)
+        assert 0.0 < value <= 1.0
+
+    def test_run_figure4_grid_shape(self):
+        rows = run_figure4(
+            bucket_sizes=(4,),
+            duplicate_levels=(1, 8),
+            shapes=("constant",),
+            num_buckets=64,
+            runs=1,
+        )
+        assert len(rows) == 1 * 2 * 2  # shapes x dupes x {chained, plain}
+        assert {r["type"] for r in rows} == {"chained", "plain"}
+
+    def test_run_figure5_rows(self):
+        rows = run_figure5(
+            max_dupe_values=(2, 4), fill_levels=(0.2, 0.4), num_buckets=64
+        )
+        assert rows
+        for row in rows:
+            assert row["bit_efficiency"] > 0
+            assert 0.0 < row["fill"] <= 1.0
+
+    def test_run_table1_check_bounds_hold(self):
+        table = run_table1_check(num_keys=200, mean_duplicates=4.0)
+        assert {r["filter"] for r in table} == {"bloom", "mixed", "chained"}
+        assert all(r["within_bound"] for r in table)
+
+
+class TestFPRDriver:
+    def test_points_cover_grid(self):
+        points = run_figure2(
+            attr_bit_choices=(4,),
+            key_bit_choices=(12,),
+            num_keys=200,
+            values_per_key=2,
+            num_queries=400,
+        )
+        assert {(p.attr_bits, p.key_bits, p.cause) for p in points} == {
+            (4, 12, "key"),
+            (4, 12, "attribute"),
+        }
+        for point in points:
+            assert 0.0 <= point.actual <= 1.0
+            assert 0.0 <= point.estimated <= 1.0
+
+    def test_correlation_degenerate_cases(self):
+        assert correlation([]) == 1.0
+        assert correlation([FPRPoint(4, 8, "key", 0.1, 0.1)]) == 1.0
+        same = [FPRPoint(4, 8, "key", 0.1, 0.2), FPRPoint(4, 8, "key", 0.1, 0.3)]
+        assert correlation(same) == 1.0  # zero variance on one side
+
+    def test_correlation_tracks_linear_relation(self):
+        points = [FPRPoint(4, 8, "key", x / 10, x / 5) for x in range(6)]
+        assert correlation(points) == pytest.approx(1.0)
+
+
+class TestJoblightDrivers:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return get_context(0.0008, seed=3)
+
+    def test_context_cached(self, context):
+        assert get_context(0.0008, seed=3) is context
+
+    def test_standard_bundles_build_all_kinds(self, context):
+        labels = standard_bundles(context, "small")
+        assert len(labels) == len(JOBLIGHT_KINDS)
+        for label in labels:
+            assert label in context.bundles
+
+    def test_figure3_points_structure(self, context):
+        labels = standard_bundles(context, "small")
+        points = figure3_points(context, labels)
+        assert len(points) == len(labels) * len(context.dataset.tables)
+        for point in points:
+            assert point["actual_entries"] <= point["predicted_entries"]
+
+    def test_figure10_overall_rows(self, context):
+        labels = standard_bundles(context, "small")
+        rows = figure10_relative_sizes(context, labels)
+        overall = [r for r in rows if r["table"] == "Overall"]
+        assert len(overall) == len(labels)
+        assert all(r["relative_size"] > 0 for r in rows)
+
+    def test_evaluation_cached_by_label_set(self, context):
+        labels = standard_bundles(context, "small")
+        first = context.evaluate(labels)
+        second = context.evaluate(tuple(reversed(labels)))
+        assert first is second

@@ -1,0 +1,77 @@
+"""Tests for the benchmark reporting utilities."""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import (
+    env_runs,
+    env_scale,
+    format_table,
+    print_figure,
+    save_json,
+)
+
+
+class TestEnvKnobs:
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale(0.01) == 0.01
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert env_scale() == 0.05
+
+    def test_scale_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        with pytest.raises(ValueError):
+            env_scale()
+
+    def test_runs_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNS", raising=False)
+        assert env_runs(5) == 5
+        monkeypatch.setenv("REPRO_RUNS", "7")
+        assert env_runs() == 7
+
+    def test_runs_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "0")
+        with pytest.raises(ValueError):
+            env_runs()
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # All rows share the same width.
+        assert len(set(map(len, lines[1:]))) <= 2
+
+    def test_format_floats(self):
+        text = format_table(["x"], [[0.123456], [12345.678]])
+        assert "0.1235" in text
+        assert "12345.7" in text
+
+    def test_print_figure_banner(self, capsys):
+        print_figure("My Figure", ["a"], [[1]])
+        out = capsys.readouterr().out
+        assert "My Figure" in out
+        assert "=" * len("My Figure") in out
+
+
+class TestSaveJson:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = save_json("unit-test", {"k": [1, 2, 3]})
+        assert path.parent == tmp_path
+        assert json.loads(path.read_text()) == {"k": [1, 2, 3]}
+
+    def test_non_serialisable_values_stringified(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = save_json("unit-test-2", {"obj": object()})
+        assert "object" in path.read_text()

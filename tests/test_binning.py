@@ -1,0 +1,182 @@
+"""Tests for range binning and dyadic decomposition (§9.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccf.binning import (
+    DyadicDecomposer,
+    EquiSizeBinner,
+    bin_predicate_for_ccf,
+)
+from repro.ccf.predicates import And, Eq, In, Range, TRUE
+
+
+class TestEquiSizeBinner:
+    def test_fit_roughly_equal_bins(self):
+        """132 distinct values into 16 bins: 8-9 values each (§10.3)."""
+        values = list(range(1888, 2020))
+        binner = EquiSizeBinner.fit(values, 16)
+        assert binner.num_bins == 16
+        sizes = [0] * 16
+        for value in values:
+            sizes[binner.bin_of(value)] += 1
+        assert min(sizes) >= 8
+        assert max(sizes) <= 9
+
+    def test_bin_of_monotone(self):
+        binner = EquiSizeBinner.fit(range(100), 10)
+        bins = [binner.bin_of(v) for v in range(100)]
+        assert bins == sorted(bins)
+        assert set(bins) == set(range(10))
+
+    def test_values_outside_domain_clamp(self):
+        binner = EquiSizeBinner.fit(range(10, 20), 5)
+        assert binner.bin_of(0) == 0
+        assert binner.bin_of(1000) == 4
+
+    def test_fewer_values_than_bins(self):
+        binner = EquiSizeBinner.fit([1, 2, 3], 10)
+        assert binner.num_bins == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EquiSizeBinner.fit([], 4)
+
+    def test_invalid_bin_count(self):
+        with pytest.raises(ValueError):
+            EquiSizeBinner.fit([1], 0)
+
+    def test_bins_for_range_covers_bounds(self):
+        binner = EquiSizeBinner.fit(range(100), 10)
+        bins = binner.bins_for_range(Range("col", low=25, high=44))
+        assert binner.bin_of(25) in bins
+        assert binner.bin_of(44) in bins
+        assert bins == sorted(bins)
+
+    def test_bins_for_open_range(self):
+        binner = EquiSizeBinner.fit(range(100), 10)
+        assert binner.bins_for_range(Range("col", low=95)) == [9]
+        assert binner.bins_for_range(Range("col", high=5)) == [0]
+
+    @given(
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_binning_never_false_negative(self, low, high, value):
+        """Any value matching the range maps to a bin inside the in-list."""
+        if low > high:
+            low, high = high, low
+        binner = EquiSizeBinner.fit(range(100), 16)
+        predicate = Range("col", low=low, high=high)
+        bins = set(binner.bins_for_range(predicate))
+        if predicate.matches_row({"col": value}):
+            assert binner.bin_of(value) in bins
+
+    def test_bin_predicate_returns_in_list(self):
+        binner = EquiSizeBinner.fit(range(100), 10)
+        predicate = binner.bin_predicate(Range("year", low=10, high=30), "year_bin")
+        assert isinstance(predicate, In)
+        assert predicate.column == "year_bin"
+
+
+class TestBinPredicateRewriting:
+    BINNERS = {
+        "year": (EquiSizeBinner.fit(range(1900, 2000), 10), "year_bin")
+    }
+
+    def test_range_rewritten(self):
+        rewritten = bin_predicate_for_ccf(Range("year", low=1950, high=1960), self.BINNERS)
+        assert isinstance(rewritten, In)
+        assert rewritten.column == "year_bin"
+
+    def test_eq_rewritten(self):
+        rewritten = bin_predicate_for_ccf(Eq("year", 1955), self.BINNERS)
+        assert isinstance(rewritten, Eq)
+        assert rewritten.column == "year_bin"
+
+    def test_in_rewritten(self):
+        rewritten = bin_predicate_for_ccf(In("year", [1950, 1990]), self.BINNERS)
+        assert isinstance(rewritten, In)
+        assert rewritten.column == "year_bin"
+
+    def test_other_columns_untouched(self):
+        predicate = Eq("kind", 3)
+        assert bin_predicate_for_ccf(predicate, self.BINNERS) is predicate
+
+    def test_and_rewritten_recursively(self):
+        predicate = And([Eq("kind", 3), Range("year", low=1950)])
+        rewritten = bin_predicate_for_ccf(predicate, self.BINNERS)
+        assert isinstance(rewritten, And)
+        columns = {p.column for p in rewritten.predicates}
+        assert columns == {"kind", "year_bin"}
+
+    def test_true_predicate_passthrough(self):
+        assert bin_predicate_for_ccf(TRUE, self.BINNERS) is TRUE
+
+
+class TestDyadicDecomposer:
+    def test_levels_cover_domain(self):
+        decomposer = DyadicDecomposer(0, 127)
+        assert decomposer.num_levels == 8  # unit up to 128-wide blocks
+
+    def test_intervals_per_value(self):
+        decomposer = DyadicDecomposer(0, 127)
+        intervals = decomposer.intervals_for_value(77)
+        assert len(intervals) == decomposer.num_levels
+        assert intervals[0] == (0, 77)
+
+    def test_value_outside_domain_raises(self):
+        with pytest.raises(ValueError):
+            DyadicDecomposer(0, 10).intervals_for_value(11)
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            DyadicDecomposer(5, 4)
+
+    def test_cover_of_full_domain_is_single_block(self):
+        decomposer = DyadicDecomposer(0, 63)
+        assert decomposer.cover(0, 63) == [(6, 0)]
+
+    def test_cover_is_disjoint_and_complete(self):
+        decomposer = DyadicDecomposer(0, 255)
+        cover = decomposer.cover(13, 200)
+        covered = set()
+        for level, index in cover:
+            start = index << level
+            block = set(range(start, start + (1 << level)))
+            assert not block & covered
+            covered |= block
+        assert covered == set(range(13, 201))
+
+    def test_cover_size_logarithmic(self):
+        decomposer = DyadicDecomposer(0, (1 << 16) - 1)
+        cover = decomposer.cover(1, (1 << 16) - 2)
+        assert len(cover) <= 2 * decomposer.num_levels
+
+    def test_cover_clamps_to_domain(self):
+        decomposer = DyadicDecomposer(10, 20)
+        assert decomposer.cover(0, 100) == decomposer.cover(10, 20)
+        assert decomposer.cover(25, 30) == []
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_membership_equivalence(self, low, high, value):
+        """value in [low, high] iff its interval set intersects the cover."""
+        if low > high:
+            low, high = high, low
+        decomposer = DyadicDecomposer(0, 255)
+        intervals = decomposer.intervals_for_value(value)
+        assert decomposer.range_matches(intervals, low, high) == (low <= value <= high)
+
+    def test_nonzero_domain_offset(self):
+        decomposer = DyadicDecomposer(1888, 2019)
+        intervals = decomposer.intervals_for_value(1950)
+        assert decomposer.range_matches(intervals, 1940, 1960)
+        assert not decomposer.range_matches(intervals, 1960, 1980)

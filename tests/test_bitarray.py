@@ -1,0 +1,156 @@
+"""Tests for the BitArray primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.bitarray import BitArray
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        bits = BitArray(100)
+        assert bits.count() == 0
+        assert not bits.any()
+        assert all(not bits.get(i) for i in range(100))
+
+    def test_set_get_clear(self):
+        bits = BitArray(16)
+        bits.set(3)
+        assert bits.get(3)
+        assert bits.count() == 1
+        bits.clear(3)
+        assert not bits.get(3)
+        assert bits.count() == 0
+
+    def test_setitem_getitem(self):
+        bits = BitArray(8)
+        bits[5] = True
+        assert bits[5]
+        bits[5] = False
+        assert not bits[5]
+
+    def test_negative_index(self):
+        bits = BitArray(8)
+        bits.set(-1)
+        assert bits.get(7)
+
+    def test_out_of_range_raises(self):
+        bits = BitArray(8)
+        with pytest.raises(IndexError):
+            bits.get(8)
+        with pytest.raises(IndexError):
+            bits.set(-9)
+
+    def test_len(self):
+        assert len(BitArray(13)) == 13
+
+    def test_zero_length(self):
+        bits = BitArray(0)
+        assert bits.count() == 0
+        assert bits.fill_ratio() == 0.0
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            BitArray(-1)
+
+    def test_assign(self):
+        bits = BitArray(4)
+        bits.assign(2, True)
+        assert bits.get(2)
+        bits.assign(2, False)
+        assert not bits.get(2)
+
+    def test_idempotent_set(self):
+        bits = BitArray(8)
+        bits.set(1)
+        bits.set(1)
+        assert bits.count() == 1
+
+    def test_reset(self):
+        bits = BitArray(20)
+        for i in (0, 7, 13, 19):
+            bits.set(i)
+        bits.reset()
+        assert bits.count() == 0
+
+
+class TestSetOperations:
+    def test_union_update(self):
+        a, b = BitArray(10), BitArray(10)
+        a.set(1)
+        b.set(2)
+        a.union_update(b)
+        assert a.get(1) and a.get(2)
+        assert a.count() == 2
+
+    def test_intersection_update(self):
+        a, b = BitArray(10), BitArray(10)
+        for i in (1, 2, 3):
+            a.set(i)
+        for i in (2, 3, 4):
+            b.set(i)
+        a.intersection_update(b)
+        assert a.count() == 2
+        assert a.get(2) and a.get(3)
+
+    def test_is_subset_of(self):
+        a, b = BitArray(10), BitArray(10)
+        a.set(4)
+        b.set(4)
+        b.set(5)
+        assert a.is_subset_of(b)
+        assert not b.is_subset_of(a)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitArray(8).union_update(BitArray(9))
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            BitArray(8).union_update([1, 2])
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        bits = BitArray(19)
+        for i in (0, 3, 9, 18):
+            bits.set(i)
+        restored = BitArray.from_bytes(bits.to_bytes(), 19)
+        assert restored == bits
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            BitArray.from_bytes(b"\x00", 19)
+
+    def test_stray_bits_raise(self):
+        # 9 bits need 2 bytes; the top 7 bits of byte 2 must be zero.
+        with pytest.raises(ValueError):
+            BitArray.from_bytes(b"\x00\x80", 9)
+
+    def test_copy_independent(self):
+        bits = BitArray(8)
+        bits.set(2)
+        clone = bits.copy()
+        clone.set(3)
+        assert not bits.get(3)
+        assert clone.get(2)
+
+
+class TestProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=199), max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_set_bits(self, positions):
+        bits = BitArray(200)
+        for position in positions:
+            bits.set(position)
+        assert bits.count() == len(positions)
+        assert bits.fill_ratio() == pytest.approx(len(positions) / 200)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_serialisation_roundtrip_property(self, positions):
+        bits = BitArray(64)
+        for position in positions:
+            bits.set(position)
+        assert BitArray.from_bytes(bits.to_bytes(), 64) == bits

@@ -1,0 +1,77 @@
+"""Tests for the bit-packing layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.bitpack import BitReader, BitWriter
+
+
+class TestBasics:
+    def test_roundtrip_mixed_widths(self):
+        writer = BitWriter()
+        writer.write(5, 3)
+        writer.write(0xABC, 12)
+        writer.write_bool(True)
+        writer.write(0, 0)
+        writer.write(2**40 - 1, 40)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 5
+        assert reader.read(12) == 0xABC
+        assert reader.read_bool() is True
+        assert reader.read(0) == 0
+        assert reader.read(40) == 2**40 - 1
+
+    def test_write_bytes_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bool(True)  # force misalignment
+        writer.write_bytes(b"hello")
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bool() is True
+        assert reader.read_bytes(5) == b"hello"
+
+    def test_value_too_wide_raises(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(8, 3)
+        with pytest.raises(ValueError):
+            writer.write(-1, 3)
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_num_bits_counter(self):
+        writer = BitWriter()
+        writer.write(1, 5)
+        writer.write(1, 9)
+        assert writer.num_bits == 14
+        assert len(writer.getvalue()) == 2
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),
+                st.integers(min_value=0),
+            ).map(lambda t: (t[0], t[1] % (1 << t[0]))),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_sequence_roundtrips(self, fields):
+        writer = BitWriter()
+        for width, value in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.getvalue())
+        for width, value in fields:
+            assert reader.read(width) == value

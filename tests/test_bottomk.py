@@ -1,0 +1,139 @@
+"""Tests for bottom-k sampling and the §10.4 entry-count estimator."""
+
+import random
+
+import pytest
+
+from repro.ccf.sizing import distinct_vector_counts, predicted_entries
+from repro.sketches.bottomk import BottomKSketch, EntryCountEstimator
+
+
+class TestBottomKSketch:
+    def test_requires_k_at_least_two(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(1)
+
+    def test_small_streams_counted_exactly(self):
+        sketch = BottomKSketch(64, seed=1)
+        for key in range(30):
+            sketch.add(key)
+        assert sketch.distinct_estimate() == 30.0
+        assert not sketch.saturated
+
+    def test_duplicates_ignored(self):
+        sketch = BottomKSketch(16, seed=1)
+        for _ in range(100):
+            sketch.add("same")
+        assert sketch.distinct_estimate() == 1.0
+
+    def test_estimate_accuracy(self):
+        sketch = BottomKSketch(256, seed=2)
+        true_distinct = 20_000
+        for key in range(true_distinct):
+            sketch.add(key)
+        assert sketch.distinct_estimate() == pytest.approx(true_distinct, rel=0.15)
+
+    def test_sample_is_subset_of_keys(self):
+        sketch = BottomKSketch(32, seed=3)
+        for key in range(1000):
+            sketch.add(key)
+        assert len(sketch.keys()) == 32
+        assert all(0 <= key < 1000 for key in sketch.keys())
+
+    def test_membership_stable_for_retained_keys(self):
+        """A key in the final sample was in the sample from its first add."""
+        sketch = BottomKSketch(16, seed=4)
+        first_seen_in_sample = {}
+        for key in range(500):
+            in_sample = sketch.add(key)
+            first_seen_in_sample[key] = in_sample
+        for key in sketch.keys():
+            assert first_seen_in_sample[key]
+
+    def test_merge(self):
+        a = BottomKSketch(64, seed=5)
+        b = BottomKSketch(64, seed=5)
+        for key in range(0, 3000, 2):
+            a.add(key)
+        for key in range(1, 3000, 2):
+            b.add(key)
+        a.merge(b)
+        assert a.distinct_estimate() == pytest.approx(3000, rel=0.25)
+
+    def test_merge_parameter_mismatch(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(64, seed=5).merge(BottomKSketch(64, seed=6))
+        with pytest.raises(ValueError):
+            BottomKSketch(64, seed=5).merge(BottomKSketch(32, seed=5))
+
+
+class TestEntryCountEstimator:
+    def _stream(self, num_keys=5000, seed=0):
+        rng = random.Random(seed)
+        rows = []
+        for key in range(num_keys):
+            for value in range(rng.randint(1, 9)):
+                rows.append((key, (value,)))
+        rng.shuffle(rows)
+        return rows
+
+    @pytest.mark.parametrize("kind", ["bloom", "mixed", "chained"])
+    def test_estimates_track_exact_predictions(self, kind):
+        rows = self._stream(seed=1)
+        estimator = EntryCountEstimator(k=512, seed=7).add_stream(rows)
+        exact = predicted_entries(
+            kind, distinct_vector_counts(rows), max_dupes=3, max_chain=None, bucket_size=6
+        )
+        estimated = estimator.estimate(kind, max_dupes=3, max_chain=None, bucket_size=6)
+        assert estimated == pytest.approx(exact, rel=0.15)
+
+    def test_plain_requires_bucket_size(self):
+        estimator = EntryCountEstimator(k=16).add_stream([(1, (1,))])
+        with pytest.raises(ValueError):
+            estimator.estimate("plain", max_dupes=3)
+
+    def test_unknown_kind(self):
+        estimator = EntryCountEstimator(k=16).add_stream([(1, (1,))])
+        with pytest.raises(ValueError):
+            estimator.estimate("quantum", max_dupes=3)
+
+    def test_capped_duplicates(self):
+        rows = [(key, (value,)) for key in range(200) for value in range(10)]
+        estimator = EntryCountEstimator(k=128, seed=2).add_stream(rows)
+        assert estimator.mean_capped_duplicates(3) == pytest.approx(3.0)
+        assert estimator.mean_capped_duplicates(100) == pytest.approx(10.0)
+
+    def test_empty_estimator(self):
+        estimator = EntryCountEstimator(k=16)
+        assert estimator.distinct_keys() == 0.0
+        assert estimator.estimate("bloom", max_dupes=3) == 0.0
+
+    def test_chained_finite_lmax_cap(self):
+        rows = [(key, (value,)) for key in range(100) for value in range(20)]
+        estimator = EntryCountEstimator(k=64, seed=3).add_stream(rows)
+        capped = estimator.estimate("chained", max_dupes=3, max_chain=2)
+        uncapped = estimator.estimate("chained", max_dupes=3, max_chain=None)
+        assert capped < uncapped
+        assert capped == pytest.approx(estimator.distinct_keys() * 6, rel=0.01)
+
+
+class TestTwoLevelSampling:
+    def test_distinct_rows_estimate(self):
+        rows = [(key, (value,)) for key in range(500) for value in range(key % 7 + 1)]
+        estimator = EntryCountEstimator(k=256, seed=9).add_stream(rows)
+        exact = len(set(rows))
+        assert estimator.distinct_rows() == pytest.approx(exact, rel=0.2)
+
+    def test_uncapped_chained_uses_pair_sample(self):
+        """Heavy-tailed duplicates must not blow up the uncapped estimate."""
+        rows = [("hot", (value,)) for value in range(5000)]
+        rows += [(key, (0,)) for key in range(1000)]
+        estimator = EntryCountEstimator(k=256, seed=10).add_stream(rows)
+        exact = len(set(rows))
+        estimated = estimator.estimate("chained", max_dupes=3, max_chain=None)
+        assert estimated == pytest.approx(exact, rel=0.25)
+
+    def test_duplicate_rows_not_double_counted(self):
+        rows = [(1, (2,))] * 1000
+        estimator = EntryCountEstimator(k=64, seed=11).add_stream(rows)
+        assert estimator.distinct_rows() == 1.0

@@ -1,0 +1,110 @@
+"""Tests for BucketArray storage."""
+
+import pytest
+
+from repro.cuckoo.buckets import BucketArray, is_power_of_two, next_power_of_two
+
+
+class TestPowerOfTwoHelpers:
+    def test_next_power_of_two(self):
+        assert next_power_of_two(0) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1024) == 1024
+        assert next_power_of_two(1025) == 2048
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(12)
+
+
+class TestBucketArray:
+    def test_requires_power_of_two_buckets(self):
+        with pytest.raises(ValueError):
+            BucketArray(3, 4)
+
+    def test_requires_positive_bucket_size(self):
+        with pytest.raises(ValueError):
+            BucketArray(4, 0)
+
+    def test_try_add_until_full(self):
+        array = BucketArray(2, 3)
+        assert array.try_add(0, "a")
+        assert array.try_add(0, "b")
+        assert array.try_add(0, "c")
+        assert array.is_full(0)
+        assert not array.try_add(0, "d")
+        assert array.count(0) == 3
+
+    def test_cannot_store_none(self):
+        array = BucketArray(2, 2)
+        with pytest.raises(ValueError):
+            array.try_add(0, None)
+
+    def test_entries_preserve_slot_order(self):
+        array = BucketArray(2, 3)
+        array.try_add(1, "x")
+        array.try_add(1, "y")
+        assert array.entries(1) == ["x", "y"]
+
+    def test_set_slot_accounting(self):
+        array = BucketArray(2, 2)
+        array.set_slot(0, 0, "a")
+        assert array.filled == 1
+        array.set_slot(0, 0, "b")  # overwrite: no change
+        assert array.filled == 1
+        array.set_slot(0, 0, None)
+        assert array.filled == 0
+
+    def test_get_slot_bounds(self):
+        array = BucketArray(2, 2)
+        with pytest.raises(IndexError):
+            array.get_slot(2, 0)
+        with pytest.raises(IndexError):
+            array.get_slot(0, 2)
+
+    def test_remove_first_match(self):
+        array = BucketArray(2, 3)
+        array.try_add(0, 5)
+        array.try_add(0, 5)
+        assert array.remove(0, lambda e: e == 5) == 5
+        assert array.count(0) == 1
+        assert array.remove(0, lambda e: e == 9) is None
+
+    def test_find(self):
+        array = BucketArray(2, 4)
+        for value in (1, 2, 3, 2):
+            array.try_add(0, value)
+        assert array.find(0, lambda e: e == 2) == [2, 2]
+
+    def test_load_factor(self):
+        array = BucketArray(2, 2)
+        assert array.load_factor() == 0.0
+        array.try_add(0, "a")
+        assert array.load_factor() == pytest.approx(0.25)
+
+    def test_capacity(self):
+        assert BucketArray(8, 4).capacity == 32
+
+    def test_iter_entries(self):
+        array = BucketArray(2, 2)
+        array.try_add(0, "a")
+        array.try_add(1, "b")
+        entries = list(array.iter_entries())
+        assert (0, 0, "a") in entries
+        assert (1, 0, "b") in entries
+        assert len(entries) == 2
+
+    def test_iter_slots_skips_empty(self):
+        array = BucketArray(2, 3)
+        array.set_slot(0, 1, "mid")
+        assert list(array.iter_slots(0)) == [(1, "mid")]
+
+    def test_storage_is_flat_bucket_major(self):
+        array = BucketArray(2, 2)
+        array.set_slot(1, 0, "x")
+        assert array.storage[2] == "x"

@@ -1,0 +1,78 @@
+"""Tests for CCFParams validation and presets."""
+
+import pytest
+
+from repro.ccf.params import CCFParams, LARGE_PARAMS, SMALL_PARAMS
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        params = CCFParams()
+        assert params.key_bits == 12
+        assert params.max_dupes == 3
+        assert params.bucket_size == 6
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("key_bits", 0),
+            ("key_bits", 63),
+            ("attr_bits", 0),
+            ("bucket_size", 0),
+            ("max_dupes", 0),
+            ("max_chain", 0),
+            ("max_kicks", 0),
+            ("bloom_bits", 0),
+            ("bloom_hashes", 0),
+        ],
+    )
+    def test_out_of_range_fields_raise(self, field, value):
+        with pytest.raises(ValueError):
+            CCFParams(**{field: value})
+
+    def test_max_dupes_cannot_exceed_pair_capacity(self):
+        with pytest.raises(ValueError):
+            CCFParams(bucket_size=2, max_dupes=5)
+
+    def test_max_chain_none_allowed(self):
+        assert CCFParams(max_chain=None).max_chain is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CCFParams().key_bits = 8  # type: ignore[misc]
+
+
+class TestHelpers:
+    def test_with_seed(self):
+        params = CCFParams(seed=1).with_seed(9)
+        assert params.seed == 9
+        assert params.key_bits == CCFParams().key_bits
+
+    def test_replace(self):
+        params = CCFParams().replace(attr_bits=4, bucket_size=8)
+        assert params.attr_bits == 4
+        assert params.bucket_size == 8
+
+
+class TestPresets:
+    def test_small_preset_matches_paper(self):
+        """§10.5: 4-bit attributes, 7-bit fingerprints, 2 Bloom hashes."""
+        assert SMALL_PARAMS.attr_bits == 4
+        assert SMALL_PARAMS.key_bits == 7
+        assert SMALL_PARAMS.bloom_hashes == 2
+
+    def test_large_preset_matches_paper(self):
+        """§10.5: 8-bit attributes, 12-bit fingerprints, 4 Bloom hashes."""
+        assert LARGE_PARAMS.attr_bits == 8
+        assert LARGE_PARAMS.key_bits == 12
+        assert LARGE_PARAMS.bloom_hashes == 4
+
+    def test_presets_use_d3(self):
+        """§10.4: d = 3 throughout the JOB-light experiments."""
+        assert SMALL_PARAMS.max_dupes == 3
+        assert LARGE_PARAMS.max_dupes == 3
+
+    def test_small_is_smaller(self):
+        small_entry = SMALL_PARAMS.key_bits + SMALL_PARAMS.attr_bits
+        large_entry = LARGE_PARAMS.key_bits + LARGE_PARAMS.attr_bits
+        assert small_entry * 2 <= large_entry + small_entry

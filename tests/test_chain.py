@@ -1,0 +1,118 @@
+"""Tests for pair geometry and the chained pair walk (§6.2, Lemma 2)."""
+
+import itertools
+
+import pytest
+
+from repro.ccf.chain import CYCLE_BUMP_LIMIT, PairGeometry
+
+
+def make_geometry(num_buckets=256, key_bits=12, seed=5) -> PairGeometry:
+    return PairGeometry(num_buckets, key_bits, seed)
+
+
+class TestGeometry:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            PairGeometry(100, 12)
+
+    def test_key_bits_range(self):
+        with pytest.raises(ValueError):
+            PairGeometry(64, 0)
+        with pytest.raises(ValueError):
+            PairGeometry(64, 63)
+
+    def test_alt_index_involution(self):
+        geometry = make_geometry()
+        for key in range(500):
+            fp = geometry.fingerprint_of(key)
+            home = geometry.home_index(key)
+            alt = geometry.alt_index(home, fp)
+            assert geometry.alt_index(alt, fp) == home
+            assert 0 <= alt < geometry.num_buckets
+
+    def test_fingerprint_range(self):
+        geometry = make_geometry(key_bits=7)
+        for key in range(1000):
+            assert 0 <= geometry.fingerprint_of(key) < 128
+
+    def test_pair_of(self):
+        geometry = make_geometry()
+        home, alt = geometry.pair_of("key")
+        assert home == geometry.home_index("key")
+        assert alt == geometry.alt_index(home, geometry.fingerprint_of("key"))
+
+    def test_string_and_int_keys_both_work(self):
+        geometry = make_geometry()
+        assert 0 <= geometry.home_index("string-key") < 256
+        assert 0 <= geometry.home_index(1234) < 256
+
+    def test_chain_step_deterministic(self):
+        geometry = make_geometry()
+        assert geometry.chain_step(5, 100, 0) == geometry.chain_step(5, 100, 0)
+
+    def test_chain_step_inputs_matter(self):
+        geometry = make_geometry(num_buckets=1 << 16)
+        base = geometry.chain_step(5, 100, 0)
+        assert geometry.chain_step(6, 100, 0) != base
+        assert geometry.chain_step(5, 101, 0) != base
+        assert geometry.chain_step(5, 100, 1) != base
+
+    def test_chain_step_is_one_way_per_paper(self):
+        """§6.2: the next pair depends only on (min bucket, fingerprint)."""
+        geometry = make_geometry()
+        assert geometry.chain_step(9, 7) == geometry.chain_step(9, 7, 0)
+
+
+class TestPairWalk:
+    def test_walk_is_deterministic(self):
+        geometry = make_geometry()
+        fp = geometry.fingerprint_of("k")
+        home = geometry.home_index("k")
+        first = list(itertools.islice(geometry.pair_walk(home, fp), 10))
+        second = list(itertools.islice(geometry.pair_walk(home, fp), 10))
+        assert first == second
+
+    def test_walk_yields_distinct_pairs(self):
+        geometry = make_geometry(num_buckets=1024)
+        fp = geometry.fingerprint_of(42)
+        home = geometry.home_index(42)
+        pairs = list(itertools.islice(geometry.pair_walk(home, fp), 50))
+        pair_ids = [min(left, right) for left, right in pairs]
+        assert len(set(pair_ids)) == len(pair_ids)
+
+    def test_walk_pairs_are_consistent(self):
+        """Each yielded (l, l') satisfies l' = l XOR h(fp)."""
+        geometry = make_geometry()
+        fp = geometry.fingerprint_of("abc")
+        home = geometry.home_index("abc")
+        for left, right in itertools.islice(geometry.pair_walk(home, fp), 20):
+            assert geometry.alt_index(left, fp) == right
+
+    def test_first_pair_is_home_pair(self):
+        geometry = make_geometry()
+        fp = geometry.fingerprint_of("xyz")
+        home = geometry.home_index("xyz")
+        left, right = next(geometry.pair_walk(home, fp))
+        assert left == home
+        assert right == geometry.alt_index(home, fp)
+
+    def test_walk_terminates_on_tiny_table(self):
+        """With 2 buckets there is at most one pair; cycle resolution gives
+        up after CYCLE_BUMP_LIMIT retries and the walk ends."""
+        geometry = make_geometry(num_buckets=2)
+        fp = geometry.fingerprint_of("k")
+        home = geometry.home_index("k")
+        pairs = list(itertools.islice(geometry.pair_walk(home, fp), 100))
+        assert 1 <= len(pairs) <= 2
+
+    def test_walk_covers_many_pairs_on_larger_table(self):
+        geometry = make_geometry(num_buckets=64)
+        fp = geometry.fingerprint_of("k")
+        home = geometry.home_index("k")
+        pairs = list(itertools.islice(geometry.pair_walk(home, fp), 64))
+        # Cycle resolution should extend the chain well beyond a handful.
+        assert len(pairs) >= 8
+
+    def test_cycle_bump_limit_positive(self):
+        assert CYCLE_BUMP_LIMIT >= 1

@@ -1,0 +1,144 @@
+"""Tests for the §11 chained cuckoo hash table (exact multimap)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuckoo.chained_table import ChainedCuckooHashTable
+
+
+class TestBasics:
+    def test_add_and_get(self):
+        table = ChainedCuckooHashTable(seed=1)
+        table.add("movie", 101)
+        table.add("movie", 102)
+        assert sorted(table.get("movie")) == [101, 102]
+
+    def test_duplicate_value_rejected(self):
+        table = ChainedCuckooHashTable(seed=1)
+        assert table.add("k", 1)
+        assert not table.add("k", 1)
+        assert table.count("k") == 1
+
+    def test_missing_key(self):
+        table = ChainedCuckooHashTable(seed=1)
+        assert table.get("missing") == []
+        assert not table.contains("missing")
+
+    def test_contains_key_value(self):
+        table = ChainedCuckooHashTable(seed=1)
+        table.add("k", 5)
+        assert table.contains("k")
+        assert table.contains("k", 5)
+        assert not table.contains("k", 6)
+
+    def test_len_counts_live_values(self):
+        table = ChainedCuckooHashTable(seed=1)
+        for i in range(10):
+            table.add("k", i)
+        assert len(table) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChainedCuckooHashTable(max_dupes=0)
+        with pytest.raises(ValueError):
+            ChainedCuckooHashTable(bucket_size=2, max_dupes=5)
+
+
+class TestChainingBeyondPairCapacity:
+    def test_many_duplicates_single_key(self):
+        """The §4.3 limit (2b copies) no longer applies."""
+        table = ChainedCuckooHashTable(num_buckets=64, bucket_size=4, max_dupes=3, seed=2)
+        values = list(range(200))
+        for value in values:
+            table.add("hot", value)
+        assert sorted(table.get("hot")) == values
+        table.check_invariants()
+
+    def test_skewed_workload_exact(self):
+        rng = random.Random(3)
+        table = ChainedCuckooHashTable(num_buckets=32, bucket_size=4, max_dupes=3, seed=3)
+        model: dict[int, set] = {}
+        for _ in range(3000):
+            key = int(rng.paretovariate(1.2)) % 50
+            value = rng.randrange(500)
+            table.add(key, value)
+            model.setdefault(key, set()).add(value)
+        for key, values in model.items():
+            assert sorted(table.get(key)) == sorted(values)
+        assert len(table) == sum(len(v) for v in model.values())
+
+    def test_resize_preserves_contents(self):
+        table = ChainedCuckooHashTable(num_buckets=2, bucket_size=2, max_dupes=2, seed=4)
+        for key in range(300):
+            table.add(key, key * 10)
+        assert table.num_resizes >= 1
+        for key in range(300):
+            assert table.get(key) == [key * 10]
+
+
+class TestRemoval:
+    def test_remove_value(self):
+        table = ChainedCuckooHashTable(seed=5)
+        table.add("k", 1)
+        table.add("k", 2)
+        assert table.remove("k", 1)
+        assert table.get("k") == [2]
+        assert not table.remove("k", 1)
+
+    def test_tombstone_keeps_chain_walkable(self):
+        """Removing a value from an early pair must not hide deeper values."""
+        table = ChainedCuckooHashTable(num_buckets=64, bucket_size=4, max_dupes=2, seed=6)
+        values = list(range(20))  # forces several chain levels at d=2
+        for value in values:
+            table.add("hot", value)
+        assert table.remove("hot", values[0])
+        remaining = sorted(table.get("hot"))
+        assert remaining == values[1:]
+
+    def test_tombstone_slot_reused_by_same_key(self):
+        table = ChainedCuckooHashTable(num_buckets=64, bucket_size=4, max_dupes=2, seed=7)
+        for value in range(12):
+            table.add("hot", value)
+        filled_before = table.buckets.filled
+        table.remove("hot", 3)
+        table.add("hot", 99)
+        assert table.buckets.filled == filled_before  # reused, not appended
+        assert 99 in table.get("hot")
+        assert 3 not in table.get("hot")
+
+    def test_items_skips_tombstones(self):
+        table = ChainedCuckooHashTable(seed=8)
+        table.add("a", 1)
+        table.add("b", 2)
+        table.remove("a", 1)
+        assert list(table.items()) == [("b", 2)]
+
+
+class TestAgainstModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.integers(min_value=0, max_value=10),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_ops_match_dict_of_sets(self, operations):
+        table = ChainedCuckooHashTable(num_buckets=8, bucket_size=2, max_dupes=2, seed=9)
+        model: dict[int, set] = {}
+        for op, key, value in operations:
+            if op == "add":
+                table.add(key, value)
+                model.setdefault(key, set()).add(value)
+            else:
+                expected = value in model.get(key, set())
+                assert table.remove(key, value) == expected
+                model.get(key, set()).discard(value)
+        for key in range(11):
+            assert sorted(table.get(key)) == sorted(model.get(key, set()))

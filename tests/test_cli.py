@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_registry(self):
+        assert {"fig2", "fig4", "fig5", "table1", "joblight"} == set(EXPERIMENTS)
+
+    def test_table1_runs(self, capsys, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        main(["--only", "table1"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "chained" in out
+        assert (tmp_path / "table1_sizing_bounds.json").exists()
+
+    def test_fig4_respects_runs_flag(self, capsys, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+        import repro.bench.__main__ as cli
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        calls = {}
+
+        def fake_run_figure4(runs):
+            calls["runs"] = runs
+            return []
+
+        monkeypatch.setattr(cli, "run_figure4", lambda runs: fake_run_figure4(runs))
+        main(["--only", "fig4", "--runs", "2"])
+        assert calls["runs"] == 2
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])
+
+    def test_invalid_flag_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--nope"])

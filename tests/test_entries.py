@@ -1,0 +1,51 @@
+"""Tests for the CCF entry objects."""
+
+from repro.ccf.entries import BloomEntry, ConvertedGroup, GroupSlot, VectorEntry
+from repro.sketches.bloom import BloomFilter
+
+
+class TestVectorEntry:
+    def test_same_row(self):
+        entry = VectorEntry(0x1A, (3, 7))
+        assert entry.same_row(0x1A, (3, 7))
+        assert not entry.same_row(0x1A, (3, 8))
+        assert not entry.same_row(0x1B, (3, 7))
+
+    def test_matching_default_true(self):
+        assert VectorEntry(1, (0,)).matching
+        assert not VectorEntry(1, (0,), matching=False).matching
+
+
+class TestBloomEntry:
+    def test_add_attributes_indexes_positions(self):
+        bloom = BloomFilter(128, 2, seed=3)
+        entry = BloomEntry(0x2B, bloom)
+        entry.add_attributes(("red", 7))
+        assert (0, "red") in entry.bloom
+        assert (1, 7) in entry.bloom
+        # Position matters: the same value under another index is distinct.
+        assert ((1, "red") in entry.bloom) is ((1, "red") in bloom)
+
+
+class TestConvertedGroup:
+    def test_add_vector_components(self):
+        bloom = BloomFilter(128, 2, seed=5)
+        group = ConvertedGroup(0x3C, bloom, num_slots=3)
+        group.add_vector((9, 12))
+        assert (0, 9) in group.bloom
+        assert (1, 12) in group.bloom
+
+    def test_matching_flag_shared_via_slots(self):
+        group = ConvertedGroup(0x3C, BloomFilter(16, 1, seed=1), num_slots=2)
+        first, second = GroupSlot(group), GroupSlot(group)
+        assert first.matching and second.matching
+        group.matching = False
+        assert not first.matching and not second.matching
+
+
+class TestGroupSlot:
+    def test_fp_delegates_to_group(self):
+        group = ConvertedGroup(0x77, BloomFilter(16, 1, seed=1), num_slots=2)
+        slot = GroupSlot(group)
+        assert slot.fp == 0x77
+        assert slot.group is group

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "multiset_skew.py",
+        "join_pushdown.py",
+        "predicate_filter_extraction.py",
+        "distributed_semijoin.py",
+        "multimap_store.py",
+    ],
+)
+def test_example_runs(script, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "0.001")  # keep the data tiny
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    saved_argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    output = capsys.readouterr().out
+    assert len(output) > 100  # examples narrate what they do

@@ -1,0 +1,94 @@
+"""Tests for the CCF factory and data-driven build helper."""
+
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.bloom_ccf import BloomCCF
+from repro.ccf.chained import ChainedCCF
+from repro.ccf.factory import CCF_KINDS, build_ccf, make_ccf
+from repro.ccf.mixed import MixedCCF
+from repro.ccf.params import CCFParams
+from repro.ccf.plain import PlainCCF
+
+from tests.conftest import random_rows
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(seed=71)
+
+
+class TestMakeCCF:
+    def test_registry_complete(self):
+        assert set(CCF_KINDS) == {"plain", "chained", "bloom", "mixed"}
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [("plain", PlainCCF), ("chained", ChainedCCF), ("bloom", BloomCCF), ("mixed", MixedCCF)],
+    )
+    def test_kinds_map_to_classes(self, kind, cls):
+        assert isinstance(make_ccf(kind, SCHEMA, 64, PARAMS), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_ccf("nope", SCHEMA, 64, PARAMS)
+
+
+class TestBuildCCF:
+    def test_builds_and_holds_all_rows(self):
+        rows = random_rows(400, 6, seed=1)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        assert not ccf.failed
+        assert ccf.num_rows_discarded == 0
+        assert all(ccf.contains_key(key) for key, _ in rows)
+
+    def test_load_factor_near_target(self):
+        rows = [(key, ("a", key)) for key in range(5000)]
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        # Power-of-two rounding halves the load in the worst case.
+        assert 0.35 <= ccf.load_factor() <= 0.9
+
+    def test_headroom_grows_table(self):
+        rows = random_rows(200, 3, seed=2)
+        tight = build_ccf("chained", SCHEMA, rows, PARAMS)
+        roomy = build_ccf("chained", SCHEMA, rows, PARAMS, headroom=4.0)
+        assert roomy.buckets.num_buckets > tight.buckets.num_buckets
+
+    def test_retries_double_until_fit(self):
+        """Tiny predictions can under-size; the retry loop must recover."""
+        rows = [(key, ("a", i)) for key in range(4) for i in range(12)]
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        assert not ccf.failed
+        assert ccf.num_rows_discarded == 0
+
+    def test_mapping_rows_accepted(self):
+        rows = [(1, {"color": "red", "size": 2}), (2, {"size": 3, "color": "blue"})]
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        assert ccf.contains_key(1) and ccf.contains_key(2)
+
+    def test_plain_raises_for_heavy_duplicates(self):
+        rows = [(1, ("a", i)) for i in range(64)]
+        with pytest.raises(RuntimeError):
+            build_ccf("plain", SCHEMA, rows, PARAMS.replace(bucket_size=4))
+
+
+class TestSampledSizing:
+    """§10.4: sizing from a one-pass bottom-k estimate instead of exact counts."""
+
+    def test_sampled_build_succeeds_and_holds_rows(self):
+        rows = random_rows(3000, 6, seed=11)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS, sample_k=256, headroom=1.1)
+        assert not ccf.failed
+        assert all(ccf.contains_key(key) for key, _ in rows)
+
+    def test_sampled_size_close_to_exact_size(self):
+        rows = random_rows(3000, 6, seed=12)
+        exact = build_ccf("chained", SCHEMA, rows, PARAMS)
+        sampled = build_ccf("chained", SCHEMA, rows, PARAMS, sample_k=512, headroom=1.0)
+        ratio = sampled.buckets.num_buckets / exact.buckets.num_buckets
+        # Power-of-two rounding means the tables match or differ by one step.
+        assert ratio in (0.5, 1.0, 2.0)
+
+    def test_sampled_build_all_kinds(self):
+        rows = random_rows(1000, 5, seed=13)
+        for kind in ("chained", "bloom", "mixed"):
+            ccf = build_ccf(kind, SCHEMA, rows, PARAMS, sample_k=256, headroom=1.2)
+            assert not ccf.failed

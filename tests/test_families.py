@@ -1,0 +1,48 @@
+"""Tests for salted hash families."""
+
+import pytest
+
+from repro.hashing.families import HashFamily
+
+
+class TestHashFamily:
+    def test_requires_at_least_one_hash(self):
+        with pytest.raises(ValueError):
+            HashFamily(0)
+
+    def test_indexes_in_range(self):
+        family = HashFamily(4, seed=3)
+        for value in ("a", "b", 17, (1, 2)):
+            for index in family.indexes(value, 97):
+                assert 0 <= index < 97
+
+    def test_number_of_indexes(self):
+        family = HashFamily(5, seed=1)
+        assert len(family.indexes("x", 1000)) == 5
+
+    def test_deterministic(self):
+        family = HashFamily(3, seed=11)
+        assert family.indexes("value", 64) == family.indexes("value", 64)
+
+    def test_seed_changes_indexes(self):
+        a = HashFamily(3, seed=1).indexes("value", 1 << 20)
+        b = HashFamily(3, seed=2).indexes("value", 1 << 20)
+        assert a != b
+
+    def test_double_hashing_stride_is_odd(self):
+        # The second base hash is forced odd so strides never collapse on
+        # power-of-two moduli.
+        family = HashFamily(2, seed=5)
+        for value in range(50):
+            _h1, h2 = family.hash_pair(value)
+            assert h2 % 2 == 1
+
+    def test_indexes_spread(self):
+        family = HashFamily(8, seed=9)
+        positions = set(family.indexes("some value", 1 << 16))
+        assert len(positions) >= 6  # distinct probes almost surely
+
+    def test_invalid_modulus(self):
+        family = HashFamily(2, seed=0)
+        with pytest.raises(ValueError):
+            family.indexes("x", 0)

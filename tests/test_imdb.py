@@ -1,0 +1,167 @@
+"""Tests for the synthetic IMDB generator (Tables 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.imdb import (
+    FACT_TABLE_SPECS,
+    IMDBDataset,
+    dupes_summary,
+    generate_imdb,
+    sample_duplicate_counts,
+    table_summary,
+)
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def dataset() -> IMDBDataset:
+    return generate_imdb(scale=SCALE, seed=7)
+
+
+class TestStructure:
+    def test_all_six_tables(self, dataset):
+        assert set(dataset.tables) == {
+            "title",
+            "cast_info",
+            "movie_companies",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+        }
+
+    def test_schema_join_keys(self, dataset):
+        assert dataset.join_key("title") == "id"
+        for spec in FACT_TABLE_SPECS:
+            assert dataset.join_key(spec.name) == "movie_id"
+
+    def test_predicate_columns(self, dataset):
+        assert dataset.predicate_columns("title") == ("kind_id", "production_year")
+        assert dataset.predicate_columns("movie_companies") == (
+            "company_id",
+            "company_type_id",
+        )
+
+    def test_title_ids_unique_and_dense(self, dataset):
+        ids = dataset.table("title").column("id")
+        assert len(np.unique(ids)) == dataset.num_movies
+        assert ids.min() == 1 and ids.max() == dataset.num_movies
+
+    def test_fact_keys_reference_title(self, dataset):
+        for spec in FACT_TABLE_SPECS:
+            keys = dataset.table(spec.name).column("movie_id")
+            assert keys.min() >= 1
+            assert keys.max() <= dataset.num_movies
+
+
+class TestTable2Statistics:
+    def test_row_counts_scale(self, dataset):
+        for spec in FACT_TABLE_SPECS:
+            rows = dataset.table(spec.name).num_rows
+            target = spec.rows * SCALE
+            assert rows == pytest.approx(target, rel=0.25)
+
+    def test_low_cardinalities_exact(self, dataset):
+        assert dataset.table("title").cardinality("kind_id") == 6
+        assert dataset.table("movie_companies").cardinality("company_type_id") == 2
+        assert dataset.table("cast_info").cardinality("role_id") == 11
+        assert dataset.table("movie_info_idx").cardinality("info_type_id") == 5
+
+    def test_high_cardinalities_scaled(self, dataset):
+        company_card = dataset.table("movie_companies").cardinality("company_id")
+        assert 100 <= company_card <= 234_997 * SCALE * 3
+
+    def test_production_year_domain(self, dataset):
+        years = dataset.table("title").column("production_year")
+        assert years.min() >= 1888
+        assert years.max() <= 2019
+
+    def test_table_summary_shape(self, dataset):
+        summary = table_summary(dataset)
+        assert len(summary) == 8  # Table 2 has eight (table, column) rows
+        assert {row["table"] for row in summary} == set(dataset.tables)
+
+
+class TestTable3Statistics:
+    def test_title_keys_unique(self, dataset):
+        rows = dupes_summary(dataset)
+        title_rows = [r for r in rows if r["table"] == "title"]
+        assert all(r["avg_dupes"] == 1.0 and r["max_dupes"] == 1 for r in title_rows)
+
+    @pytest.mark.parametrize(
+        "table,column,target_avg,tolerance",
+        [
+            ("cast_info", "role_id", 4.70, 0.25),
+            ("movie_companies", "company_id", 2.14, 0.25),
+            ("movie_info", "info_type_id", 4.17, 0.25),
+            ("movie_info_idx", "info_type_id", 3.00, 0.25),
+            ("movie_keyword", "keyword_id", 9.48, 0.25),
+        ],
+    )
+    def test_avg_dupes_near_paper(self, dataset, table, column, target_avg, tolerance):
+        avg, _peak = dataset.table(table).duplicate_stats("movie_id", column)
+        assert avg == pytest.approx(target_avg, rel=tolerance)
+
+    def test_max_dupes_capped_by_spec(self, dataset):
+        for spec in FACT_TABLE_SPECS:
+            _avg, peak = dataset.table(spec.name).duplicate_stats(
+                "movie_id", spec.primary.name
+            )
+            assert peak <= spec.primary.max_dupes
+
+    def test_keyword_distribution_heavy_tailed(self, dataset):
+        _avg, peak = dataset.table("movie_keyword").duplicate_stats(
+            "movie_id", "keyword_id"
+        )
+        assert peak > 50  # paper: max 539 at full scale
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_data(self):
+        a = generate_imdb(scale=0.001, seed=3)
+        b = generate_imdb(scale=0.001, seed=3)
+        for name in a.tables:
+            for column in a.table(name).column_names():
+                assert (a.table(name).column(column) == b.table(name).column(column)).all()
+
+    def test_different_seed_different_data(self):
+        a = generate_imdb(scale=0.001, seed=3)
+        b = generate_imdb(scale=0.001, seed=4)
+        assert not (
+            a.table("cast_info").column("movie_id")
+            == b.table("cast_info").column("movie_id")[: a.table("cast_info").num_rows]
+        ).all()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_imdb(scale=0.0)
+        with pytest.raises(ValueError):
+            generate_imdb(scale=1.5)
+
+
+class TestDuplicateCountSampler:
+    def test_mean_near_target(self):
+        rng = np.random.default_rng(1)
+        counts = sample_duplicate_counts(20_000, 4.7, 11, rng)
+        assert counts.mean() == pytest.approx(4.7, rel=0.05)
+        assert counts.min() >= 1
+        assert counts.max() <= 11
+
+    def test_heavy_tail_reaches_high_max(self):
+        rng = np.random.default_rng(2)
+        counts = sample_duplicate_counts(50_000, 9.48, 539, rng)
+        assert counts.mean() == pytest.approx(9.48, rel=0.1)
+        assert counts.max() > 100
+
+    def test_degenerate_cases(self):
+        rng = np.random.default_rng(3)
+        assert (sample_duplicate_counts(10, 1.0, 5, rng) == 1).all()
+        assert (sample_duplicate_counts(10, 3.0, 1, rng) == 1).all()
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            sample_duplicate_counts(-1, 2.0, 5, rng)
+        with pytest.raises(ValueError):
+            sample_duplicate_counts(5, 2.0, 0, rng)

@@ -1,0 +1,128 @@
+"""Tests for the vectorised join engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccf.predicates import And, Eq, Range, TRUE
+from repro.data.relation import Relation
+from repro.join.engine import (
+    count_matching,
+    hash_join,
+    join_cardinality,
+    scan,
+    semijoin_keys,
+)
+
+
+def movies() -> Relation:
+    return Relation(
+        "title",
+        {
+            "id": np.array([1, 2, 3, 4, 5]),
+            "kind_id": np.array([1, 1, 2, 1, 3]),
+        },
+    )
+
+
+def cast() -> Relation:
+    return Relation(
+        "cast_info",
+        {
+            "movie_id": np.array([1, 1, 2, 3, 3, 3, 9]),
+            "role_id": np.array([4, 5, 4, 4, 6, 4, 4]),
+        },
+    )
+
+
+class TestScanAndSemijoin:
+    def test_scan_matches_row_at_a_time(self):
+        relation = cast()
+        predicate = Eq("role_id", 4)
+        mask = scan(relation, predicate)
+        expected = [predicate.matches_row(row) for row in relation.iter_rows()]
+        assert mask.tolist() == expected
+
+    def test_semijoin_keys_distinct(self):
+        keys = semijoin_keys(cast(), Eq("role_id", 4), "movie_id")
+        assert keys.tolist() == [1, 2, 3, 9]
+
+    def test_semijoin_keys_true_predicate(self):
+        keys = semijoin_keys(cast(), TRUE, "movie_id")
+        assert keys.tolist() == [1, 2, 3, 9]
+
+    def test_semijoin_with_conjunction(self):
+        keys = semijoin_keys(cast(), And([Eq("role_id", 4), Range("movie_id", high=2)]), "movie_id")
+        assert keys.tolist() == [1, 2]
+
+
+class TestCountMatching:
+    def test_no_key_sets_counts_all(self):
+        base = np.array([1, 2, 2, 3])
+        assert count_matching(base, []) == 4
+
+    def test_intersection_semantics(self):
+        base = np.array([1, 2, 2, 3, 4])
+        sets = [np.array([1, 2, 3]), np.array([2, 3, 9])]
+        assert count_matching(base, sets) == 3  # rows with keys 2, 2, 3
+
+
+class TestHashJoin:
+    def test_basic_join(self):
+        joined = hash_join(movies(), cast(), "id", "movie_id")
+        assert joined.num_rows == 6  # movie 9 dangles, movies 4-5 unmatched
+        ids = joined.column("title.id")
+        assert sorted(ids.tolist()) == [1, 1, 2, 3, 3, 3]
+
+    def test_column_prefixes(self):
+        joined = hash_join(movies(), cast(), "id", "movie_id")
+        assert "title.kind_id" in joined.column_names()
+        assert "cast_info.role_id" in joined.column_names()
+
+    def test_rows_align_across_sides(self):
+        joined = hash_join(movies(), cast(), "id", "movie_id")
+        assert (joined.column("title.id") == joined.column("cast_info.movie_id")).all()
+
+    def test_matches_nested_loop_reference(self):
+        left, right = movies(), cast()
+        reference = sorted(
+            (l["id"], l["kind_id"], r["role_id"])
+            for l in left.iter_rows()
+            for r in right.iter_rows()
+            if l["id"] == r["movie_id"]
+        )
+        joined = hash_join(left, right, "id", "movie_id")
+        produced = sorted(
+            zip(
+                joined.column("title.id").tolist(),
+                joined.column("title.kind_id").tolist(),
+                joined.column("cast_info.role_id").tolist(),
+            )
+        )
+        assert produced == reference
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30),
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cardinality_property(self, left_keys, right_keys):
+        left = Relation("l", {"k": np.array(left_keys)})
+        right = Relation("r", {"k": np.array(right_keys)})
+        joined = hash_join(left, right, "k", "k")
+        expected = sum(left_keys.count(k) * right_keys.count(k) for k in set(left_keys))
+        assert joined.num_rows == expected
+        assert join_cardinality(left, right, "k", "k") == expected
+
+
+class TestJoinCardinality:
+    def test_empty_intersection(self):
+        left = Relation("l", {"k": np.array([1, 2])})
+        right = Relation("r", {"k": np.array([3, 4])})
+        assert join_cardinality(left, right, "k", "k") == 0
+
+    def test_multiplicities(self):
+        left = Relation("l", {"k": np.array([1, 1, 2])})
+        right = Relation("r", {"k": np.array([1, 2, 2])})
+        assert join_cardinality(left, right, "k", "k") == 2 * 1 + 1 * 2

@@ -1,0 +1,107 @@
+"""Tests for the Jenkins lookup3 port."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.lookup3 import hashlittle, hashlittle2, hashlittle64
+
+
+class TestHashlittle:
+    def test_deterministic(self):
+        data = b"Four score and seven years ago"
+        assert hashlittle(data, 0) == hashlittle(data, 0)
+
+    def test_empty_input_known_value(self):
+        # lookup3 returns the initialised c word untouched for length 0:
+        # c = 0xdeadbeef + len + initval.
+        assert hashlittle(b"", 0) == 0xDEADBEEF
+
+    def test_empty_input_with_seed(self):
+        assert hashlittle(b"", 5) == (0xDEADBEEF + 5) & 0xFFFFFFFF
+
+    def test_seed_changes_hash(self):
+        data = b"hello world"
+        assert hashlittle(data, 0) != hashlittle(data, 1)
+
+    def test_different_data_different_hash(self):
+        assert hashlittle(b"abc", 0) != hashlittle(b"abd", 0)
+
+    def test_output_is_32_bit(self):
+        for data in (b"", b"x", b"x" * 13, b"x" * 100):
+            assert 0 <= hashlittle(data, 0) <= 0xFFFFFFFF
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 5, 11, 12, 13, 24, 25, 36, 100])
+    def test_block_boundary_lengths(self, length):
+        """Lengths around the 12-byte block boundary all hash cleanly."""
+        data = bytes(range(256))[:length] if length <= 256 else b"a" * length
+        value = hashlittle(data, 7)
+        assert 0 <= value <= 0xFFFFFFFF
+
+    def test_single_trailing_byte_matters(self):
+        base = b"x" * 12
+        assert hashlittle(base + b"a", 0) != hashlittle(base + b"b", 0)
+
+    def test_avalanche_single_bit_flip(self):
+        """Flipping one input bit flips a substantial number of output bits."""
+        data = bytearray(b"the quick brown fox jumps over")
+        reference = hashlittle(bytes(data), 0)
+        flipped_counts = []
+        for byte_index in range(0, len(data), 7):
+            data[byte_index] ^= 1
+            flipped = hashlittle(bytes(data), 0)
+            data[byte_index] ^= 1
+            flipped_counts.append(bin(reference ^ flipped).count("1"))
+        assert all(count >= 6 for count in flipped_counts)
+        assert sum(flipped_counts) / len(flipped_counts) >= 12
+
+    def test_distribution_across_buckets(self):
+        """Hashes of sequential strings spread evenly over 16 buckets."""
+        buckets = [0] * 16
+        num = 4096
+        for i in range(num):
+            buckets[hashlittle(f"key-{i}".encode(), 0) % 16] += 1
+        expected = num / 16
+        for count in buckets:
+            assert abs(count - expected) < expected * 0.3
+
+
+class TestHashlittle2:
+    def test_returns_two_distinct_words(self):
+        c, b = hashlittle2(b"some data here", 1, 2)
+        assert c != b
+
+    def test_second_seed_changes_result(self):
+        data = b"some data here"
+        assert hashlittle2(data, 1, 2) != hashlittle2(data, 1, 3)
+
+    def test_primary_word_matches_hashlittle(self):
+        data = b"some data here"
+        c, _b = hashlittle2(data, 9, 0)
+        assert c == hashlittle(data, 9)
+
+
+class TestHashlittle64:
+    def test_combines_both_words(self):
+        data = b"0123456789abcdef"
+        c, b = hashlittle2(data, 0, 0)
+        assert hashlittle64(data, 0) == (b << 32) | c
+
+    def test_range_is_64_bit(self):
+        assert 0 <= hashlittle64(b"abc", 123) <= (1 << 64) - 1
+
+    def test_seed_splits_across_words(self):
+        data = b"abc"
+        low_seed = hashlittle64(data, 1)
+        high_seed = hashlittle64(data, 1 << 32)
+        assert low_seed != high_seed
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_property(self, data, seed):
+        assert hashlittle64(data, seed) == hashlittle64(data, seed)
+
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_extension_changes_hash(self, data):
+        assert hashlittle64(data, 0) != hashlittle64(data + b"\x01", 0)

@@ -1,0 +1,107 @@
+"""Tests for JoinQuery and the JOB-light-style workload generator (§10.3)."""
+
+import pytest
+
+from repro.ccf.predicates import Eq, Range, TRUE
+from repro.data.imdb import generate_imdb
+from repro.join.job_light import (
+    NUM_YEAR_RANGE_QUERIES,
+    QUERY_SIZE_COUNTS,
+    count_instances,
+    make_job_light_workload,
+)
+from repro.join.query import JoinQuery, TableRef
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_imdb(scale=0.001, seed=5)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return make_job_light_workload(dataset, seed=13)
+
+
+class TestJoinQuery:
+    def test_requires_two_tables(self):
+        with pytest.raises(ValueError):
+            JoinQuery(0, (TableRef("title"),))
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(ValueError):
+            JoinQuery(0, (TableRef("title"), TableRef("title")))
+
+    def test_ref_and_others(self):
+        query = JoinQuery(
+            1, (TableRef("title"), TableRef("cast_info", Eq("role_id", 4)))
+        )
+        assert query.ref("cast_info").predicate == Eq("role_id", 4)
+        assert [r.table for r in query.others("title")] == ["cast_info"]
+        with pytest.raises(KeyError):
+            query.ref("movie_info")
+        with pytest.raises(KeyError):
+            query.others("movie_info")
+
+    def test_has_predicate(self):
+        assert not TableRef("title", TRUE).has_predicate()
+        assert TableRef("title", Eq("kind_id", 1)).has_predicate()
+
+
+class TestWorkloadShape:
+    def test_seventy_queries(self, workload):
+        assert len(workload) == 70
+
+    def test_instance_count_matches_paper(self, workload):
+        assert count_instances(workload) == 237
+
+    def test_size_histogram(self, workload):
+        sizes = {}
+        for query in workload:
+            sizes[query.num_tables] = sizes.get(query.num_tables, 0) + 1
+        assert sizes == QUERY_SIZE_COUNTS
+
+    def test_every_query_includes_title(self, workload):
+        assert all("title" in query.table_names() for query in workload)
+
+    def test_year_range_count_matches_paper(self, workload):
+        def has_year_range(query):
+            predicate = query.ref("title").predicate
+            predicates = getattr(predicate, "predicates", (predicate,))
+            return any(isinstance(p, Range) for p in predicates)
+
+        assert sum(1 for q in workload if has_year_range(q)) == NUM_YEAR_RANGE_QUERIES
+
+    def test_fact_tables_valid(self, dataset, workload):
+        valid = set(dataset.tables)
+        for query in workload:
+            assert set(query.table_names()) <= valid
+
+    def test_predicates_reference_table_columns(self, dataset, workload):
+        for query in workload:
+            for ref in query.tables:
+                table_columns = set(dataset.table(ref.table).column_names())
+                assert ref.predicate.columns() <= table_columns
+
+    def test_predicate_values_selective_but_nonempty(self, dataset, workload):
+        """Sampled predicate values always hit at least one row."""
+        nonempty = 0
+        total = 0
+        for query in workload:
+            for ref in query.tables:
+                if not ref.has_predicate():
+                    continue
+                total += 1
+                mask = ref.predicate.mask(dataset.table(ref.table).columns)
+                nonempty += bool(mask.any())
+        assert nonempty / total > 0.95
+
+    def test_deterministic_by_seed(self, dataset):
+        a = make_job_light_workload(dataset, seed=13)
+        b = make_job_light_workload(dataset, seed=13)
+        assert a == b
+
+    def test_seed_changes_workload(self, dataset):
+        a = make_job_light_workload(dataset, seed=13)
+        c = make_job_light_workload(dataset, seed=14)
+        assert a != c

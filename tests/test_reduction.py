@@ -1,0 +1,147 @@
+"""Tests for the reduction-factor evaluation harness (§10.3-§10.6)."""
+
+import numpy as np
+import pytest
+
+from repro.ccf.params import CCFParams, SMALL_PARAMS
+from repro.ccf.predicates import Eq, Range
+from repro.data.imdb import generate_imdb
+from repro.join.job_light import make_job_light_workload
+from repro.join.reduction import (
+    FilterBundle,
+    YearBinning,
+    aggregate_fpr,
+    aggregate_rf,
+    build_cuckoo_baseline,
+    build_filter_bundle,
+    evaluate_workload,
+    rf_by_join_count,
+)
+
+SCALE = 0.0008
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_imdb(scale=SCALE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return make_job_light_workload(dataset, seed=19)[:25]
+
+
+@pytest.fixture(scope="module")
+def bundle(dataset) -> FilterBundle:
+    return build_filter_bundle(dataset, "chained", SMALL_PARAMS, name="chained-small")
+
+
+@pytest.fixture(scope="module")
+def results(dataset, workload, bundle):
+    cuckoo = build_cuckoo_baseline(dataset)
+    return evaluate_workload(dataset, workload, [bundle], cuckoo)
+
+
+class TestYearBinning:
+    def test_augment_adds_bin_column(self, dataset):
+        binning = YearBinning(dataset)
+        augmented = binning.augment(dataset.table("title"))
+        assert "production_year_bin" in augmented.column_names()
+        bins = augmented.column("production_year_bin")
+        assert bins.min() >= 0
+        assert bins.max() < 16
+
+    def test_rewrite_widens_never_narrows(self, dataset):
+        """Binned predicates keep every row the raw range keeps (no FN)."""
+        binning = YearBinning(dataset)
+        augmented = binning.augment(dataset.table("title"))
+        for low, high in [(1950, 1980), (2000, 2005), (1990, None)]:
+            raw = Range("production_year", low=low, high=high)
+            binned = binning.rewrite(raw)
+            raw_mask = raw.mask(augmented.columns)
+            binned_mask = binned.mask(augmented.columns)
+            assert not (raw_mask & ~binned_mask).any()
+
+    def test_rewrite_leaves_other_predicates(self, dataset):
+        binning = YearBinning(dataset)
+        predicate = Eq("kind_id", 1)
+        assert binning.rewrite(predicate) is predicate
+
+
+class TestFilterBundle:
+    def test_one_ccf_per_table(self, dataset, bundle):
+        assert set(bundle.ccfs) == set(dataset.tables)
+
+    def test_sizes_positive(self, bundle):
+        assert bundle.total_size_bits() > 0
+        assert bundle.total_size_mb() == pytest.approx(
+            bundle.total_size_bits() / 8 / 1_000_000
+        )
+
+    def test_title_ccf_sketches_binned_year(self, bundle):
+        title_schema = bundle.ccfs["title"].schema
+        assert "production_year_bin" in title_schema.names
+
+    def test_no_build_failures(self, bundle):
+        assert all(not ccf.failed for ccf in bundle.ccfs.values())
+
+
+class TestInstanceInvariants:
+    def test_instance_count(self, workload, results):
+        assert len(results) == sum(q.num_tables for q in workload)
+
+    def test_m_ordering_per_instance(self, results):
+        """exact <= binned <= CCF <= predicate-only, and cuckoo >= exact."""
+        for result in results:
+            assert 0 <= result.m_exact <= result.m_exact_binned
+            assert result.m_exact_binned <= result.m_methods["chained-small"]
+            assert result.m_methods["chained-small"] <= result.m_predicate
+            assert result.m_exact <= result.m_methods["cuckoo"] <= result.m_predicate
+
+    def test_rf_in_unit_interval(self, results):
+        for result in results:
+            if result.m_predicate == 0:
+                continue
+            for method in ("exact", "exact_binned", "chained-small", "cuckoo"):
+                assert 0.0 <= result.rf(method) <= 1.0
+
+    def test_fpr_definition(self, results):
+        for result in results:
+            negatives = result.m_predicate - result.m_exact_binned
+            if negatives <= 0:
+                assert result.fpr("chained-small") == 0.0
+            else:
+                expected = (
+                    result.m_methods["chained-small"] - result.m_exact_binned
+                ) / negatives
+                assert result.fpr("chained-small") == pytest.approx(expected)
+                assert 0.0 <= result.fpr("chained-small") <= 1.0
+
+
+class TestAggregates:
+    def test_aggregate_ordering(self, results):
+        exact = aggregate_rf(results, "exact")
+        binned = aggregate_rf(results, "exact_binned")
+        ccf = aggregate_rf(results, "chained-small")
+        cuckoo = aggregate_rf(results, "cuckoo")
+        assert exact <= binned <= ccf
+        assert ccf <= cuckoo + 1e-9  # predicates can only help
+
+    def test_ccf_beats_key_only_baseline(self, results):
+        """The paper's headline: CCFs reduce far more than key-only filters."""
+        assert aggregate_rf(results, "chained-small") < aggregate_rf(results, "cuckoo")
+
+    def test_aggregate_fpr_small(self, results):
+        fpr = aggregate_fpr(results, "chained-small")
+        assert 0.0 <= fpr < 0.2
+
+    def test_rf_by_join_count_keys(self, results):
+        grouped = rf_by_join_count(results, "exact")
+        assert all(1 <= count <= 4 for count in grouped)
+        assert all(0.0 <= rf <= 1.0 for rf in grouped.values())
+
+    def test_more_joins_reduce_more(self, results):
+        """Figure 9's multiplicative effect, allowing noise at tiny scale."""
+        grouped = rf_by_join_count(results, "exact")
+        if 1 in grouped and 3 in grouped:
+            assert grouped[3] <= grouped[1] + 0.25

@@ -1,0 +1,72 @@
+"""Unit tests for reduction-layer helpers (binning vectorisation, bundles)."""
+
+import numpy as np
+import pytest
+
+from repro.ccf.params import SMALL_PARAMS
+from repro.ccf.predicates import And, Eq, In, Range
+from repro.data.imdb import generate_imdb
+from repro.join.reduction import (
+    BINNED_COLUMNS,
+    YearBinning,
+    build_filter_bundle,
+    ccf_attribute_columns,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_imdb(scale=0.0005, seed=21)
+
+
+class TestYearBinningVectorisation:
+    def test_bins_of_matches_scalar_bin_of(self, dataset):
+        binning = YearBinning(dataset)
+        years = dataset.table("title").column("production_year")
+        vectorised = binning.bins_of(years)
+        scalar = np.array([binning.binner.bin_of(int(y)) for y in years])
+        assert (vectorised == scalar).all()
+
+    def test_bins_of_handles_out_of_domain(self, dataset):
+        binning = YearBinning(dataset)
+        probe = np.array([0, 1500, 9999])
+        bins = binning.bins_of(probe)
+        assert bins.min() >= 0
+        assert bins.max() < binning.binner.num_bins
+
+    def test_rewrite_conjunction_mixes_columns(self, dataset):
+        binning = YearBinning(dataset)
+        predicate = And([Eq("kind_id", 1), Range("production_year", low=2000)])
+        rewritten = binning.rewrite(predicate)
+        columns = {p.column for p in rewritten.predicates}
+        assert columns == {"kind_id", "production_year_bin"}
+
+    def test_rewrite_eq_and_in(self, dataset):
+        binning = YearBinning(dataset)
+        eq = binning.rewrite(Eq("production_year", 2001))
+        assert eq.column == "production_year_bin"
+        inl = binning.rewrite(In("production_year", [1999, 2001]))
+        assert inl.column == "production_year_bin"
+
+
+class TestBundleHelpers:
+    def test_ccf_attribute_columns_substitutes_bins(self, dataset):
+        assert ccf_attribute_columns(dataset, "title") == (
+            "kind_id",
+            BINNED_COLUMNS["production_year"],
+        )
+        assert ccf_attribute_columns(dataset, "cast_info") == ("role_id",)
+
+    def test_query_predicate_rewrites_only_title(self, dataset):
+        bundle = build_filter_bundle(dataset, "bloom", SMALL_PARAMS, name="b")
+        year_range = Range("production_year", low=2000)
+        rewritten = bundle.query_predicate("title", year_range)
+        assert isinstance(rewritten, In)
+        untouched = bundle.query_predicate("cast_info", Eq("role_id", 4))
+        assert untouched == Eq("role_id", 4)
+
+    def test_bundle_total_size_is_sum(self, dataset):
+        bundle = build_filter_bundle(dataset, "bloom", SMALL_PARAMS, name="b")
+        assert bundle.total_size_bits() == sum(
+            ccf.size_in_bits() for ccf in bundle.ccfs.values()
+        )

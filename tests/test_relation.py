@@ -1,0 +1,97 @@
+"""Tests for the column-store Relation."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+
+
+def sample_relation() -> Relation:
+    return Relation(
+        "facts",
+        {
+            "movie_id": np.array([1, 1, 2, 3, 3, 3]),
+            "role_id": np.array([4, 5, 4, 4, 4, 6]),
+        },
+    )
+
+
+class TestBasics:
+    def test_num_rows(self):
+        assert sample_relation().num_rows == 6
+
+    def test_column_access(self):
+        relation = sample_relation()
+        assert relation.column("role_id").tolist() == [4, 5, 4, 4, 4, 6]
+        with pytest.raises(KeyError):
+            relation.column("nope")
+
+    def test_column_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Relation("bad", {"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(ValueError):
+            Relation("bad", {})
+
+    def test_select(self):
+        relation = sample_relation()
+        subset = relation.select(relation.column("role_id") == 4)
+        assert subset.num_rows == 4
+        assert subset.column("movie_id").tolist() == [1, 2, 3, 3]
+
+    def test_select_mask_length_check(self):
+        with pytest.raises(ValueError):
+            sample_relation().select(np.array([True]))
+
+    def test_distinct_and_cardinality(self):
+        relation = sample_relation()
+        assert relation.distinct("movie_id").tolist() == [1, 2, 3]
+        assert relation.cardinality("role_id") == 3
+
+    def test_iter_rows(self):
+        rows = list(sample_relation().iter_rows(("movie_id", "role_id")))
+        assert rows[0] == {"movie_id": 1, "role_id": 4}
+        assert len(rows) == 6
+
+    def test_rows_as_tuples(self):
+        rows = sample_relation().rows_as_tuples(("movie_id", "role_id"))
+        assert rows[1] == (1, 5)
+
+
+class TestSizeModel:
+    def test_low_cardinality_is_8_bit(self):
+        """§10.7: low-cardinality attributes count 8 bits per row."""
+        relation = sample_relation()
+        assert relation.raw_size_bytes(("role_id",)) == 6 * 8 // 8
+
+    def test_high_cardinality_is_32_bit(self):
+        values = np.arange(1000)
+        relation = Relation("wide", {"company_id": values})
+        assert relation.raw_size_bytes() == 1000 * 32 // 8
+
+    def test_combined(self):
+        columns = {
+            "movie_id": np.arange(1000),  # high cardinality: 32 bits
+            "type": np.arange(1000) % 2,  # low cardinality: 8 bits
+        }
+        relation = Relation("mc", columns)
+        assert relation.raw_size_bytes() == 1000 * (32 + 8) // 8
+
+
+class TestDuplicateStats:
+    def test_matches_table3_definition(self):
+        relation = sample_relation()
+        avg, peak = relation.duplicate_stats("movie_id", "role_id")
+        # movie 1 -> {4,5}, movie 2 -> {4}, movie 3 -> {4,6}
+        assert avg == pytest.approx((2 + 1 + 2) / 3)
+        assert peak == 2
+
+    def test_repeated_pairs_counted_once(self):
+        relation = Relation(
+            "r",
+            {"k": np.array([1, 1, 1]), "v": np.array([9, 9, 9])},
+        )
+        avg, peak = relation.duplicate_stats("k", "v")
+        assert avg == 1.0
+        assert peak == 1

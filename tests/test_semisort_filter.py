@@ -1,0 +1,102 @@
+"""Tests for the semi-sorted cuckoo filter (§4.2's referenced optimisation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuckoo.filter import CuckooFilter
+from repro.cuckoo.semisort_filter import SemiSortedCuckooFilter
+
+
+def make_filter(**kwargs) -> SemiSortedCuckooFilter:
+    defaults = dict(num_buckets=256, fingerprint_bits=12, seed=3)
+    defaults.update(kwargs)
+    return SemiSortedCuckooFilter(**defaults)
+
+
+class TestBasics:
+    def test_insert_contains(self):
+        filter_ = make_filter()
+        filter_.insert("movie-42")
+        assert "movie-42" in filter_
+
+    def test_fingerprints_never_zero(self):
+        filter_ = make_filter()
+        for key in range(2000):
+            assert filter_.fingerprint_of(key) != 0
+
+    def test_fingerprint_bits_validation(self):
+        with pytest.raises(ValueError):
+            make_filter(fingerprint_bits=4)
+
+    @given(st.sets(st.integers(), max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives(self, keys):
+        filter_ = make_filter()
+        for key in keys:
+            filter_.insert(key)
+        assert all(key in filter_ for key in keys)
+
+    def test_fpr_reasonable(self):
+        filter_ = make_filter(num_buckets=256)
+        for key in range(700):
+            filter_.insert(key)
+        false_positives = sum(1 for key in range(10**6, 10**6 + 5000) if key in filter_)
+        assert false_positives / 5000 < 0.02
+
+    def test_delete(self):
+        filter_ = make_filter()
+        filter_.insert("k")
+        assert filter_.delete("k")
+        assert "k" not in filter_
+        assert not filter_.delete("k")
+
+    def test_load_factor_tracks_inserts(self):
+        filter_ = make_filter(num_buckets=64)
+        for key in range(100):
+            filter_.insert(key)
+        assert filter_.load_factor() == pytest.approx(100 / 256)
+
+    def test_reaches_high_load(self):
+        filter_ = make_filter(num_buckets=64)
+        capacity = 64 * 4
+        inserted = 0
+        for key in range(capacity):
+            if not filter_.insert(key):
+                break
+            inserted += 1
+        assert inserted / capacity > 0.9
+
+
+class TestCompression:
+    def test_size_saves_one_bit_per_entry(self):
+        """§4.2: semi-sorting turns f bits/slot into f - 1."""
+        semisorted = make_filter(num_buckets=256, fingerprint_bits=12)
+        plain = CuckooFilter(256, 4, 12, seed=3)
+        assert semisorted.size_in_bits() == plain.size_in_bits() - 256 * 4
+
+    def test_kicks_preserve_membership(self):
+        """Re-encoding on every kick must not lose fingerprints."""
+        filter_ = make_filter(num_buckets=32, max_kicks=100)
+        keys = list(range(100))
+        for key in keys:
+            filter_.insert(key)
+        assert all(key in filter_ for key in keys)
+
+    def test_overflow_stash_preserves_membership(self):
+        filter_ = make_filter(num_buckets=2, max_kicks=8)
+        keys = list(range(30))
+        for key in keys:
+            filter_.insert(key)
+        assert filter_.failed
+        assert all(key in filter_ for key in keys)
+
+    def test_duplicate_fingerprints_in_bucket(self):
+        """Sorted codes must cope with repeated fingerprints."""
+        filter_ = make_filter(num_buckets=2)
+        for _ in range(4):
+            filter_.insert("same-key")
+        assert filter_.contains("same-key")
+        for _ in range(4):
+            assert filter_.delete("same-key")
+        assert "same-key" not in filter_

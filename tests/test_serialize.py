@@ -1,0 +1,155 @@
+"""Round-trip tests for filter serialisation (the §2 'precompute and store'
+deployment model)."""
+
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.factory import build_ccf
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import And, Eq
+from repro.ccf.serialize import dumps, loads
+from repro.cuckoo.filter import CuckooFilter
+
+from tests.conftest import random_rows
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(bucket_size=6, max_dupes=3, key_bits=12, attr_bits=8, seed=101)
+
+
+def assert_same_answers(original, restored, rows, probe_range=range(50_000, 50_500)):
+    for key, (color, size) in rows:
+        predicate = And([Eq("color", color), Eq("size", size)])
+        assert restored.query(key, predicate) == original.query(key, predicate)
+    for key in probe_range:
+        assert restored.query(key, Eq("color", "red")) == original.query(key, Eq("color", "red"))
+        assert restored.contains_key(key) == original.contains_key(key)
+
+
+class TestCCFRoundTrips:
+    @pytest.mark.parametrize("kind", ["chained", "bloom", "mixed"])
+    def test_behavioural_equality(self, kind):
+        rows = random_rows(300, 8, seed=1)
+        ccf = build_ccf(kind, SCHEMA, rows, PARAMS)
+        restored = loads(dumps(ccf))
+        assert type(restored) is type(ccf)
+        assert restored.num_entries == ccf.num_entries
+        assert restored.size_in_bits() == ccf.size_in_bits()
+        assert_same_answers(ccf, restored, rows)
+
+    @pytest.mark.parametrize("kind", ["chained", "bloom", "mixed"])
+    def test_deterministic_reserialisation(self, kind):
+        rows = random_rows(150, 5, seed=2)
+        ccf = build_ccf(kind, SCHEMA, rows, PARAMS)
+        payload = dumps(ccf)
+        assert dumps(loads(payload)) == payload
+
+    def test_counters_preserved(self):
+        rows = random_rows(200, 6, seed=3)
+        ccf = build_ccf("mixed", SCHEMA, rows, PARAMS)
+        restored = loads(dumps(ccf))
+        assert restored.num_rows_inserted == ccf.num_rows_inserted
+        assert restored.num_conversions == ccf.num_conversions
+        assert restored.num_absorbed == ccf.num_absorbed
+        assert restored.failed == ccf.failed
+
+    def test_mixed_groups_shared_after_restore(self):
+        """A converted group's slots must point at one shared payload."""
+        from repro.ccf.entries import GroupSlot
+
+        ccf = build_ccf("mixed", SCHEMA, [(1, ("a", i)) for i in range(20)], PARAMS)
+        restored = loads(dumps(ccf))
+        groups = {
+            id(entry.group)
+            for _b, _s, entry in restored.buckets.iter_entries()
+            if isinstance(entry, GroupSlot)
+        }
+        assert len(groups) == 1
+        restored.check_invariants()
+        # Inserts into the restored filter keep absorbing into the group.
+        restored.insert(1, ("a", 999))
+        assert restored.query(1, Eq("size", 999))
+
+    def test_overloaded_filter_with_stash(self):
+        params = PARAMS.replace(bucket_size=2, max_dupes=2, max_kicks=8)
+        from repro.ccf.chained import ChainedCCF
+
+        ccf = ChainedCCF(SCHEMA, 4, params)
+        rows = [(key, ("c", key)) for key in range(120)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        assert ccf.stash
+        restored = loads(dumps(ccf))
+        assert len(restored.stash) == len(ccf.stash)
+        assert_same_answers(ccf, restored, rows)
+
+    def test_size_on_wire_tracks_size_in_bits(self):
+        rows = random_rows(400, 4, seed=4)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        payload = dumps(ccf)
+        # Occupancy tags cost 2 bits/slot beyond the logical size; headers
+        # are small.  The wire format must not balloon.
+        logical = ccf.size_in_bits()
+        assert len(payload) * 8 < logical + 2 * ccf.buckets.capacity + 1024
+
+    def test_restored_filter_accepts_new_inserts(self):
+        rows = random_rows(100, 3, seed=5)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        restored = loads(dumps(ccf))
+        restored.insert(99_999, ("new", 1))
+        assert restored.query(99_999, Eq("color", "new"))
+        restored.check_invariants()
+
+
+class TestViewRoundTrips:
+    def test_marked_view(self):
+        rows = random_rows(200, 6, seed=6)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(Eq("color", "red"))
+        restored = loads(dumps(view))
+        for key in list(range(200)) + list(range(9_000, 9_300)):
+            assert restored.contains(key) == view.contains(key)
+        assert restored.size_in_bits() == view.size_in_bits()
+
+    def test_extracted_view(self):
+        rows = random_rows(200, 4, seed=7)
+        ccf = build_ccf("bloom", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(Eq("color", "blue"))
+        restored = loads(dumps(view))
+        for key in list(range(200)) + list(range(9_000, 9_300)):
+            assert restored.contains(key) == view.contains(key)
+
+    def test_view_wire_size_much_smaller_than_source(self):
+        rows = random_rows(400, 5, seed=8)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        view_payload = dumps(ccf.predicate_filter(Eq("color", "red")))
+        ccf_payload = dumps(ccf)
+        assert len(view_payload) < len(ccf_payload)
+
+
+class TestCuckooFilterRoundTrip:
+    def test_behavioural_equality(self):
+        cuckoo = CuckooFilter(256, 4, 12, seed=9)
+        for key in range(700):
+            cuckoo.insert(key)
+        restored = loads(dumps(cuckoo))
+        for key in range(2000):
+            assert restored.contains(key) == cuckoo.contains(key)
+        assert restored.num_items == cuckoo.num_items
+        assert restored.load_factor() == cuckoo.load_factor()
+
+    def test_restored_supports_delete(self):
+        cuckoo = CuckooFilter(64, 4, 12, seed=10)
+        cuckoo.insert("key")
+        restored = loads(dumps(cuckoo))
+        assert restored.delete("key")
+        assert "key" not in restored
+
+
+class TestErrors:
+    def test_unknown_magic(self):
+        with pytest.raises(ValueError):
+            loads(b"XXXX\x00\x00")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            dumps({"not": "a filter"})

@@ -1,0 +1,136 @@
+"""Tests for sizing rules (§8, Table 1, corrected min-form)."""
+
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.factory import build_ccf
+from repro.ccf.params import CCFParams
+from repro.ccf.sizing import (
+    bit_efficiency,
+    bloom_bits_per_item,
+    cuckoo_bits_per_item,
+    distinct_vector_counts,
+    load_factor_target,
+    predicted_entries,
+    recommended_bucket_size,
+    recommended_num_buckets,
+)
+
+from tests.conftest import random_rows
+
+
+class TestPredictedEntries:
+    COUNTS = {1: 1, 2: 2, 3: 5, 4: 10}  # r_k per key
+
+    def test_bloom_counts_keys(self):
+        assert predicted_entries("bloom", self.COUNTS, 3) == 4
+
+    def test_mixed_caps_at_d(self):
+        # min(r, 3): 1 + 2 + 3 + 3 = 9
+        assert predicted_entries("mixed", self.COUNTS, 3) == 9
+
+    def test_chained_uncapped_sums_all(self):
+        assert predicted_entries("chained", self.COUNTS, 3, max_chain=None) == 18
+
+    def test_chained_capped_at_d_lmax(self):
+        # min(r, 3*2=6): 1 + 2 + 5 + 6 = 14
+        assert predicted_entries("chained", self.COUNTS, 3, max_chain=2) == 14
+
+    def test_plain_caps_at_pair_capacity(self):
+        # min(r, 2b=4): 1 + 2 + 4 + 4 = 11
+        assert predicted_entries("plain", self.COUNTS, 3, bucket_size=2) == 11
+
+    def test_plain_requires_bucket_size(self):
+        with pytest.raises(ValueError):
+            predicted_entries("plain", self.COUNTS, 3)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            predicted_entries("quantum", self.COUNTS, 3)
+
+    def test_accepts_bare_iterable(self):
+        assert predicted_entries("bloom", [1, 2, 3], 3) == 3
+
+
+class TestPredictionsMatchReality:
+    """Figure 3: predicted entry counts track realised occupancy."""
+
+    SCHEMA = AttributeSchema(["color", "size"])
+    PARAMS = CCFParams(bucket_size=6, max_dupes=3, key_bits=12, attr_bits=8, seed=3)
+
+    @pytest.mark.parametrize("kind", ["chained", "bloom", "mixed"])
+    def test_actual_entries_close_to_predicted(self, kind):
+        rows = random_rows(600, 9, seed=11)
+        counts = distinct_vector_counts(
+            [(k, tuple(a)) for k, a in rows]
+        )
+        predicted = predicted_entries(
+            kind, counts, self.PARAMS.max_dupes, None, self.PARAMS.bucket_size
+        )
+        ccf = build_ccf(kind, self.SCHEMA, rows, self.PARAMS)
+        # Fingerprint collisions can merge entries, so actual <= predicted,
+        # and the bound is tight (within a few percent).
+        assert ccf.num_entries <= predicted
+        assert ccf.num_entries >= predicted * 0.95
+
+    def test_distinct_vector_counts_dedups(self):
+        rows = [(1, ("a",)), (1, ("a",)), (1, ("b",)), (2, ("a",))]
+        counts = distinct_vector_counts(rows)
+        assert counts == {1: 2, 2: 1}
+
+
+class TestGeometryHelpers:
+    def test_bucket_size_rule_of_thumb(self):
+        """§8: b ≈ 2d."""
+        assert recommended_bucket_size(3) == 6
+
+    def test_recommended_buckets_power_of_two(self):
+        buckets = recommended_num_buckets(1000, 6)
+        assert buckets & (buckets - 1) == 0
+        assert buckets * 6 * load_factor_target(6) >= 1000 * 0.9
+
+    def test_recommended_buckets_explicit_target(self):
+        assert recommended_num_buckets(100, 4, target_load=0.5) >= 64 / 4
+
+    def test_recommended_buckets_validation(self):
+        with pytest.raises(ValueError):
+            recommended_num_buckets(-1, 4)
+        with pytest.raises(ValueError):
+            recommended_num_buckets(10, 4, target_load=1.5)
+
+    def test_load_targets_match_figure4(self):
+        """Figure 4: ~75% at b=4, ~87% at b=6 (we target slightly under)."""
+        assert load_factor_target(4) == pytest.approx(0.75)
+        assert 0.8 <= load_factor_target(6) <= 0.87
+        assert load_factor_target(100) == load_factor_target(8)
+        assert load_factor_target(1) <= load_factor_target(4)
+
+
+class TestEfficiencyFormulas:
+    def test_bit_efficiency_definition(self):
+        """Eq. (8): size / (n log2(1/ρ))."""
+        assert bit_efficiency(1000, 100, 2**-10) == pytest.approx(1.0)
+
+    def test_bit_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            bit_efficiency(10, 0, 0.01)
+        with pytest.raises(ValueError):
+            bit_efficiency(10, 10, 1.5)
+
+    def test_cuckoo_space_model(self):
+        """§4.2: (log2(1/ρ)+3)/β bits, +2 with semi-sorting."""
+        plain = cuckoo_bits_per_item(0.01, load_factor=0.95)
+        semisorted = cuckoo_bits_per_item(0.01, load_factor=0.95, semisort=True)
+        assert plain > semisorted
+        assert plain == pytest.approx((6.64 + 3) / 0.95, abs=0.02)
+
+    def test_bloom_reference_line(self):
+        """§4.2: Bloom ≈ 1.44 log2(1/ρ) bits/item."""
+        assert bloom_bits_per_item(0.01) == pytest.approx(1.44 * 6.64, abs=0.02)
+
+    def test_crossover_cuckoo_beats_bloom_below_3percent(self):
+        """§4.2: cuckoo filters win for target FPR below ~0.35% (plain) and
+        ~2.5% (semi-sorted)."""
+        assert cuckoo_bits_per_item(0.001) < bloom_bits_per_item(0.001)
+        assert cuckoo_bits_per_item(0.02, semisort=True) < bloom_bits_per_item(0.02)
+        assert cuckoo_bits_per_item(0.05) > bloom_bits_per_item(0.05)

@@ -1,0 +1,115 @@
+"""Stateful property tests: filters vs reference models under random ops.
+
+Hypothesis drives interleaved insert/query sequences against exact models;
+after every step the no-false-negative guarantee and the structural
+invariants (Lemma 1's pair cap, Mixed's no-shape-mixing) must hold.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.bloom_ccf import BloomCCF
+from repro.ccf.chained import ChainedCCF
+from repro.ccf.mixed import MixedCCF
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import And, Eq
+from repro.cuckoo.chained_table import ChainedCuckooHashTable
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(bucket_size=4, max_dupes=2, key_bits=10, attr_bits=6, seed=91)
+
+KEYS = st.integers(min_value=0, max_value=40)
+COLORS = st.sampled_from(["r", "g", "b"])
+SIZES = st.integers(min_value=0, max_value=15)
+
+
+class _CCFMachineBase(RuleBasedStateMachine):
+    """Shared machinery: insert rows, check membership, check invariants."""
+
+    ccf_class = ChainedCCF
+
+    def __init__(self):
+        super().__init__()
+        # Small table: plenty of collision/kick/chain pressure.
+        self.ccf = self.ccf_class(SCHEMA, 32, PARAMS)
+        self.rows: set[tuple[int, tuple]] = set()
+
+    @rule(key=KEYS, color=COLORS, size=SIZES)
+    def insert(self, key, color, size):
+        self.ccf.insert(key, (color, size))
+        self.rows.add((key, (color, size)))
+
+    @rule(key=KEYS, color=COLORS, size=SIZES)
+    def query_never_false_negative(self, key, color, size):
+        if (key, (color, size)) in self.rows:
+            assert self.ccf.query(key, And([Eq("color", color), Eq("size", size)]))
+
+    @rule(key=KEYS)
+    def key_membership_never_false_negative(self, key):
+        if any(k == key for k, _ in self.rows):
+            assert self.ccf.contains_key(key)
+
+    @invariant()
+    def structural_invariants_hold(self):
+        self.ccf.check_invariants()
+
+
+class ChainedCCFMachine(_CCFMachineBase):
+    ccf_class = ChainedCCF
+
+
+class BloomCCFMachine(_CCFMachineBase):
+    ccf_class = BloomCCF
+
+
+class MixedCCFMachine(_CCFMachineBase):
+    ccf_class = MixedCCF
+
+
+TestChainedCCFStateful = ChainedCCFMachine.TestCase
+TestChainedCCFStateful.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestBloomCCFStateful = BloomCCFMachine.TestCase
+TestBloomCCFStateful.settings = settings(max_examples=15, stateful_step_count=40, deadline=None)
+
+TestMixedCCFStateful = MixedCCFMachine.TestCase
+TestMixedCCFStateful.settings = settings(max_examples=15, stateful_step_count=40, deadline=None)
+
+
+class MultimapMachine(RuleBasedStateMachine):
+    """ChainedCuckooHashTable vs a dict-of-sets model, with removals."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = ChainedCuckooHashTable(
+            num_buckets=8, bucket_size=2, max_dupes=2, seed=17
+        )
+        self.model: dict[int, set[int]] = {}
+
+    @rule(key=KEYS, value=SIZES)
+    def add(self, key, value):
+        added = self.table.add(key, value)
+        expected = value not in self.model.get(key, set())
+        assert added == expected
+        self.model.setdefault(key, set()).add(value)
+
+    @rule(key=KEYS, value=SIZES)
+    def remove(self, key, value):
+        removed = self.table.remove(key, value)
+        expected = value in self.model.get(key, set())
+        assert removed == expected
+        self.model.get(key, set()).discard(value)
+
+    @rule(key=KEYS)
+    def get_is_exact(self, key):
+        assert sorted(self.table.get(key)) == sorted(self.model.get(key, set()))
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.table) == sum(len(v) for v in self.model.values())
+
+
+TestMultimapStateful = MultimapMachine.TestCase
+TestMultimapStateful.settings = settings(max_examples=20, stateful_step_count=50, deadline=None)

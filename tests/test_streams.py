@@ -1,0 +1,101 @@
+"""Tests for multiset insertion streams (§10.1)."""
+
+import pytest
+
+from repro.data.streams import (
+    constant_stream,
+    duplicate_statistics,
+    stream_for_capacity,
+    zipf_stream,
+)
+
+
+class TestConstantStream:
+    def test_exact_duplicate_counts(self):
+        rows = constant_stream(num_keys=50, dupes_per_key=4, seed=1)
+        assert len(rows) == 200
+        mean, peak = duplicate_statistics(rows)
+        assert mean == 4.0
+        assert peak == 4
+
+    def test_attribute_values_distinct_within_key(self):
+        rows = constant_stream(num_keys=10, dupes_per_key=5, seed=2)
+        per_key: dict[int, set] = {}
+        for key, attrs in rows:
+            per_key.setdefault(key, set()).add(attrs)
+        assert all(len(attrs) == 5 for attrs in per_key.values())
+
+    def test_shuffled_but_deterministic(self):
+        a = constant_stream(20, 3, seed=3)
+        b = constant_stream(20, 3, seed=3)
+        c = constant_stream(20, 3, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_stream(0, 1)
+        with pytest.raises(ValueError):
+            constant_stream(1, 0)
+
+
+class TestZipfStream:
+    def test_total_rows(self):
+        rows = zipf_stream(total_rows=2000, mean_duplicates=5.0, seed=1)
+        assert len(rows) == 2000
+
+    def test_mean_duplicates_near_target(self):
+        rows = zipf_stream(total_rows=5000, mean_duplicates=6.0, seed=2)
+        mean, _peak = duplicate_statistics(rows)
+        assert mean == pytest.approx(6.0, rel=0.2)
+
+    def test_skew_produces_heavy_keys(self):
+        rows = zipf_stream(total_rows=5000, mean_duplicates=8.0, seed=3)
+        _mean, peak = duplicate_statistics(rows)
+        assert peak > 30  # Zipf head keys accumulate many duplicates
+
+    def test_duplicates_have_distinct_attributes(self):
+        rows = zipf_stream(total_rows=1000, mean_duplicates=4.0, seed=4)
+        assert len(set(rows)) == len(rows)
+
+    def test_deterministic(self):
+        assert zipf_stream(500, 3.0, seed=5) == zipf_stream(500, 3.0, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_stream(0, 3.0)
+
+
+class TestStreamForCapacity:
+    def test_overfill_factor(self):
+        rows = stream_for_capacity("constant", capacity=1000, mean_duplicates=4, overfill=1.2)
+        assert len(rows) == pytest.approx(1200, abs=4)
+
+    def test_constant_shape(self):
+        rows = stream_for_capacity("constant", 500, 5, seed=1)
+        mean, peak = duplicate_statistics(rows)
+        assert mean == peak == 5
+
+    def test_zipf_shape(self):
+        rows = stream_for_capacity("zipf", 2000, 6.0, seed=2)
+        mean, peak = duplicate_statistics(rows)
+        assert peak > mean  # skewed
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            stream_for_capacity("normal", 100, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream_for_capacity("constant", 0, 2)
+
+
+class TestDuplicateStatistics:
+    def test_empty(self):
+        assert duplicate_statistics([]) == (0.0, 0)
+
+    def test_counts_distinct_attrs_only(self):
+        rows = [(1, ("a",)), (1, ("a",)), (1, ("b",)), (2, ("c",))]
+        mean, peak = duplicate_statistics(rows)
+        assert mean == pytest.approx(1.5)
+        assert peak == 2

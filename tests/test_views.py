@@ -1,0 +1,111 @@
+"""Tests for predicate-only filter extraction (Algorithm 2 and §6.2)."""
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.factory import build_ccf
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import And, Eq
+from repro.ccf.views import ExtractedKeyFilter, MarkedKeyFilter
+
+from tests.conftest import random_rows
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(bucket_size=6, max_dupes=3, key_bits=12, attr_bits=8, seed=53)
+
+
+class TestMarkedKeyFilter:
+    def test_no_false_negatives_with_duplicates(self):
+        rows = random_rows(300, 8, seed=1)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        predicate = Eq("color", "red")
+        view = ccf.predicate_filter(predicate)
+        for key, (color, _size) in rows:
+            if color == "red":
+                assert view.contains(key)
+
+    def test_view_matches_source_queries(self):
+        rows = random_rows(300, 6, seed=2)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        predicate = Eq("color", "green")
+        view = ccf.predicate_filter(predicate)
+        for key in list(range(300)) + list(range(9000, 9200)):
+            assert view.contains(key) == ccf.query(key, predicate)
+
+    def test_keeps_all_fingerprints(self):
+        """§6.2: erasing entries would break chains; marking keeps them."""
+        rows = random_rows(300, 6, seed=3)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(Eq("color", "red"))
+        assert view.num_entries == ccf.num_entries
+        assert view.num_matching() <= view.num_entries
+
+    def test_snapshot_isolated_from_source(self):
+        rows = random_rows(100, 3, seed=4)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(Eq("color", "red"))
+        before = view.num_entries
+        ccf.insert(99_999, ("red", 1))
+        assert view.num_entries == before
+
+    def test_size_accounting_one_bit_per_slot(self):
+        rows = random_rows(100, 3, seed=5)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(Eq("color", "red"))
+        assert view.size_in_bits() == (view.buckets.capacity + len(view.stash_entries)) * (
+            PARAMS.key_bits + 1
+        )
+        assert view.size_in_bits() < ccf.size_in_bits()
+
+    def test_chain_walk_continues_through_marked_pairs(self):
+        """A pair full of non-matching copies must not stop the walk."""
+        rows = [(5, ("blue", i)) for i in range(9)] + [(5, ("red", 99))]
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS, headroom=2.0)
+        view = ccf.predicate_filter(Eq("color", "red"))
+        assert view.contains(5)
+
+    def test_conjunctive_predicate(self):
+        rows = random_rows(200, 5, seed=6)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        predicate = And([Eq("color", "red"), Eq("size", 7)])
+        view = ccf.predicate_filter(predicate)
+        for key, attrs in rows:
+            if attrs == ("red", 7):
+                assert view.contains(key)
+
+
+class TestExtractedKeyFilter:
+    def test_matches_source_for_bloom(self):
+        rows = random_rows(300, 4, seed=7)
+        ccf = build_ccf("bloom", SCHEMA, rows, PARAMS.replace(bloom_bits=24))
+        predicate = Eq("color", "black")
+        extracted = ccf.predicate_filter(predicate)
+        for key in list(range(300)) + list(range(7000, 7200)):
+            assert extracted.contains(key) == ccf.query(key, predicate)
+
+    def test_matches_source_for_mixed(self):
+        rows = random_rows(300, 8, seed=8)
+        ccf = build_ccf("mixed", SCHEMA, rows, PARAMS)
+        predicate = Eq("color", "black")
+        extracted = ccf.predicate_filter(predicate)
+        for key in list(range(300)) + list(range(7000, 7200)):
+            assert extracted.contains(key) == ccf.query(key, predicate)
+
+    def test_erases_non_matching_entries(self):
+        rows = [(key, ("red" if key % 2 else "blue", 1)) for key in range(200)]
+        ccf = build_ccf("bloom", SCHEMA, rows, PARAMS.replace(bloom_bits=24))
+        extracted = ccf.predicate_filter(Eq("color", "red"))
+        assert extracted.num_entries < ccf.num_entries
+
+    def test_snapshot_isolated_from_source(self):
+        rows = random_rows(100, 3, seed=9)
+        ccf = build_ccf("bloom", SCHEMA, rows, PARAMS)
+        extracted = ccf.predicate_filter(Eq("color", "red"))
+        before = extracted.num_entries
+        ccf.insert(99_999, ("red", 1))
+        assert extracted.num_entries == before
+
+    def test_size_accounting(self):
+        rows = random_rows(100, 3, seed=10)
+        ccf = build_ccf("bloom", SCHEMA, rows, PARAMS)
+        extracted = ccf.predicate_filter(Eq("color", "red"))
+        expected = (extracted.buckets.capacity + len(extracted.stash_fingerprints)) * PARAMS.key_bits
+        assert extracted.size_in_bits() == expected

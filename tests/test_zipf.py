@@ -1,0 +1,114 @@
+"""Tests for the truncated Zipf-Mandelbrot distribution (§10.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import ZipfMandelbrot, solve_alpha_for_mean_duplicates
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        dist = ZipfMandelbrot(1.2, offset=2.7, support=500)
+        assert dist.pmf().sum() == pytest.approx(1.0)
+
+    def test_pmf_decreasing(self):
+        pmf = ZipfMandelbrot(1.5, offset=2.7, support=100).pmf()
+        assert all(pmf[i] >= pmf[i + 1] for i in range(len(pmf) - 1))
+
+    def test_alpha_zero_is_uniform(self):
+        pmf = ZipfMandelbrot(0.0, support=10).pmf()
+        assert np.allclose(pmf, 0.1)
+
+    def test_probability_outside_support(self):
+        dist = ZipfMandelbrot(1.0, support=10)
+        assert dist.probability(0) == 0.0
+        assert dist.probability(11) == 0.0
+        assert dist.probability(1) > 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(1.0, support=0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(1.0, offset=-2.0)
+
+
+class TestSampling:
+    def test_samples_within_support(self):
+        dist = ZipfMandelbrot(1.3, support=50, seed=3)
+        samples = dist.sample(5000)
+        assert samples.min() >= 1
+        assert samples.max() <= 50
+
+    def test_deterministic_by_seed(self):
+        a = ZipfMandelbrot(1.3, support=50, seed=3).sample(100)
+        b = ZipfMandelbrot(1.3, support=50, seed=3).sample(100)
+        assert (a == b).all()
+
+    def test_skew_concentrates_mass(self):
+        samples = ZipfMandelbrot(3.0, offset=0.0, support=100, seed=1).sample(10_000)
+        top_share = (samples <= 5).mean()
+        assert top_share > 0.5
+
+    def test_empirical_matches_pmf(self):
+        dist = ZipfMandelbrot(1.0, offset=2.7, support=20, seed=7)
+        samples = dist.sample(100_000)
+        counts = np.bincount(samples, minlength=21)[1:]
+        observed = counts / counts.sum()
+        assert np.abs(observed - dist.pmf()).max() < 0.01
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(1.0).sample(-1)
+
+
+class TestExpectedDistinct:
+    def test_zero_draws(self):
+        assert ZipfMandelbrot(1.0, support=10).expected_distinct(0) == 0.0
+
+    def test_monotone_in_draws(self):
+        dist = ZipfMandelbrot(1.0, support=100)
+        assert dist.expected_distinct(10) < dist.expected_distinct(1000)
+
+    def test_bounded_by_support(self):
+        dist = ZipfMandelbrot(0.5, support=100)
+        assert dist.expected_distinct(10**6) <= 100.0 + 1e-9
+
+    def test_mean_duplicates_consistent(self):
+        dist = ZipfMandelbrot(1.0, support=100)
+        draws = 5000
+        assert dist.mean_duplicates_per_key(draws) == pytest.approx(
+            draws / dist.expected_distinct(draws)
+        )
+
+
+class TestAlphaSolver:
+    def test_achieves_target_mean(self):
+        target, draws = 6.0, 3000
+        alpha = solve_alpha_for_mean_duplicates(target, draws, support=500)
+        achieved = ZipfMandelbrot(alpha, support=500).mean_duplicates_per_key(draws)
+        assert achieved == pytest.approx(target, rel=0.02)
+
+    def test_higher_target_higher_alpha(self):
+        draws = 3000
+        low = solve_alpha_for_mean_duplicates(7.0, draws, support=500)
+        high = solve_alpha_for_mean_duplicates(12.0, draws, support=500)
+        assert high > low
+
+    def test_unreachable_target_raises(self):
+        # 100 draws over 500 keys cannot average 0.05 duplicates/key... but
+        # also cannot go below the uniform baseline.
+        with pytest.raises(ValueError):
+            solve_alpha_for_mean_duplicates(1.0, 100_000, support=10)
+
+    def test_sampled_streams_match_target(self):
+        target, draws = 8.0, 4000
+        alpha = solve_alpha_for_mean_duplicates(target, draws, support=500)
+        samples = ZipfMandelbrot(alpha, support=500, seed=5).sample(draws)
+        realised = draws / len(np.unique(samples))
+        assert realised == pytest.approx(target, rel=0.15)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            solve_alpha_for_mean_duplicates(0.0, 100)
+        with pytest.raises(ValueError):
+            solve_alpha_for_mean_duplicates(2.0, 0)
