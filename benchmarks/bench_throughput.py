@@ -10,6 +10,7 @@ irrelevant to key-only queries).
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.bench.reporting import save_json
@@ -79,6 +80,39 @@ def test_throughput_key_only(benchmark, filters, query_keys, kind):
     ops = QUERIES_PER_ROUND / benchmark.stats["mean"]
     benchmark.extra_info["queries_per_second"] = ops
     assert ops > 10_000
+
+
+@pytest.mark.parametrize("kind", ["chained", "bloom", "mixed"])
+def test_throughput_query_many(benchmark, filters, query_keys, kind):
+    """Batch counterpart of the predicate-query loop (same keys, same predicate)."""
+    ccf = filters[kind]
+    compiled = ccf.compile(Eq("attr", 7))
+    keys = np.asarray(query_keys)
+
+    def run():
+        return int(ccf.query_many(keys, compiled).sum())
+
+    benchmark(run)
+    ops = QUERIES_PER_ROUND / benchmark.stats["mean"]
+    benchmark.extra_info["queries_per_second"] = ops
+    save_json(
+        f"throughput_batch_{kind}", {"kind": kind, "queries_per_second": ops}
+    )
+    assert ops > 30_000  # batch should clear the scalar floor with margin
+
+
+@pytest.mark.parametrize("kind", ["chained", "bloom", "mixed"])
+def test_throughput_key_only_many(benchmark, filters, query_keys, kind):
+    ccf = filters[kind]
+    keys = np.asarray(query_keys)
+
+    def run():
+        return int(ccf.contains_key_many(keys).sum())
+
+    benchmark(run)
+    ops = QUERIES_PER_ROUND / benchmark.stats["mean"]
+    benchmark.extra_info["queries_per_second"] = ops
+    assert ops > 30_000
 
 
 def test_throughput_insert(benchmark):

@@ -100,10 +100,10 @@ def figure3_points(context: JoblightContext, labels: tuple[str, ...]) -> list[di
                 relation = bundle.binning.augment(relation)
             key_column = context.dataset.join_key(table)
             attr_columns = ccf_attribute_columns(context.dataset, table)
-            keys = relation.column(key_column).tolist()
-            attrs = list(zip(*(relation.column(c).tolist() for c in attr_columns)))
+            keys = relation.column(key_column)
+            columns = [relation.column(c) for c in attr_columns]
             counts = distinct_vector_counts(
-                (key, ccf.fingerprinter.vector(row)) for key, row in zip(keys, attrs)
+                zip(keys.tolist(), ccf.fingerprinter.vectors_many(columns))
             )
             predicted = predicted_entries(
                 bundle.kind,

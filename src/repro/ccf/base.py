@@ -20,13 +20,27 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.ccf.attributes import AttributeFingerprinter, AttributeSchema
 from repro.ccf.chain import PairGeometry
 from repro.ccf.entries import BloomEntry, GroupSlot, VectorEntry
 from repro.ccf.params import CCFParams
 from repro.ccf.predicates import Predicate
 from repro.cuckoo.buckets import BucketArray
-from repro.hashing.mixers import derive_seed
+from repro.hashing.mixers import as_native_list, derive_seed
+
+
+def validate_attr_columns(
+    columns: Sequence[Sequence[Any] | np.ndarray], expected: int, num_rows: int
+) -> None:
+    """Check a column-major attribute batch: ``expected`` columns, each
+    ``num_rows`` long.  Shared by every batch-insert entry point."""
+    if len(columns) != expected:
+        raise ValueError(f"expected {expected} attribute columns, got {len(columns)}")
+    for column in columns:
+        if len(column) != num_rows:
+            raise ValueError("attribute columns must be as long as keys")
 
 
 class CompiledQuery:
@@ -84,6 +98,11 @@ class ConditionalCuckooFilterBase:
         self.num_kicks = 0
         self.failed = False
         self.stash: list[Any] = []
+        self._entry_mutations = 0
+        self._fp_snapshot: tuple[tuple[int, int], np.ndarray] | None = None
+        self._match_snapshot: tuple[tuple[int, int], CompiledQuery, np.ndarray] | None = None
+        self._scalar_rows_version: tuple[int, int] | None = None
+        self._scalar_rows: dict[CompiledQuery | None, int] = {}
 
     # ------------------------------------------------------------------
     # Geometry delegation (kept on the filter for API convenience)
@@ -258,26 +277,280 @@ class ConditionalCuckooFilterBase:
         return self.size_in_bits() / 8
 
     # ------------------------------------------------------------------
-    # Insert / query interface (subclass responsibility)
+    # Insert / query interface
     # ------------------------------------------------------------------
+    # Scalar `insert`/`query` and the batch `insert_many`/`query_many` are
+    # thin wrappers over one pair of per-variant kernels (`_insert_hashed`,
+    # `_query_hashed`) operating on precomputed hashes, so both paths share
+    # a single policy implementation and stay bit-identical by construction.
+
+    #: Whether `_insert_hashed` consumes precomputed attribute fingerprint
+    #: vectors (False for the Bloom CCF, which sketches raw values instead).
+    _needs_avec: bool = True
 
     def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
-        """Insert a (key, attribute row); subclasses implement the policy."""
+        """Insert a (key, attribute row) under the variant's policy."""
+        values = self.schema.row_values(attrs)
+        return self._insert_hashed(
+            self.geometry.fingerprint_of(key), self.geometry.home_index(key), values, None
+        )
+
+    def _insert_hashed(
+        self,
+        fingerprint: int,
+        home: int,
+        values: tuple[Any, ...] | None,
+        avec: tuple[int, ...] | None,
+    ) -> bool:
+        """Insertion policy on precomputed hashes; subclasses implement.
+
+        Exactly one of ``values`` (raw attribute row) / ``avec`` (its
+        fingerprint vector) may be None: vector-storing variants derive
+        ``avec`` from ``values`` when not supplied, the Bloom variant only
+        reads ``values``.
+        """
         raise NotImplementedError
+
+    def insert_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        attr_columns: Sequence[Sequence[Any] | np.ndarray],
+    ) -> np.ndarray:
+        """Insert a batch of rows given column-major attributes.
+
+        ``attr_columns`` holds one column per schema attribute, each as long
+        as ``keys``.  Key and attribute hashing run in vectorised passes;
+        the residual placement loop is sequential (placements displace
+        earlier entries).  Filter state, stash contents, statistics counters
+        and the returned per-row results are bit-identical to calling
+        `insert` row by row.
+        """
+        columns = list(attr_columns)
+        num_rows = len(keys)
+        validate_attr_columns(columns, self.schema.num_attributes, num_rows)
+        fps = self.geometry.fingerprints_of_many(keys).tolist()
+        homes = self.geometry.home_indices_of_many(keys).tolist()
+        out = np.empty(num_rows, dtype=bool)
+        if self._needs_avec:
+            avecs = self.fingerprinter.vectors_many(columns)
+            for i, (fp, home) in enumerate(zip(fps, homes)):
+                out[i] = self._insert_hashed(fp, home, None, avecs[i])
+        else:
+            native = [as_native_list(column) for column in columns]
+            for i, (fp, home) in enumerate(zip(fps, homes)):
+                values = tuple(column[i] for column in native)
+                out[i] = self._insert_hashed(fp, home, values, None)
+        return out
 
     def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
         """Membership test for ``key`` under an optional predicate."""
+        compiled = self._resolve_compiled(predicate)
+        return self._query_hashed(
+            self.geometry.fingerprint_of(key), self.geometry.home_index(key), compiled
+        )
+
+    def _query_hashed(
+        self, fingerprint: int, home: int, compiled: CompiledQuery | None
+    ) -> bool:
+        """Query policy on precomputed hashes; subclasses implement."""
         raise NotImplementedError
+
+    def query_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        predicate: Predicate | CompiledQuery | None = None,
+    ) -> np.ndarray:
+        """Batch membership test under one (compiled-once) predicate.
+
+        Answers are bit-identical to per-key `query` calls; hashing and —
+        for the single-pair variants — the table probe itself are fully
+        vectorised.
+        """
+        compiled = self._resolve_compiled(predicate)
+        fps = self.geometry.fingerprints_of_many(keys)
+        homes = self.geometry.home_indices_of_many(keys)
+        return self._query_hashed_many(fps, homes, compiled)
+
+    def _query_hashed_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        """Batch query kernel; the base fallback runs the scalar kernel."""
+        return self._scalar_batch_query(fps, homes, compiled)
+
+    def _scalar_batch_query(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        """Row-by-row batch evaluation through the scalar kernel."""
+        return np.fromiter(
+            (
+                self._query_hashed(fp, home, compiled)
+                for fp, home in zip(fps.tolist(), homes.tolist())
+            ),
+            dtype=bool,
+            count=len(fps),
+        )
+
+    def _prefer_scalar_batch(self, fps: np.ndarray, compiled: CompiledQuery | None) -> bool:
+        """Should this batch skip the vectorised probe?
+
+        Building the per-slot snapshots is O(table); for batches much
+        smaller than the table with no current snapshot cached, the scalar
+        kernel (O(batch)) is strictly cheaper.  Rows sent down the scalar
+        path are accumulated per missing artifact (table state, and compiled
+        predicate identity for match snapshots): once they rival one table
+        rebuild, the batch vectorises so the snapshot gets built and later
+        batches hit the cache — repeated small batches on a static table
+        converge to the vector path instead of running scalar forever.
+        Either path returns the same answers; this is purely a cost decision.
+        """
+        version = self._snapshot_version()
+        if compiled is None:
+            cached = self._fp_snapshot
+            if cached is not None and cached[0] == version:
+                return False
+        else:
+            cached = self._match_snapshot
+            if cached is not None and cached[0] == version and cached[1] is compiled:
+                return False
+        if self._scalar_rows_version != version:
+            self._scalar_rows_version = version
+            self._scalar_rows.clear()
+        rows = self._scalar_rows.get(compiled, 0)
+        if 4 * (rows + len(fps)) < self.buckets.num_buckets:
+            # Accumulate per artifact (key-only under None, else the compiled
+            # object) so alternating query shapes don't reset each other.
+            if len(self._scalar_rows) >= 64:
+                self._scalar_rows.clear()
+            self._scalar_rows[compiled] = rows + len(fps)
+            return True
+        return False
 
     def contains_key(self, key: object) -> bool:
         """Key-only membership test (no predicate)."""
         return self.query(key, None)
+
+    def contains_key_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch key-only membership test."""
+        return self.query_many(keys, None)
 
     def _stash_matches(self, fingerprint: int, compiled: CompiledQuery | None) -> bool:
         return any(
             entry.fp == fingerprint and self._entry_matches(entry, compiled)
             for entry in self.stash
         )
+
+    # ------------------------------------------------------------------
+    # Vectorised probe machinery shared by the batch query kernels
+    # ------------------------------------------------------------------
+
+    def _note_entry_mutation(self) -> None:
+        """Record an in-place mutation of a stored entry.
+
+        `BucketArray.version` only advances on slot writes; merges that
+        mutate an entry *in place* (Bloom dedup, Mixed group absorption)
+        must call this so version-keyed snapshots are invalidated too.
+        """
+        self._entry_mutations += 1
+
+    def _snapshot_version(self) -> tuple[int, int]:
+        """Cache key covering both slot writes and in-place entry mutations."""
+        return (self.buckets.version, self._entry_mutations)
+
+    def _slot_fp_snapshot(self) -> np.ndarray:
+        """An ``(m, b)`` int64 snapshot of slot fingerprints (-1 = empty).
+
+        Cached against the structure's mutation counters: query-heavy
+        phases rebuild it at most once per burst of mutations.
+        """
+        version = self._snapshot_version()
+        snapshot = self._fp_snapshot
+        if snapshot is None or snapshot[0] != version:
+            slots = self.buckets.storage
+            flat = np.fromiter(
+                (-1 if e is None else e.fp for e in slots), dtype=np.int64, count=len(slots)
+            )
+            snapshot = (
+                version,
+                flat.reshape(self.buckets.num_buckets, self.buckets.bucket_size),
+            )
+            self._fp_snapshot = snapshot
+        return snapshot[1]
+
+    def _slot_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
+        """Per-slot predicate admissibility as an ``(m, b)`` bool array.
+
+        One pass over the slots, amortised across the whole batch (the
+        predicate is fingerprint-independent, so this composes with the
+        fingerprint-equality test by AND).  Cached for the common pattern of
+        repeated batches with one compiled predicate and no mutations in
+        between (identity-compared — `compile` returns a fresh object per
+        call, so callers should compile once and reuse).
+        """
+        cached = self._match_snapshot
+        version = self._snapshot_version()
+        if cached is not None and cached[0] == version and cached[1] is compiled:
+            return cached[2]
+        snapshot = self._compute_match_snapshot(compiled)
+        self._match_snapshot = (version, compiled, snapshot)
+        return snapshot
+
+    def _compute_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
+        """Uncached `_slot_match_snapshot` body; variants may specialise."""
+        return self._match_snapshot_from(
+            lambda entry: entry is not None and self._entry_matches(entry, compiled)
+        )
+
+    def _match_snapshot_from(self, matches: Any) -> np.ndarray:
+        """Evaluate ``matches(entry)`` over every slot into ``(m, b)`` bools."""
+        slots = self.buckets.storage
+        flat = np.fromiter((matches(e) for e in slots), dtype=bool, count=len(slots))
+        return flat.reshape(self.buckets.num_buckets, self.buckets.bucket_size)
+
+    def _matching_stash_fps(self, compiled: CompiledQuery | None) -> np.ndarray | None:
+        """Fingerprints of stashed entries admitting ``compiled``, or None."""
+        if not self.stash:
+            return None
+        fps = [e.fp for e in self.stash if self._entry_matches(e, compiled)]
+        if not fps:
+            return None
+        return np.array(fps, dtype=np.int64)
+
+    def _pair_probe(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised probe of each key's first bucket pair.
+
+        Returns ``(hit, eq_home, eq_alt, alts)``: the per-key match verdict
+        (table match under the predicate, or a matching stash entry), the
+        per-slot fingerprint-equality masks of both buckets, and the partner
+        bucket indices — the raw material both the single-pair kernel and
+        the chained hybrid kernel build on.
+        """
+        table = self._slot_fp_snapshot()
+        alts = self.geometry.alt_indices_many(homes, fps)
+        fp_col = fps[:, None]
+        eq_home = table[homes] == fp_col
+        eq_alt = table[alts] == fp_col
+        if compiled is None:
+            hit = eq_home.any(axis=1)
+            hit |= eq_alt.any(axis=1)
+        else:
+            match = self._slot_match_snapshot(compiled)
+            hit = (eq_home & match[homes]).any(axis=1)
+            hit |= (eq_alt & match[alts]).any(axis=1)
+        stash_fps = self._matching_stash_fps(compiled)
+        if stash_fps is not None:
+            hit |= np.isin(fps, stash_fps)
+        return hit, eq_home, eq_alt, alts
+
+    def _single_pair_query_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        """Fully vectorised one-bucket-pair probe (plain/mixed/bloom CCFs)."""
+        if self._prefer_scalar_batch(fps, compiled):
+            return self._scalar_batch_query(fps, homes, compiled)
+        hit, _eq_home, _eq_alt, _alts = self._pair_probe(fps, homes, compiled)
+        return hit
 
     # ------------------------------------------------------------------
     # Introspection for tests and experiments
@@ -306,6 +579,18 @@ class ConditionalCuckooFilterBase:
                     f"pair {pair_id} holds {count} > cap={cap} copies of fingerprint "
                     f"{fingerprint:#x} in a {self.kind} CCF"
                 )
+
+    def __contains__(self, key: object) -> bool:
+        """Container protocol: key-only membership (no predicate)."""
+        return self.contains_key(key)
+
+    def __len__(self) -> int:
+        """Number of rows this filter represents (`num_rows_inserted`).
+
+        Deduplicated and chain-discarded rows still count: both keep
+        answering True, so the filter logically contains them.
+        """
+        return self.num_rows_inserted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -14,7 +14,9 @@ predicate ``A1 = a1 AND A2 = a2'`` is a guaranteed false positive.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
 from repro.ccf.entries import BloomEntry
@@ -27,7 +29,16 @@ class BloomCCF(ConditionalCuckooFilterBase):
 
     kind = "bloom"
 
-    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+    #: Bloom entries sketch raw (index, value) pairs, not fingerprint vectors.
+    _needs_avec = False
+
+    def _insert_hashed(
+        self,
+        fingerprint: int,
+        home: int,
+        values: tuple[Any, ...] | None,
+        avec: tuple[int, ...] | None,
+    ) -> bool:
         """Insert one (key, attribute row); Algorithm 1's build counterpart.
 
         A row whose key fingerprint already owns an entry in the bucket pair
@@ -35,19 +46,18 @@ class BloomCCF(ConditionalCuckooFilterBase):
         entry is created and placed with cuckoo kicks.  Returns False only on
         a MaxKicks failure (victim stashed, ``failed`` latched).
         """
-        values = self.schema.row_values(attrs)
-        fingerprint = self.geometry.fingerprint_of(key)
-        home = self.geometry.home_index(key)
         self.num_rows_inserted += 1
         left = home
         right = self.geometry.alt_index(left, fingerprint)
         slots = self._fp_slots_in_pair(left, right, fingerprint)
         if slots:
             slots[0].add_attributes(values)
+            self._note_entry_mutation()
             return True
         for stashed in self.stash:
             if stashed.fp == fingerprint:
                 stashed.add_attributes(values)
+                self._note_entry_mutation()
                 return True
         entry = BloomEntry(
             fingerprint,
@@ -56,18 +66,50 @@ class BloomCCF(ConditionalCuckooFilterBase):
         entry.add_attributes(values)
         return self._place_in_pair(left, right, entry)
 
-    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+    def _query_hashed(
+        self, fingerprint: int, home: int, compiled: CompiledQuery | None
+    ) -> bool:
         """Membership test under an optional predicate; Algorithm 1."""
-        compiled = self._resolve_compiled(predicate)
-        fingerprint = self.geometry.fingerprint_of(key)
         if self.stash and self._stash_matches(fingerprint, compiled):
             return True
-        left = self.geometry.home_index(key)
+        left = home
         right = self.geometry.alt_index(left, fingerprint)
         return any(
             self._entry_matches(entry, compiled)
             for entry in self._fp_slots_in_pair(left, right, fingerprint)
         )
+
+    def _query_hashed_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        return self._single_pair_query_many(fps, homes, compiled)
+
+    def _compute_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
+        """Batch specialisation: hash the predicate once, not once per entry.
+
+        Every per-entry Bloom sketch shares (bloom_bits, bloom_hashes, salt),
+        so each admissible (attribute, value) pair probes the same bit
+        positions in every entry; precomputing them reduces the per-slot work
+        to bit tests.  Answers equal `_entry_matches` per entry.
+        """
+        probe = BloomFilter(
+            self.params.bloom_bits, self.params.bloom_hashes, seed=self._bloom_salt
+        )
+        constraints = [
+            [probe.positions((attr_index, value)) for value in values]
+            for attr_index, values, _fps in compiled.constraints
+        ]
+
+        def matches(entry: Any) -> bool:
+            if entry is None or not entry.matching:
+                return False
+            bloom = entry.bloom
+            return all(
+                any(bloom.contains_positions(positions) for positions in value_positions)
+                for value_positions in constraints
+            )
+
+        return self._match_snapshot_from(matches)
 
     def slot_bits(self) -> int:
         """|κ| + per-entry Bloom payload."""

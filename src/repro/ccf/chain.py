@@ -17,10 +17,18 @@ is the property Lemma 2's correctness argument needs.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.cuckoo.buckets import is_power_of_two
-from repro.hashing.mixers import derive_seed, hash64, mix64
+from repro.hashing.mixers import (
+    derive_seed,
+    hash64,
+    hash64_many_masked,
+    memoized_jump,
+    mix64,
+)
 
 #: How many deterministic re-hashes the walk tries when the next pair is
 #: already visited, before giving up on extending the chain.
@@ -73,15 +81,31 @@ class PairGeometry:
 
     def fp_jump(self, fingerprint: int) -> int:
         """Return ``h(κ) mod m``, the XOR offset between a pair's buckets."""
-        jump = self._jump_cache.get(fingerprint)
-        if jump is None:
-            jump = hash64(fingerprint, self._jump_salt) & (self.num_buckets - 1)
-            self._jump_cache[fingerprint] = jump
-        return jump
+        return memoized_jump(
+            self._jump_cache, fingerprint, self._jump_salt, self.num_buckets - 1
+        )
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the partner bucket ``index XOR h(κ)`` (an involution)."""
         return index ^ self.fp_jump(fingerprint)
+
+    # -- batch geometry ----------------------------------------------------
+
+    def fingerprints_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `fingerprint_of` (int64 array, bit-identical per element)."""
+        return hash64_many_masked(keys, self._fp_salt, self._fp_mask)
+
+    def home_indices_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `home_index` (int64 array, bit-identical per element)."""
+        return hash64_many_masked(keys, self._index_salt, self.num_buckets - 1)
+
+    def fp_jump_many(self, fingerprints: np.ndarray) -> np.ndarray:
+        """Batch `fp_jump`, computed on the fly (bypasses the memo)."""
+        return hash64_many_masked(fingerprints, self._jump_salt, self.num_buckets - 1)
+
+    def alt_indices_many(self, indices: np.ndarray, fingerprints: np.ndarray) -> np.ndarray:
+        """Batch `alt_index`."""
+        return indices ^ self.fp_jump_many(fingerprints)
 
     def chain_step(self, pair_id: int, fingerprint: int, bump: int = 0) -> int:
         """One-way chain hash ``h(min(l, l'), κ)`` with a cycle-retry bump.

@@ -12,7 +12,9 @@ had to discard for exceeding the chain cap.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
 from repro.ccf.entries import VectorEntry
@@ -24,7 +26,13 @@ class ChainedCCF(ConditionalCuckooFilterBase):
 
     kind = "chained"
 
-    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+    def _insert_hashed(
+        self,
+        fingerprint: int,
+        home: int,
+        values: tuple[Any, ...] | None,
+        avec: tuple[int, ...] | None,
+    ) -> bool:
         """Insert one (key, attribute row); Algorithm 4.
 
         Returns True when the row is represented (stored, deduplicated, or —
@@ -34,10 +42,8 @@ class ChainedCCF(ConditionalCuckooFilterBase):
         :attr:`failed`; the displaced victim is stashed so membership
         answers remain superset-correct even then.
         """
-        values = self.schema.row_values(attrs)
-        avec = self.fingerprinter.vector(values)
-        fingerprint = self.geometry.fingerprint_of(key)
-        home = self.geometry.home_index(key)
+        if avec is None:
+            avec = self.fingerprinter.vector(values)
         self.num_rows_inserted += 1
         d = self.params.max_dupes
         limit = self._walk_limit()
@@ -57,10 +63,10 @@ class ChainedCCF(ConditionalCuckooFilterBase):
         self.num_rows_discarded += 1
         return True
 
-    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+    def _query_hashed(
+        self, fingerprint: int, home: int, compiled: CompiledQuery | None
+    ) -> bool:
         """Membership test under an optional predicate; Algorithm 5."""
-        compiled = self._resolve_compiled(predicate)
-        fingerprint = self.geometry.fingerprint_of(key)
         if self.stash and self._stash_matches(fingerprint, compiled):
             return True
         # A stashed victim with this fingerprint means some pair on its chain
@@ -68,7 +74,6 @@ class ChainedCCF(ConditionalCuckooFilterBase):
         # d-count early-stop below is no longer trustworthy for this
         # fingerprint: fall through to the conservative True instead.
         stash_has_fp = any(entry.fp == fingerprint for entry in self.stash)
-        home = self.geometry.home_index(key)
         d = self.params.max_dupes
         if compiled is None and not stash_has_fp:
             # §7.1: for key-only queries the chain is irrelevant — an
@@ -92,6 +97,36 @@ class ChainedCCF(ConditionalCuckooFilterBase):
         # Lmax pairs exhausted (or the walk could not be extended) with every
         # pair d-full: answer True to preserve no-false-negatives.
         return True
+
+    def _query_hashed_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        """Hybrid batch kernel: vectorise the first pair, walk the rest.
+
+        §7.1: key-only queries never look past the first pair, so they are
+        one vectorised probe.  Predicate queries resolve in the first pair
+        whenever it holds a matching entry (True) or fewer than ``d``
+        fingerprint copies (False); only the residue — keys whose first pair
+        is d-full of non-matching copies, or whose fingerprint sits in the
+        stash — re-runs the scalar chain walk.
+        """
+        if compiled is None:
+            # Key-only: one pair probe, any stashed fingerprint copy is True —
+            # exactly the shared single-pair kernel with no predicate.
+            return self._single_pair_query_many(fps, homes, None)
+        if self._prefer_scalar_batch(fps, compiled):
+            return self._scalar_batch_query(fps, homes, compiled)
+        hit, eq_home, eq_alt, alts = self._pair_probe(fps, homes, compiled)
+        copies = eq_home.sum(axis=1)
+        copies += np.where(alts == homes, 0, eq_alt.sum(axis=1))
+        resolved_false = ~hit & (copies < self.params.max_dupes)
+        if self.stash:
+            stash_fps = np.array([entry.fp for entry in self.stash], dtype=np.int64)
+            resolved_false &= ~np.isin(fps, stash_fps)
+        out = hit.copy()
+        for i in np.nonzero(~hit & ~resolved_false)[0]:
+            out[i] = self._query_hashed(int(fps[i]), int(homes[i]), compiled)
+        return out
 
     def chain_length(self, key: object) -> int:
         """Number of bucket pairs currently used by ``key``'s fingerprint.

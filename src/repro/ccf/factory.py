@@ -101,10 +101,15 @@ def build_ccf(
     num_buckets = recommended_num_buckets(
         max(1, round(predicted * headroom)), params.bucket_size, target_load
     )
+    keys = [key for key, _values in materialised]
+    columns = (
+        [list(column) for column in zip(*(values for _key, values in materialised))]
+        if materialised
+        else [[] for _ in range(schema.num_attributes)]
+    )
     for _attempt in range(max_retries + 1):
         ccf = make_ccf(kind, schema, num_buckets, params)
-        for key, values in materialised:
-            ccf.insert(key, values)
+        ccf.insert_many(keys, columns)
         # With an uncapped chain, discarded rows mean the walk ran out of
         # fresh pairs — a size problem, not a policy choice — so retry those
         # too.  With a finite Lmax, discards are the configured behaviour.

@@ -18,7 +18,9 @@ entry size; the Bloom hash count follows Eq. (2)/(3),
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
 from repro.ccf.entries import ConvertedGroup, GroupSlot, VectorEntry
@@ -75,17 +77,21 @@ class MixedCCF(ConditionalCuckooFilterBase):
 
     # -- operations ----------------------------------------------------------
 
-    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+    def _insert_hashed(
+        self,
+        fingerprint: int,
+        home: int,
+        values: tuple[Any, ...] | None,
+        avec: tuple[int, ...] | None,
+    ) -> bool:
         """Insert one (key, attribute row), converting on duplicate overflow.
 
         Returns False only on a MaxKicks placement failure for a *new*
         (pre-conversion) entry; merges into an existing converted group and
         conversions themselves always succeed.
         """
-        values = self.schema.row_values(attrs)
-        avec = self.fingerprinter.vector(values)
-        fingerprint = self.geometry.fingerprint_of(key)
-        home = self.geometry.home_index(key)
+        if avec is None:
+            avec = self.fingerprinter.vector(values)
         self.num_rows_inserted += 1
         left = home
         right = self.geometry.alt_index(left, fingerprint)
@@ -93,6 +99,7 @@ class MixedCCF(ConditionalCuckooFilterBase):
         for entry in slots:
             if isinstance(entry, GroupSlot):
                 entry.group.add_vector(avec)
+                self._note_entry_mutation()
                 self.num_absorbed += 1
                 return True
         if any(entry.same_row(fingerprint, avec) for entry in slots):
@@ -119,20 +126,56 @@ class MixedCCF(ConditionalCuckooFilterBase):
                 f"found {converted}"
             )
         group.add_vector(new_avec)
+        self._note_entry_mutation()
         self.num_conversions += 1
 
-    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+    def _query_hashed(
+        self, fingerprint: int, home: int, compiled: CompiledQuery | None
+    ) -> bool:
         """Membership test under an optional predicate (single pair probe)."""
-        compiled = self._resolve_compiled(predicate)
-        fingerprint = self.geometry.fingerprint_of(key)
         if self.stash and self._stash_matches(fingerprint, compiled):
             return True
-        left = self.geometry.home_index(key)
+        left = home
         right = self.geometry.alt_index(left, fingerprint)
         return any(
             self._entry_matches(entry, compiled)
             for entry in self._fp_slots_in_pair(left, right, fingerprint)
         )
+
+    def _query_hashed_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        return self._single_pair_query_many(fps, homes, compiled)
+
+    def _compute_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
+        """Batch specialisation: hash converted-group probes once per batch.
+
+        All conversion Blooms share (bits, hashes, salt), so each admissible
+        (attribute, fingerprint) component probes the same positions in every
+        group; vector entries reduce to set membership on the precompiled
+        fingerprints.  Answers equal `_entry_matches` per entry.
+        """
+        probe = BloomFilter(
+            self._conversion_bits(), self._conversion_hashes(), seed=self._bloom_salt
+        )
+        constraints = [
+            (attr_index, fps, [probe.positions((attr_index, fp)) for fp in fps])
+            for attr_index, _values, fps in compiled.constraints
+        ]
+
+        def matches(entry: Any) -> bool:
+            if entry is None or not entry.matching:
+                return False
+            if isinstance(entry, VectorEntry):
+                avec = entry.avec
+                return all(avec[attr_index] in fps for attr_index, fps, _p in constraints)
+            bloom = entry.group.bloom
+            return all(
+                any(bloom.contains_positions(positions) for positions in fp_positions)
+                for _attr_index, _fps, fp_positions in constraints
+            )
+
+        return self._match_snapshot_from(matches)
 
     def slot_bits(self) -> int:
         """|κ| + |α| + 1 bit flagging vector vs converted-Bloom content."""

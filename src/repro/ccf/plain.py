@@ -10,11 +10,12 @@ JOB-light experiments, which never produced reasonably sized filters.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.ccf.base import CompiledQuery, ConditionalCuckooFilterBase
 from repro.ccf.entries import VectorEntry
-from repro.ccf.predicates import Predicate
 
 
 class PlainCCF(ConditionalCuckooFilterBase):
@@ -22,8 +23,14 @@ class PlainCCF(ConditionalCuckooFilterBase):
 
     kind = "plain"
 
-    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
-        """Insert one (key, attribute row) into the key's single bucket pair.
+    def _insert_hashed(
+        self,
+        fingerprint: int,
+        home: int,
+        values: tuple[Any, ...] | None,
+        avec: tuple[int, ...] | None,
+    ) -> bool:
+        """Insert one row into the key's single bucket pair.
 
         Returns False on a MaxKicks placement failure (the structure is then
         flagged failed; the displaced victim is stashed so queries stay
@@ -32,10 +39,8 @@ class PlainCCF(ConditionalCuckooFilterBase):
         experiments: a failure is a *unique* pair that cannot generate a new
         entry.
         """
-        values = self.schema.row_values(attrs)
-        avec = self.fingerprinter.vector(values)
-        fingerprint = self.geometry.fingerprint_of(key)
-        home = self.geometry.home_index(key)
+        if avec is None:
+            avec = self.fingerprinter.vector(values)
         self.num_rows_inserted += 1
         left = home
         right = self.geometry.alt_index(left, fingerprint)
@@ -44,18 +49,23 @@ class PlainCCF(ConditionalCuckooFilterBase):
             return True
         return self._place_in_pair(left, right, VectorEntry(fingerprint, avec))
 
-    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+    def _query_hashed(
+        self, fingerprint: int, home: int, compiled: CompiledQuery | None
+    ) -> bool:
         """Membership test under an optional predicate (single pair probe)."""
-        compiled = self._resolve_compiled(predicate)
-        fingerprint = self.geometry.fingerprint_of(key)
         if self.stash and self._stash_matches(fingerprint, compiled):
             return True
-        left = self.geometry.home_index(key)
+        left = home
         right = self.geometry.alt_index(left, fingerprint)
         return any(
             self._entry_matches(entry, compiled)
             for entry in self._fp_slots_in_pair(left, right, fingerprint)
         )
+
+    def _query_hashed_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        return self._single_pair_query_many(fps, homes, compiled)
 
     def slot_bits(self) -> int:
         """|κ| + |α|; no marking or conversion flag is needed."""

@@ -18,13 +18,16 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.ccf.attributes import AttributeSchema
-from repro.ccf.base import ConditionalCuckooFilterBase
+from repro.ccf.base import ConditionalCuckooFilterBase, validate_attr_columns
 from repro.ccf.binning import DyadicDecomposer
 from repro.ccf.factory import make_ccf
 from repro.ccf.params import CCFParams
 from repro.ccf.predicates import And, Eq, In, Predicate, Range, TruePredicate
 from repro.ccf.sizing import recommended_num_buckets
+from repro.hashing.mixers import as_native_list
 
 
 class DyadicRangeCCF:
@@ -50,6 +53,7 @@ class DyadicRangeCCF:
             self.interval_column if name == range_column else name for name in schema.names
         )
         self.inner = make_ccf(kind, AttributeSchema(inner_names), num_buckets, params)
+        self.num_rows_inserted = 0
 
     @classmethod
     def build(
@@ -86,12 +90,46 @@ class DyadicRangeCCF:
     def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
         """Insert one row as η interval rows (one per dyadic level)."""
         values = list(self.schema.row_values(attrs))
+        self.num_rows_inserted += 1
+        fingerprint = self.inner.geometry.fingerprint_of(key)
+        home = self.inner.geometry.home_index(key)
+        return self._insert_levels(fingerprint, home, values)
+
+    def _insert_levels(self, fingerprint: int, home: int, values: list[Any]) -> bool:
+        """Fan one row out into its η interval rows (key hashed once)."""
         range_value = values[self._range_index]
         success = True
         for interval in self.decomposer.intervals_for_value(range_value):
             values[self._range_index] = interval
-            success = self.inner.insert(key, tuple(values)) and success
+            success = (
+                self.inner._insert_hashed(fingerprint, home, tuple(values), None)
+                and success
+            )
         return success
+
+    def insert_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        attr_columns: Sequence[Sequence[Any] | np.ndarray],
+    ) -> np.ndarray:
+        """Batch `insert`: key hashing vectorised, η-fan-out per row.
+
+        Rows are fanned out in the same row-major order as a scalar loop, so
+        the inner filter's state is bit-identical to one.  (Interval ids are
+        tuples, so attribute fingerprinting stays element-wise.)
+        """
+        columns = list(attr_columns)
+        num_rows = len(keys)
+        validate_attr_columns(columns, len(self.schema.names), num_rows)
+        native = [as_native_list(column) for column in columns]
+        fps = self.inner.geometry.fingerprints_of_many(keys).tolist()
+        homes = self.inner.geometry.home_indices_of_many(keys).tolist()
+        out = np.empty(num_rows, dtype=bool)
+        for i, (fingerprint, home) in enumerate(zip(fps, homes)):
+            self.num_rows_inserted += 1
+            values = [column[i] for column in native]
+            out[i] = self._insert_levels(fingerprint, home, values)
+        return out
 
     def _rewrite(self, predicate: Predicate) -> "Predicate | None":
         """Rewrite onto the interval column; None means provably empty."""
@@ -134,9 +172,31 @@ class DyadicRangeCCF:
             return False
         return self.inner.query(key, rewritten)
 
+    def query_many(
+        self, keys: Sequence[object] | np.ndarray, predicate: Predicate | None = None
+    ) -> np.ndarray:
+        """Batch `query`: the predicate is rewritten once for the batch."""
+        if predicate is None:
+            return self.inner.contains_key_many(keys)
+        rewritten = self._rewrite(predicate)
+        if rewritten is None:
+            return np.zeros(len(keys), dtype=bool)
+        return self.inner.query_many(keys, rewritten)
+
     def contains_key(self, key: object) -> bool:
         """Key-only membership."""
         return self.inner.contains_key(key)
+
+    def contains_key_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch key-only membership."""
+        return self.inner.contains_key_many(keys)
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains_key(key)
+
+    def __len__(self) -> int:
+        """Number of input rows inserted (before the η-fold interval fan-out)."""
+        return self.num_rows_inserted
 
     def size_in_bits(self) -> int:
         """Total sketch size (the η-fold fan-out is included by construction)."""

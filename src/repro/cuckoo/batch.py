@@ -1,0 +1,106 @@
+"""Shared batch machinery for fingerprint-per-slot cuckoo structures.
+
+`CuckooFilter` and `MultisetCuckooFilter` store a bare integer fingerprint
+in each slot and share identical batch hashing, placement/removal loops and
+snapshot logic; this mixin holds the single copy.  Host classes provide
+``buckets``, ``_fp_salt``, ``_index_salt``, ``_jump_salt``, ``_fp_mask``, a
+``_snapshot`` cache attribute (initialised to None), and the scalar kernels
+``_insert_hashed`` / ``_delete_hashed``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing.mixers import hash64_many_masked
+
+
+class FingerprintBatchMixin:
+    """Vectorised fingerprint/index derivation and a cached table snapshot."""
+
+    def fingerprints_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `fingerprint_of` (int64 array, bit-identical per element)."""
+        return hash64_many_masked(keys, self._fp_salt, self._fp_mask)
+
+    def home_indices_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `home_index` (int64 array, bit-identical per element)."""
+        return hash64_many_masked(keys, self._index_salt, self.buckets.num_buckets - 1)
+
+    def _fp_jump_many(self, fingerprints: np.ndarray) -> np.ndarray:
+        """Batch `_fp_jump`, computed on the fly (bypasses the memo)."""
+        return hash64_many_masked(fingerprints, self._jump_salt, self.buckets.num_buckets - 1)
+
+    def insert_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Insert a batch of keys; returns the per-key `insert` results.
+
+        Fingerprints and home buckets are derived in one vectorised pass;
+        only the residual placement loop (which is inherently sequential —
+        each placement may displace earlier entries) runs per key.  State and
+        results are bit-identical to calling `insert` in a loop.
+        """
+        fps = self.fingerprints_of_many(keys).tolist()
+        homes = self.home_indices_of_many(keys).tolist()
+        out = np.empty(len(fps), dtype=bool)
+        for i, (fp, home) in enumerate(zip(fps, homes)):
+            out[i] = self._insert_hashed(fp, home)
+        return out
+
+    def delete_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Delete a batch of keys; returns the per-key `delete` results.
+
+        Hashing is vectorised; removals run sequentially (each may free a
+        slot the next key's removal inspects) and match a scalar loop
+        exactly.  The usual deletion caveat applies per key.
+        """
+        fps = self.fingerprints_of_many(keys).tolist()
+        homes = self.home_indices_of_many(keys).tolist()
+        out = np.empty(len(fps), dtype=bool)
+        for i, (fp, home) in enumerate(zip(fps, homes)):
+            out[i] = self._delete_hashed(fp, home)
+        return out
+
+    def _fp_table(self) -> np.ndarray:
+        """An ``(m, b)`` int64 snapshot of the slot fingerprints (-1 = empty).
+
+        Cached against the bucket array's mutation counter, so query-heavy
+        phases pay the O(table) rebuild at most once per mutation batch.
+        """
+        version = self.buckets.version
+        snapshot = self._snapshot
+        if snapshot is None or snapshot[0] != version:
+            slots = self.buckets.storage
+            flat = np.fromiter(
+                (-1 if e is None else e for e in slots), dtype=np.int64, count=len(slots)
+            )
+            snapshot = (version, flat.reshape(self.buckets.num_buckets, self.buckets.bucket_size))
+            self._snapshot = snapshot
+        return snapshot[1]
+
+    #: Amortisation state for `_prefer_scalar_probe` (class-level defaults;
+    #: instances shadow them on first use).
+    _scalar_probe_version = -1
+    _scalar_probe_rows = 0
+
+    def _prefer_scalar_probe(self, count: int) -> bool:
+        """Should a probe batch of ``count`` keys skip the snapshot path?
+
+        Rebuilding the O(table) snapshot for a tiny batch right after a
+        mutation costs more than probing those keys through the scalar
+        methods.  Scalar-path rows are accumulated per table state so
+        repeated small batches eventually build the snapshot and converge to
+        the vector path; either path answers identically, so this is purely
+        a cost decision (mirrors the CCF layer's `_prefer_scalar_batch`).
+        """
+        snapshot = self._snapshot
+        version = self.buckets.version
+        if snapshot is not None and snapshot[0] == version:
+            return False
+        if self._scalar_probe_version != version:
+            self._scalar_probe_version = version
+            self._scalar_probe_rows = 0
+        if 4 * (self._scalar_probe_rows + count) < self.buckets.num_buckets:
+            self._scalar_probe_rows += count
+            return True
+        return False

@@ -30,7 +30,7 @@ def is_power_of_two(n: int) -> bool:
 class BucketArray:
     """Fixed array of buckets, each with ``bucket_size`` object slots."""
 
-    __slots__ = ("num_buckets", "bucket_size", "_slots", "_filled")
+    __slots__ = ("num_buckets", "bucket_size", "_slots", "_filled", "_version")
 
     def __init__(self, num_buckets: int, bucket_size: int) -> None:
         if not is_power_of_two(num_buckets):
@@ -41,6 +41,7 @@ class BucketArray:
         self.bucket_size = bucket_size
         self._slots: list[Any] = [None] * (num_buckets * bucket_size)
         self._filled = 0
+        self._version = 0
 
     # -- basic slot access ------------------------------------------------
 
@@ -62,6 +63,7 @@ class BucketArray:
         index = self._base(bucket) + slot
         before = self._slots[index]
         self._slots[index] = entry
+        self._version += 1
         if before is None and entry is not None:
             self._filled += 1
         elif before is not None and entry is None:
@@ -101,6 +103,7 @@ class BucketArray:
             if self._slots[base + slot] is None:
                 self._slots[base + slot] = entry
                 self._filled += 1
+                self._version += 1
                 return True
         return False
 
@@ -112,6 +115,7 @@ class BucketArray:
             if entry is not None and predicate(entry):
                 self._slots[base + slot] = None
                 self._filled -= 1
+                self._version += 1
                 return entry
         return None
 
@@ -136,6 +140,15 @@ class BucketArray:
     def filled(self) -> int:
         """Number of occupied slots."""
         return self._filled
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every slot write.
+
+        Batch query paths key their numpy snapshots of the table on this, so
+        a snapshot is rebuilt only after the table actually changed.
+        """
+        return self._version
 
     def load_factor(self) -> float:
         """Fraction of slots occupied."""

@@ -15,14 +15,18 @@ failure by returning False and setting :attr:`failed`.
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
+import numpy as np
+
+from repro.cuckoo.batch import FingerprintBatchMixin
 from repro.cuckoo.buckets import BucketArray, next_power_of_two
-from repro.hashing.mixers import derive_seed, hash64
+from repro.hashing.mixers import as_native_list, derive_seed, hash64, memoized_jump
 
 DEFAULT_MAX_KICKS = 500
 
 
-class CuckooFilter:
+class CuckooFilter(FingerprintBatchMixin):
     """Approximate-set-membership filter with partial-key cuckoo hashing."""
 
     def __init__(
@@ -48,6 +52,7 @@ class CuckooFilter:
         self._jump_salt = derive_seed(seed, "cf-jump")
         self._jump_cache: dict[int, int] = {}
         self._rng = random.Random(derive_seed(seed, "cf-rng"))
+        self._snapshot: tuple[int, np.ndarray] | None = None
 
     @classmethod
     def from_capacity(
@@ -83,11 +88,9 @@ class CuckooFilter:
 
     def _fp_jump(self, fingerprint: int) -> int:
         """Return ``h(fingerprint) mod m``, the XOR offset to the alternate bucket."""
-        jump = self._jump_cache.get(fingerprint)
-        if jump is None:
-            jump = hash64(fingerprint, self._jump_salt) & (self.buckets.num_buckets - 1)
-            self._jump_cache[fingerprint] = jump
-        return jump
+        return memoized_jump(
+            self._jump_cache, fingerprint, self._jump_salt, self.buckets.num_buckets - 1
+        )
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the partner bucket of ``index`` for ``fingerprint``."""
@@ -101,8 +104,10 @@ class CuckooFilter:
         A failure leaves the filter still correct (the displaced victim is
         stashed) but flags it as over capacity via :attr:`failed`.
         """
-        fp = self.fingerprint_of(key)
-        i1 = self.home_index(key)
+        return self._insert_hashed(self.fingerprint_of(key), self.home_index(key))
+
+    def _insert_hashed(self, fp: int, i1: int) -> bool:
+        """Placement kernel shared by `insert` and `insert_many`."""
         i2 = self.alt_index(i1, fp)
         self.num_items += 1
         if self.buckets.try_add(i1, fp) or self.buckets.try_add(i2, fp):
@@ -133,6 +138,30 @@ class CuckooFilter:
             return True
         return fp in self.stash
 
+    def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `contains`: one vectorised probe of both buckets per key.
+
+        Tiny batches against a freshly mutated table take the scalar path
+        instead of rebuilding the O(table) snapshot; answers are identical.
+        """
+        if self._prefer_scalar_probe(len(keys)):
+            return np.fromiter(
+                (self.contains(key) for key in as_native_list(keys)),
+                dtype=bool,
+                count=len(keys),
+            )
+        fps = self.fingerprints_of_many(keys)
+        homes = self.home_indices_of_many(keys)
+        alts = homes ^ self._fp_jump_many(fps)
+        table = self._fp_table()
+        fp_col = fps[:, None]
+        found = (table[homes] == fp_col).any(axis=1)
+        found |= (table[alts] == fp_col).any(axis=1)
+        if self.stash:
+            stash = np.fromiter(self.stash, dtype=np.int64, count=len(self.stash))
+            found |= np.isin(fps, stash)
+        return found
+
     def __contains__(self, key: object) -> bool:
         return self.contains(key)
 
@@ -143,8 +172,10 @@ class CuckooFilter:
         remove another key's colliding fingerprint; callers must only delete
         keys they know to be present.
         """
-        fp = self.fingerprint_of(key)
-        i1 = self.home_index(key)
+        return self._delete_hashed(self.fingerprint_of(key), self.home_index(key))
+
+    def _delete_hashed(self, fp: int, i1: int) -> bool:
+        """Removal kernel shared by `delete` and `delete_many`."""
         i2 = self.alt_index(i1, fp)
         for bucket in (i1, i2):
             if self.buckets.remove(bucket, lambda e: e == fp) is not None:

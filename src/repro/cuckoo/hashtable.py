@@ -9,10 +9,12 @@ resizes itself (doubling) when an insertion cannot be placed within MaxKicks
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
+
+import numpy as np
 
 from repro.cuckoo.buckets import BucketArray, next_power_of_two
-from repro.hashing.mixers import derive_seed, hash64
+from repro.hashing.mixers import as_native_list, derive_seed, hash64, hash64_many
 
 DEFAULT_MAX_KICKS = 500
 
@@ -49,10 +51,23 @@ class CuckooHashTable:
         mask = self.buckets.num_buckets - 1
         return hash64(key, self._salt1) & mask, hash64(key, self._salt2) & mask
 
+    def _indexes_many(
+        self, keys: Sequence[object] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch `_indexes`: both bucket hashes for every key, vectorised."""
+        mask = np.uint64(self.buckets.num_buckets - 1)
+        h1 = (hash64_many(keys, self._salt1) & mask).astype(np.int64)
+        h2 = (hash64_many(keys, self._salt2) & mask).astype(np.int64)
+        return h1, h2
+
     # -- mapping protocol -----------------------------------------------------
 
     def __setitem__(self, key: object, value: Any) -> None:
         i1, i2 = self._indexes(key)
+        self._set_hashed(key, value, i1, i2)
+
+    def _set_hashed(self, key: object, value: Any, i1: int, i2: int) -> None:
+        """Upsert kernel shared by `__setitem__` and `insert_many`."""
         # Update in place if the key is already present.
         for bucket in (i1, i2):
             for slot, entry in self.buckets.iter_slots(bucket):
@@ -60,6 +75,75 @@ class CuckooHashTable:
                     self.buckets.set_slot(bucket, slot, (key, value))
                     return
         self._insert_new((key, value), i1, i2)
+
+    def insert_many(self, keys: Sequence[object], values: Sequence[Any]) -> None:
+        """Batch upsert: hash all keys in one pass, then place sequentially.
+
+        A resize mid-batch re-salts the table and invalidates the remaining
+        precomputed indices, so hashing restarts from the first unplaced key
+        whenever the generation changes.  End state matches a scalar loop.
+        """
+        # Native conversion matters beyond parity: stored keys are re-hashed
+        # by kicks and resizes, and hash64 rejects numpy scalars.
+        keys = as_native_list(keys)
+        values = as_native_list(values)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have the same length")
+        index = 0
+        while index < len(keys):
+            generation = self._generation
+            h1s, h2s = self._indexes_many(keys[index:])
+            base = index
+            while index < len(keys) and self._generation == generation:
+                offset = index - base
+                self._set_hashed(
+                    keys[index], values[index], int(h1s[offset]), int(h2s[offset])
+                )
+                index += 1
+
+    def get_many(
+        self, keys: Sequence[object] | np.ndarray, default: Any = None
+    ) -> list[Any]:
+        """Batch `get`: hashing vectorised, bucket probes per key."""
+        h1s, h2s = self._indexes_many(keys)
+        keys_list = as_native_list(keys)
+        out = []
+        for key, i1, i2 in zip(keys_list, h1s.tolist(), h2s.tolist()):
+            value = default
+            for bucket in (i1, i2):
+                for _slot, entry in self.buckets.iter_slots(bucket):
+                    if entry[0] == key:
+                        value = entry[1]
+                        break
+                else:
+                    continue
+                break
+            out.append(value)
+        return out
+
+    def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `__contains__`."""
+        sentinel = _MISSING
+        return np.fromiter(
+            (value is not sentinel for value in self.get_many(keys, sentinel)),
+            dtype=bool,
+            count=len(keys),
+        )
+
+    def delete_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch delete: True per key actually removed (no KeyError)."""
+        h1s, h2s = self._indexes_many(keys)
+        keys_list = as_native_list(keys)
+        out = np.empty(len(keys_list), dtype=bool)
+        for i, (key, i1, i2) in enumerate(zip(keys_list, h1s.tolist(), h2s.tolist())):
+            removed = False
+            for bucket in (i1, i2):
+                if self.buckets.remove(bucket, lambda e: e[0] == key) is not None:
+                    self._count -= 1
+                    removed = True
+                    break
+            out[i] = removed
+        return out
 
     def _insert_new(self, pair: tuple[object, Any], i1: int, i2: int) -> None:
         if self.buckets.try_add(i1, pair) or self.buckets.try_add(i2, pair):

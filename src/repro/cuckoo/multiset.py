@@ -13,14 +13,18 @@ Figure 4 quantifies and that the paper's chaining technique repairs.
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
+import numpy as np
+
+from repro.cuckoo.batch import FingerprintBatchMixin
 from repro.cuckoo.buckets import BucketArray, next_power_of_two
-from repro.hashing.mixers import derive_seed, hash64
+from repro.hashing.mixers import as_native_list, derive_seed, hash64, memoized_jump
 
 DEFAULT_MAX_KICKS = 500
 
 
-class MultisetCuckooFilter:
+class MultisetCuckooFilter(FingerprintBatchMixin):
     """Cuckoo filter that stores one fingerprint copy per insertion."""
 
     def __init__(
@@ -44,6 +48,7 @@ class MultisetCuckooFilter:
         self._jump_salt = derive_seed(seed, "mcf-jump")
         self._jump_cache: dict[int, int] = {}
         self._rng = random.Random(derive_seed(seed, "mcf-rng"))
+        self._snapshot: tuple[int, np.ndarray] | None = None
 
     # -- hashing ------------------------------------------------------------
 
@@ -56,11 +61,9 @@ class MultisetCuckooFilter:
         return hash64(key, self._index_salt) & (self.buckets.num_buckets - 1)
 
     def _fp_jump(self, fingerprint: int) -> int:
-        jump = self._jump_cache.get(fingerprint)
-        if jump is None:
-            jump = hash64(fingerprint, self._jump_salt) & (self.buckets.num_buckets - 1)
-            self._jump_cache[fingerprint] = jump
-        return jump
+        return memoized_jump(
+            self._jump_cache, fingerprint, self._jump_salt, self.buckets.num_buckets - 1
+        )
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the partner bucket of ``index`` for ``fingerprint``."""
@@ -70,8 +73,10 @@ class MultisetCuckooFilter:
 
     def insert(self, key: object) -> bool:
         """Add one copy of ``key``; False once the bucket pair is exhausted."""
-        fp = self.fingerprint_of(key)
-        i1 = self.home_index(key)
+        return self._insert_hashed(self.fingerprint_of(key), self.home_index(key))
+
+    def _insert_hashed(self, fp: int, i1: int) -> bool:
+        """Placement kernel shared by `insert` and `insert_many`."""
         i2 = self.alt_index(i1, fp)
         self.num_items += 1
         if self.buckets.try_add(i1, fp) or self.buckets.try_add(i2, fp):
@@ -112,10 +117,40 @@ class MultisetCuckooFilter:
         total += sum(1 for e in self.stash if e == fp)
         return total
 
+    def count_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `count`: vectorised copy counts over both buckets + stash.
+
+        Tiny batches against a freshly mutated table take the scalar path
+        instead of rebuilding the O(table) snapshot; answers are identical.
+        """
+        if self._prefer_scalar_probe(len(keys)):
+            return np.fromiter(
+                (self.count(key) for key in as_native_list(keys)),
+                dtype=np.int64,
+                count=len(keys),
+            )
+        fps = self.fingerprints_of_many(keys)
+        homes = self.home_indices_of_many(keys)
+        alts = homes ^ self._fp_jump_many(fps)
+        table = self._fp_table()
+        fp_col = fps[:, None]
+        totals = (table[homes] == fp_col).sum(axis=1)
+        totals += np.where(alts == homes, 0, (table[alts] == fp_col).sum(axis=1))
+        if self.stash:
+            stash = np.fromiter(self.stash, dtype=np.int64, count=len(self.stash))
+            totals += (fp_col == stash[None, :]).sum(axis=1)
+        return totals
+
+    def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `contains` (``count_many > 0``)."""
+        return self.count_many(keys) > 0
+
     def delete(self, key: object) -> bool:
         """Remove one copy of ``key``; True if a fingerprint was removed."""
-        fp = self.fingerprint_of(key)
-        i1 = self.home_index(key)
+        return self._delete_hashed(self.fingerprint_of(key), self.home_index(key))
+
+    def _delete_hashed(self, fp: int, i1: int) -> bool:
+        """Removal kernel shared by `delete` and `delete_many`."""
         i2 = self.alt_index(i1, fp)
         for bucket in (i1, i2) if i1 != i2 else (i1,):
             if self.buckets.remove(bucket, lambda e: e == fp) is not None:

@@ -11,11 +11,18 @@ Two hash paths are offered behind one ``hash64`` entry point:
 
 Both paths accept a 64-bit ``seed`` so independent structures (and independent
 hash functions within one structure) can derive uncorrelated hashes.
+
+`mix64_many` / `hash64_many` are the batch counterparts: numpy-vectorised for
+integer batches, element-wise otherwise, and bit-identical to the scalar
+functions either way (the equivalence contract is recorded in DESIGN.md).
 """
 
 from __future__ import annotations
 
 import struct
+from typing import Sequence
+
+import numpy as np
 
 from repro.hashing.lookup3 import hashlittle64
 
@@ -38,6 +45,18 @@ def mix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
     x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
     return x ^ (x >> 31)
+
+
+def mix64_many(x: np.ndarray) -> np.ndarray:
+    """Avalanche an array of 64-bit integers (vectorised `mix64`).
+
+    Operates in ``uint64``, whose wrap-around multiplication matches the
+    scalar path's mod-2**64 arithmetic bit for bit.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+    return x ^ (x >> np.uint64(31))
 
 
 def canonical_bytes(value: object) -> bytes:
@@ -95,6 +114,92 @@ def hash64(value: object, seed: int = 0) -> int:
     if isinstance(value, int) and not isinstance(value, bool):
         return mix64(value ^ _mixed_seed(seed))
     return hashlittle64(canonical_bytes(value), seed & _MASK64)
+
+
+def as_native_list(values: Sequence[object] | np.ndarray) -> list:
+    """Batch elements as native Python objects (numpy scalars unwrapped).
+
+    Scalar hash/fingerprint paths dispatch on Python types, so batch code
+    falling back to them must unwrap numpy scalars first; this is the one
+    shared conversion rule.
+    """
+    return values.tolist() if isinstance(values, np.ndarray) else list(values)
+
+
+def coerce_int_column(values: Sequence[object] | np.ndarray) -> np.ndarray | None:
+    """Return ``values`` as a 1-D integer ndarray, or None.
+
+    None means element-wise processing is required to preserve scalar
+    semantics: non-integer dtypes, nested shapes, ints outside 64 bits, and
+    Python bools (which would silently coerce to ints but hash/fingerprint
+    through the canonical path, not the integer fast path).
+    """
+    if isinstance(values, np.ndarray):
+        return values if values.ndim == 1 and values.dtype.kind in "iu" else None
+    try:
+        candidate = np.asarray(values)
+    except (ValueError, TypeError, OverflowError):
+        return None
+    if (
+        candidate.ndim == 1
+        and candidate.dtype.kind in "iu"
+        and not any(isinstance(v, bool) for v in values)
+    ):
+        return candidate
+    return None
+
+
+def hash64_many(values: Sequence[object] | np.ndarray, seed: int = 0) -> np.ndarray:
+    """Hash a batch of values to 64 bits each, bit-identical to `hash64`.
+
+    Integer-dtype arrays (and sequences that coerce to one) take a fully
+    vectorised SplitMix64 path; anything else falls back to element-wise
+    `hash64`, so mixed/typed batches still agree with the scalar API.
+    Returns a ``uint64`` array of the same length.
+    """
+    arr = coerce_int_column(values)
+    if arr is not None:
+        # astype(uint64) is two's-complement for signed inputs, matching the
+        # scalar path's ``x & _MASK64`` of negative Python ints.
+        x = arr.astype(np.uint64) ^ np.uint64(_mixed_seed(seed))
+        return mix64_many(x)
+    # Element-wise fallback on native Python values, so the scalar type
+    # dispatch in hash64 is unchanged.
+    seq = as_native_list(values)
+    return np.fromiter((hash64(v, seed) for v in seq), dtype=np.uint64, count=len(seq))
+
+
+def hash64_many_masked(
+    values: Sequence[object] | np.ndarray, seed: int, mask: int
+) -> np.ndarray:
+    """Batch ``hash64(v, seed) & mask`` as int64 (requires ``mask < 2**63``).
+
+    The one shared copy of the mask-and-cast dance used for fingerprints,
+    bucket indices and XOR jumps across all cuckoo structures.
+    """
+    return (hash64_many(values, seed) & np.uint64(mask)).astype(np.int64)
+
+
+#: Cap on the per-structure fingerprint->jump memo used by `memoized_jump`.
+#: Fingerprint spaces up to 16 bits are fully memoised; wider spaces (or
+#: adversarial key streams) reset the memo instead of growing without bound.
+JUMP_CACHE_LIMIT = 1 << 16
+
+
+def memoized_jump(cache: dict[int, int], fingerprint: int, salt: int, mask: int) -> int:
+    """Memoised ``hash64(fingerprint, salt) & mask`` with a bounded cache.
+
+    The shared eviction policy for every cuckoo structure's XOR-jump memo:
+    on overflow the cache is cleared (cheap, bounded, and re-derivable —
+    jumps are pure functions of their inputs).
+    """
+    jump = cache.get(fingerprint)
+    if jump is None:
+        jump = hash64(fingerprint, salt) & mask
+        if len(cache) >= JUMP_CACHE_LIMIT:
+            cache.clear()
+        cache[fingerprint] = jump
+    return jump
 
 
 def derive_seed(seed: int, purpose: str, index: int = 0) -> int:

@@ -129,12 +129,11 @@ def build_filter_bundle(
         key_column = dataset.join_key(table)
         attr_columns = ccf_attribute_columns(dataset, table)
         schema = AttributeSchema(attr_columns)
-        keys = relation.column(key_column).tolist()
-        attr_arrays = [relation.column(c).tolist() for c in attr_columns]
-        rows = list(zip(keys, zip(*attr_arrays)))
+        keys = relation.column(key_column)
+        attr_arrays = [relation.column(c) for c in attr_columns]
         fingerprinter = ConditionalCuckooFilterBase.make_fingerprinter(schema, params)
         counts = distinct_vector_counts(
-            (key, fingerprinter.vector(attrs)) for key, attrs in rows
+            zip(keys.tolist(), fingerprinter.vectors_many(attr_arrays))
         )
         predicted = predicted_entries(
             kind, counts, params.max_dupes, params.max_chain, params.bucket_size
@@ -143,8 +142,7 @@ def build_filter_bundle(
         ccf = None
         for _attempt in range(3):
             ccf = make_ccf(kind, schema, num_buckets, params)
-            for key, attrs in rows:
-                ccf.insert(key, attrs)
+            ccf.insert_many(keys, attr_arrays)
             if not ccf.failed:
                 break
             num_buckets *= 2
@@ -171,8 +169,7 @@ def build_cuckoo_baseline(
             target_load=0.9,
             seed=seed,
         )
-        for key in keys.tolist():
-            cuckoo.insert(int(key))
+        cuckoo.insert_many(keys)
         filters[table] = cuckoo
     return filters
 
@@ -275,24 +272,14 @@ def evaluate_workload(
                 binned_keys = np.unique(other_relation.column(other_key)[binned_mask])
                 binned_pass &= np.isin(unique_keys, binned_keys)
 
-                key_list = unique_keys.tolist()
                 for bundle in bundles:
                     ccf = bundle.ccfs[other.table]
                     compiled = ccf.compile(bundle.query_predicate(other.table, other.predicate))
-                    answers = np.fromiter(
-                        (ccf.query(key, compiled) for key in key_list),
-                        dtype=bool,
-                        count=len(key_list),
-                    )
-                    method_pass[bundle.name] &= answers
+                    method_pass[bundle.name] &= ccf.query_many(unique_keys, compiled)
                 if cuckoo_filters is not None:
-                    baseline = cuckoo_filters[other.table]
-                    answers = np.fromiter(
-                        (baseline.contains(key) for key in key_list),
-                        dtype=bool,
-                        count=len(key_list),
+                    method_pass["cuckoo"] &= cuckoo_filters[other.table].contains_many(
+                        unique_keys
                     )
-                    method_pass["cuckoo"] &= answers
 
             results.append(
                 InstanceResult(

@@ -65,6 +65,21 @@ class BloomFilter:
     def __contains__(self, value: object) -> bool:
         return all(self._bits.get(i) for i in self._family.indexes(value, self.num_bits))
 
+    def positions(self, value: object) -> list[int]:
+        """Bit positions ``value`` probes in any same-parameter filter.
+
+        Positions depend only on (num_bits, num_hashes, seed), so they can be
+        computed once and tested against many filters via
+        :meth:`contains_positions` — the hot pattern of batch predicate
+        matching over per-entry sketches.
+        """
+        return self._family.indexes(value, self.num_bits)
+
+    def contains_positions(self, positions: list[int]) -> bool:
+        """Membership test against precomputed :meth:`positions` output."""
+        bits = self._bits
+        return all(bits.get(i) for i in positions)
+
     def contains(self, value: object) -> bool:
         """Return True if ``value`` may have been inserted (no false negatives)."""
         return value in self

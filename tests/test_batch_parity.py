@@ -1,0 +1,293 @@
+"""Batch/scalar equivalence: the batch layer's bit-identity contract.
+
+For every structure with batch APIs, driving one instance through the scalar
+loop and a twin through `insert_many`/`query_many`/`delete_many` must produce
+identical membership answers, identical table and stash contents, and
+identical statistics counters (see DESIGN.md).  Tables are deliberately
+undersized in some cases so the stash/failure paths are exercised too.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.entries import GroupSlot, VectorEntry
+from repro.ccf.factory import CCF_KINDS, make_ccf
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq, In
+from repro.ccf.range_ccf import DyadicRangeCCF
+from repro.cuckoo.filter import CuckooFilter
+from repro.cuckoo.hashtable import CuckooHashTable
+from repro.cuckoo.multiset import MultisetCuckooFilter
+
+SCHEMA = AttributeSchema(["color", "size"])
+COLORS = ("red", "green", "blue")
+
+ROWS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=120),  # key
+        st.sampled_from(COLORS),
+        st.integers(min_value=0, max_value=30),  # size
+    ),
+    max_size=120,
+)
+PREDICATES = (
+    None,
+    Eq("color", "red"),
+    Eq("color", "missing"),
+    In("size", (1, 3, 5)),
+)
+
+
+def _params(num_buckets_seed: int, max_chain=None) -> CCFParams:
+    return CCFParams(
+        bucket_size=4,
+        max_dupes=2,
+        key_bits=8,
+        attr_bits=5,
+        seed=num_buckets_seed,
+        max_chain=max_chain,
+    )
+
+
+def _entry_key(entry):
+    if isinstance(entry, VectorEntry):
+        return ("vec", entry.fp, entry.avec, entry.matching)
+    if isinstance(entry, GroupSlot):
+        return ("group", entry.fp, entry.group.bloom.payload_bytes())
+    return ("bloom", entry.fp, entry.bloom.payload_bytes())
+
+
+def _table_state(ccf):
+    return [
+        (bucket, slot, _entry_key(entry))
+        for bucket, slot, entry in ccf.buckets.iter_entries()
+    ]
+
+
+def _assert_ccf_twins_equal(scalar, batch):
+    assert _table_state(scalar) == _table_state(batch)
+    assert [_entry_key(e) for e in scalar.stash] == [_entry_key(e) for e in batch.stash]
+    assert scalar.num_rows_inserted == batch.num_rows_inserted
+    assert scalar.num_rows_discarded == batch.num_rows_discarded
+    assert scalar.num_kicks == batch.num_kicks
+    assert scalar.num_entries == batch.num_entries
+    assert scalar.failed == batch.failed
+
+
+@pytest.mark.parametrize("kind", sorted(CCF_KINDS))
+@settings(max_examples=25, deadline=None)
+@given(rows=ROWS, seed=st.integers(min_value=0, max_value=5))
+def test_ccf_insert_and_query_parity(kind, rows, seed):
+    # 32 buckets x 4 slots for up to 120 rows: overload (stash, failure,
+    # chain-discard) paths are reachable and must also match.
+    params = _params(seed, max_chain=4 if kind == "chained" else None)
+    scalar = make_ccf(kind, SCHEMA, 32, params)
+    batch = make_ccf(kind, SCHEMA, 32, params)
+
+    scalar_results = [scalar.insert(key, (color, size)) for key, color, size in rows]
+    keys = np.array([key for key, _c, _s in rows], dtype=np.int64)
+    colors = [color for _k, color, _s in rows]
+    sizes = np.array([size for _k, _c, size in rows], dtype=np.int64)
+    batch_results = batch.insert_many(keys, [colors, sizes])
+
+    assert batch_results.tolist() == scalar_results
+    _assert_ccf_twins_equal(scalar, batch)
+
+    probes = np.arange(150, dtype=np.int64)
+    for predicate in PREDICATES:
+        compiled = scalar.compile(predicate) if predicate is not None else None
+        want = [scalar.query(int(key), compiled) for key in probes.tolist()]
+        assert batch.query_many(probes, predicate).tolist() == want
+    assert batch.contains_key_many(probes).tolist() == [
+        scalar.contains_key(int(key)) for key in probes.tolist()
+    ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=60),
+            st.sampled_from(COLORS),
+            st.integers(min_value=0, max_value=63),
+        ),
+        max_size=60,
+    ),
+    kind=st.sampled_from(("chained", "bloom", "mixed")),
+)
+def test_range_ccf_insert_and_query_parity(rows, kind):
+    params = _params(3)
+    scalar = DyadicRangeCCF(kind, SCHEMA, "size", (0, 63), 256, params)
+    batch = DyadicRangeCCF(kind, SCHEMA, "size", (0, 63), 256, params)
+
+    scalar_results = [scalar.insert(key, (color, size)) for key, color, size in rows]
+    keys = np.array([key for key, _c, _s in rows], dtype=np.int64)
+    colors = [color for _k, color, _s in rows]
+    sizes = np.array([size for _k, _c, size in rows], dtype=np.int64)
+    batch_results = batch.insert_many(keys, [colors, sizes])
+
+    assert batch_results.tolist() == scalar_results
+    _assert_ccf_twins_equal(scalar.inner, batch.inner)
+    assert len(batch) == len(rows)
+
+    from repro.ccf.predicates import Range
+
+    probes = np.arange(80, dtype=np.int64)
+    for predicate in (None, Range("size", 3, 17), Range("size", 100, 200), Eq("color", "red")):
+        want = [scalar.query(int(key), predicate) for key in probes.tolist()]
+        assert batch.query_many(probes, predicate).tolist() == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=150),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_cuckoo_filter_parity(keys, seed):
+    scalar = CuckooFilter(16, 4, 10, seed=seed)
+    batch = CuckooFilter(16, 4, 10, seed=seed)
+    assert batch.insert_many(keys).tolist() == [scalar.insert(k) for k in keys]
+    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.stash == batch.stash
+    assert scalar.num_items == batch.num_items == len(batch)
+    assert scalar.failed == batch.failed
+
+    probes = list(keys) + list(range(50))
+    assert batch.contains_many(probes).tolist() == [scalar.contains(k) for k in probes]
+
+    victims = keys[::2]
+    assert batch.delete_many(victims).tolist() == [scalar.delete(k) for k in victims]
+    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.stash == batch.stash
+    assert batch.contains_many(probes).tolist() == [scalar.contains(k) for k in probes]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=40), max_size=120),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_multiset_parity(keys, seed):
+    scalar = MultisetCuckooFilter(16, 4, 10, seed=seed)
+    batch = MultisetCuckooFilter(16, 4, 10, seed=seed)
+    assert batch.insert_many(keys).tolist() == [scalar.insert(k) for k in keys]
+    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.stash == batch.stash
+
+    probes = list(range(60))
+    assert batch.count_many(probes).tolist() == [scalar.count(k) for k in probes]
+    assert batch.contains_many(probes).tolist() == [scalar.contains(k) for k in probes]
+
+    victims = keys[::3]
+    assert batch.delete_many(victims).tolist() == [scalar.delete(k) for k in victims]
+    assert batch.count_many(probes).tolist() == [scalar.count(k) for k in probes]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=500), st.integers()),
+        max_size=200,
+    )
+)
+def test_hashtable_parity(pairs):
+    scalar = CuckooHashTable(num_buckets=4, bucket_size=2, seed=1)
+    batch = CuckooHashTable(num_buckets=4, bucket_size=2, seed=1)
+    for key, value in pairs:
+        scalar[key] = value
+    batch.insert_many([k for k, _v in pairs], [v for _k, v in pairs])
+    # Identical hashing and RNG use mean identical resize points and layout.
+    assert scalar.num_resizes == batch.num_resizes
+    assert len(scalar) == len(batch)
+    assert scalar.buckets.storage == batch.buckets.storage
+
+    probes = list(range(520))
+    assert batch.get_many(probes) == [scalar.get(k) for k in probes]
+    assert batch.contains_many(probes).tolist() == [k in scalar for k in probes]
+
+    victims = [k for k, _v in pairs[::2]]
+    want = []
+    for key in victims:
+        if key in scalar:
+            del scalar[key]
+            want.append(True)
+        else:
+            want.append(False)
+    assert batch.delete_many(victims).tolist() == want
+    assert scalar.buckets.storage == batch.buckets.storage
+
+
+def test_hashtable_insert_many_accepts_ndarrays():
+    """Regression: ndarray keys must be stored as native ints — stored keys
+    are re-hashed by kicks and resizes, and hash64 rejects numpy scalars."""
+    table = CuckooHashTable(num_buckets=4, bucket_size=2, seed=1)
+    keys = np.arange(100)
+    table.insert_many(keys, keys * 10)  # forces kicks and resizes
+    assert table.num_resizes > 0
+    assert table[50] == 500
+    assert all(type(key) is int for key in table.keys())
+    table[200] = 1  # post-batch scalar inserts keep hashing stored keys
+    assert len(table) == 101
+
+
+def test_query_many_accepts_uncompiled_and_compiled_predicates():
+    params = _params(2)
+    ccf = make_ccf("chained", SCHEMA, 64, params)
+    rng = random.Random(0)
+    rows = [(rng.randrange(40), rng.choice(COLORS), rng.randrange(20)) for _ in range(150)]
+    ccf.insert_many(
+        [k for k, _c, _s in rows],
+        [[c for _k, c, _s in rows], [s for _k, _c, s in rows]],
+    )
+    predicate = Eq("color", "red")
+    probes = np.arange(60)
+    assert (
+        ccf.query_many(probes, predicate).tolist()
+        == ccf.query_many(probes, ccf.compile(predicate)).tolist()
+    )
+
+
+def test_bloom_batch_sees_in_place_attribute_merges():
+    """Regression: Bloom dedup mutates an entry in place (no slot write);
+    the cached match snapshot must still invalidate — a stale one would be a
+    false negative, breaking both guarantees."""
+    schema = AttributeSchema(["a"])
+    ccf = make_ccf("bloom", schema, 16, CCFParams(bucket_size=4, key_bits=8, seed=0))
+    compiled = ccf.compile(Eq("a", 7))
+    ccf.insert(5, (1,))
+    probes = np.arange(8)  # big enough batch to take the vectorised path
+    assert not ccf.query_many(probes, compiled)[5]  # primes the cache
+    ccf.insert(5, (7,))  # merges into the existing entry's Bloom in place
+    assert ccf.query(5, compiled)
+    assert ccf.query_many(probes, compiled)[5]
+
+
+def test_mixed_batch_sees_in_place_group_absorption():
+    """Regression: group absorption after conversion is also an in-place
+    entry mutation and must invalidate the cached match snapshot."""
+    schema = AttributeSchema(["a"])
+    params = CCFParams(bucket_size=4, max_dupes=2, key_bits=8, attr_bits=8, seed=0)
+    ccf = make_ccf("mixed", schema, 16, params)
+    compiled = ccf.compile(Eq("a", 77))
+    for value in (1, 2, 3):  # third distinct row converts the pair
+        ccf.insert(5, (value,))
+    assert ccf.num_conversions == 1
+    probes = np.arange(8)  # big enough batch to take the vectorised path
+    assert not ccf.query_many(probes, compiled)[5]  # primes the cache
+    ccf.insert(5, (77,))  # absorbed into the converted group in place
+    assert ccf.num_absorbed == 1
+    assert ccf.query(5, compiled)
+    assert ccf.query_many(probes, compiled)[5]
+
+
+def test_insert_many_validates_columns():
+    ccf = make_ccf("plain", SCHEMA, 16, _params(0))
+    with pytest.raises(ValueError):
+        ccf.insert_many([1, 2], [["red", "blue"]])  # missing a column
+    with pytest.raises(ValueError):
+        ccf.insert_many([1, 2], [["red"], [3, 4]])  # ragged column
