@@ -11,6 +11,17 @@ and the chained variant extends a key to further pairs via the one-way step
 Algorithm 4 placement/kick loop, predicate compilation, and entry matching
 for the three entry shapes.
 
+Storage is **structure-of-arrays** over a columnar
+:class:`~repro.cuckoo.buckets.SlotMatrix` (DESIGN.md §6): the key
+fingerprint, the attribute fingerprint vector and the matching flag of every
+slot live in typed numpy columns that both the scalar kernels and the batch
+kernels read and write directly, while rich payloads (Bloom entries,
+converted-group slots) occupy a parallel object column.  Batch queries probe
+the live columns — there is no snapshot to rebuild after a mutation — and
+evaluate predicate admissibility only on the slots whose fingerprint
+actually matched — vectorised for vector slots, via a small per-predicate
+matcher (LRU-cached) for payload slots.
+
 The kick loop only ever relocates an entry between the two buckets of its
 own pair — the structural property from which Lemma 1 follows.
 """
@@ -18,7 +29,8 @@ own pair — the structural property from which Lemma 1 follows.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, Mapping, Sequence
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -27,8 +39,11 @@ from repro.ccf.chain import PairGeometry
 from repro.ccf.entries import BloomEntry, GroupSlot, VectorEntry
 from repro.ccf.params import CCFParams
 from repro.ccf.predicates import Predicate
-from repro.cuckoo.buckets import BucketArray
+from repro.cuckoo.buckets import EMPTY, SlotMatrix
 from repro.hashing.mixers import as_native_list, derive_seed
+
+#: How many compiled predicates keep a precomputed payload matcher alive.
+MATCHER_CACHE_SIZE = 8
 
 
 def validate_attr_columns(
@@ -48,13 +63,19 @@ class CompiledQuery:
 
     ``constraints`` holds one triple per constrained attribute:
     ``(attribute index, admissible raw values, admissible fingerprints)``.
-    Compiling once and reusing across many keys is the intended hot path.
+    ``fp_arrays`` carries the admissible fingerprints as int64 arrays for
+    the vectorised column probes.  Compiling once and reusing across many
+    keys is the intended hot path.
     """
 
-    __slots__ = ("constraints",)
+    __slots__ = ("constraints", "fp_arrays")
 
     def __init__(self, constraints: Sequence[tuple[int, tuple, frozenset[int]]]) -> None:
         self.constraints = tuple(constraints)
+        self.fp_arrays = tuple(
+            np.fromiter(sorted(fps), dtype=np.int64, count=len(fps))
+            for _index, _values, fps in self.constraints
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledQuery({self.constraints!r})"
@@ -88,21 +109,25 @@ class ConditionalCuckooFilterBase:
         self.schema = schema
         self.params = params
         self.geometry = PairGeometry(num_buckets, params.key_bits, seed=params.seed)
-        self.buckets = BucketArray(num_buckets, params.bucket_size)
+        # Structure-of-arrays slot storage: key fingerprints + payload
+        # objects in the SlotMatrix, attribute fingerprint vectors and
+        # matching flags in parallel typed columns.
+        self.buckets = SlotMatrix(num_buckets, params.bucket_size, with_payloads=True)
+        self._avecs = np.full(
+            (num_buckets, params.bucket_size, schema.num_attributes), EMPTY, dtype=np.int64
+        )
+        self._flags = np.ones((num_buckets, params.bucket_size), dtype=bool)
+        self._num_payload_slots = 0
         self.fingerprinter = self.make_fingerprinter(schema, params)
         self._bloom_salt = derive_seed(params.seed, "ccf-bloom")
         self._rng = random.Random(derive_seed(params.seed, "ccf-rng"))
+        self._matcher_cache: OrderedDict[CompiledQuery, Callable[[Any], bool]] = OrderedDict()
         # Statistics and health flags.
         self.num_rows_inserted = 0
         self.num_rows_discarded = 0
         self.num_kicks = 0
         self.failed = False
         self.stash: list[Any] = []
-        self._entry_mutations = 0
-        self._fp_snapshot: tuple[tuple[int, int], np.ndarray] | None = None
-        self._match_snapshot: tuple[tuple[int, int], CompiledQuery, np.ndarray] | None = None
-        self._scalar_rows_version: tuple[int, int] | None = None
-        self._scalar_rows: dict[CompiledQuery | None, int] = {}
 
     # ------------------------------------------------------------------
     # Geometry delegation (kept on the filter for API convenience)
@@ -135,33 +160,87 @@ class ConditionalCuckooFilterBase:
         return self.buckets.num_buckets
 
     # ------------------------------------------------------------------
+    # Columnar slot access
+    # ------------------------------------------------------------------
+
+    def entry_at(self, bucket: int, slot: int) -> Any:
+        """Materialise the entry stored at (bucket, slot), or None.
+
+        Payload slots return their live object (mutations through it are
+        visible to all probes); vector slots synthesise a
+        :class:`VectorEntry` from the typed columns.
+        """
+        fp = self.buckets.fps[bucket, slot]
+        if fp == EMPTY:
+            return None
+        payload = self.buckets.payloads[bucket * self.buckets.bucket_size + slot]
+        if payload is not None:
+            return payload
+        return VectorEntry(
+            int(fp),
+            tuple(self._avecs[bucket, slot].tolist()),
+            bool(self._flags[bucket, slot]),
+        )
+
+    def iter_entries(self) -> Iterator[tuple[int, int, Any]]:
+        """Yield (bucket, slot, entry) for every occupied slot."""
+        for bucket, slot, _fp, _payload in self.buckets.iter_entries():
+            yield bucket, slot, self.entry_at(bucket, slot)
+
+    def _store_entry(self, bucket: int, slot: int, entry: Any) -> None:
+        """Overwrite (bucket, slot) with ``entry``, decomposed into columns."""
+        prev = self.buckets.payloads[bucket * self.buckets.bucket_size + slot]
+        if isinstance(entry, VectorEntry):
+            self.buckets.set_slot(bucket, slot, entry.fp, None)
+            self._avecs[bucket, slot] = entry.avec
+            if prev is not None:
+                self._num_payload_slots -= 1
+        else:
+            self.buckets.set_slot(bucket, slot, entry.fp, entry)
+            self._avecs[bucket, slot] = EMPTY
+            if prev is None:
+                self._num_payload_slots += 1
+        self._flags[bucket, slot] = entry.matching
+
+    def _try_add_entry(self, bucket: int, entry: Any) -> bool:
+        """Place ``entry`` in the first free slot of ``bucket``; False if full."""
+        if isinstance(entry, VectorEntry):
+            slot = self.buckets.try_add(bucket, entry.fp, None)
+            if slot < 0:
+                return False
+            self._avecs[bucket, slot] = entry.avec
+        else:
+            slot = self.buckets.try_add(bucket, entry.fp, entry)
+            if slot < 0:
+                return False
+            self._avecs[bucket, slot] = EMPTY
+            self._num_payload_slots += 1
+        self._flags[bucket, slot] = entry.matching
+        return True
+
+    # ------------------------------------------------------------------
     # Pair-level storage helpers
     # ------------------------------------------------------------------
 
-    def _pair_entries(self, left: int, right: int) -> list[Any]:
-        """All entries in the pair's (up to) 2b slots."""
-        entries = self.buckets.entries(left)
+    def _fp_count_in_pair(self, left: int, right: int, fingerprint: int) -> int:
+        """Number of slots in the pair holding ``fingerprint``."""
+        count = self.buckets.count_in_bucket(left, fingerprint)
         if right != left:
-            entries.extend(self.buckets.entries(right))
-        return entries
+            count += self.buckets.count_in_bucket(right, fingerprint)
+        return count
 
-    def _fp_slots_in_pair(self, left: int, right: int, fingerprint: int) -> list[Any]:
+    def _fp_entries_in_pair(self, left: int, right: int, fingerprint: int) -> list[Any]:
         """Entries in the pair whose fingerprint matches (one per slot).
 
-        Reads the flat slot storage directly — this is the innermost loop of
-        every query.
+        Reads the live fingerprint column directly — this is the innermost
+        loop of every scalar query.
         """
-        slots = self.buckets.storage
-        size = self.buckets.bucket_size
-        base = left * size
-        matches = [
-            e for e in slots[base : base + size] if e is not None and e.fp == fingerprint
-        ]
-        if right != left:
-            base = right * size
-            matches.extend(
-                e for e in slots[base : base + size] if e is not None and e.fp == fingerprint
-            )
+        matches: list[Any] = []
+        for bucket in (left,) if right == left else (left, right):
+            row = self.buckets.fps[bucket].tolist()
+            for slot, fp in enumerate(row):
+                if fp == fingerprint:
+                    matches.append(self.entry_at(bucket, slot))
         return matches
 
     def _place_in_pair(self, left: int, right: int, entry: Any) -> bool:
@@ -174,16 +253,16 @@ class ConditionalCuckooFilterBase:
         MaxKicks exhaustion the in-flight victim is stashed (queries consult
         the stash) and the structure is flagged failed.
         """
-        if self.buckets.try_add(left, entry):
+        if self._try_add_entry(left, entry):
             return True
         current = right
         item = entry
         for _ in range(self.params.max_kicks):
-            if self.buckets.try_add(current, item):
+            if self._try_add_entry(current, item):
                 return True
             victim_slot = self._rng.randrange(self.buckets.bucket_size)
-            victim = self.buckets.get_slot(current, victim_slot)
-            self.buckets.set_slot(current, victim_slot, item)
+            victim = self.entry_at(current, victim_slot)
+            self._store_entry(current, victim_slot, item)
             item = victim
             current = self.alt_index(current, item.fp)
             self.num_kicks += 1
@@ -250,6 +329,29 @@ class ConditionalCuckooFilterBase:
         if predicate is None or isinstance(predicate, CompiledQuery):
             return predicate
         return self.compile(predicate)
+
+    def _payload_matcher(self, compiled: CompiledQuery) -> Callable[[Any], bool]:
+        """Per-predicate matcher for payload (non-vector) slots, LRU-cached.
+
+        Variants with payload entries precompute the predicate's Bloom
+        probe positions once per compiled query (`_build_payload_matcher`);
+        the small LRU keeps recently used predicates warm so alternating
+        predicates don't recompute every batch.
+        """
+        cache = self._matcher_cache
+        matcher = cache.get(compiled)
+        if matcher is None:
+            matcher = self._build_payload_matcher(compiled)
+            cache[compiled] = matcher
+            if len(cache) > MATCHER_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(compiled)
+        return matcher
+
+    def _build_payload_matcher(self, compiled: CompiledQuery) -> Callable[[Any], bool]:
+        """Uncached `_payload_matcher` body; variants specialise."""
+        return lambda entry: self._entry_matches(entry, compiled)
 
     # ------------------------------------------------------------------
     # Shared statistics
@@ -364,7 +466,8 @@ class ConditionalCuckooFilterBase:
 
         Answers are bit-identical to per-key `query` calls; hashing and —
         for the single-pair variants — the table probe itself are fully
-        vectorised.
+        vectorised against the live slot columns (no snapshot rebuild,
+        whatever mutations happened since the last batch).
         """
         compiled = self._resolve_compiled(predicate)
         fps = self.geometry.fingerprints_of_many(keys)
@@ -390,41 +493,6 @@ class ConditionalCuckooFilterBase:
             count=len(fps),
         )
 
-    def _prefer_scalar_batch(self, fps: np.ndarray, compiled: CompiledQuery | None) -> bool:
-        """Should this batch skip the vectorised probe?
-
-        Building the per-slot snapshots is O(table); for batches much
-        smaller than the table with no current snapshot cached, the scalar
-        kernel (O(batch)) is strictly cheaper.  Rows sent down the scalar
-        path are accumulated per missing artifact (table state, and compiled
-        predicate identity for match snapshots): once they rival one table
-        rebuild, the batch vectorises so the snapshot gets built and later
-        batches hit the cache — repeated small batches on a static table
-        converge to the vector path instead of running scalar forever.
-        Either path returns the same answers; this is purely a cost decision.
-        """
-        version = self._snapshot_version()
-        if compiled is None:
-            cached = self._fp_snapshot
-            if cached is not None and cached[0] == version:
-                return False
-        else:
-            cached = self._match_snapshot
-            if cached is not None and cached[0] == version and cached[1] is compiled:
-                return False
-        if self._scalar_rows_version != version:
-            self._scalar_rows_version = version
-            self._scalar_rows.clear()
-        rows = self._scalar_rows.get(compiled, 0)
-        if 4 * (rows + len(fps)) < self.buckets.num_buckets:
-            # Accumulate per artifact (key-only under None, else the compiled
-            # object) so alternating query shapes don't reset each other.
-            if len(self._scalar_rows) >= 64:
-                self._scalar_rows.clear()
-            self._scalar_rows[compiled] = rows + len(fps)
-            return True
-        return False
-
     def contains_key(self, key: object) -> bool:
         """Key-only membership test (no predicate)."""
         return self.query(key, None)
@@ -443,68 +511,50 @@ class ConditionalCuckooFilterBase:
     # Vectorised probe machinery shared by the batch query kernels
     # ------------------------------------------------------------------
 
-    def _note_entry_mutation(self) -> None:
-        """Record an in-place mutation of a stored entry.
+    def _eq_under_predicate(
+        self, bucket_indices: np.ndarray, eq: np.ndarray, compiled: CompiledQuery
+    ) -> np.ndarray:
+        """AND a fingerprint-equality mask with predicate admissibility.
 
-        `BucketArray.version` only advances on slot writes; merges that
-        mutate an entry *in place* (Bloom dedup, Mixed group absorption)
-        must call this so version-keyed snapshots are invalidated too.
+        ``eq`` is the ``(n, b)`` equality mask of the probed buckets
+        ``bucket_indices``.  Admissibility is evaluated *only on the slots
+        whose fingerprint matched* — O(batch + hits), never O(table):
+        vector slots test their attribute-fingerprint columns vectorised,
+        payload slots run the (cached) per-predicate matcher on their live
+        objects, so in-place payload mutations are always visible.
         """
-        self._entry_mutations += 1
-
-    def _snapshot_version(self) -> tuple[int, int]:
-        """Cache key covering both slot writes and in-place entry mutations."""
-        return (self.buckets.version, self._entry_mutations)
-
-    def _slot_fp_snapshot(self) -> np.ndarray:
-        """An ``(m, b)`` int64 snapshot of slot fingerprints (-1 = empty).
-
-        Cached against the structure's mutation counters: query-heavy
-        phases rebuild it at most once per burst of mutations.
-        """
-        version = self._snapshot_version()
-        snapshot = self._fp_snapshot
-        if snapshot is None or snapshot[0] != version:
-            slots = self.buckets.storage
-            flat = np.fromiter(
-                (-1 if e is None else e.fp for e in slots), dtype=np.int64, count=len(slots)
-            )
-            snapshot = (
-                version,
-                flat.reshape(self.buckets.num_buckets, self.buckets.bucket_size),
-            )
-            self._fp_snapshot = snapshot
-        return snapshot[1]
-
-    def _slot_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
-        """Per-slot predicate admissibility as an ``(m, b)`` bool array.
-
-        One pass over the slots, amortised across the whole batch (the
-        predicate is fingerprint-independent, so this composes with the
-        fingerprint-equality test by AND).  Cached for the common pattern of
-        repeated batches with one compiled predicate and no mutations in
-        between (identity-compared — `compile` returns a fresh object per
-        call, so callers should compile once and reuse).
-        """
-        cached = self._match_snapshot
-        version = self._snapshot_version()
-        if cached is not None and cached[0] == version and cached[1] is compiled:
-            return cached[2]
-        snapshot = self._compute_match_snapshot(compiled)
-        self._match_snapshot = (version, compiled, snapshot)
-        return snapshot
-
-    def _compute_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
-        """Uncached `_slot_match_snapshot` body; variants may specialise."""
-        return self._match_snapshot_from(
-            lambda entry: entry is not None and self._entry_matches(entry, compiled)
-        )
-
-    def _match_snapshot_from(self, matches: Any) -> np.ndarray:
-        """Evaluate ``matches(entry)`` over every slot into ``(m, b)`` bools."""
-        slots = self.buckets.storage
-        flat = np.fromiter((matches(e) for e in slots), dtype=bool, count=len(slots))
-        return flat.reshape(self.buckets.num_buckets, self.buckets.bucket_size)
+        out = np.zeros_like(eq)
+        rows, slots = np.nonzero(eq)
+        if rows.size == 0:
+            return out
+        hit_buckets = bucket_indices[rows]
+        avec_rows = self._avecs[hit_buckets, slots]
+        vec_ok = self._flags[hit_buckets, slots].copy()
+        for (attr_index, _values, _fps), fp_array in zip(
+            compiled.constraints, compiled.fp_arrays
+        ):
+            vec_ok &= np.isin(avec_rows[:, attr_index], fp_array)
+        if self._num_payload_slots:
+            payloads = self.buckets.payloads
+            size = self.buckets.bucket_size
+            flat = (hit_buckets * size + slots).tolist()
+            objs = [payloads[i] for i in flat]
+            if any(obj is not None for obj in objs):
+                matcher = self._payload_matcher(compiled)
+                admissible = np.fromiter(
+                    (
+                        vec_ok[i] if obj is None else matcher(obj)
+                        for i, obj in enumerate(objs)
+                    ),
+                    dtype=bool,
+                    count=len(objs),
+                )
+            else:
+                admissible = vec_ok
+        else:
+            admissible = vec_ok
+        out[rows, slots] = admissible
+        return out
 
     def _matching_stash_fps(self, compiled: CompiledQuery | None) -> np.ndarray | None:
         """Fingerprints of stashed entries admitting ``compiled``, or None."""
@@ -524,9 +574,10 @@ class ConditionalCuckooFilterBase:
         (table match under the predicate, or a matching stash entry), the
         per-slot fingerprint-equality masks of both buckets, and the partner
         bucket indices — the raw material both the single-pair kernel and
-        the chained hybrid kernel build on.
+        the chained hybrid kernel build on.  Probes the live fingerprint
+        column; no snapshot is built.
         """
-        table = self._slot_fp_snapshot()
+        table = self.buckets.fps
         alts = self.geometry.alt_indices_many(homes, fps)
         fp_col = fps[:, None]
         eq_home = table[homes] == fp_col
@@ -535,9 +586,8 @@ class ConditionalCuckooFilterBase:
             hit = eq_home.any(axis=1)
             hit |= eq_alt.any(axis=1)
         else:
-            match = self._slot_match_snapshot(compiled)
-            hit = (eq_home & match[homes]).any(axis=1)
-            hit |= (eq_alt & match[alts]).any(axis=1)
+            hit = self._eq_under_predicate(homes, eq_home, compiled).any(axis=1)
+            hit |= self._eq_under_predicate(alts, eq_alt, compiled).any(axis=1)
         stash_fps = self._matching_stash_fps(compiled)
         if stash_fps is not None:
             hit |= np.isin(fps, stash_fps)
@@ -547,8 +597,6 @@ class ConditionalCuckooFilterBase:
         self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
     ) -> np.ndarray:
         """Fully vectorised one-bucket-pair probe (plain/mixed/bloom CCFs)."""
-        if self._prefer_scalar_batch(fps, compiled):
-            return self._scalar_batch_query(fps, homes, compiled)
         hit, _eq_home, _eq_alt, _alts = self._pair_probe(fps, homes, compiled)
         return hit
 
@@ -559,10 +607,10 @@ class ConditionalCuckooFilterBase:
     def pair_fingerprint_counts(self) -> dict[tuple[int, int], int]:
         """Map (pair id, fingerprint) -> slot count, for invariant checking."""
         counts: dict[tuple[int, int], int] = {}
-        for bucket, _slot, entry in self.buckets.iter_entries():
-            alt = self.alt_index(bucket, entry.fp)
+        for bucket, _slot, fp, _payload in self.buckets.iter_entries():
+            alt = self.alt_index(bucket, fp)
             pair_id = bucket if bucket < alt else alt
-            counter_key = (pair_id, entry.fp)
+            counter_key = (pair_id, fp)
             counts[counter_key] = counts.get(counter_key, 0) + 1
         return counts
 

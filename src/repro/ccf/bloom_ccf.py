@@ -14,7 +14,7 @@ predicate ``A1 = a1 AND A2 = a2'`` is a guaranteed false positive.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -42,22 +42,22 @@ class BloomCCF(ConditionalCuckooFilterBase):
         """Insert one (key, attribute row); Algorithm 1's build counterpart.
 
         A row whose key fingerprint already owns an entry in the bucket pair
-        merges its attributes into that entry's Bloom sketch; otherwise a new
-        entry is created and placed with cuckoo kicks.  Returns False only on
-        a MaxKicks failure (victim stashed, ``failed`` latched).
+        merges its attributes into that entry's Bloom sketch — the entry is
+        the live payload object, so batch probes see the merge immediately.
+        Otherwise a new entry is created and placed with cuckoo kicks.
+        Returns False only on a MaxKicks failure (victim stashed, ``failed``
+        latched).
         """
         self.num_rows_inserted += 1
         left = home
         right = self.geometry.alt_index(left, fingerprint)
-        slots = self._fp_slots_in_pair(left, right, fingerprint)
+        slots = self._fp_entries_in_pair(left, right, fingerprint)
         if slots:
             slots[0].add_attributes(values)
-            self._note_entry_mutation()
             return True
         for stashed in self.stash:
             if stashed.fp == fingerprint:
                 stashed.add_attributes(values)
-                self._note_entry_mutation()
                 return True
         entry = BloomEntry(
             fingerprint,
@@ -76,7 +76,7 @@ class BloomCCF(ConditionalCuckooFilterBase):
         right = self.geometry.alt_index(left, fingerprint)
         return any(
             self._entry_matches(entry, compiled)
-            for entry in self._fp_slots_in_pair(left, right, fingerprint)
+            for entry in self._fp_entries_in_pair(left, right, fingerprint)
         )
 
     def _query_hashed_many(
@@ -84,7 +84,7 @@ class BloomCCF(ConditionalCuckooFilterBase):
     ) -> np.ndarray:
         return self._single_pair_query_many(fps, homes, compiled)
 
-    def _compute_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
+    def _build_payload_matcher(self, compiled: CompiledQuery) -> Callable[[Any], bool]:
         """Batch specialisation: hash the predicate once, not once per entry.
 
         Every per-entry Bloom sketch shares (bloom_bits, bloom_hashes, salt),
@@ -101,7 +101,7 @@ class BloomCCF(ConditionalCuckooFilterBase):
         ]
 
         def matches(entry: Any) -> bool:
-            if entry is None or not entry.matching:
+            if not entry.matching:
                 return False
             bloom = entry.bloom
             return all(
@@ -109,7 +109,7 @@ class BloomCCF(ConditionalCuckooFilterBase):
                 for value_positions in constraints
             )
 
-        return self._match_snapshot_from(matches)
+        return matches
 
     def slot_bits(self) -> int:
         """|κ| + per-entry Bloom payload."""

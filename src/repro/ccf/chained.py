@@ -52,7 +52,7 @@ class ChainedCCF(ConditionalCuckooFilterBase):
             if walked >= limit:
                 break
             walked += 1
-            slots = self._fp_slots_in_pair(left, right, fingerprint)
+            slots = self._fp_entries_in_pair(left, right, fingerprint)
             if any(entry.same_row(fingerprint, avec) for entry in slots):
                 return True
             if len(slots) >= d:
@@ -80,14 +80,14 @@ class ChainedCCF(ConditionalCuckooFilterBase):
             # inserted key always leaves at least one copy in its first pair.
             left = home
             right = self.geometry.alt_index(left, fingerprint)
-            return bool(self._fp_slots_in_pair(left, right, fingerprint))
+            return self._fp_count_in_pair(left, right, fingerprint) > 0
         limit = self._walk_limit()
         walked = 0
         for left, right in self._pair_walk(home, fingerprint):
             if walked >= limit:
                 break
             walked += 1
-            slots = self._fp_slots_in_pair(left, right, fingerprint)
+            slots = self._fp_entries_in_pair(left, right, fingerprint)
             for entry in slots:
                 if self._entry_matches(entry, compiled):
                     return True
@@ -114,8 +114,6 @@ class ChainedCCF(ConditionalCuckooFilterBase):
             # Key-only: one pair probe, any stashed fingerprint copy is True —
             # exactly the shared single-pair kernel with no predicate.
             return self._single_pair_query_many(fps, homes, None)
-        if self._prefer_scalar_batch(fps, compiled):
-            return self._scalar_batch_query(fps, homes, compiled)
         hit, eq_home, eq_alt, alts = self._pair_probe(fps, homes, compiled)
         copies = eq_home.sum(axis=1)
         copies += np.where(alts == homes, 0, eq_alt.sum(axis=1))
@@ -143,7 +141,7 @@ class ChainedCCF(ConditionalCuckooFilterBase):
             if length >= limit:
                 break
             length += 1
-            if len(self._fp_slots_in_pair(left, right, fingerprint)) < d:
+            if self._fp_count_in_pair(left, right, fingerprint) < d:
                 break
         return length
 

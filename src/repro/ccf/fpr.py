@@ -106,7 +106,9 @@ def estimate_query_fpr(
     right = ccf.geometry.alt_index(home, fingerprint)
 
     if not key_in_data:
-        occupied = len(ccf._pair_entries(home, right))
+        occupied = ccf.buckets.count(home)
+        if right != home:
+            occupied += ccf.buckets.count(right)
         key_part = occupied * 2.0**-ccf.params.key_bits
         return FPREstimate(key_part=min(1.0, key_part), attr_part=0.0)
 
@@ -121,7 +123,7 @@ def estimate_query_fpr(
         if walked >= limit:
             break
         walked += 1
-        slots = ccf._fp_slots_in_pair(left, pair_right, fingerprint)
+        slots = ccf._fp_entries_in_pair(left, pair_right, fingerprint)
         for entry in slots:
             attr_total += _entry_match_probability(ccf, entry, compiled)
         if ccf.kind == "chained" and len(slots) == d:

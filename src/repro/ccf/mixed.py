@@ -18,7 +18,7 @@ entry size; the Bloom hash count follows Eq. (2)/(3),
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -95,11 +95,10 @@ class MixedCCF(ConditionalCuckooFilterBase):
         self.num_rows_inserted += 1
         left = home
         right = self.geometry.alt_index(left, fingerprint)
-        slots = self._fp_slots_in_pair(left, right, fingerprint)
+        slots = self._fp_entries_in_pair(left, right, fingerprint)
         for entry in slots:
             if isinstance(entry, GroupSlot):
                 entry.group.add_vector(avec)
-                self._note_entry_mutation()
                 self.num_absorbed += 1
                 return True
         if any(entry.same_row(fingerprint, avec) for entry in slots):
@@ -114,19 +113,23 @@ class MixedCCF(ConditionalCuckooFilterBase):
         bloom = BloomFilter(self._conversion_bits(), self._conversion_hashes(), seed=self._bloom_salt)
         group = ConvertedGroup(fingerprint, bloom, self.params.max_dupes)
         converted = 0
+        size = self.buckets.bucket_size
         for bucket in (left, right) if left != right else (left,):
-            for slot, entry in self.buckets.iter_slots(bucket):
-                if isinstance(entry, VectorEntry) and entry.fp == fingerprint:
-                    group.add_vector(entry.avec)
-                    self.buckets.set_slot(bucket, slot, GroupSlot(group))
-                    converted += 1
+            row = self.buckets.fps[bucket].tolist()
+            for slot, fp in enumerate(row):
+                if fp != fingerprint:
+                    continue
+                if self.buckets.payloads[bucket * size + slot] is not None:
+                    continue
+                group.add_vector(tuple(self._avecs[bucket, slot].tolist()))
+                self._store_entry(bucket, slot, GroupSlot(group))
+                converted += 1
         if converted != self.params.max_dupes:
             raise AssertionError(
                 f"conversion expected d={self.params.max_dupes} vector entries, "
                 f"found {converted}"
             )
         group.add_vector(new_avec)
-        self._note_entry_mutation()
         self.num_conversions += 1
 
     def _query_hashed(
@@ -139,7 +142,7 @@ class MixedCCF(ConditionalCuckooFilterBase):
         right = self.geometry.alt_index(left, fingerprint)
         return any(
             self._entry_matches(entry, compiled)
-            for entry in self._fp_slots_in_pair(left, right, fingerprint)
+            for entry in self._fp_entries_in_pair(left, right, fingerprint)
         )
 
     def _query_hashed_many(
@@ -147,35 +150,32 @@ class MixedCCF(ConditionalCuckooFilterBase):
     ) -> np.ndarray:
         return self._single_pair_query_many(fps, homes, compiled)
 
-    def _compute_match_snapshot(self, compiled: CompiledQuery) -> np.ndarray:
-        """Batch specialisation: hash converted-group probes once per batch.
+    def _build_payload_matcher(self, compiled: CompiledQuery) -> Callable[[Any], bool]:
+        """Batch specialisation: hash converted-group probes once per predicate.
 
         All conversion Blooms share (bits, hashes, salt), so each admissible
         (attribute, fingerprint) component probes the same positions in every
-        group; vector entries reduce to set membership on the precompiled
-        fingerprints.  Answers equal `_entry_matches` per entry.
+        group; the matcher reduces a group slot to precomputed bit tests.
+        Answers equal `_entry_matches` per entry.
         """
         probe = BloomFilter(
             self._conversion_bits(), self._conversion_hashes(), seed=self._bloom_salt
         )
         constraints = [
-            (attr_index, fps, [probe.positions((attr_index, fp)) for fp in fps])
+            [probe.positions((attr_index, fp)) for fp in fps]
             for attr_index, _values, fps in compiled.constraints
         ]
 
         def matches(entry: Any) -> bool:
-            if entry is None or not entry.matching:
+            if not entry.matching:
                 return False
-            if isinstance(entry, VectorEntry):
-                avec = entry.avec
-                return all(avec[attr_index] in fps for attr_index, fps, _p in constraints)
             bloom = entry.group.bloom
             return all(
                 any(bloom.contains_positions(positions) for positions in fp_positions)
-                for _attr_index, _fps, fp_positions in constraints
+                for fp_positions in constraints
             )
 
-        return self._match_snapshot_from(matches)
+        return matches
 
     def slot_bits(self) -> int:
         """|κ| + |α| + 1 bit flagging vector vs converted-Bloom content."""
@@ -189,9 +189,9 @@ class MixedCCF(ConditionalCuckooFilterBase):
         """Base d-cap plus: vectors and groups never coexist for one (pair, κ)."""
         super().check_invariants()
         shapes: dict[tuple[int, int], set[str]] = {}
-        for bucket, _slot, entry in self.buckets.iter_entries():
-            alt = self.geometry.alt_index(bucket, entry.fp)
-            pair_id = bucket if bucket < alt else alt
+        for _bucket, _slot, entry in self.iter_entries():
+            alt = self.geometry.alt_index(_bucket, entry.fp)
+            pair_id = _bucket if _bucket < alt else alt
             shape = "group" if isinstance(entry, GroupSlot) else "vector"
             shapes.setdefault((pair_id, entry.fp), set()).add(shape)
         for (pair_id, fingerprint), kinds in shapes.items():

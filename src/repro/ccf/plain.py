@@ -44,7 +44,7 @@ class PlainCCF(ConditionalCuckooFilterBase):
         self.num_rows_inserted += 1
         left = home
         right = self.geometry.alt_index(left, fingerprint)
-        slots = self._fp_slots_in_pair(left, right, fingerprint)
+        slots = self._fp_entries_in_pair(left, right, fingerprint)
         if any(entry.same_row(fingerprint, avec) for entry in slots):
             return True
         return self._place_in_pair(left, right, VectorEntry(fingerprint, avec))
@@ -59,7 +59,7 @@ class PlainCCF(ConditionalCuckooFilterBase):
         right = self.geometry.alt_index(left, fingerprint)
         return any(
             self._entry_matches(entry, compiled)
-            for entry in self._fp_slots_in_pair(left, right, fingerprint)
+            for entry in self._fp_entries_in_pair(left, right, fingerprint)
         )
 
     def _query_hashed_many(

@@ -7,7 +7,16 @@ parameters (all hash salts derive from the seed), its schema, and its slot
 contents; RNG state for future kicks is deliberately not preserved (it
 affects only the randomness of later insertions, never answers).
 
-:func:`dumps` / :func:`loads` handle every CCF variant, the two
+The wire format is **columnar**, mirroring the in-memory SlotMatrix layout
+(DESIGN.md §6): a 2-bit tag column over all slots, then the vector slots'
+fingerprint / attribute-vector / matching columns packed array-at-a-time
+with ``BitWriter.write_array`` (numpy ``packbits`` under the hood) instead
+of slot-at-a-time Python loops.  Only variable-length Bloom payloads remain
+sequential.  Loading scatters the columns straight back into the typed
+storage arrays.
+
+:func:`dumps` / :func:`loads` handle every CCF variant, the
+:class:`~repro.ccf.range_ccf.DyadicRangeCCF` wrapper, the two
 predicate-extracted views, and the plain cuckoo filter.  Slot payloads are
 bit-packed at their declared widths (12-bit fingerprints cost 12 bits), so
 the on-wire size tracks ``size_in_bits()`` up to small headers.
@@ -17,33 +26,41 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.ccf.attributes import AttributeSchema
 from repro.ccf.base import ConditionalCuckooFilterBase
 from repro.ccf.chain import PairGeometry
 from repro.ccf.entries import BloomEntry, ConvertedGroup, GroupSlot, VectorEntry
-from repro.ccf.factory import CCF_KINDS, make_ccf
+from repro.ccf.factory import make_ccf
 from repro.ccf.params import CCFParams
+from repro.ccf.range_ccf import DyadicRangeCCF
 from repro.ccf.views import ExtractedKeyFilter, MarkedKeyFilter
+from repro.cuckoo.buckets import EMPTY
 from repro.cuckoo.filter import CuckooFilter
-from repro.sketches.bitarray import BitArray
 from repro.sketches.bitpack import BitReader, BitWriter
 from repro.sketches.bloom import BloomFilter
 
-_MAGIC_CCF = b"CCF1"
-_MAGIC_VIEW = b"CCV1"
-_MAGIC_CUCKOO = b"CKF1"
+_MAGIC_CCF = b"CCF2"
+_MAGIC_VIEW = b"CCV2"
+_MAGIC_CUCKOO = b"CKF2"
+_MAGIC_RANGE = b"CRF1"
 
 _KIND_CODES = {"plain": 0, "chained": 1, "bloom": 2, "mixed": 3}
 _KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+_MASK64 = (1 << 64) - 1
 
 # Slot tags.
 _EMPTY, _VECTOR, _BLOOM, _GROUP = 0, 1, 2, 3
 
 
 def dumps(obj: Any) -> bytes:
-    """Serialise a CCF, extracted view, or cuckoo filter to bytes."""
+    """Serialise a CCF, range wrapper, extracted view, or cuckoo filter."""
     if isinstance(obj, ConditionalCuckooFilterBase):
         return _dump_ccf(obj)
+    if isinstance(obj, DyadicRangeCCF):
+        return _dump_range(obj)
     if isinstance(obj, (ExtractedKeyFilter, MarkedKeyFilter)):
         return _dump_view(obj)
     if isinstance(obj, CuckooFilter):
@@ -55,6 +72,8 @@ def loads(data: bytes) -> Any:
     """Inverse of :func:`dumps`."""
     if data[:4] == _MAGIC_CCF:
         return _load_ccf(BitReader(data[4:]))
+    if data[:4] == _MAGIC_RANGE:
+        return _load_range(BitReader(data[4:]))
     if data[:4] == _MAGIC_VIEW:
         return _load_view(BitReader(data[4:]))
     if data[:4] == _MAGIC_CUCKOO:
@@ -78,7 +97,7 @@ def _write_params(writer: BitWriter, params: CCFParams, num_buckets: int) -> Non
     writer.write(params.bloom_hashes, 8)
     writer.write(0 if params.conversion_hashes is None else params.conversion_hashes + 1, 8)
     writer.write_bool(params.small_value_optimization)
-    writer.write(params.seed & ((1 << 64) - 1), 64)
+    writer.write(params.seed & _MASK64, 64)
     writer.write(num_buckets, 32)
 
 
@@ -171,6 +190,21 @@ def _read_bloom_payload(
 # ---------------------------------------------------------------------------
 
 
+def _slot_tags(ccf: ConditionalCuckooFilterBase) -> np.ndarray:
+    """The 2-bit tag column (flat, bucket-major) of a CCF's slot matrix."""
+    flat_fps = ccf.buckets.fps.ravel()
+    tags = np.zeros(flat_fps.shape, dtype=np.int64)
+    tags[flat_fps != EMPTY] = _VECTOR
+    if ccf._num_payload_slots:
+        payloads = ccf.buckets.payloads
+        for index in np.nonzero(flat_fps != EMPTY)[0].tolist():
+            payload = payloads[index]
+            if payload is None:
+                continue
+            tags[index] = _BLOOM if isinstance(payload, BloomEntry) else _GROUP
+    return tags
+
+
 def _dump_ccf(ccf: ConditionalCuckooFilterBase) -> bytes:
     if ccf.kind not in _KIND_CODES:
         raise TypeError(f"unknown CCF kind {ccf.kind!r}")
@@ -187,19 +221,49 @@ def _dump_ccf(ccf: ConditionalCuckooFilterBase) -> bytes:
         writer.write(ccf.num_conversions, 32)
         writer.write(ccf.num_absorbed, 64)
 
-    # Converted groups are shared across slots: emit them once, indexed.
+    tags = _slot_tags(ccf)
+    payloads = ccf.buckets.payloads
+
+    # Converted groups are shared across slots: emit them once, indexed by
+    # first occurrence in flat slot order.
     groups: list[ConvertedGroup] = []
     group_index: dict[int, int] = {}
-    for _bucket, _slot, entry in ccf.buckets.iter_entries():
-        if isinstance(entry, GroupSlot) and id(entry.group) not in group_index:
-            group_index[id(entry.group)] = len(groups)
-            groups.append(entry.group)
+    group_slots = np.nonzero(tags == _GROUP)[0]
+    for index in group_slots.tolist():
+        group = payloads[index].group
+        if id(group) not in group_index:
+            group_index[id(group)] = len(groups)
+            groups.append(group)
     writer.write(len(groups), 32)
     for group in groups:
         writer.write(group.fp, ccf.params.key_bits)
         writer.write(group.num_slots, 8)
         writer.write_bool(group.matching)
         _write_bloom_payload(writer, group.bloom)
+
+    # Columnar slot section: the tag column, then each slot class's columns
+    # packed array-at-a-time in flat slot order.
+    num_attrs = ccf.schema.num_attributes
+    flat_fps = ccf.buckets.fps.ravel()
+    vector_mask = tags == _VECTOR
+    writer.write_array(tags, 2)
+    writer.write_array(flat_fps[vector_mask], ccf.params.key_bits)
+    writer.write_array(
+        ccf._avecs.reshape(-1, num_attrs)[vector_mask], ccf.params.attr_bits
+    )
+    writer.write_bool_array(ccf._flags.ravel()[vector_mask])
+    for index in np.nonzero(tags == _BLOOM)[0].tolist():
+        entry = payloads[index]
+        writer.write(entry.fp, ccf.params.key_bits)
+        writer.write_bool(entry.matching)
+        _write_bloom_payload(writer, entry.bloom)
+    if group_slots.size:
+        indices = np.fromiter(
+            (group_index[id(payloads[i].group)] for i in group_slots.tolist()),
+            dtype=np.int64,
+            count=group_slots.size,
+        )
+        writer.write_array(indices, 32)
 
     def write_entry(entry: Any) -> None:
         if isinstance(entry, VectorEntry):
@@ -219,13 +283,6 @@ def _dump_ccf(ccf: ConditionalCuckooFilterBase) -> bytes:
         else:
             raise TypeError(f"unknown entry type {type(entry).__name__}")
 
-    for bucket in range(ccf.buckets.num_buckets):
-        for slot in range(ccf.buckets.bucket_size):
-            entry = ccf.buckets.get_slot(bucket, slot)
-            if entry is None:
-                writer.write(_EMPTY, 2)
-            else:
-                write_entry(entry)
     writer.write(len(ccf.stash), 16)
     for entry in ccf.stash:
         write_entry(entry)
@@ -259,6 +316,41 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
         groups.append(group)
 
     num_attrs = schema.num_attributes
+    capacity = ccf.buckets.capacity
+
+    # Columnar slot section: scatter each column straight into the typed
+    # storage arrays, then rebuild the occupancy column once.
+    tags = reader.read_array(capacity, 2)
+    vector_mask = tags == _VECTOR
+    num_vectors = int(vector_mask.sum())
+    flat_fps = ccf.buckets.fps.ravel()
+    flat_fps[vector_mask] = reader.read_array(num_vectors, params.key_bits)
+    ccf._avecs.reshape(-1, num_attrs)[vector_mask] = reader.read_array(
+        num_vectors * num_attrs, params.attr_bits
+    ).reshape(num_vectors, num_attrs)
+    ccf._flags.ravel()[vector_mask] = reader.read_bool_array(num_vectors)
+    payloads = ccf.buckets.payloads
+    flags = ccf._flags.ravel()
+    bloom_slots = np.nonzero(tags == _BLOOM)[0]
+    for index in bloom_slots.tolist():
+        fp = reader.read(params.key_bits)
+        matching = reader.read_bool()
+        bloom = _read_bloom_payload(
+            reader, params.bloom_bits, params.bloom_hashes, ccf._bloom_salt
+        )
+        flat_fps[index] = fp
+        payloads[index] = BloomEntry(fp, bloom, matching)
+        flags[index] = matching
+    group_slots = np.nonzero(tags == _GROUP)[0]
+    if group_slots.size:
+        indices = reader.read_array(int(group_slots.size), 32)
+        for index, group_id in zip(group_slots.tolist(), indices.tolist()):
+            group = groups[group_id]
+            flat_fps[index] = group.fp
+            payloads[index] = GroupSlot(group)
+            flags[index] = group.matching
+    ccf.buckets.recount()
+    ccf._num_payload_slots = int(bloom_slots.size) + int(group_slots.size)
 
     def read_entry() -> Any:
         tag = reader.read(2)
@@ -278,29 +370,56 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
             return GroupSlot(groups[reader.read(32)])
         raise ValueError("unexpected empty tag inside entry")
 
-    for bucket in range(num_buckets):
-        for slot in range(params.bucket_size):
-            tag_peek = reader.read(2)
-            if tag_peek == _EMPTY:
-                continue
-            if tag_peek == _VECTOR:
-                fp = reader.read(params.key_bits)
-                avec = tuple(reader.read(params.attr_bits) for _ in range(num_attrs))
-                matching = reader.read_bool()
-                ccf.buckets.set_slot(bucket, slot, VectorEntry(fp, avec, matching))
-            elif tag_peek == _BLOOM:
-                fp = reader.read(params.key_bits)
-                matching = reader.read_bool()
-                bloom = _read_bloom_payload(
-                    reader, params.bloom_bits, params.bloom_hashes, ccf._bloom_salt
-                )
-                ccf.buckets.set_slot(bucket, slot, BloomEntry(fp, bloom, matching))
-            else:
-                ccf.buckets.set_slot(bucket, slot, GroupSlot(groups[reader.read(32)]))
     stash_count = reader.read(16)
     for _ in range(stash_count):
         ccf.stash.append(read_entry())
     return ccf
+
+
+# ---------------------------------------------------------------------------
+# Dyadic range wrapper
+# ---------------------------------------------------------------------------
+
+
+def _dump_range(wrapper: DyadicRangeCCF) -> bytes:
+    writer = BitWriter()
+    writer.write_bytes(_MAGIC_RANGE)
+    _write_schema(writer, wrapper.schema)
+    writer.write(wrapper._range_index, 8)
+    writer.write(wrapper.decomposer.low & _MASK64, 64)
+    writer.write(wrapper.decomposer.high & _MASK64, 64)
+    writer.write(wrapper.num_rows_inserted, 64)
+    inner = _dump_ccf(wrapper.inner)
+    _write_varint(writer, len(inner))
+    writer.write_bytes(inner)
+    return writer.getvalue()
+
+
+def _load_range(reader: BitReader) -> DyadicRangeCCF:
+    schema = _read_schema(reader)
+    range_index = reader.read(8)
+    low = reader.read(64)
+    high = reader.read(64)
+    # Domain bounds round-trip as two's complement 64-bit values.
+    low = low - (1 << 64) if low >= (1 << 63) else low
+    high = high - (1 << 64) if high >= (1 << 63) else high
+    num_rows = reader.read(64)
+    inner_length = _read_varint(reader)
+    inner_payload = reader.read_bytes(inner_length)
+    inner = loads(inner_payload)
+    # Construct at the minimum bucket count — only schema/decomposer state
+    # survives from the constructor; the real table is the loaded inner.
+    wrapper = DyadicRangeCCF(
+        inner.kind,
+        schema,
+        schema.names[range_index],
+        (low, high),
+        2,
+        inner.params,
+    )
+    wrapper.inner = inner
+    wrapper.num_rows_inserted = num_rows
+    return wrapper
 
 
 # ---------------------------------------------------------------------------
@@ -318,25 +437,17 @@ def _dump_view(view: ExtractedKeyFilter | MarkedKeyFilter) -> bytes:
     geometry = view.geometry
     writer.write(geometry.num_buckets, 32)
     writer.write(geometry.key_bits, 8)
-    writer.write(geometry.seed & ((1 << 64) - 1), 64)
+    writer.write(geometry.seed & _MASK64, 64)
     writer.write(view.buckets.bucket_size, 8)
     if is_marked:
         writer.write(view.max_dupes, 8)
         writer.write(0 if view.max_chain is None else view.max_chain + 1, 32)
-    for bucket in range(view.buckets.num_buckets):
-        for slot in range(view.buckets.bucket_size):
-            stored = view.buckets.get_slot(bucket, slot)
-            if stored is None:
-                writer.write_bool(False)
-                continue
-            writer.write_bool(True)
-            if is_marked:
-                fp, matching = stored
-                writer.write(fp, geometry.key_bits)
-                writer.write_bool(matching)
-            else:
-                writer.write(stored, geometry.key_bits)
+    flat_fps = view.buckets.fps.ravel()
+    occupied = flat_fps != EMPTY
+    writer.write_bool_array(occupied)
+    writer.write_array(flat_fps[occupied], geometry.key_bits)
     if is_marked:
+        writer.write_bool_array(view.marks.ravel()[occupied])
         writer.write(len(view.stash_entries), 16)
         for fp, matching in view.stash_entries:
             writer.write(fp, geometry.key_bits)
@@ -366,22 +477,20 @@ def _load_view(reader: BitReader) -> ExtractedKeyFilter | MarkedKeyFilter:
         )
     else:
         view = ExtractedKeyFilter(geometry, bucket_size)
-    for bucket in range(num_buckets):
-        for slot in range(bucket_size):
-            if not reader.read_bool():
-                continue
-            if view_type == _VIEW_MARKED:
-                fp = reader.read(key_bits)
-                matching = reader.read_bool()
-                view.buckets.set_slot(bucket, slot, (fp, matching))
-            else:
-                view.buckets.set_slot(bucket, slot, reader.read(key_bits))
-    stash_count = reader.read(16)
-    for _ in range(stash_count):
-        if view_type == _VIEW_MARKED:
+    capacity = num_buckets * bucket_size
+    occupied = reader.read_bool_array(capacity)
+    count = int(occupied.sum())
+    view.buckets.fps.ravel()[occupied] = reader.read_array(count, key_bits)
+    view.buckets.recount()
+    if view_type == _VIEW_MARKED:
+        view.marks.ravel()[occupied] = reader.read_bool_array(count)
+        stash_count = reader.read(16)
+        for _ in range(stash_count):
             fp = reader.read(key_bits)
             view.stash_entries.append((fp, reader.read_bool()))
-        else:
+    else:
+        stash_count = reader.read(16)
+        for _ in range(stash_count):
             view.stash_fingerprints.append(reader.read(key_bits))
     return view
 
@@ -398,17 +507,13 @@ def _dump_cuckoo(cuckoo: CuckooFilter) -> bytes:
     writer.write(cuckoo.buckets.bucket_size, 8)
     writer.write(cuckoo.fingerprint_bits, 8)
     writer.write(cuckoo.max_kicks, 32)
-    writer.write(cuckoo.seed & ((1 << 64) - 1), 64)
+    writer.write(cuckoo.seed & _MASK64, 64)
     writer.write(cuckoo.num_items, 64)
     writer.write_bool(cuckoo.failed)
-    for bucket in range(cuckoo.buckets.num_buckets):
-        for slot in range(cuckoo.buckets.bucket_size):
-            fp = cuckoo.buckets.get_slot(bucket, slot)
-            if fp is None:
-                writer.write_bool(False)
-            else:
-                writer.write_bool(True)
-                writer.write(fp, cuckoo.fingerprint_bits)
+    flat_fps = cuckoo.buckets.fps.ravel()
+    occupied = flat_fps != EMPTY
+    writer.write_bool_array(occupied)
+    writer.write_array(flat_fps[occupied], cuckoo.fingerprint_bits)
     writer.write(len(cuckoo.stash), 16)
     for fp in cuckoo.stash:
         writer.write(fp, cuckoo.fingerprint_bits)
@@ -424,10 +529,10 @@ def _load_cuckoo(reader: BitReader) -> CuckooFilter:
     cuckoo = CuckooFilter(num_buckets, bucket_size, fingerprint_bits, max_kicks, seed)
     cuckoo.num_items = reader.read(64)
     cuckoo.failed = reader.read_bool()
-    for bucket in range(num_buckets):
-        for slot in range(bucket_size):
-            if reader.read_bool():
-                cuckoo.buckets.set_slot(bucket, slot, reader.read(fingerprint_bits))
+    occupied = reader.read_bool_array(num_buckets * bucket_size)
+    count = int(occupied.sum())
+    cuckoo.buckets.fps.ravel()[occupied] = reader.read_array(count, fingerprint_bits)
+    cuckoo.buckets.recount()
     stash_count = reader.read(16)
     for _ in range(stash_count):
         cuckoo.stash.append(reader.read(fingerprint_bits))

@@ -14,16 +14,21 @@ a matching attribute row:
   chain walk counting marked and unmarked copies alike.
 
 Both views share their source filter's :class:`~repro.ccf.chain.PairGeometry`
-(the salts a real system would serialise alongside the table) but snapshot
-the slot contents, so later source mutations don't leak into the view.
+(the salts a real system would serialise alongside the table) but copy the
+slot columns, so later source mutations don't leak into the view.  Storage
+is columnar (a fingerprint :class:`~repro.cuckoo.buckets.SlotMatrix`; the
+marked view adds a parallel bool marks matrix), so views ship exactly the
+typed columns their wire format packs.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.ccf.base import ConditionalCuckooFilterBase
 from repro.ccf.chain import PairGeometry
 from repro.ccf.predicates import Predicate
-from repro.cuckoo.buckets import BucketArray
+from repro.cuckoo.buckets import SlotMatrix
 
 
 class ExtractedKeyFilter:
@@ -31,7 +36,7 @@ class ExtractedKeyFilter:
 
     def __init__(self, geometry: PairGeometry, bucket_size: int) -> None:
         self.geometry = geometry
-        self.buckets = BucketArray(geometry.num_buckets, bucket_size)
+        self.buckets = SlotMatrix(geometry.num_buckets, bucket_size)
         self.stash_fingerprints: list[int] = []
 
     @classmethod
@@ -39,7 +44,7 @@ class ExtractedKeyFilter:
         """Erase non-matching entries of ``source`` into a key-only filter."""
         compiled = source.compile(predicate)
         view = cls(source.geometry, source.params.bucket_size)
-        for bucket, slot, entry in source.buckets.iter_entries():
+        for bucket, slot, entry in source.iter_entries():
             if source._entry_matches(entry, compiled):
                 view.buckets.set_slot(bucket, slot, entry.fp)
         for entry in source.stash:
@@ -52,9 +57,9 @@ class ExtractedKeyFilter:
         fingerprint = self.geometry.fingerprint_of(key)
         left = self.geometry.home_index(key)
         right = self.geometry.alt_index(left, fingerprint)
-        if fingerprint in self.buckets.entries(left):
+        if self.buckets.bucket_contains(left, fingerprint):
             return True
-        if right != left and fingerprint in self.buckets.entries(right):
+        if right != left and self.buckets.bucket_contains(right, fingerprint):
             return True
         return fingerprint in self.stash_fingerprints
 
@@ -77,9 +82,10 @@ class ExtractedKeyFilter:
 class MarkedKeyFilter:
     """Chain-preserving predicate view of a chained CCF (§6.2).
 
-    Slots hold ``(fingerprint, matching)`` pairs; the lookup replays
-    Algorithm 5's walk, counting every fingerprint copy toward the ``d``
-    continue-condition but reporting a hit only on matching copies.
+    The fingerprint matrix keeps every copy; a parallel bool matrix holds
+    the per-slot matching mark.  The lookup replays Algorithm 5's walk,
+    counting every fingerprint copy toward the ``d`` continue-condition but
+    reporting a hit only on marked copies.
     """
 
     def __init__(
@@ -90,10 +96,16 @@ class MarkedKeyFilter:
         max_chain: int | None,
     ) -> None:
         self.geometry = geometry
-        self.buckets = BucketArray(geometry.num_buckets, bucket_size)
+        self.buckets = SlotMatrix(geometry.num_buckets, bucket_size)
+        self.marks = np.zeros((geometry.num_buckets, bucket_size), dtype=bool)
         self.max_dupes = max_dupes
         self.max_chain = max_chain
         self.stash_entries: list[tuple[int, bool]] = []
+
+    def set_slot(self, bucket: int, slot: int, fp: int, matching: bool) -> None:
+        """Store one (fingerprint, mark) pair."""
+        self.buckets.set_slot(bucket, slot, fp)
+        self.marks[bucket, slot] = matching
 
     @classmethod
     def from_ccf(cls, source: ConditionalCuckooFilterBase, predicate: Predicate) -> "MarkedKeyFilter":
@@ -105,9 +117,8 @@ class MarkedKeyFilter:
             source.params.max_dupes,
             source.params.max_chain,
         )
-        for bucket, slot, entry in source.buckets.iter_entries():
-            matches = source._entry_matches(entry, compiled)
-            view.buckets.set_slot(bucket, slot, (entry.fp, matches))
+        for bucket, slot, entry in source.iter_entries():
+            view.set_slot(bucket, slot, entry.fp, source._entry_matches(entry, compiled))
         for entry in source.stash:
             view.stash_entries.append((entry.fp, source._entry_matches(entry, compiled)))
         return view
@@ -139,10 +150,11 @@ class MarkedKeyFilter:
             hit = False
             buckets = (left,) if left == right else (left, right)
             for bucket in buckets:
-                for stored_fp, matches in self.buckets.entries(bucket):
+                row = self.buckets.fps[bucket].tolist()
+                for slot, stored_fp in enumerate(row):
                     if stored_fp == fingerprint:
                         copies += 1
-                        hit = hit or matches
+                        hit = hit or bool(self.marks[bucket, slot])
             if hit:
                 return True
             if copies == self.max_dupes or stash_has_fp:
@@ -161,7 +173,9 @@ class MarkedKeyFilter:
 
     def num_matching(self) -> int:
         """Number of slots still marked as matching the predicate."""
-        table = sum(1 for _, _, (_fp, m) in self.buckets.iter_entries() if m)
+        from repro.cuckoo.buckets import EMPTY
+
+        table = int((self.marks & (self.buckets.fps != EMPTY)).sum())
         return table + sum(1 for _fp, m in self.stash_entries if m)
 
     def size_in_bits(self) -> int:

@@ -1,6 +1,6 @@
 """Cuckoo hashing substrate: hash table, filter, multiset filter, semi-sorting."""
 
-from repro.cuckoo.buckets import BucketArray, is_power_of_two, next_power_of_two
+from repro.cuckoo.buckets import SlotMatrix, is_power_of_two, next_power_of_two
 from repro.cuckoo.chained_table import ChainedCuckooHashTable
 from repro.cuckoo.filter import CuckooFilter
 from repro.cuckoo.hashtable import CuckooHashTable
@@ -8,7 +8,7 @@ from repro.cuckoo.multiset import MultisetCuckooFilter
 from repro.cuckoo.semisort_filter import SemiSortedCuckooFilter
 
 __all__ = [
-    "BucketArray",
+    "SlotMatrix",
     "ChainedCuckooHashTable",
     "CuckooFilter",
     "CuckooHashTable",

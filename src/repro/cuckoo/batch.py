@@ -1,11 +1,18 @@
 """Shared batch machinery for fingerprint-per-slot cuckoo structures.
 
 `CuckooFilter` and `MultisetCuckooFilter` store a bare integer fingerprint
-in each slot and share identical batch hashing, placement/removal loops and
-snapshot logic; this mixin holds the single copy.  Host classes provide
-``buckets``, ``_fp_salt``, ``_index_salt``, ``_jump_salt``, ``_fp_mask``, a
-``_snapshot`` cache attribute (initialised to None), and the scalar kernels
-``_insert_hashed`` / ``_delete_hashed``.
+in each slot and share identical batch hashing and placement/removal loops;
+this mixin holds the single copy.  Host classes provide ``buckets`` (a
+:class:`~repro.cuckoo.buckets.SlotMatrix`), ``_fp_salt``, ``_index_salt``,
+``_jump_salt``, ``_fp_mask``, a ``num_items`` counter, and the scalar
+kernels ``_insert_hashed`` / ``_delete_hashed``.
+
+Batch *probes* live on the host classes and index ``buckets.fps`` — the live
+columnar matrix — directly; there is no snapshot to build or invalidate
+(DESIGN.md §6).  This module adds the other half of the columnar story: an
+opt-in **bulk build** (`insert_many(..., bulk=True)`) that places the
+conflict-free first wave with vectorised occupancy counting and runs the
+sequential kick loop only on the residue.
 """
 
 from __future__ import annotations
@@ -14,11 +21,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.cuckoo.buckets import EMPTY
 from repro.hashing.mixers import hash64_many_masked
 
 
 class FingerprintBatchMixin:
-    """Vectorised fingerprint/index derivation and a cached table snapshot."""
+    """Vectorised fingerprint/index derivation and bulk placement."""
 
     def fingerprints_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `fingerprint_of` (int64 array, bit-identical per element)."""
@@ -32,19 +40,91 @@ class FingerprintBatchMixin:
         """Batch `_fp_jump`, computed on the fly (bypasses the memo)."""
         return hash64_many_masked(fingerprints, self._jump_salt, self.buckets.num_buckets - 1)
 
-    def insert_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+    def insert_many(
+        self, keys: Sequence[object] | np.ndarray, bulk: bool = False
+    ) -> np.ndarray:
         """Insert a batch of keys; returns the per-key `insert` results.
 
-        Fingerprints and home buckets are derived in one vectorised pass;
-        only the residual placement loop (which is inherently sequential —
-        each placement may displace earlier entries) runs per key.  State and
-        results are bit-identical to calling `insert` in a loop.
+        Default path (``bulk=False``): fingerprints and home buckets are
+        derived in one vectorised pass; the residual placement loop (which
+        is inherently sequential — each placement may displace earlier
+        entries) runs per key.  State and results are bit-identical to
+        calling `insert` in a loop.
+
+        Bulk path (``bulk=True``): the conflict-free first wave — every key
+        whose home bucket still has room, counted vectorised against the
+        live occupancy column — is scattered into the fingerprint matrix in
+        one pass; only the residue runs the sequential kick loop.  The
+        resulting *placement* may differ from the scalar loop (first-wave
+        keys never probe their alternate bucket and consume no kick RNG),
+        but the membership contract is preserved exactly: every key is
+        stored (or stashed) and `contains` has no false negatives.  See
+        DESIGN.md §7.
         """
-        fps = self.fingerprints_of_many(keys).tolist()
-        homes = self.home_indices_of_many(keys).tolist()
+        fps = self.fingerprints_of_many(keys)
+        homes = self.home_indices_of_many(keys)
+        if bulk:
+            return self._bulk_insert_hashed(fps, homes)
         out = np.empty(len(fps), dtype=bool)
-        for i, (fp, home) in enumerate(zip(fps, homes)):
+        for i, (fp, home) in enumerate(zip(fps.tolist(), homes.tolist())):
             out[i] = self._insert_hashed(fp, home)
+        return out
+
+    def _bulk_insert_hashed(self, fps: np.ndarray, homes: np.ndarray) -> np.ndarray:
+        """Vectorised first-wave placement; sequential kicks for the residue.
+
+        The first wave fills each home bucket's free slots in key order:
+        keys are ranked within their home bucket (stable sort), and the
+        first ``bucket_size - counts[bucket]`` of them are written straight
+        into that bucket's free slots — no per-key Python placement at all.
+        Everything else (keys whose home bucket is already full, or whose
+        rank exceeds the free room) goes through `_insert_hashed` in input
+        order, exactly like the default path.
+        """
+        n = len(fps)
+        out = np.ones(n, dtype=bool)
+        if n == 0:
+            return out
+        matrix = self.buckets.fps
+        bucket_size = self.buckets.bucket_size
+
+        order = np.argsort(homes, kind="stable")
+        sorted_homes = homes[order]
+        # Rank of each key within its home-bucket group.
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_homes[1:] != sorted_homes[:-1]
+        group_start = np.maximum.accumulate(np.where(boundary, np.arange(n), 0))
+        rank = np.arange(n) - group_start
+        free = bucket_size - self.buckets.counts[sorted_homes]
+        placed = rank < free
+
+        placed_buckets = sorted_homes[placed]
+        if placed_buckets.size:
+            # Map (bucket, rank) -> actual free slot index.  Buckets may hold
+            # holes from deletions, so the r-th placement targets the r-th
+            # *empty* slot, found with one cumulative count per touched
+            # bucket (bucket_size is tiny, so the per-slot loop is O(b)).
+            touched, inverse = np.unique(placed_buckets, return_inverse=True)
+            emptiness = matrix[touched] == EMPTY
+            empty_rank = np.cumsum(emptiness, axis=1) - 1
+            slot_of_rank = np.full((len(touched), bucket_size), -1, dtype=np.int64)
+            for slot in range(bucket_size):
+                here = emptiness[:, slot]
+                slot_of_rank[here, empty_rank[here, slot]] = slot
+            slots = slot_of_rank[inverse, rank[placed]]
+            matrix[placed_buckets, slots] = fps[order[placed]]
+            np.add.at(self.buckets.counts, placed_buckets, 1)
+            self.buckets._filled += int(placed_buckets.size)
+            self.num_items += int(placed_buckets.size)
+
+        residue = order[~placed]
+        if residue.size:
+            residue.sort()  # back to input order for the sequential loop
+            res_fps = fps[residue].tolist()
+            res_homes = homes[residue].tolist()
+            for i, fp, home in zip(residue.tolist(), res_fps, res_homes):
+                out[i] = self._insert_hashed(fp, home)
         return out
 
     def delete_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
@@ -60,47 +140,3 @@ class FingerprintBatchMixin:
         for i, (fp, home) in enumerate(zip(fps, homes)):
             out[i] = self._delete_hashed(fp, home)
         return out
-
-    def _fp_table(self) -> np.ndarray:
-        """An ``(m, b)`` int64 snapshot of the slot fingerprints (-1 = empty).
-
-        Cached against the bucket array's mutation counter, so query-heavy
-        phases pay the O(table) rebuild at most once per mutation batch.
-        """
-        version = self.buckets.version
-        snapshot = self._snapshot
-        if snapshot is None or snapshot[0] != version:
-            slots = self.buckets.storage
-            flat = np.fromiter(
-                (-1 if e is None else e for e in slots), dtype=np.int64, count=len(slots)
-            )
-            snapshot = (version, flat.reshape(self.buckets.num_buckets, self.buckets.bucket_size))
-            self._snapshot = snapshot
-        return snapshot[1]
-
-    #: Amortisation state for `_prefer_scalar_probe` (class-level defaults;
-    #: instances shadow them on first use).
-    _scalar_probe_version = -1
-    _scalar_probe_rows = 0
-
-    def _prefer_scalar_probe(self, count: int) -> bool:
-        """Should a probe batch of ``count`` keys skip the snapshot path?
-
-        Rebuilding the O(table) snapshot for a tiny batch right after a
-        mutation costs more than probing those keys through the scalar
-        methods.  Scalar-path rows are accumulated per table state so
-        repeated small batches eventually build the snapshot and converge to
-        the vector path; either path answers identically, so this is purely
-        a cost decision (mirrors the CCF layer's `_prefer_scalar_batch`).
-        """
-        snapshot = self._snapshot
-        version = self.buckets.version
-        if snapshot is not None and snapshot[0] == version:
-            return False
-        if self._scalar_probe_version != version:
-            self._scalar_probe_version = version
-            self._scalar_probe_rows = 0
-        if 4 * (self._scalar_probe_rows + count) < self.buckets.num_buckets:
-            self._scalar_probe_rows += count
-            return True
-        return False

@@ -1,9 +1,18 @@
-"""Bucketed slot storage shared by every cuckoo structure in the repository.
+"""Columnar slot storage shared by every cuckoo structure in the repository.
 
-A :class:`BucketArray` is a fixed grid of ``num_buckets x bucket_size`` slots,
-each holding either ``None`` (empty) or an arbitrary entry object.  All cuckoo
-structures (hash table, filter, conditional filters) sit on top of it; it
-knows nothing about hashing or collision policy.
+A :class:`SlotMatrix` is the repository's storage engine: a contiguous
+``(num_buckets, bucket_size)`` int64 **fingerprint matrix** (``EMPTY`` = -1
+marks a free slot) plus a per-bucket **occupancy-count column**, and — for
+structures that carry rich per-slot data (hash-table pairs, Bloom entries,
+converted groups) — an optional parallel **payload column** of Python
+objects.  All cuckoo structures (hash table, filter, conditional filters)
+sit on top of it; it knows nothing about hashing or collision policy.
+
+The typed matrix is the *single source of truth*: scalar kernels mutate it
+directly and batch kernels index the very same live array, so there is no
+snapshot to rebuild after a mutation and no drift between representations.
+Mutation-then-probe workloads are therefore snapshot-free by construction
+(see DESIGN.md §6, "Columnar storage contract").
 
 ``num_buckets`` must be a power of two because partial-key cuckoo hashing
 derives the alternate bucket with XOR (§4.2 of the paper), which only stays
@@ -12,7 +21,13 @@ in range for power-of-two table sizes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Iterator
+
+import numpy as np
+
+#: Sentinel for a free slot in the fingerprint matrix.  Every stored
+#: fingerprint/digest is non-negative, so -1 is unambiguous.
+EMPTY = -1
 
 
 def next_power_of_two(n: int) -> int:
@@ -27,109 +42,177 @@ def is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
 
 
-class BucketArray:
-    """Fixed array of buckets, each with ``bucket_size`` object slots."""
+class SlotMatrix:
+    """Columnar ``num_buckets x bucket_size`` slot storage.
 
-    __slots__ = ("num_buckets", "bucket_size", "_slots", "_filled", "_version")
+    Columns:
 
-    def __init__(self, num_buckets: int, bucket_size: int) -> None:
+    * ``fps`` — the live ``(num_buckets, bucket_size)`` int64 fingerprint
+      matrix (``EMPTY`` = -1).  Batch probes fancy-index this array directly.
+    * ``counts`` — per-bucket occupancy counts (int64, length
+      ``num_buckets``); the bulk-build first wave sizes its conflict-free
+      placements from this column without touching the matrix rows.
+    * ``payloads`` — optional flat (bucket-major) object column for slots
+      that carry more than a fingerprint; ``None`` when the structure is
+      fingerprint-only.
+
+    Slots may be non-contiguous within a bucket (deletions leave holes);
+    ``try_add`` always fills the first free slot.
+    """
+
+    EMPTY = EMPTY
+
+    __slots__ = ("num_buckets", "bucket_size", "fps", "counts", "payloads", "_filled")
+
+    def __init__(self, num_buckets: int, bucket_size: int, with_payloads: bool = False) -> None:
         if not is_power_of_two(num_buckets):
             raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
         if bucket_size < 1:
             raise ValueError("bucket_size must be at least 1")
         self.num_buckets = num_buckets
         self.bucket_size = bucket_size
-        self._slots: list[Any] = [None] * (num_buckets * bucket_size)
+        self.fps = np.full((num_buckets, bucket_size), EMPTY, dtype=np.int64)
+        self.counts = np.zeros(num_buckets, dtype=np.int64)
+        self.payloads: list[Any] | None = (
+            [None] * (num_buckets * bucket_size) if with_payloads else None
+        )
         self._filled = 0
-        self._version = 0
 
-    # -- basic slot access ------------------------------------------------
+    # -- bounds -----------------------------------------------------------
 
-    def _base(self, bucket: int) -> int:
+    def _check(self, bucket: int, slot: int) -> None:
         if not 0 <= bucket < self.num_buckets:
             raise IndexError(f"bucket {bucket} out of range")
-        return bucket * self.bucket_size
-
-    def get_slot(self, bucket: int, slot: int) -> Any:
-        """Return the entry at (bucket, slot), or None."""
         if not 0 <= slot < self.bucket_size:
             raise IndexError(f"slot {slot} out of range")
-        return self._slots[self._base(bucket) + slot]
 
-    def set_slot(self, bucket: int, slot: int, entry: Any) -> None:
-        """Overwrite the entry at (bucket, slot); entry may be None."""
-        if not 0 <= slot < self.bucket_size:
-            raise IndexError(f"slot {slot} out of range")
-        index = self._base(bucket) + slot
-        before = self._slots[index]
-        self._slots[index] = entry
-        self._version += 1
-        if before is None and entry is not None:
+    # -- scalar slot access ------------------------------------------------
+
+    def fp_at(self, bucket: int, slot: int) -> int:
+        """Return the fingerprint at (bucket, slot), or ``EMPTY``."""
+        self._check(bucket, slot)
+        return int(self.fps[bucket, slot])
+
+    def payload_at(self, bucket: int, slot: int) -> Any:
+        """Return the payload object at (bucket, slot), or None."""
+        self._check(bucket, slot)
+        if self.payloads is None:
+            return None
+        return self.payloads[bucket * self.bucket_size + slot]
+
+    def set_slot(self, bucket: int, slot: int, fp: int, payload: Any = None) -> None:
+        """Overwrite (bucket, slot) with ``fp`` (and optional payload)."""
+        self._check(bucket, slot)
+        if fp < 0:
+            raise ValueError("fingerprints must be non-negative; use clear_slot")
+        if self.fps[bucket, slot] == EMPTY:
             self._filled += 1
-        elif before is not None and entry is None:
+            self.counts[bucket] += 1
+        self.fps[bucket, slot] = fp
+        if self.payloads is not None:
+            self.payloads[bucket * self.bucket_size + slot] = payload
+        elif payload is not None:
+            raise ValueError("this SlotMatrix has no payload column")
+
+    def clear_slot(self, bucket: int, slot: int) -> None:
+        """Free (bucket, slot); no-op if already empty."""
+        self._check(bucket, slot)
+        if self.fps[bucket, slot] != EMPTY:
             self._filled -= 1
+            self.counts[bucket] -= 1
+            self.fps[bucket, slot] = EMPTY
+        if self.payloads is not None:
+            self.payloads[bucket * self.bucket_size + slot] = None
 
     # -- bucket-level operations ------------------------------------------
 
-    def entries(self, bucket: int) -> list[Any]:
-        """Return the non-empty entries of a bucket (in slot order)."""
-        base = self._base(bucket)
-        return [e for e in self._slots[base : base + self.bucket_size] if e is not None]
+    def try_add(self, bucket: int, fp: int, payload: Any = None) -> int:
+        """Place ``fp`` in the first free slot of ``bucket``.
 
-    def iter_slots(self, bucket: int) -> Iterator[tuple[int, Any]]:
-        """Yield (slot, entry) for non-empty slots of a bucket."""
-        base = self._base(bucket)
+        Returns the slot index, or -1 if the bucket is full.
+        """
+        if fp < 0:
+            raise ValueError("fingerprints must be non-negative")
+        if not 0 <= bucket < self.num_buckets:
+            raise IndexError(f"bucket {bucket} out of range")
+        if self.counts[bucket] >= self.bucket_size:
+            return -1
+        row = self.fps[bucket]
         for slot in range(self.bucket_size):
-            entry = self._slots[base + slot]
-            if entry is not None:
-                yield slot, entry
+            if row[slot] == EMPTY:
+                row[slot] = fp
+                self.counts[bucket] += 1
+                self._filled += 1
+                if self.payloads is not None:
+                    self.payloads[bucket * self.bucket_size + slot] = payload
+                return slot
+        raise AssertionError("occupancy count disagrees with fingerprint matrix")
 
     def count(self, bucket: int) -> int:
         """Return the number of occupied slots in a bucket."""
-        base = self._base(bucket)
-        return sum(1 for e in self._slots[base : base + self.bucket_size] if e is not None)
+        return int(self.counts[bucket])
 
     def is_full(self, bucket: int) -> bool:
         """Return True if the bucket has no free slot."""
-        base = self._base(bucket)
-        return all(e is not None for e in self._slots[base : base + self.bucket_size])
+        return self.counts[bucket] >= self.bucket_size
 
-    def try_add(self, bucket: int, entry: Any) -> bool:
-        """Place ``entry`` in the first free slot of ``bucket``; False if full."""
-        if entry is None:
-            raise ValueError("cannot store None as an entry")
-        base = self._base(bucket)
+    def bucket_fps(self, bucket: int) -> list[int]:
+        """Return the non-empty fingerprints of a bucket (in slot order)."""
+        return [fp for fp in self.fps[bucket].tolist() if fp != EMPTY]
+
+    def bucket_contains(self, bucket: int, fp: int) -> bool:
+        """Return True if any slot of ``bucket`` holds ``fp``."""
+        return bool((self.fps[bucket] == fp).any())
+
+    def count_in_bucket(self, bucket: int, fp: int) -> int:
+        """Return how many slots of ``bucket`` hold ``fp``."""
+        return int((self.fps[bucket] == fp).sum())
+
+    def iter_slots(self, bucket: int) -> Iterator[tuple[int, int, Any]]:
+        """Yield (slot, fp, payload) for non-empty slots of a bucket."""
+        base = bucket * self.bucket_size
+        payloads = self.payloads
+        for slot, fp in enumerate(self.fps[bucket].tolist()):
+            if fp != EMPTY:
+                yield slot, fp, None if payloads is None else payloads[base + slot]
+
+    def remove_fp(self, bucket: int, fp: int) -> bool:
+        """Clear the first slot of ``bucket`` holding ``fp``; False if none."""
+        row = self.fps[bucket]
         for slot in range(self.bucket_size):
-            if self._slots[base + slot] is None:
-                self._slots[base + slot] = entry
-                self._filled += 1
-                self._version += 1
+            if row[slot] == fp:
+                self.clear_slot(bucket, slot)
                 return True
         return False
 
-    def remove(self, bucket: int, predicate: Callable[[Any], bool]) -> Any:
-        """Remove and return the first entry matching ``predicate``, or None."""
-        base = self._base(bucket)
-        for slot in range(self.bucket_size):
-            entry = self._slots[base + slot]
-            if entry is not None and predicate(entry):
-                self._slots[base + slot] = None
-                self._filled -= 1
-                self._version += 1
-                return entry
-        return None
+    # -- whole-table operations -------------------------------------------
 
-    def find(self, bucket: int, predicate: Callable[[Any], bool]) -> list[Any]:
-        """Return all entries in the bucket matching ``predicate``."""
-        return [e for e in self.entries(bucket) if predicate(e)]
+    def iter_entries(self) -> Iterator[tuple[int, int, int, Any]]:
+        """Yield (bucket, slot, fp, payload) for every occupied slot."""
+        size = self.bucket_size
+        payloads = self.payloads
+        occupied = np.nonzero(self.fps.ravel() != EMPTY)[0]
+        flat = self.fps.ravel()
+        for index in occupied.tolist():
+            yield (
+                index // size,
+                index % size,
+                int(flat[index]),
+                None if payloads is None else payloads[index],
+            )
 
-    # -- whole-table statistics -------------------------------------------
+    def recount(self) -> None:
+        """Rebuild the occupancy column from the fingerprint matrix.
 
-    @property
-    def storage(self) -> list[Any]:
-        """The flat slot list (bucket-major).  Exposed for hot read paths
-        that cannot afford per-bucket list allocation; treat as read-only."""
-        return self._slots
+        For bulk loaders (deserialisation, bulk build) that write the matrix
+        wholesale instead of going through the slot mutators.
+        """
+        np.sum(self.fps != EMPTY, axis=1, out=self.counts)
+        self._filled = int(self.counts.sum())
+
+    def state(self) -> tuple[list, list | None]:
+        """The full logical content, for equality assertions in tests."""
+        return (self.fps.tolist(), None if self.payloads is None else list(self.payloads))
 
     @property
     def capacity(self) -> int:
@@ -141,28 +224,12 @@ class BucketArray:
         """Number of occupied slots."""
         return self._filled
 
-    @property
-    def version(self) -> int:
-        """Mutation counter, bumped on every slot write.
-
-        Batch query paths key their numpy snapshots of the table on this, so
-        a snapshot is rebuilt only after the table actually changed.
-        """
-        return self._version
-
     def load_factor(self) -> float:
         """Fraction of slots occupied."""
         return self._filled / self.capacity
 
-    def iter_entries(self) -> Iterator[tuple[int, int, Any]]:
-        """Yield (bucket, slot, entry) for every occupied slot."""
-        size = self.bucket_size
-        for index, entry in enumerate(self._slots):
-            if entry is not None:
-                yield index // size, index % size, entry
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"BucketArray(num_buckets={self.num_buckets}, bucket_size={self.bucket_size}, "
+            f"SlotMatrix(num_buckets={self.num_buckets}, bucket_size={self.bucket_size}, "
             f"load={self.load_factor():.3f})"
         )

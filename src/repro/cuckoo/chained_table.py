@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator
 
-from repro.cuckoo.buckets import BucketArray, next_power_of_two
+from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
 from repro.hashing.mixers import derive_seed, hash64
 
 DEFAULT_MAX_KICKS = 200
@@ -74,12 +74,16 @@ class ChainedCuckooHashTable:
         self._init_table(next_power_of_two(num_buckets))
 
     def _init_table(self, num_buckets: int) -> None:
-        self.buckets = BucketArray(num_buckets, self.bucket_size)
+        self.buckets = SlotMatrix(num_buckets, self.bucket_size, with_payloads=True)
         self._salt1 = derive_seed(self.seed, "ccht-h1", self._generation)
         self._salt2 = derive_seed(self.seed, "ccht-h2", self._generation)
         self._count = 0
 
     # -- geometry -----------------------------------------------------------
+
+    def _digest(self, key: object, level: int) -> int:
+        """Typed-column digest of a (key, level) pair (63 bits, home = low bits)."""
+        return hash64((key, level), self._salt1) & ((1 << 63) - 1)
 
     def _pair(self, key: object, level: int) -> tuple[int, int]:
         mask = self.buckets.num_buckets - 1
@@ -94,9 +98,10 @@ class ChainedCuckooHashTable:
     def _key_entries(self, key: object, level: int) -> list[tuple[int, int, _Entry]]:
         """(bucket, slot, entry) triples for ``key`` at chain ``level``."""
         found = []
+        digest = self._digest(key, level)
         for bucket in self._pair_buckets(key, level):
-            for slot, entry in self.buckets.iter_slots(bucket):
-                if entry.key == key and entry.level == level:
+            for slot, stored_digest, entry in self.buckets.iter_slots(bucket):
+                if stored_digest == digest and entry.key == key and entry.level == level:
                     found.append((bucket, slot, entry))
         return found
 
@@ -136,16 +141,18 @@ class ChainedCuckooHashTable:
     def _place(self, entry: _Entry) -> "_Entry | None":
         """Cuckoo placement; returns the displaced orphan on failure."""
         left, right = self._pair(entry.key, entry.level)
-        if self.buckets.try_add(left, entry):
+        if self.buckets.try_add(left, self._digest(entry.key, entry.level), entry) >= 0:
             return None
         current = right
         item = entry
         for _ in range(self.max_kicks):
-            if self.buckets.try_add(current, item):
+            if self.buckets.try_add(current, self._digest(item.key, item.level), item) >= 0:
                 return None
             victim_slot = self._rng.randrange(self.bucket_size)
-            victim = self.buckets.get_slot(current, victim_slot)
-            self.buckets.set_slot(current, victim_slot, item)
+            victim = self.buckets.payload_at(current, victim_slot)
+            self.buckets.set_slot(
+                current, victim_slot, self._digest(item.key, item.level), item
+            )
             item = victim
             a, b = self._pair(item.key, item.level)
             current = b if current == a else a
@@ -158,7 +165,7 @@ class ChainedCuckooHashTable:
         nested resize; entries added so far are preserved by the nested
         rebuild and the remaining ones continue into the newest table.
         """
-        entries = [entry for _, _, entry in self.buckets.iter_entries()]
+        entries = [entry for _, _, _digest, entry in self.buckets.iter_entries()]
         entries.append(orphan)
         alive = [(e.key, e.value) for e in entries if e.alive]
         self._generation += 1
@@ -208,7 +215,7 @@ class ChainedCuckooHashTable:
 
     def items(self) -> Iterator[tuple[object, Any]]:
         """Yield all live (key, value) pairs (arbitrary order)."""
-        for _bucket, _slot, entry in self.buckets.iter_entries():
+        for _bucket, _slot, _digest, entry in self.buckets.iter_entries():
             if entry.alive:
                 yield entry.key, entry.value
 
@@ -219,7 +226,7 @@ class ChainedCuckooHashTable:
     def check_invariants(self) -> None:
         """Per-(key, level) slot count never exceeds max_dupes."""
         counts: dict[tuple[object, int], int] = {}
-        for _bucket, _slot, entry in self.buckets.iter_entries():
+        for _bucket, _slot, _digest, entry in self.buckets.iter_entries():
             signature = (entry.key, entry.level)
             counts[signature] = counts.get(signature, 0) + 1
         for (key, level), count in counts.items():

@@ -5,6 +5,10 @@ the alternate bucket is ``l' = l XOR h(fingerprint)``, computable from the
 stored fingerprint alone.  Supports insertion, membership testing and
 deletion, with no false negatives for inserted keys.
 
+Storage is a columnar :class:`~repro.cuckoo.buckets.SlotMatrix`: scalar
+kernels and batch probes operate on the same live int64 fingerprint matrix,
+so `contains_many` after a mutation pays no snapshot rebuild (DESIGN.md §6).
+
 One deliberate deviation from the textbook structure, recorded in DESIGN.md:
 on a MaxKicks failure the in-flight victim entry is retained in a small
 overflow stash (consulted by queries) instead of being dropped, so the
@@ -20,8 +24,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.cuckoo.batch import FingerprintBatchMixin
-from repro.cuckoo.buckets import BucketArray, next_power_of_two
-from repro.hashing.mixers import as_native_list, derive_seed, hash64, memoized_jump
+from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
+from repro.hashing.mixers import derive_seed, hash64, memoized_jump
 
 DEFAULT_MAX_KICKS = 500
 
@@ -42,7 +46,7 @@ class CuckooFilter(FingerprintBatchMixin):
         self.fingerprint_bits = fingerprint_bits
         self.max_kicks = max_kicks
         self.seed = seed
-        self.buckets = BucketArray(num_buckets, bucket_size)
+        self.buckets = SlotMatrix(num_buckets, bucket_size)
         self.num_items = 0
         self.failed = False
         self.stash: list[int] = []
@@ -52,7 +56,6 @@ class CuckooFilter(FingerprintBatchMixin):
         self._jump_salt = derive_seed(seed, "cf-jump")
         self._jump_cache: dict[int, int] = {}
         self._rng = random.Random(derive_seed(seed, "cf-rng"))
-        self._snapshot: tuple[int, np.ndarray] | None = None
 
     @classmethod
     def from_capacity(
@@ -110,7 +113,7 @@ class CuckooFilter(FingerprintBatchMixin):
         """Placement kernel shared by `insert` and `insert_many`."""
         i2 = self.alt_index(i1, fp)
         self.num_items += 1
-        if self.buckets.try_add(i1, fp) or self.buckets.try_add(i2, fp):
+        if self.buckets.try_add(i1, fp) >= 0 or self.buckets.try_add(i2, fp) >= 0:
             return True
         return self._kick_loop(self._rng.choice((i1, i2)), fp)
 
@@ -119,11 +122,11 @@ class CuckooFilter(FingerprintBatchMixin):
         item = fingerprint
         for _ in range(self.max_kicks):
             victim_slot = self._rng.randrange(self.buckets.bucket_size)
-            victim = self.buckets.get_slot(current, victim_slot)
+            victim = self.buckets.fp_at(current, victim_slot)
             self.buckets.set_slot(current, victim_slot, item)
             item = victim
             current = self.alt_index(current, item)
-            if self.buckets.try_add(current, item):
+            if self.buckets.try_add(current, item) >= 0:
                 return True
         self.stash.append(item)
         self.failed = True
@@ -134,26 +137,20 @@ class CuckooFilter(FingerprintBatchMixin):
         fp = self.fingerprint_of(key)
         i1 = self.home_index(key)
         i2 = self.alt_index(i1, fp)
-        if fp in self.buckets.entries(i1) or fp in self.buckets.entries(i2):
+        if self.buckets.bucket_contains(i1, fp) or self.buckets.bucket_contains(i2, fp):
             return True
         return fp in self.stash
 
     def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `contains`: one vectorised probe of both buckets per key.
 
-        Tiny batches against a freshly mutated table take the scalar path
-        instead of rebuilding the O(table) snapshot; answers are identical.
+        Probes the live fingerprint matrix, so interleaving with mutations
+        costs nothing; answers are identical to scalar `contains` per key.
         """
-        if self._prefer_scalar_probe(len(keys)):
-            return np.fromiter(
-                (self.contains(key) for key in as_native_list(keys)),
-                dtype=bool,
-                count=len(keys),
-            )
         fps = self.fingerprints_of_many(keys)
         homes = self.home_indices_of_many(keys)
         alts = homes ^ self._fp_jump_many(fps)
-        table = self._fp_table()
+        table = self.buckets.fps
         fp_col = fps[:, None]
         found = (table[homes] == fp_col).any(axis=1)
         found |= (table[alts] == fp_col).any(axis=1)
@@ -178,7 +175,7 @@ class CuckooFilter(FingerprintBatchMixin):
         """Removal kernel shared by `delete` and `delete_many`."""
         i2 = self.alt_index(i1, fp)
         for bucket in (i1, i2):
-            if self.buckets.remove(bucket, lambda e: e == fp) is not None:
+            if self.buckets.remove_fp(bucket, fp):
                 self.num_items -= 1
                 return True
         if fp in self.stash:

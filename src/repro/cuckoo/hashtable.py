@@ -4,6 +4,13 @@ Unlike the filters, the table stores full keys, uses two independent bucket
 hashes (not partial-key hashing), updates values for duplicate keys, and
 resizes itself (doubling) when an insertion cannot be placed within MaxKicks
 — exactly the behaviour described in §4.1.
+
+Storage is a payload-bearing :class:`~repro.cuckoo.buckets.SlotMatrix`: the
+typed column holds a 63-bit **key digest** (the full first bucket hash, so
+the home index is just ``digest & (m-1)``) and the payload column holds the
+``(key, value)`` pair.  Batch probes vectorise a digest pre-filter against
+the live column — digest equality is necessary for key equality — and only
+candidate rows fall back to exact key comparison.
 """
 
 from __future__ import annotations
@@ -13,12 +20,16 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.cuckoo.buckets import BucketArray, next_power_of_two
+from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
 from repro.hashing.mixers import as_native_list, derive_seed, hash64, hash64_many
 
 DEFAULT_MAX_KICKS = 500
 
 _MISSING = object()
+
+#: Stored digests keep 63 bits of the first bucket hash: non-negative in
+#: int64 and disjoint from the EMPTY sentinel (-1).
+_DIGEST_MASK = (1 << 63) - 1
 
 
 class CuckooHashTable:
@@ -40,12 +51,16 @@ class CuckooHashTable:
         self._init_table(next_power_of_two(num_buckets))
 
     def _init_table(self, num_buckets: int) -> None:
-        self.buckets = BucketArray(num_buckets, self.bucket_size)
+        self.buckets = SlotMatrix(num_buckets, self.bucket_size, with_payloads=True)
         self._salt1 = derive_seed(self.seed, "cht-h1", self._generation)
         self._salt2 = derive_seed(self.seed, "cht-h2", self._generation)
         self._count = 0
 
     # -- hashing ------------------------------------------------------------
+
+    def _digest(self, key: object) -> int:
+        """The 63-bit typed-column digest (home index = low bits)."""
+        return hash64(key, self._salt1) & _DIGEST_MASK
 
     def _indexes(self, key: object) -> tuple[int, int]:
         mask = self.buckets.num_buckets - 1
@@ -53,12 +68,14 @@ class CuckooHashTable:
 
     def _indexes_many(
         self, keys: Sequence[object] | np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Batch `_indexes`: both bucket hashes for every key, vectorised."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch `_indexes` plus digests: both bucket hashes, vectorised."""
         mask = np.uint64(self.buckets.num_buckets - 1)
-        h1 = (hash64_many(keys, self._salt1) & mask).astype(np.int64)
-        h2 = (hash64_many(keys, self._salt2) & mask).astype(np.int64)
-        return h1, h2
+        h1 = hash64_many(keys, self._salt1)
+        digests = (h1 & np.uint64(_DIGEST_MASK)).astype(np.int64)
+        i1 = (h1 & mask).astype(np.int64)
+        i2 = (hash64_many(keys, self._salt2) & mask).astype(np.int64)
+        return digests, i1, i2
 
     # -- mapping protocol -----------------------------------------------------
 
@@ -70,9 +87,9 @@ class CuckooHashTable:
         """Upsert kernel shared by `__setitem__` and `insert_many`."""
         # Update in place if the key is already present.
         for bucket in (i1, i2):
-            for slot, entry in self.buckets.iter_slots(bucket):
+            for slot, _digest, entry in self.buckets.iter_slots(bucket):
                 if entry[0] == key:
-                    self.buckets.set_slot(bucket, slot, (key, value))
+                    self.buckets.set_slot(bucket, slot, self._digest(key), (key, value))
                     return
         self._insert_new((key, value), i1, i2)
 
@@ -92,7 +109,7 @@ class CuckooHashTable:
         index = 0
         while index < len(keys):
             generation = self._generation
-            h1s, h2s = self._indexes_many(keys[index:])
+            _digests, h1s, h2s = self._indexes_many(keys[index:])
             base = index
             while index < len(keys) and self._generation == generation:
                 offset = index - base
@@ -104,21 +121,29 @@ class CuckooHashTable:
     def get_many(
         self, keys: Sequence[object] | np.ndarray, default: Any = None
     ) -> list[Any]:
-        """Batch `get`: hashing vectorised, bucket probes per key."""
-        h1s, h2s = self._indexes_many(keys)
+        """Batch `get`: vectorised digest pre-filter, exact check per candidate.
+
+        The live digest column answers "definitely absent" for most misses in
+        one fancy-indexed comparison; only rows with a digest hit compare
+        actual keys.
+        """
+        digests, h1s, h2s = self._indexes_many(keys)
+        table = self.buckets.fps
+        digest_col = digests[:, None]
+        candidate = (table[h1s] == digest_col).any(axis=1)
+        candidate |= (table[h2s] == digest_col).any(axis=1)
         keys_list = as_native_list(keys)
-        out = []
-        for key, i1, i2 in zip(keys_list, h1s.tolist(), h2s.tolist()):
-            value = default
-            for bucket in (i1, i2):
-                for _slot, entry in self.buckets.iter_slots(bucket):
+        out = [default] * len(keys_list)
+        for i in np.nonzero(candidate)[0].tolist():
+            key = keys_list[i]
+            for bucket in (int(h1s[i]), int(h2s[i])):
+                for _slot, _digest, entry in self.buckets.iter_slots(bucket):
                     if entry[0] == key:
-                        value = entry[1]
+                        out[i] = entry[1]
                         break
                 else:
                     continue
                 break
-            out.append(value)
         return out
 
     def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
@@ -132,33 +157,40 @@ class CuckooHashTable:
 
     def delete_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch delete: True per key actually removed (no KeyError)."""
-        h1s, h2s = self._indexes_many(keys)
+        _digests, h1s, h2s = self._indexes_many(keys)
         keys_list = as_native_list(keys)
         out = np.empty(len(keys_list), dtype=bool)
         for i, (key, i1, i2) in enumerate(zip(keys_list, h1s.tolist(), h2s.tolist())):
-            removed = False
-            for bucket in (i1, i2):
-                if self.buckets.remove(bucket, lambda e: e[0] == key) is not None:
-                    self._count -= 1
-                    removed = True
-                    break
-            out[i] = removed
+            out[i] = self._remove_key(key, i1, i2)
         return out
 
+    def _remove_key(self, key: object, i1: int, i2: int) -> bool:
+        for bucket in (i1, i2):
+            for slot, _digest, entry in self.buckets.iter_slots(bucket):
+                if entry[0] == key:
+                    self.buckets.clear_slot(bucket, slot)
+                    self._count -= 1
+                    return True
+        return False
+
     def _insert_new(self, pair: tuple[object, Any], i1: int, i2: int) -> None:
-        if self.buckets.try_add(i1, pair) or self.buckets.try_add(i2, pair):
+        digest = self._digest(pair[0])
+        if (
+            self.buckets.try_add(i1, digest, pair) >= 0
+            or self.buckets.try_add(i2, digest, pair) >= 0
+        ):
             self._count += 1
             return
         item = pair
         current = self._rng.choice((i1, i2))
         for _ in range(self.max_kicks):
             victim_slot = self._rng.randrange(self.bucket_size)
-            victim = self.buckets.get_slot(current, victim_slot)
-            self.buckets.set_slot(current, victim_slot, item)
+            victim = self.buckets.payload_at(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, self._digest(item[0]), item)
             item = victim
             a, b = self._indexes(item[0])
             current = b if current == a else a
-            if self.buckets.try_add(current, item):
+            if self.buckets.try_add(current, self._digest(item[0]), item) >= 0:
                 self._count += 1
                 return
         # MaxKicks exhausted: grow the table and retry (§4.1), carrying the
@@ -166,7 +198,7 @@ class CuckooHashTable:
         self._resize(item)
 
     def _resize(self, pending: tuple[object, Any]) -> None:
-        old_entries = [entry for _, _, entry in self.buckets.iter_entries()]
+        old_entries = [entry for _, _, _fp, entry in self.buckets.iter_entries()]
         old_entries.append(pending)
         new_size = self.buckets.num_buckets * 2
         while True:
@@ -186,18 +218,22 @@ class CuckooHashTable:
         return True
 
     def _try_place(self, pair: tuple[object, Any], i1: int, i2: int) -> bool:
-        if self.buckets.try_add(i1, pair) or self.buckets.try_add(i2, pair):
+        digest = self._digest(pair[0])
+        if (
+            self.buckets.try_add(i1, digest, pair) >= 0
+            or self.buckets.try_add(i2, digest, pair) >= 0
+        ):
             return True
         item = pair
         current = self._rng.choice((i1, i2))
         for _ in range(self.max_kicks):
             victim_slot = self._rng.randrange(self.bucket_size)
-            victim = self.buckets.get_slot(current, victim_slot)
-            self.buckets.set_slot(current, victim_slot, item)
+            victim = self.buckets.payload_at(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, self._digest(item[0]), item)
             item = victim
             a, b = self._indexes(item[0])
             current = b if current == a else a
-            if self.buckets.try_add(current, item):
+            if self.buckets.try_add(current, self._digest(item[0]), item) >= 0:
                 return True
         return False
 
@@ -210,17 +246,15 @@ class CuckooHashTable:
     def get(self, key: object, default: Any = None) -> Any:
         """Return the value stored for ``key``, or ``default``."""
         for bucket in self._indexes(key):
-            for _slot, entry in self.buckets.iter_slots(bucket):
+            for _slot, _digest, entry in self.buckets.iter_slots(bucket):
                 if entry[0] == key:
                     return entry[1]
         return default
 
     def __delitem__(self, key: object) -> None:
-        for bucket in self._indexes(key):
-            if self.buckets.remove(bucket, lambda e: e[0] == key) is not None:
-                self._count -= 1
-                return
-        raise KeyError(key)
+        i1, i2 = self._indexes(key)
+        if not self._remove_key(key, i1, i2):
+            raise KeyError(key)
 
     def __contains__(self, key: object) -> bool:
         return self.get(key, _MISSING) is not _MISSING
@@ -230,12 +264,12 @@ class CuckooHashTable:
 
     def keys(self) -> Iterator[object]:
         """Yield all keys (arbitrary order)."""
-        for _, _, entry in self.buckets.iter_entries():
+        for _, _, _fp, entry in self.buckets.iter_entries():
             yield entry[0]
 
     def items(self) -> Iterator[tuple[object, Any]]:
         """Yield all (key, value) pairs (arbitrary order)."""
-        for _, _, entry in self.buckets.iter_entries():
+        for _, _, _fp, entry in self.buckets.iter_entries():
             yield entry
 
     def load_factor(self) -> float:

@@ -6,6 +6,9 @@ buckets can hold at most ``2 * bucket_size`` copies, so heavily duplicated
 keys exhaust their bucket pair and insertion fails — the failure mode that
 Figure 4 quantifies and that the paper's chaining technique repairs.
 
+Storage is the columnar :class:`~repro.cuckoo.buckets.SlotMatrix`; batch
+`count_many`/`contains_many` probe the live fingerprint matrix directly.
+
 ``insert`` returns False at the first placement failure and latches
 :attr:`failed`; experiment harnesses read the load factor at that point.
 """
@@ -18,8 +21,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.cuckoo.batch import FingerprintBatchMixin
-from repro.cuckoo.buckets import BucketArray, next_power_of_two
-from repro.hashing.mixers import as_native_list, derive_seed, hash64, memoized_jump
+from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
+from repro.hashing.mixers import derive_seed, hash64, memoized_jump
 
 DEFAULT_MAX_KICKS = 500
 
@@ -38,7 +41,7 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         self.fingerprint_bits = fingerprint_bits
         self.max_kicks = max_kicks
         self.seed = seed
-        self.buckets = BucketArray(next_power_of_two(num_buckets), bucket_size)
+        self.buckets = SlotMatrix(next_power_of_two(num_buckets), bucket_size)
         self.num_items = 0
         self.failed = False
         self.stash: list[int] = []
@@ -48,7 +51,6 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         self._jump_salt = derive_seed(seed, "mcf-jump")
         self._jump_cache: dict[int, int] = {}
         self._rng = random.Random(derive_seed(seed, "mcf-rng"))
-        self._snapshot: tuple[int, np.ndarray] | None = None
 
     # -- hashing ------------------------------------------------------------
 
@@ -79,17 +81,17 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         """Placement kernel shared by `insert` and `insert_many`."""
         i2 = self.alt_index(i1, fp)
         self.num_items += 1
-        if self.buckets.try_add(i1, fp) or self.buckets.try_add(i2, fp):
+        if self.buckets.try_add(i1, fp) >= 0 or self.buckets.try_add(i2, fp) >= 0:
             return True
         current = self._rng.choice((i1, i2))
         item = fp
         for _ in range(self.max_kicks):
             victim_slot = self._rng.randrange(self.buckets.bucket_size)
-            victim = self.buckets.get_slot(current, victim_slot)
+            victim = self.buckets.fp_at(current, victim_slot)
             self.buckets.set_slot(current, victim_slot, item)
             item = victim
             current = self.alt_index(current, item)
-            if self.buckets.try_add(current, item):
+            if self.buckets.try_add(current, item) >= 0:
                 return True
         self.stash.append(item)
         self.failed = True
@@ -111,28 +113,22 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         fp = self.fingerprint_of(key)
         i1 = self.home_index(key)
         i2 = self.alt_index(i1, fp)
-        total = sum(1 for e in self.buckets.entries(i1) if e == fp)
+        total = self.buckets.count_in_bucket(i1, fp)
         if i2 != i1:
-            total += sum(1 for e in self.buckets.entries(i2) if e == fp)
+            total += self.buckets.count_in_bucket(i2, fp)
         total += sum(1 for e in self.stash if e == fp)
         return total
 
     def count_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `count`: vectorised copy counts over both buckets + stash.
 
-        Tiny batches against a freshly mutated table take the scalar path
-        instead of rebuilding the O(table) snapshot; answers are identical.
+        Probes the live fingerprint matrix; answers are identical to scalar
+        `count` per key with no snapshot rebuild after mutations.
         """
-        if self._prefer_scalar_probe(len(keys)):
-            return np.fromiter(
-                (self.count(key) for key in as_native_list(keys)),
-                dtype=np.int64,
-                count=len(keys),
-            )
         fps = self.fingerprints_of_many(keys)
         homes = self.home_indices_of_many(keys)
         alts = homes ^ self._fp_jump_many(fps)
-        table = self._fp_table()
+        table = self.buckets.fps
         fp_col = fps[:, None]
         totals = (table[homes] == fp_col).sum(axis=1)
         totals += np.where(alts == homes, 0, (table[alts] == fp_col).sum(axis=1))
@@ -153,7 +149,7 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         """Removal kernel shared by `delete` and `delete_many`."""
         i2 = self.alt_index(i1, fp)
         for bucket in (i1, i2) if i1 != i2 else (i1,):
-            if self.buckets.remove(bucket, lambda e: e == fp) is not None:
+            if self.buckets.remove_fp(bucket, fp):
                 self.num_items -= 1
                 return True
         if fp in self.stash:

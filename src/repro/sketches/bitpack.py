@@ -9,6 +9,8 @@ first within bytes, matching :class:`~repro.sketches.bitarray.BitArray`.
 
 from __future__ import annotations
 
+import numpy as np
+
 
 class BitWriter:
     """Append-only bit stream."""
@@ -41,10 +43,56 @@ class BitWriter:
         """Append a single bit."""
         self.write(1 if flag else 0, 1)
 
+    def write_array(self, values: np.ndarray, num_bits: int) -> None:
+        """Append each element of ``values`` as a ``num_bits``-wide field.
+
+        Bit-identical to calling :meth:`write` per element, but packed
+        array-at-a-time: the value matrix is exploded to a flat LSB-first
+        bit vector, packed with ``np.packbits`` and OR-merged into the
+        buffer at the current (possibly unaligned) bit position.  This is
+        the columnar serialisation fast path.
+        """
+        values = np.ascontiguousarray(values).ravel()
+        if values.size == 0:
+            return
+        if num_bits == 0:
+            raise ValueError("array fields need at least one bit")
+        unsigned = values.astype(np.uint64)
+        if num_bits < 64 and bool((unsigned >> np.uint64(num_bits)).any()):
+            raise ValueError(f"array value does not fit in {num_bits} bits")
+        shifts = np.arange(num_bits, dtype=np.uint64)
+        bits = ((unsigned[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+        self._write_bits(bits.ravel())
+
+    def write_bool_array(self, flags: np.ndarray) -> None:
+        """Append one bit per element of a boolean array."""
+        flags = np.ascontiguousarray(flags).ravel()
+        if flags.size:
+            self._write_bits(flags.astype(np.uint8))
+
+    def _write_bits(self, bits: np.ndarray) -> None:
+        """Append a flat stream-ordered 0/1 array at the current position."""
+        position = self._bit_position
+        lead = position % 8
+        if lead:
+            bits = np.concatenate([np.zeros(lead, dtype=np.uint8), bits])
+        packed = np.packbits(bits, bitorder="little")
+        self._bit_position = position + len(bits) - lead
+        needed = (self._bit_position + 7) // 8
+        if len(self._buf) < needed:
+            self._buf.extend(b"\x00" * (needed - len(self._buf)))
+        start = position // 8
+        if lead:
+            self._buf[start] |= packed[0]
+            start += 1
+            packed = packed[1:]
+        if len(packed):
+            self._buf[start : start + len(packed)] = packed.tobytes()
+
     def write_bytes(self, data: bytes) -> None:
         """Append whole bytes (bit-aligned within the stream)."""
-        for byte in data:
-            self.write(byte, 8)
+        if data:
+            self._write_bits(np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little"))
 
     @property
     def num_bits(self) -> int:
@@ -62,6 +110,7 @@ class BitReader:
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._bit_position = 0
+        self._bits: np.ndarray | None = None
 
     def read(self, num_bits: int) -> int:
         """Consume ``num_bits`` and return them as an unsigned integer."""
@@ -88,9 +137,51 @@ class BitReader:
         """Consume one bit."""
         return bool(self.read(1))
 
+    def _bit_view(self) -> np.ndarray:
+        """The whole stream as a flat LSB-first bit array (lazily unpacked)."""
+        if self._bits is None:
+            self._bits = np.unpackbits(
+                np.frombuffer(self._data, dtype=np.uint8), bitorder="little"
+            )
+        return self._bits
+
+    def read_array(self, count: int, num_bits: int) -> np.ndarray:
+        """Consume ``count`` fields of ``num_bits`` each, vectorised.
+
+        Bit-identical to calling :meth:`read` ``count`` times; returns an
+        int64 array (``num_bits`` must stay below 64 for the sign bit).
+        """
+        if num_bits < 1 or num_bits > 63:
+            raise ValueError("read_array supports widths in [1, 63]")
+        total = count * num_bits
+        if self._bit_position + total > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        bits = self._bit_view()[self._bit_position : self._bit_position + total]
+        self._bit_position += total
+        matrix = bits.reshape(count, num_bits).astype(np.uint64)
+        shifts = np.arange(num_bits, dtype=np.uint64)
+        return (matrix << shifts[None, :]).sum(axis=1).astype(np.int64)
+
+    def read_bool_array(self, count: int) -> np.ndarray:
+        """Consume ``count`` single-bit flags as a boolean array."""
+        if self._bit_position + count > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        bits = self._bit_view()[self._bit_position : self._bit_position + count]
+        self._bit_position += count
+        return bits.astype(bool)
+
     def read_bytes(self, count: int) -> bytes:
         """Consume ``count`` whole bytes."""
-        return bytes(self.read(8) for _ in range(count))
+        if count == 0:
+            return b""
+        total = count * 8
+        if self._bit_position + total > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        bits = self._bit_view()[self._bit_position : self._bit_position + total]
+        self._bit_position += total
+        return np.packbits(bits, bitorder="little").tobytes()
 
     @property
     def bits_remaining(self) -> int:

@@ -65,7 +65,7 @@ def _entry_key(entry):
 def _table_state(ccf):
     return [
         (bucket, slot, _entry_key(entry))
-        for bucket, slot, entry in ccf.buckets.iter_entries()
+        for bucket, slot, entry in ccf.iter_entries()
     ]
 
 
@@ -152,7 +152,7 @@ def test_cuckoo_filter_parity(keys, seed):
     scalar = CuckooFilter(16, 4, 10, seed=seed)
     batch = CuckooFilter(16, 4, 10, seed=seed)
     assert batch.insert_many(keys).tolist() == [scalar.insert(k) for k in keys]
-    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.buckets.state() == batch.buckets.state()
     assert scalar.stash == batch.stash
     assert scalar.num_items == batch.num_items == len(batch)
     assert scalar.failed == batch.failed
@@ -162,7 +162,7 @@ def test_cuckoo_filter_parity(keys, seed):
 
     victims = keys[::2]
     assert batch.delete_many(victims).tolist() == [scalar.delete(k) for k in victims]
-    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.buckets.state() == batch.buckets.state()
     assert scalar.stash == batch.stash
     assert batch.contains_many(probes).tolist() == [scalar.contains(k) for k in probes]
 
@@ -176,7 +176,7 @@ def test_multiset_parity(keys, seed):
     scalar = MultisetCuckooFilter(16, 4, 10, seed=seed)
     batch = MultisetCuckooFilter(16, 4, 10, seed=seed)
     assert batch.insert_many(keys).tolist() == [scalar.insert(k) for k in keys]
-    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.buckets.state() == batch.buckets.state()
     assert scalar.stash == batch.stash
 
     probes = list(range(60))
@@ -204,7 +204,7 @@ def test_hashtable_parity(pairs):
     # Identical hashing and RNG use mean identical resize points and layout.
     assert scalar.num_resizes == batch.num_resizes
     assert len(scalar) == len(batch)
-    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.buckets.state() == batch.buckets.state()
 
     probes = list(range(520))
     assert batch.get_many(probes) == [scalar.get(k) for k in probes]
@@ -219,7 +219,7 @@ def test_hashtable_parity(pairs):
         else:
             want.append(False)
     assert batch.delete_many(victims).tolist() == want
-    assert scalar.buckets.storage == batch.buckets.storage
+    assert scalar.buckets.state() == batch.buckets.state()
 
 
 def test_hashtable_insert_many_accepts_ndarrays():

@@ -1,8 +1,9 @@
-"""Tests for BucketArray storage."""
+"""Tests for the SlotMatrix columnar storage engine."""
 
+import numpy as np
 import pytest
 
-from repro.cuckoo.buckets import BucketArray, is_power_of_two, next_power_of_two
+from repro.cuckoo.buckets import EMPTY, SlotMatrix, is_power_of_two, next_power_of_two
 
 
 class TestPowerOfTwoHelpers:
@@ -22,89 +23,133 @@ class TestPowerOfTwoHelpers:
         assert not is_power_of_two(12)
 
 
-class TestBucketArray:
+class TestSlotMatrix:
     def test_requires_power_of_two_buckets(self):
         with pytest.raises(ValueError):
-            BucketArray(3, 4)
+            SlotMatrix(3, 4)
 
     def test_requires_positive_bucket_size(self):
         with pytest.raises(ValueError):
-            BucketArray(4, 0)
+            SlotMatrix(4, 0)
 
     def test_try_add_until_full(self):
-        array = BucketArray(2, 3)
-        assert array.try_add(0, "a")
-        assert array.try_add(0, "b")
-        assert array.try_add(0, "c")
-        assert array.is_full(0)
-        assert not array.try_add(0, "d")
-        assert array.count(0) == 3
+        matrix = SlotMatrix(2, 3)
+        assert matrix.try_add(0, 10) == 0
+        assert matrix.try_add(0, 11) == 1
+        assert matrix.try_add(0, 12) == 2
+        assert matrix.is_full(0)
+        assert matrix.try_add(0, 13) == -1
+        assert matrix.count(0) == 3
 
-    def test_cannot_store_none(self):
-        array = BucketArray(2, 2)
+    def test_rejects_negative_fingerprints(self):
+        matrix = SlotMatrix(2, 2)
         with pytest.raises(ValueError):
-            array.try_add(0, None)
+            matrix.try_add(0, -1)
+        with pytest.raises(ValueError):
+            matrix.set_slot(0, 0, -5)
 
-    def test_entries_preserve_slot_order(self):
-        array = BucketArray(2, 3)
-        array.try_add(1, "x")
-        array.try_add(1, "y")
-        assert array.entries(1) == ["x", "y"]
+    def test_bucket_fps_preserve_slot_order(self):
+        matrix = SlotMatrix(2, 3)
+        matrix.try_add(1, 7)
+        matrix.try_add(1, 9)
+        assert matrix.bucket_fps(1) == [7, 9]
 
     def test_set_slot_accounting(self):
-        array = BucketArray(2, 2)
-        array.set_slot(0, 0, "a")
-        assert array.filled == 1
-        array.set_slot(0, 0, "b")  # overwrite: no change
-        assert array.filled == 1
-        array.set_slot(0, 0, None)
-        assert array.filled == 0
+        matrix = SlotMatrix(2, 2)
+        matrix.set_slot(0, 0, 5)
+        assert matrix.filled == 1
+        matrix.set_slot(0, 0, 6)  # overwrite: no change
+        assert matrix.filled == 1
+        matrix.clear_slot(0, 0)
+        assert matrix.filled == 0
+        assert matrix.count(0) == 0
 
-    def test_get_slot_bounds(self):
-        array = BucketArray(2, 2)
+    def test_bounds_checked(self):
+        matrix = SlotMatrix(2, 2)
         with pytest.raises(IndexError):
-            array.get_slot(2, 0)
+            matrix.fp_at(2, 0)
         with pytest.raises(IndexError):
-            array.get_slot(0, 2)
+            matrix.fp_at(0, 2)
+        with pytest.raises(IndexError):
+            matrix.set_slot(-1, 0, 3)
+        with pytest.raises(IndexError):
+            matrix.try_add(2, 3)
 
-    def test_remove_first_match(self):
-        array = BucketArray(2, 3)
-        array.try_add(0, 5)
-        array.try_add(0, 5)
-        assert array.remove(0, lambda e: e == 5) == 5
-        assert array.count(0) == 1
-        assert array.remove(0, lambda e: e == 9) is None
+    def test_remove_fp_first_match(self):
+        matrix = SlotMatrix(2, 3)
+        matrix.try_add(0, 5)
+        matrix.try_add(0, 5)
+        assert matrix.remove_fp(0, 5)
+        assert matrix.count(0) == 1
+        assert not matrix.remove_fp(0, 9)
 
-    def test_find(self):
-        array = BucketArray(2, 4)
-        for value in (1, 2, 3, 2):
-            array.try_add(0, value)
-        assert array.find(0, lambda e: e == 2) == [2, 2]
+    def test_holes_are_refilled_first(self):
+        matrix = SlotMatrix(2, 3)
+        for fp in (1, 2, 3):
+            matrix.try_add(0, fp)
+        matrix.clear_slot(0, 1)  # hole in the middle
+        assert matrix.try_add(0, 9) == 1
+        assert matrix.fps[0].tolist() == [1, 9, 3]
+
+    def test_count_in_bucket(self):
+        matrix = SlotMatrix(2, 4)
+        for fp in (1, 2, 3, 2):
+            matrix.try_add(0, fp)
+        assert matrix.count_in_bucket(0, 2) == 2
+        assert matrix.bucket_contains(0, 3)
+        assert not matrix.bucket_contains(0, 7)
 
     def test_load_factor(self):
-        array = BucketArray(2, 2)
-        assert array.load_factor() == 0.0
-        array.try_add(0, "a")
-        assert array.load_factor() == pytest.approx(0.25)
+        matrix = SlotMatrix(2, 2)
+        assert matrix.load_factor() == 0.0
+        matrix.try_add(0, 1)
+        assert matrix.load_factor() == pytest.approx(0.25)
 
     def test_capacity(self):
-        assert BucketArray(8, 4).capacity == 32
+        assert SlotMatrix(8, 4).capacity == 32
 
-    def test_iter_entries(self):
-        array = BucketArray(2, 2)
-        array.try_add(0, "a")
-        array.try_add(1, "b")
-        entries = list(array.iter_entries())
-        assert (0, 0, "a") in entries
-        assert (1, 0, "b") in entries
-        assert len(entries) == 2
+    def test_iter_entries_bucket_major(self):
+        matrix = SlotMatrix(2, 2)
+        matrix.try_add(1, 8)
+        matrix.try_add(0, 4)
+        assert list(matrix.iter_entries()) == [(0, 0, 4, None), (1, 0, 8, None)]
 
     def test_iter_slots_skips_empty(self):
-        array = BucketArray(2, 3)
-        array.set_slot(0, 1, "mid")
-        assert list(array.iter_slots(0)) == [(1, "mid")]
+        matrix = SlotMatrix(2, 3)
+        matrix.set_slot(0, 1, 42)
+        assert list(matrix.iter_slots(0)) == [(1, 42, None)]
 
-    def test_storage_is_flat_bucket_major(self):
-        array = BucketArray(2, 2)
-        array.set_slot(1, 0, "x")
-        assert array.storage[2] == "x"
+    def test_fps_matrix_is_live(self):
+        matrix = SlotMatrix(2, 2)
+        matrix.set_slot(1, 0, 33)
+        assert matrix.fps[1, 0] == 33
+        assert matrix.fps.ravel()[2] == 33  # bucket-major flat layout
+
+    def test_payload_column(self):
+        matrix = SlotMatrix(2, 2, with_payloads=True)
+        payload = {"k": 1}
+        slot = matrix.try_add(0, 7, payload)
+        assert matrix.payload_at(0, slot) is payload
+        assert list(matrix.iter_slots(0)) == [(slot, 7, payload)]
+        matrix.clear_slot(0, slot)
+        assert matrix.payload_at(0, slot) is None
+
+    def test_payloads_rejected_without_column(self):
+        matrix = SlotMatrix(2, 2)
+        with pytest.raises(ValueError):
+            matrix.set_slot(0, 0, 1, object())
+
+    def test_recount_after_bulk_write(self):
+        matrix = SlotMatrix(4, 2)
+        matrix.fps.ravel()[np.array([0, 3, 5])] = 9
+        matrix.recount()
+        assert matrix.filled == 3
+        assert matrix.counts.tolist() == [1, 1, 1, 0]
+
+    def test_counts_column_tracks_mutations(self):
+        matrix = SlotMatrix(2, 3)
+        matrix.try_add(0, 1)
+        matrix.try_add(0, 2)
+        matrix.remove_fp(0, 1)
+        assert matrix.counts.tolist() == [1, 0]
+        assert matrix.filled == 1

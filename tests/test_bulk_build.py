@@ -1,0 +1,112 @@
+"""Bulk-build contract: vectorised first wave, membership preserved.
+
+`insert_many(..., bulk=True)` places the conflict-free first wave by
+vectorised occupancy counting and runs the sequential kick loop only on the
+residue (DESIGN.md §7).  Placement may diverge from the scalar loop — that
+is the flagged trade-off — but the membership contract may not: every
+inserted key answers True, counts are exact for the multiset filter, and
+the occupancy bookkeeping (counts column, filled) stays consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuckoo.filter import CuckooFilter
+from repro.cuckoo.multiset import MultisetCuckooFilter
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=150),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_bulk_insert_preserves_membership(keys, seed):
+    sequential = CuckooFilter(64, 4, 10, seed=seed)
+    bulk = CuckooFilter(64, 4, 10, seed=seed)
+    sequential.insert_many(keys)
+    results = bulk.insert_many(keys, bulk=True)
+
+    # Same logical content: identical per-pair fingerprint multisets mean
+    # identical answers for every probe, even where slot layout differs.
+    assert bulk.num_items == sequential.num_items == len(keys)
+    assert bulk.buckets.filled == sequential.buckets.filled
+    probes = list(keys) + list(range(100))
+    assert bulk.contains_many(probes).tolist() == sequential.contains_many(probes).tolist()
+    for key in keys:
+        assert key in bulk
+    assert results.all() or bulk.failed
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=40), max_size=100),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_bulk_insert_multiset_counts_exact(keys, seed):
+    sequential = MultisetCuckooFilter(32, 4, 10, seed=seed)
+    bulk = MultisetCuckooFilter(32, 4, 10, seed=seed)
+    sequential.insert_many(keys)
+    bulk.insert_many(keys, bulk=True)
+    probes = list(range(50))
+    assert bulk.count_many(probes).tolist() == sequential.count_many(probes).tolist()
+
+
+def test_bulk_first_wave_fills_home_buckets_without_rng():
+    """Conflict-free keys are scattered without consuming kick RNG."""
+    cuckoo = CuckooFilter(256, 4, 12, seed=1)
+    state_before = cuckoo._rng.getstate()
+    keys = np.arange(200)  # ~0.2 load: almost surely no bucket overflows
+    results = cuckoo.insert_many(keys, bulk=True)
+    assert results.all()
+    assert cuckoo.num_items == 200
+    # The counts column agrees with the matrix after the vectorised scatter.
+    assert cuckoo.buckets.counts.sum() == (cuckoo.buckets.fps != -1).sum()
+    if not cuckoo.failed and cuckoo.buckets.filled == 200:
+        assert cuckoo._rng.getstate() == state_before
+
+
+def test_bulk_insert_respects_holes():
+    """The first wave targets real free slots, not just count arithmetic."""
+    cuckoo = CuckooFilter(4, 4, 12, seed=2)
+    keys = list(range(10))
+    cuckoo.insert_many(keys)
+    victims = keys[::2]
+    cuckoo.delete_many(victims)  # leaves holes mid-bucket
+    survivors = keys[1::2]
+    refill = [100 + k for k in range(8)]
+    cuckoo.insert_many(refill, bulk=True)
+    assert not (cuckoo.buckets.counts > cuckoo.buckets.bucket_size).any()
+    assert cuckoo.buckets.counts.sum() == (cuckoo.buckets.fps != -1).sum()
+    for key in survivors + refill:
+        assert key in cuckoo
+
+
+def test_bulk_insert_empty_batch():
+    cuckoo = CuckooFilter(16, 4, 12, seed=0)
+    assert cuckoo.insert_many([], bulk=True).tolist() == []
+    assert cuckoo.num_items == 0
+
+
+def test_bulk_insert_overload_stashes_not_drops():
+    """Past capacity the residue kick loop stashes victims (DESIGN.md §1)."""
+    cuckoo = CuckooFilter(2, 2, 10, max_kicks=4, seed=3)
+    keys = list(range(30))
+    cuckoo.insert_many(keys, bulk=True)
+    assert cuckoo.failed
+    assert cuckoo.stash
+    for key in keys:  # no false negatives even after overload
+        assert key in cuckoo
+
+
+@pytest.mark.parametrize("cls", [CuckooFilter, MultisetCuckooFilter])
+def test_default_path_unchanged_by_bulk_flag(cls):
+    """bulk=False stays bit-identical to the scalar loop (parity contract)."""
+    scalar = cls(16, 4, 10, seed=4)
+    batch = cls(16, 4, 10, seed=4)
+    keys = list(range(40)) * 2
+    expected = [scalar.insert(k) for k in keys]
+    assert batch.insert_many(keys, bulk=False).tolist() == expected
+    assert scalar.buckets.state() == batch.buckets.state()
+    assert scalar.stash == batch.stash

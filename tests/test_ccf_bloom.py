@@ -91,12 +91,12 @@ class TestCoOccurrenceWeakness:
         dense = BloomCCF(SCHEMA, 1024, PARAMS)
         for i in range(200):
             dense.insert(1, ("color-%d" % i, i))
-        sparse_entry = sparse._fp_slots_in_pair(
+        sparse_entry = sparse._fp_entries_in_pair(
             sparse.home_index(1),
             sparse.alt_index(sparse.home_index(1), sparse.fingerprint_of(1)),
             sparse.fingerprint_of(1),
         )[0]
-        dense_entry = dense._fp_slots_in_pair(
+        dense_entry = dense._fp_entries_in_pair(
             dense.home_index(1),
             dense.alt_index(dense.home_index(1), dense.fingerprint_of(1)),
             dense.fingerprint_of(1),

@@ -110,7 +110,7 @@ class TestChaining:
         home = ccf.home_index(5)
         right = ccf.alt_index(home, fingerprint)
         # The first pair holds d copies, so a single-pair probe suffices.
-        assert len(ccf._fp_slots_in_pair(home, right, fingerprint)) == PARAMS.max_dupes
+        assert len(ccf._fp_entries_in_pair(home, right, fingerprint)) == PARAMS.max_dupes
         assert ccf.contains_key(5)
 
     def test_discarded_rows_still_answer_true(self):

@@ -20,7 +20,7 @@ PARAMS = CCFParams(bucket_size=6, max_dupes=3, key_bits=12, attr_bits=8, seed=41
 def pair_slots(ccf: MixedCCF, key) -> list:
     fingerprint = ccf.fingerprint_of(key)
     home = ccf.home_index(key)
-    return ccf._fp_slots_in_pair(home, ccf.alt_index(home, fingerprint), fingerprint)
+    return ccf._fp_entries_in_pair(home, ccf.alt_index(home, fingerprint), fingerprint)
 
 
 class TestConversionTrigger:

@@ -60,7 +60,7 @@ class TestCCFRoundTrips:
         restored = loads(dumps(ccf))
         groups = {
             id(entry.group)
-            for _b, _s, entry in restored.buckets.iter_entries()
+            for _b, _s, entry in restored.iter_entries()
             if isinstance(entry, GroupSlot)
         }
         assert len(groups) == 1
@@ -81,6 +81,45 @@ class TestCCFRoundTrips:
         restored = loads(dumps(ccf))
         assert len(restored.stash) == len(ccf.stash)
         assert_same_answers(ccf, restored, rows)
+
+    @pytest.mark.parametrize("kind", ["plain", "chained", "bloom", "mixed"])
+    def test_overload_round_trip_every_variant(self, kind):
+        """Columnar round-trip after overload: non-empty stash, failed flag.
+
+        Every variant is driven past capacity so the wire format carries a
+        populated stash (vector, Bloom, or group entries) alongside the
+        packed slot columns, and both the behavioural and byte-determinism
+        contracts must still hold.
+        """
+        from repro.ccf.factory import make_ccf
+
+        params = PARAMS.replace(bucket_size=2, max_dupes=2, max_kicks=6)
+        ccf = make_ccf(kind, SCHEMA, 4, params)
+        rows = [(key, ("c", key % 40)) for key in range(150)]
+        for key, attrs in rows:
+            ccf.insert(key, attrs)
+        assert ccf.failed and ccf.stash, f"{kind} did not overload as intended"
+        payload = dumps(ccf)
+        restored = loads(payload)
+        assert len(restored.stash) == len(ccf.stash)
+        assert restored.failed
+        assert restored.num_entries == ccf.num_entries
+        assert_same_answers(ccf, restored, rows)
+        assert dumps(restored) == payload
+
+    @pytest.mark.parametrize("kind", ["plain", "chained", "bloom", "mixed"])
+    def test_round_trip_preserves_columnar_state(self, kind):
+        """The typed columns themselves survive the wire, not just answers."""
+        import numpy as np
+
+        rows = random_rows(120, 6, seed=11)
+        ccf = build_ccf(kind, SCHEMA, rows, PARAMS)
+        restored = loads(dumps(ccf))
+        assert np.array_equal(restored.buckets.fps, ccf.buckets.fps)
+        assert np.array_equal(restored._avecs, ccf._avecs)
+        assert np.array_equal(restored._flags, ccf._flags)
+        assert restored.buckets.counts.tolist() == ccf.buckets.counts.tolist()
+        assert restored._num_payload_slots == ccf._num_payload_slots
 
     def test_size_on_wire_tracks_size_in_bits(self):
         rows = random_rows(400, 4, seed=4)
@@ -126,6 +165,43 @@ class TestViewRoundTrips:
         assert len(view_payload) < len(ccf_payload)
 
 
+class TestRangeCCFRoundTrip:
+    """The fifth variant: the dyadic range wrapper round-trips whole."""
+
+    @pytest.mark.parametrize("kind", ["chained", "bloom", "mixed"])
+    def test_behavioural_equality(self, kind):
+        from repro.ccf.predicates import Range
+        from repro.ccf.range_ccf import DyadicRangeCCF
+
+        rows = [(key, ("c", key % 64)) for key in range(200)]
+        wrapper = DyadicRangeCCF(kind, SCHEMA, "size", (0, 63), 512, PARAMS)
+        for key, attrs in rows:
+            wrapper.insert(key, attrs)
+        payload = dumps(wrapper)
+        restored = loads(payload)
+        assert type(restored) is DyadicRangeCCF
+        assert restored.inner.kind == kind
+        assert restored.num_rows_inserted == wrapper.num_rows_inserted
+        assert restored.num_levels == wrapper.num_levels
+        probes = list(range(250))
+        for predicate in (None, Range("size", 5, 20), Eq("color", "c")):
+            for key in probes:
+                assert restored.query(key, predicate) == wrapper.query(key, predicate)
+        assert dumps(restored) == payload
+
+    def test_overloaded_wrapper_round_trips(self):
+        from repro.ccf.range_ccf import DyadicRangeCCF
+
+        params = PARAMS.replace(bucket_size=2, max_dupes=2, max_kicks=6)
+        wrapper = DyadicRangeCCF("chained", SCHEMA, "size", (0, 63), 4, params)
+        for key in range(80):
+            wrapper.insert(key, ("c", key % 64))
+        assert wrapper.inner.stash
+        restored = loads(dumps(wrapper))
+        for key in range(120):
+            assert restored.contains_key(key) == wrapper.contains_key(key)
+
+
 class TestCuckooFilterRoundTrip:
     def test_behavioural_equality(self):
         cuckoo = CuckooFilter(256, 4, 12, seed=9)
@@ -143,6 +219,39 @@ class TestCuckooFilterRoundTrip:
         restored = loads(dumps(cuckoo))
         assert restored.delete("key")
         assert "key" not in restored
+
+    def test_round_trip_after_delete_induced_holes(self):
+        """Holes from deletions survive the columnar occupancy bitmap.
+
+        Deletions leave mid-bucket gaps in the slot matrix; the packed
+        occupancy column must reproduce exactly those gaps (slot positions,
+        not just counts), byte-deterministically.
+        """
+        import numpy as np
+
+        cuckoo = CuckooFilter(32, 4, 12, seed=11)
+        keys = list(range(90))
+        cuckoo.insert_many(keys)
+        cuckoo.delete_many(keys[::3])  # punch holes throughout
+        payload = dumps(cuckoo)
+        restored = loads(payload)
+        assert np.array_equal(restored.buckets.fps, cuckoo.buckets.fps)
+        assert restored.buckets.counts.tolist() == cuckoo.buckets.counts.tolist()
+        assert restored.num_items == cuckoo.num_items
+        for key in range(150):
+            assert restored.contains(key) == cuckoo.contains(key)
+        assert dumps(restored) == payload
+
+    def test_round_trip_after_overload_with_stash(self):
+        cuckoo = CuckooFilter(2, 2, 10, max_kicks=4, seed=12)
+        keys = list(range(25))
+        cuckoo.insert_many(keys)
+        assert cuckoo.failed and cuckoo.stash
+        restored = loads(dumps(cuckoo))
+        assert restored.stash == cuckoo.stash
+        assert restored.failed
+        for key in keys:
+            assert key in restored
 
 
 class TestErrors:
