@@ -1,0 +1,142 @@
+"""FilterStore scaling: batch throughput vs shard count and compaction policy.
+
+The store's claim is operational, not algorithmic: an unbounded mutable
+membership service whose per-batch work stays one vectorised fan-out as the
+data outgrows any single filter.  This benchmark measures that claim on a
+mixed insert/query stream sized to overflow a single level many times over:
+
+* **shard sweep** — the same stream through 1/2/4/8 shards.  Routing adds
+  one hash + scatter per batch; the win is that each shard's level stack
+  stays shallower (fewer levels to OR per query).
+* **compaction policy** — `none` (levels accumulate for the whole run)
+  against `periodic` (auto-compact a shard at ``compact_at`` levels).
+  Compaction pays a merge to make every later query probe one level.
+
+Results land in ``bench_results/store_scaling.json``.  Correctness is
+asserted inline (every inserted key answers True at the end of each run —
+the no-false-negative contract is not allowed to degrade for speed).
+
+Environment knobs: ``REPRO_STORE_OPS`` (total operations, default 400k).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import print_figure, save_json
+from repro.ccf import AttributeSchema, CCFParams
+from repro.store import FilterStore, StoreConfig
+
+TOTAL_OPS = int(os.environ.get("REPRO_STORE_OPS", 400_000))
+BATCH = 2_000
+
+SHARD_COUNTS = (1, 2, 4, 8)
+COMPACTION_POLICIES = {"none": None, "periodic": 6}
+
+SCHEMA = AttributeSchema(["status", "region"])
+PARAMS = CCFParams(key_bits=16, attr_bits=8, bucket_size=4, seed=9)
+#: Small levels so the stream overflows a level many times per run.
+LEVEL_BUCKETS = 1024
+
+
+def _key_stream(total_ops: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    rng = np.random.default_rng(31)
+    rounds = max(1, total_ops // (2 * BATCH))
+    inserts = [rng.integers(0, 1 << 40, size=BATCH) for _ in range(rounds)]
+    queries = [rng.integers(0, 1 << 40, size=BATCH) for _ in range(rounds)]
+    return inserts, queries
+
+
+def _run_store(
+    num_shards: int, compact_at: int | None, inserts: list[np.ndarray], queries: list[np.ndarray]
+) -> dict:
+    config = StoreConfig(
+        num_shards=num_shards,
+        level_buckets=LEVEL_BUCKETS,
+        target_load=0.85,
+        compact_at=compact_at,
+        seed=1,
+    )
+    store = FilterStore(SCHEMA, PARAMS, config)
+    start = time.perf_counter()
+    for insert_keys, query_keys in zip(inserts, queries):
+        store.insert_many(insert_keys, [insert_keys % 3, insert_keys % 7])
+        store.query_many(query_keys)
+    mixed_seconds = time.perf_counter() - start
+
+    levels_before = store.num_levels
+    start = time.perf_counter()
+    store.compact()
+    compact_seconds = time.perf_counter() - start
+
+    probe = np.concatenate(queries[: max(1, len(queries) // 4)])
+    start = time.perf_counter()
+    store.query_many(probe)
+    post_query_seconds = time.perf_counter() - start
+
+    inserted = np.concatenate(inserts)
+    assert bool(store.query_many(inserted).all()), "store lost an inserted key"
+
+    total_ops = 2 * sum(len(b) for b in inserts)
+    stats = store.stats()
+    return {
+        "shards": num_shards,
+        "compact_at": compact_at,
+        "total_ops": total_ops,
+        "mixed_ops_per_second": total_ops / mixed_seconds,
+        "levels_before_final_compaction": levels_before,
+        "levels_after": store.num_levels,
+        "final_compaction_seconds": compact_seconds,
+        "post_compaction_probes_per_second": len(probe) / post_query_seconds,
+        "compactions": stats["compactions"],
+        "entries": stats["entries"],
+        "size_in_bytes": stats["size_in_bytes"],
+    }
+
+
+def test_store_scaling():
+    """Sweep shard count x compaction policy over one mixed stream."""
+    inserts, queries = _key_stream(TOTAL_OPS)
+    results = []
+    for policy, compact_at in COMPACTION_POLICIES.items():
+        for shards in SHARD_COUNTS:
+            row = _run_store(shards, compact_at, inserts, queries)
+            row["policy"] = policy
+            results.append(row)
+
+    print_figure(
+        f"FilterStore scaling ({2 * sum(len(b) for b in inserts)} mixed ops)",
+        ["policy", "shards", "mixed ops/s", "levels", "post-compact probes/s"],
+        [
+            (
+                r["policy"],
+                r["shards"],
+                round(r["mixed_ops_per_second"]),
+                r["levels_before_final_compaction"],
+                round(r["post_compaction_probes_per_second"]),
+            )
+            for r in results
+        ],
+    )
+    save_json(
+        "store_scaling",
+        {
+            "total_ops": results[0]["total_ops"],
+            "batch": BATCH,
+            "level_buckets": LEVEL_BUCKETS,
+            "results": results,
+        },
+    )
+
+    # Structural sanity, not a perf assertion (shared CI runners are noisy):
+    # sharding must partition the data and compaction must collapse stacks.
+    by_policy = {p: [r for r in results if r["policy"] == p] for p in COMPACTION_POLICIES}
+    for rows in by_policy.values():
+        for row in rows:
+            assert row["levels_after"] == row["shards"]
+    # The periodic policy bounds every shard's stack at compact_at levels.
+    for row in by_policy["periodic"]:
+        assert row["levels_before_final_compaction"] <= row["shards"] * COMPACTION_POLICIES["periodic"]

@@ -10,6 +10,8 @@ The package is organised bottom-up:
 * :mod:`repro.data` — Zipf-Mandelbrot streams and the synthetic IMDB dataset;
 * :mod:`repro.join` — join engine, semijoin reducers and the JOB-light-style
   reduction-factor evaluation;
+* :mod:`repro.store` — the sharded log-structured FilterStore, an unbounded
+  mutable persistent membership service over CCF levels;
 * :mod:`repro.bench` — experiment drivers shared by the benchmark suite.
 
 Quick start::
@@ -40,6 +42,7 @@ from repro.ccf import (
 )
 from repro.cuckoo import CuckooFilter, CuckooHashTable, MultisetCuckooFilter
 from repro.sketches import BloomFilter
+from repro.store import FilterStore, StoreConfig
 
 __version__ = "1.0.0"
 
@@ -52,6 +55,7 @@ __all__ = [
     "CuckooFilter",
     "CuckooHashTable",
     "Eq",
+    "FilterStore",
     "In",
     "LARGE_PARAMS",
     "MixedCCF",
@@ -59,6 +63,7 @@ __all__ = [
     "PlainCCF",
     "Range",
     "SMALL_PARAMS",
+    "StoreConfig",
     "build_ccf",
     "make_ccf",
 ]

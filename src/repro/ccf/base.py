@@ -81,11 +81,44 @@ class CompiledQuery:
         return f"CompiledQuery({self.constraints!r})"
 
 
+def compile_predicate(
+    schema: AttributeSchema,
+    fingerprinter: AttributeFingerprinter,
+    predicate: Predicate | None,
+) -> CompiledQuery | None:
+    """Compile ``predicate`` against a schema/fingerprinter pair.
+
+    The free-function form exists so structures that *hold* CCFs without
+    being one (the sharded :class:`~repro.store.FilterStore`, whose levels
+    all share one fingerprinter) can compile once and fan the result out.
+    Returns None for key-only queries; raises ``KeyError`` for unknown
+    columns and :class:`~repro.ccf.predicates.UnsupportedPredicateError`
+    for un-binned ranges, exactly like :meth:`ConditionalCuckooFilterBase.compile`.
+    """
+    if predicate is None:
+        return None
+    constraint_map = predicate.constraints()
+    if not constraint_map:
+        return None
+    compiled = []
+    for column, values in constraint_map.items():
+        attr_index = schema.index_of(column)
+        raw_values = tuple(values)
+        fps = fingerprinter.candidate_fingerprints(attr_index, raw_values)
+        compiled.append((attr_index, raw_values, fps))
+    compiled.sort(key=lambda item: item[0])
+    return CompiledQuery(compiled)
+
+
 class ConditionalCuckooFilterBase:
     """Common storage, hashing, walking and matching for CCF variants."""
 
     #: Human-readable variant name, set by subclasses.
     kind: str = "base"
+
+    #: Whether `_delete_hashed` is implemented (only variants whose entries
+    #: can be unlearned row-by-row; see `delete`).
+    supports_deletion: bool = False
 
     @staticmethod
     def make_fingerprinter(schema: AttributeSchema, params: CCFParams) -> AttributeFingerprinter:
@@ -218,6 +251,14 @@ class ConditionalCuckooFilterBase:
         self._flags[bucket, slot] = entry.matching
         return True
 
+    def _clear_entry(self, bucket: int, slot: int) -> None:
+        """Free (bucket, slot), resetting every parallel column."""
+        if self.buckets.payloads[bucket * self.buckets.bucket_size + slot] is not None:
+            self._num_payload_slots -= 1
+        self.buckets.clear_slot(bucket, slot)
+        self._avecs[bucket, slot] = EMPTY
+        self._flags[bucket, slot] = True
+
     # ------------------------------------------------------------------
     # Pair-level storage helpers
     # ------------------------------------------------------------------
@@ -283,19 +324,7 @@ class ConditionalCuckooFilterBase:
         :class:`~repro.ccf.predicates.UnsupportedPredicateError` for
         un-binned range predicates.
         """
-        if predicate is None:
-            return None
-        constraint_map = predicate.constraints()
-        if not constraint_map:
-            return None
-        compiled = []
-        for column, values in constraint_map.items():
-            attr_index = self.schema.index_of(column)
-            raw_values = tuple(values)
-            fps = self.fingerprinter.candidate_fingerprints(attr_index, raw_values)
-            compiled.append((attr_index, raw_values, fps))
-        compiled.sort(key=lambda item: item[0])
-        return CompiledQuery(compiled)
+        return compile_predicate(self.schema, self.fingerprinter, predicate)
 
     def _entry_matches(self, entry: Any, compiled: CompiledQuery | None) -> bool:
         """Does this entry's attribute sketch admit the compiled predicate?"""
@@ -430,18 +459,33 @@ class ConditionalCuckooFilterBase:
         columns = list(attr_columns)
         num_rows = len(keys)
         validate_attr_columns(columns, self.schema.num_attributes, num_rows)
-        fps = self.geometry.fingerprints_of_many(keys).tolist()
-        homes = self.geometry.home_indices_of_many(keys).tolist()
-        out = np.empty(num_rows, dtype=bool)
+        fps = self.geometry.fingerprints_of_many(keys)
+        homes = self.geometry.home_indices_of_many(keys)
         if self._needs_avec:
-            avecs = self.fingerprinter.vectors_many(columns)
-            for i, (fp, home) in enumerate(zip(fps, homes)):
-                out[i] = self._insert_hashed(fp, home, None, avecs[i])
-        else:
-            native = [as_native_list(column) for column in columns]
-            for i, (fp, home) in enumerate(zip(fps, homes)):
-                values = tuple(column[i] for column in native)
-                out[i] = self._insert_hashed(fp, home, values, None)
+            return self._insert_hashed_rows(fps, homes, self.fingerprinter.vectors_many(columns))
+        out = np.empty(num_rows, dtype=bool)
+        native = [as_native_list(column) for column in columns]
+        for i, (fp, home) in enumerate(zip(fps.tolist(), homes.tolist())):
+            values = tuple(column[i] for column in native)
+            out[i] = self._insert_hashed(fp, home, values, None)
+        return out
+
+    def _insert_hashed_rows(
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        avecs: Sequence[tuple[int, ...]],
+    ) -> np.ndarray:
+        """Row loop over `_insert_hashed` on fully precomputed hashes.
+
+        The entry point for callers that hash and fingerprint once for many
+        structures (the sharded FilterStore scatters one vectorised pass
+        across shard levels through this kernel).  Bit-identical to scalar
+        `insert` per row.
+        """
+        out = np.empty(len(fps), dtype=bool)
+        for i, (fp, home) in enumerate(zip(fps.tolist(), homes.tolist())):
+            out[i] = self._insert_hashed(fp, home, None, avecs[i])
         return out
 
     def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
@@ -500,6 +544,54 @@ class ConditionalCuckooFilterBase:
     def contains_key_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch key-only membership test."""
         return self.query_many(keys, None)
+
+    def delete(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Remove one stored (key, attribute row); True if a row was removed.
+
+        Only variants with ``supports_deletion`` implement this: entries must
+        be removable row-by-row, which rules out Bloom sketches (can't
+        unlearn), converted groups (shared payloads) and chained placement
+        (removing a copy from a d-full pair would let later queries stop
+        walking early, breaking no-false-negatives).  The usual cuckoo
+        caveat applies: only delete rows known to have been inserted, or a
+        colliding row's entry may be removed instead.
+        """
+        values = self.schema.row_values(attrs)
+        return self._delete_hashed(
+            self.geometry.fingerprint_of(key),
+            self.geometry.home_index(key),
+            self.fingerprinter.vector(values),
+        )
+
+    def delete_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        attr_columns: Sequence[Sequence[Any] | np.ndarray],
+    ) -> np.ndarray:
+        """Batch `delete`: vectorised hashing, sequential removals."""
+        columns = list(attr_columns)
+        validate_attr_columns(columns, self.schema.num_attributes, len(keys))
+        fps = self.geometry.fingerprints_of_many(keys)
+        homes = self.geometry.home_indices_of_many(keys)
+        return self._delete_hashed_rows(fps, homes, self.fingerprinter.vectors_many(columns))
+
+    def _delete_hashed_rows(
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        avecs: Sequence[tuple[int, ...]],
+    ) -> np.ndarray:
+        """Row loop over `_delete_hashed` on precomputed hashes."""
+        out = np.empty(len(fps), dtype=bool)
+        for i, (fp, home) in enumerate(zip(fps.tolist(), homes.tolist())):
+            out[i] = self._delete_hashed(fp, home, avecs[i])
+        return out
+
+    def _delete_hashed(self, fingerprint: int, home: int, avec: tuple[int, ...]) -> bool:
+        """Removal kernel; only deletion-capable variants implement it."""
+        raise NotImplementedError(
+            f"{self.kind} CCFs cannot delete entries (sketched rows cannot be unlearned)"
+        )
 
     def _stash_matches(self, fingerprint: int, compiled: CompiledQuery | None) -> bool:
         return any(

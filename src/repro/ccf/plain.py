@@ -23,6 +23,12 @@ class PlainCCF(ConditionalCuckooFilterBase):
 
     kind = "plain"
 
+    #: Plain placement is the one policy that can unlearn a row: every entry
+    #: lives in its key's single bucket pair and removing it affects no chain
+    #: walk or shared sketch.  This is what makes the plain variant the level
+    #: structure of the mutable FilterStore.
+    supports_deletion = True
+
     def _insert_hashed(
         self,
         fingerprint: int,
@@ -47,6 +53,10 @@ class PlainCCF(ConditionalCuckooFilterBase):
         slots = self._fp_entries_in_pair(left, right, fingerprint)
         if any(entry.same_row(fingerprint, avec) for entry in slots):
             return True
+        # A stashed copy counts too: without this, re-inserting a stashed row
+        # would create a second entry that `delete` cannot fully remove.
+        if self.stash and any(entry.same_row(fingerprint, avec) for entry in self.stash):
+            return True
         return self._place_in_pair(left, right, VectorEntry(fingerprint, avec))
 
     def _query_hashed(
@@ -66,6 +76,48 @@ class PlainCCF(ConditionalCuckooFilterBase):
         self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
     ) -> np.ndarray:
         return self._single_pair_query_many(fps, homes, compiled)
+
+    def _row_present(self, fingerprint: int, home: int, avec: tuple[int, ...]) -> bool:
+        """Is this exact (fingerprint, vector) row stored (table or stash)?
+
+        The read-before-write primitive of the FilterStore's cross-level
+        dedup: inserts skip rows an older level already represents, so the
+        whole stack keeps the monolith's one-entry-per-row semantics and a
+        single delete removes the row everywhere.
+        """
+        left = home
+        right = self.geometry.alt_index(left, fingerprint)
+        if any(
+            entry.same_row(fingerprint, avec)
+            for entry in self._fp_entries_in_pair(left, right, fingerprint)
+        ):
+            return True
+        return any(entry.same_row(fingerprint, avec) for entry in self.stash)
+
+    def _delete_hashed(self, fingerprint: int, home: int, avec: tuple[int, ...]) -> bool:
+        """Remove the entry storing exactly this (fingerprint, vector) row.
+
+        Probes the key's single bucket pair (then the stash) for a
+        `same_row` match and frees that one slot.  Exact-duplicate rows were
+        deduplicated at insert time, so one removal forgets the row entirely.
+        """
+        left = home
+        right = self.geometry.alt_index(left, fingerprint)
+        for bucket in (left,) if right == left else (left, right):
+            row = self.buckets.fps[bucket].tolist()
+            for slot, fp in enumerate(row):
+                if fp != fingerprint:
+                    continue
+                if tuple(self._avecs[bucket, slot].tolist()) == avec:
+                    self._clear_entry(bucket, slot)
+                    self.num_rows_inserted -= 1
+                    return True
+        for index, entry in enumerate(self.stash):
+            if entry.same_row(fingerprint, avec):
+                del self.stash[index]
+                self.num_rows_inserted -= 1
+                return True
+        return False
 
     def slot_bits(self) -> int:
         """|κ| + |α|; no marking or conversion flag is needed."""

@@ -202,8 +202,12 @@ class DyadicRangeCCF:
         """Total sketch size (the η-fold fan-out is included by construction)."""
         return self.inner.size_in_bits()
 
+    def load_factor(self) -> float:
+        """Fraction of the inner table's slots occupied."""
+        return self.inner.load_factor()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DyadicRangeCCF({self.inner.kind}, levels={self.num_levels}, "
-            f"entries={self.inner.num_entries})"
+            f"entries={self.inner.num_entries}, load={self.load_factor():.3f})"
         )

@@ -63,6 +63,28 @@ class ExtractedKeyFilter:
             return True
         return fingerprint in self.stash_fingerprints
 
+    def contains_many(self, keys) -> np.ndarray:
+        """Batch `contains`: one vectorised probe of both buckets per key.
+
+        This is the hot call of the shipped-filter deployment (§2): the
+        fact-table site probes every scan key against a few-KiB view, so the
+        probe must not pay a Python loop per key.  Answers are identical to
+        scalar `contains` per key.
+        """
+        fps = self.geometry.fingerprints_of_many(keys)
+        homes = self.geometry.home_indices_of_many(keys)
+        alts = self.geometry.alt_indices_many(homes, fps)
+        table = self.buckets.fps
+        fp_col = fps[:, None]
+        found = (table[homes] == fp_col).any(axis=1)
+        found |= (table[alts] == fp_col).any(axis=1)
+        if self.stash_fingerprints:
+            stash = np.fromiter(
+                self.stash_fingerprints, dtype=np.int64, count=len(self.stash_fingerprints)
+            )
+            found |= np.isin(fps, stash)
+        return found
+
     def __contains__(self, key: object) -> bool:
         return self.contains(key)
 
@@ -71,12 +93,19 @@ class ExtractedKeyFilter:
         """Number of surviving fingerprints."""
         return self.buckets.filled + len(self.stash_fingerprints)
 
+    def load_factor(self) -> float:
+        """Fraction of table slots occupied (stash excluded)."""
+        return self.buckets.load_factor()
+
     def size_in_bits(self) -> int:
         """Size as a shipped artifact: one key fingerprint per slot."""
         return (self.buckets.capacity + len(self.stash_fingerprints)) * self.geometry.key_bits
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ExtractedKeyFilter(entries={self.num_entries})"
+        return (
+            f"ExtractedKeyFilter(entries={self.num_entries}, "
+            f"load={self.load_factor():.3f})"
+        )
 
 
 class MarkedKeyFilter:
@@ -130,7 +159,12 @@ class MarkedKeyFilter:
 
     def contains(self, key: object) -> bool:
         """Key membership in the predicate-selected set (no false negatives)."""
-        fingerprint = self.geometry.fingerprint_of(key)
+        return self._contains_hashed(
+            self.geometry.fingerprint_of(key), self.geometry.home_index(key)
+        )
+
+    def _contains_hashed(self, fingerprint: int, home: int) -> bool:
+        """Lookup kernel on precomputed hashes (shared scalar/batch)."""
         stash_has_fp = False
         for stash_fp, matches in self.stash_entries:
             if stash_fp == fingerprint:
@@ -139,7 +173,6 @@ class MarkedKeyFilter:
                 # A stashed copy means d-counts along this fingerprint's
                 # chain may have decreased; disable the early stop below.
                 stash_has_fp = True
-        home = self.geometry.home_index(key)
         limit = self._walk_limit()
         walked = 0
         for left, right in self.geometry.pair_walk(home, fingerprint):
@@ -163,6 +196,40 @@ class MarkedKeyFilter:
         # Lmax exhausted with every pair d-full: conservative True (Theorem 3).
         return True
 
+    def contains_many(self, keys) -> np.ndarray:
+        """Batch `contains`: hybrid kernel mirroring the chained CCF's.
+
+        The first bucket pair is probed fully vectorised: a key resolves
+        True if the pair holds a *marked* copy, and False if it holds fewer
+        than ``d`` copies total (the scalar walk would stop there).  Only the
+        residue — d-full first pairs of unmarked copies, or fingerprints
+        with stashed entries — replays the scalar chain walk.  Answers are
+        identical to scalar `contains` per key.
+        """
+        fps = self.geometry.fingerprints_of_many(keys)
+        homes = self.geometry.home_indices_of_many(keys)
+        alts = self.geometry.alt_indices_many(homes, fps)
+        table = self.buckets.fps
+        marks = self.marks
+        fp_col = fps[:, None]
+        eq_home = table[homes] == fp_col
+        eq_alt = table[alts] == fp_col
+        hit = (eq_home & marks[homes]).any(axis=1)
+        hit |= (eq_alt & marks[alts]).any(axis=1)
+        copies = eq_home.sum(axis=1)
+        copies += np.where(alts == homes, 0, eq_alt.sum(axis=1))
+        resolved_false = ~hit & (copies < self.max_dupes)
+        if self.stash_entries:
+            marked = [fp for fp, matching in self.stash_entries if matching]
+            if marked:
+                hit |= np.isin(fps, np.array(marked, dtype=np.int64))
+            all_stash = np.array([fp for fp, _m in self.stash_entries], dtype=np.int64)
+            resolved_false &= ~np.isin(fps, all_stash)
+        out = hit.copy()
+        for i in np.nonzero(~hit & ~resolved_false)[0]:
+            out[i] = self._contains_hashed(int(fps[i]), int(homes[i]))
+        return out
+
     def __contains__(self, key: object) -> bool:
         return self.contains(key)
 
@@ -170,6 +237,10 @@ class MarkedKeyFilter:
     def num_entries(self) -> int:
         """Number of retained fingerprint slots (marked or not)."""
         return self.buckets.filled + len(self.stash_entries)
+
+    def load_factor(self) -> float:
+        """Fraction of table slots occupied (stash excluded)."""
+        return self.buckets.load_factor()
 
     def num_matching(self) -> int:
         """Number of slots still marked as matching the predicate."""
@@ -184,5 +255,6 @@ class MarkedKeyFilter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"MarkedKeyFilter(entries={self.num_entries}, matching={self.num_matching()})"
+            f"MarkedKeyFilter(entries={self.num_entries}, "
+            f"matching={self.num_matching()}, load={self.load_factor():.3f})"
         )

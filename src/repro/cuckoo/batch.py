@@ -21,7 +21,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.cuckoo.buckets import EMPTY
 from repro.hashing.mixers import hash64_many_masked
 
 
@@ -85,42 +84,15 @@ class FingerprintBatchMixin:
         out = np.ones(n, dtype=bool)
         if n == 0:
             return out
-        matrix = self.buckets.fps
-        bucket_size = self.buckets.bucket_size
-
-        order = np.argsort(homes, kind="stable")
-        sorted_homes = homes[order]
-        # Rank of each key within its home-bucket group.
-        boundary = np.empty(n, dtype=bool)
-        boundary[0] = True
-        boundary[1:] = sorted_homes[1:] != sorted_homes[:-1]
-        group_start = np.maximum.accumulate(np.where(boundary, np.arange(n), 0))
-        rank = np.arange(n) - group_start
-        free = bucket_size - self.buckets.counts[sorted_homes]
-        placed = rank < free
-
-        placed_buckets = sorted_homes[placed]
+        # The (bucket, rank) -> free-slot assignment lives on SlotMatrix
+        # (`plan_bulk_placement`), shared with store compaction.
+        rows, placed_buckets, slots, residue = self.buckets.plan_bulk_placement(homes)
         if placed_buckets.size:
-            # Map (bucket, rank) -> actual free slot index.  Buckets may hold
-            # holes from deletions, so the r-th placement targets the r-th
-            # *empty* slot, found with one cumulative count per touched
-            # bucket (bucket_size is tiny, so the per-slot loop is O(b)).
-            touched, inverse = np.unique(placed_buckets, return_inverse=True)
-            emptiness = matrix[touched] == EMPTY
-            empty_rank = np.cumsum(emptiness, axis=1) - 1
-            slot_of_rank = np.full((len(touched), bucket_size), -1, dtype=np.int64)
-            for slot in range(bucket_size):
-                here = emptiness[:, slot]
-                slot_of_rank[here, empty_rank[here, slot]] = slot
-            slots = slot_of_rank[inverse, rank[placed]]
-            matrix[placed_buckets, slots] = fps[order[placed]]
-            np.add.at(self.buckets.counts, placed_buckets, 1)
-            self.buckets._filled += int(placed_buckets.size)
+            self.buckets.fps[placed_buckets, slots] = fps[rows]
+            self.buckets.note_bulk_placement(placed_buckets)
             self.num_items += int(placed_buckets.size)
 
-        residue = order[~placed]
         if residue.size:
-            residue.sort()  # back to input order for the sequential loop
             res_fps = fps[residue].tolist()
             res_homes = homes[residue].tolist()
             for i, fp, home in zip(residue.tolist(), res_fps, res_homes):

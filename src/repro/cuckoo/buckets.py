@@ -201,6 +201,59 @@ class SlotMatrix:
                 None if payloads is None else payloads[index],
             )
 
+    def plan_bulk_placement(
+        self, homes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Plan a conflict-free first wave: one row per free slot per bucket.
+
+        Given each row's target bucket, rows are ranked within their bucket
+        (stable sort, so earlier rows win) and the first
+        ``bucket_size - counts[bucket]`` of each bucket's rows are assigned
+        to that bucket's actual free slots (holes from deletions honoured
+        via a per-bucket empty-slot rank).  Returns
+        ``(rows, buckets, slots, residue)``: the planned rows (indices into
+        ``homes``), their target buckets and slots, and the left-over row
+        indices in ascending input order.
+
+        The planner only *reads* the matrix; callers scatter their columns
+        into ``fps[buckets, slots]`` (and any parallel columns), then update
+        occupancy via `recount` or `note_bulk_placement`.  Shared by the
+        cuckoo-filter bulk build (`cuckoo/batch.py`) and store compaction
+        (`store/compaction.py`).
+        """
+        n = len(homes)
+        empty = np.empty(0, dtype=np.int64)
+        if n == 0:
+            return empty, empty, empty, empty
+        order = np.argsort(homes, kind="stable")
+        sorted_homes = homes[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_homes[1:] != sorted_homes[:-1]
+        group_start = np.maximum.accumulate(np.where(boundary, np.arange(n), 0))
+        rank = np.arange(n) - group_start
+        free = self.bucket_size - self.counts[sorted_homes]
+        placed = rank < free
+        placed_buckets = sorted_homes[placed]
+        slots = empty
+        if placed_buckets.size:
+            touched, inverse = np.unique(placed_buckets, return_inverse=True)
+            emptiness = self.fps[touched] == EMPTY
+            empty_rank = np.cumsum(emptiness, axis=1) - 1
+            slot_of_rank = np.full((len(touched), self.bucket_size), -1, dtype=np.int64)
+            for slot in range(self.bucket_size):
+                here = emptiness[:, slot]
+                slot_of_rank[here, empty_rank[here, slot]] = slot
+            slots = slot_of_rank[inverse, rank[placed]]
+        residue = order[~placed]
+        residue.sort()
+        return order[placed], placed_buckets, slots, residue
+
+    def note_bulk_placement(self, buckets: np.ndarray) -> None:
+        """Account for a first-wave scatter into ``fps[buckets, slots]``."""
+        np.add.at(self.counts, buckets, 1)
+        self._filled += int(buckets.size)
+
     def recount(self) -> None:
         """Rebuild the occupancy column from the fingerprint matrix.
 

@@ -238,5 +238,6 @@ class ChainedCuckooHashTable:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ChainedCuckooHashTable(buckets={self.buckets.num_buckets}, "
-            f"b={self.bucket_size}, d={self.max_dupes}, items={self._count})"
+            f"b={self.bucket_size}, d={self.max_dupes}, items={self._count}, "
+            f"load={self.load_factor():.3f})"
         )

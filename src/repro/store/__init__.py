@@ -1,0 +1,21 @@
+"""Sharded log-structured FilterStore: the unbounded, mutable CCF layer.
+
+Public surface:
+
+* :class:`FilterStore` — hash-sharded, LSM-levelled, persistent membership
+  service over plain-CCF levels (`store.py`);
+* :class:`FilterShard` — one shard's level stack (`shard.py`);
+* :class:`StoreConfig` — shard fan-out, level geometry, load/compaction
+  policy (`config.py`);
+* :func:`merge_levels` — the compaction kernel (`compaction.py`).
+
+See DESIGN.md §8 for the FilterStore contract (level growth, delete
+routing, compaction, manifest format).
+"""
+
+from repro.store.compaction import merge_levels
+from repro.store.config import StoreConfig
+from repro.store.shard import FilterShard
+from repro.store.store import FilterStore
+
+__all__ = ["FilterShard", "FilterStore", "StoreConfig", "merge_levels"]

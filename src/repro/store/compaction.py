@@ -1,0 +1,175 @@
+"""Level compaction: merge a shard's level stack into one right-sized filter.
+
+Because every level of a shard shares one pair geometry (same bucket count,
+same seeds — enforced by :class:`~repro.store.config.StoreConfig`), an entry
+observed at bucket ``b`` of any level belongs to the bucket pair
+``{b, b XOR h(κ)}`` in *every* level.  Compaction exploits this: it walks
+``iter_entries`` over all levels, deduplicates rows per (pair, fingerprint,
+attribute vector), right-sizes a single merged filter — same bucket count,
+**taller buckets** (bucket size never changes pair identity) — and places
+each entry back into its own pair.
+
+Right-sizing follows the rebuild-time sizing argument of *Smaller and More
+Flexible Cuckoo Filters* (arXiv:2505.05847): instead of overprovisioning the
+store up front, each compaction picks the smallest bucket size that holds
+the surviving entries at the configured target load while respecting the
+hottest pair's 2b capacity, so space tracks the live data after churn.
+
+The placement reuses PR 2's bulk-build shape (DESIGN.md §7): the
+conflict-free first wave — entries whose resident bucket still has room —
+is scattered into the fingerprint/attribute/flag columns in one vectorised
+pass; only the residue runs the sequential pair-placement kernel.  Because
+rows are pre-deduplicated and plain placement has no cross-pair policy, the
+wave is policy-equivalent to replaying ``_insert_hashed`` row by row:
+membership answers are identical, only slot positions may differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.entries import VectorEntry
+from repro.ccf.params import CCFParams
+from repro.ccf.plain import PlainCCF
+
+#: How many times a failing merge grows the merged bucket size before
+#: giving up.  Failures need adversarial pair congestion, so one or two
+#: retries is already generous.
+MERGE_RETRIES = 4
+
+
+def collect_live_rows(
+    levels: list[PlainCCF],
+) -> tuple[np.ndarray, np.ndarray, list[tuple[int, ...]], list[VectorEntry], dict[int, int]]:
+    """Gather every live row across ``levels``, deduplicated per pair.
+
+    Returns ``(buckets, fps, avecs, stash_entries, pair_counts)``: the
+    resident bucket / fingerprint / attribute vector of each distinct
+    (pair, fingerprint, vector) row, the surviving stash entries (their
+    buckets are unknowable — stashed victims lost their position), and the
+    per-pair row counts that drive hot-pair sizing.
+    """
+    geometry = levels[0].geometry
+    seen: set[tuple[int, int, tuple[int, ...]]] = set()
+    buckets: list[int] = []
+    fps: list[int] = []
+    avecs: list[tuple[int, ...]] = []
+    pair_counts: dict[int, int] = {}
+    stash_entries: list[VectorEntry] = []
+    stash_seen: set[tuple[int, tuple[int, ...]]] = set()
+    for level in levels:
+        for bucket, _slot, fp, _payload in level.buckets.iter_entries():
+            avec = tuple(level._avecs[bucket, _slot].tolist())
+            alt = geometry.alt_index(bucket, fp)
+            pair = bucket if bucket < alt else alt
+            signature = (pair, fp, avec)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            buckets.append(bucket)
+            fps.append(fp)
+            avecs.append(avec)
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+        for entry in level.stash:
+            stash_signature = (entry.fp, entry.avec)
+            if stash_signature not in stash_seen:
+                stash_seen.add(stash_signature)
+                stash_entries.append(VectorEntry(entry.fp, entry.avec, entry.matching))
+    return (
+        np.array(buckets, dtype=np.int64),
+        np.array(fps, dtype=np.int64),
+        avecs,
+        stash_entries,
+        pair_counts,
+    )
+
+
+def right_sized_bucket_size(
+    num_rows: int,
+    num_buckets: int,
+    pair_counts: dict[int, int],
+    target_load: float,
+    min_bucket_size: int,
+    max_dupes: int,
+) -> int:
+    """Smallest bucket size holding ``num_rows`` at ``target_load``.
+
+    Two floors: global occupancy (rows over ``m*b`` slots stays under the
+    target) and the hottest pair (a pair's rows must fit its ``2b`` slots —
+    the plain variant's only structural cap).
+    """
+    hottest = max(pair_counts.values(), default=0)
+    by_load = -(-num_rows // max(1, round(num_buckets * target_load)))
+    by_pair = -(-hottest // 2)
+    by_dupes = -(-max_dupes // 2)
+    return max(min_bucket_size, by_load, by_pair, by_dupes, 1)
+
+
+def bulk_load_rows(
+    merged: PlainCCF, buckets: np.ndarray, fps: np.ndarray, avecs: list[tuple[int, ...]]
+) -> None:
+    """Place pre-deduplicated rows into ``merged`` at their resident buckets.
+
+    First wave (vectorised, PR 2's ranking): rows are stably grouped by
+    bucket and the first ``bucket_size - counts[bucket]`` of each group are
+    scattered straight into that bucket's free slots — fingerprints into the
+    SlotMatrix, vectors into the attribute column.  The residue replays the
+    sequential pair-placement kernel (`_insert_hashed`), which may kick but
+    never leaves the row's own pair.
+    """
+    n = len(fps)
+    if n == 0:
+        return
+    avec_matrix = np.array(avecs, dtype=np.int64).reshape(n, -1)
+    rows, placed_buckets, slots, residue = merged.buckets.plan_bulk_placement(buckets)
+    if placed_buckets.size:
+        merged.buckets.fps[placed_buckets, slots] = fps[rows]
+        merged._avecs[placed_buckets, slots] = avec_matrix[rows]
+        merged.buckets.note_bulk_placement(placed_buckets)
+        merged.num_rows_inserted += int(placed_buckets.size)
+
+    if residue.size:
+        for i in residue.tolist():
+            merged._insert_hashed(int(fps[i]), int(buckets[i]), None, avecs[i])
+
+
+def merge_levels(
+    schema: AttributeSchema,
+    params: CCFParams,
+    levels: list[PlainCCF],
+    target_load: float,
+) -> PlainCCF:
+    """Merge a level stack into one right-sized plain CCF.
+
+    The merged filter keeps the stack's bucket count and seeds (so it stays
+    interchangeable with any future level) and answers exactly the union of
+    the levels' memberships: every live row lands back in its own bucket
+    pair, stash entries carry over, and the row/discard counters sum.
+    """
+    num_buckets = levels[0].buckets.num_buckets
+    buckets, fps, avecs, stash_entries, pair_counts = collect_live_rows(levels)
+    num_rows = len(fps)
+    bucket_size = right_sized_bucket_size(
+        num_rows,
+        num_buckets,
+        pair_counts,
+        target_load,
+        params.bucket_size,
+        params.max_dupes,
+    )
+    last_error: PlainCCF | None = None
+    for _attempt in range(MERGE_RETRIES):
+        merged = PlainCCF(schema, num_buckets, params.replace(bucket_size=bucket_size))
+        bulk_load_rows(merged, buckets, fps, avecs)
+        if not merged.failed:
+            merged.num_rows_inserted = sum(level.num_rows_inserted for level in levels)
+            merged.num_rows_discarded = sum(level.num_rows_discarded for level in levels)
+            merged.stash.extend(stash_entries)
+            return merged
+        last_error = merged
+        bucket_size += 1
+    raise RuntimeError(
+        f"compaction could not place {num_rows} rows in {num_buckets} buckets "
+        f"even at bucket_size={bucket_size - 1} (stash={len(last_error.stash)})"
+    )

@@ -1,0 +1,59 @@
+"""Configuration for the sharded log-structured FilterStore.
+
+A :class:`StoreConfig` holds only the *store-shape* knobs — shard fan-out,
+per-level geometry, the saturation threshold that rolls a new level, and the
+compaction trigger.  What the levels store (schema, fingerprint widths,
+bucket size, seeds) stays in the usual :class:`~repro.ccf.params.CCFParams`,
+so one parameter bundle describes a filter identically whether it lives
+standalone or as a store level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.cuckoo.buckets import is_power_of_two
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Shape of a :class:`~repro.store.store.FilterStore`.
+
+    * ``num_shards`` — hash-partition fan-out.  Keys are routed by an
+      independent salted hash; each shard owns a disjoint key subset.
+    * ``level_buckets`` — bucket count of every level.  All levels of all
+      shards share this (power-of-two) geometry, which is what lets one
+      vectorised hashing pass serve every level and lets compaction relocate
+      entries by bucket index.
+    * ``target_load`` — occupancy fraction at which the active level is
+      sealed and a fresh one started (the LSM "memtable full" moment).
+    * ``compact_at`` — automatically compact a shard once it stacks this
+      many levels (None = compaction only on explicit ``compact()``).
+    * ``seed`` — salt for the shard-routing hash, independent of the level
+      hashing salts in ``CCFParams.seed``.
+    """
+
+    num_shards: int = 4
+    level_buckets: int = 1024
+    target_load: float = 0.85
+    compact_at: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if not is_power_of_two(self.level_buckets) or self.level_buckets < 2:
+            raise ValueError("level_buckets must be a power of two >= 2")
+        if not 0.0 < self.target_load <= 1.0:
+            raise ValueError("target_load must be in (0, 1]")
+        if self.compact_at is not None and self.compact_at < 2:
+            raise ValueError("compact_at must be at least 2 levels (or None)")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the snapshot manifest."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)

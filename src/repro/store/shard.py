@@ -1,0 +1,259 @@
+"""One shard of the FilterStore: an LSM-style stack of plain-CCF levels.
+
+A shard owns a disjoint slice of the key space.  Writes go to the **active
+level** (the newest); when its occupancy crosses the configured target load
+— or a placement failure latches ``failed`` — the level is sealed and a
+fresh one is started, so a shard's capacity is unbounded while every level
+stays inside the load regime where cuckoo placement succeeds.  Reads fan
+across the stack newest-first and OR the per-level answers; deletes are
+*routed to the owning level*: the newest level holding the exact row loses
+it, other levels are untouched.
+
+Every level shares one :class:`~repro.ccf.chain.PairGeometry` (same bucket
+count, same seeds), so the store hashes a batch **once** and feeds the same
+fingerprint/home arrays to every level's kernels — the per-level cost of a
+query is one fancy-indexed probe, not a rehash.
+
+Levels are plain CCFs deliberately: plain placement is the one policy whose
+entries can be deleted and relocated safely (no chains to break, no Bloom
+payloads to unlearn).  The paper's verdict that the plain variant "cannot
+hold duplicate skew at a reasonable size" (§4.3) is about a *single*
+fixed-size table — here duplicates spread across levels as they arrive and
+compaction re-packs them into taller buckets, which is exactly the
+LSM-levelling answer (`LSMTreeCuckoo`) to that failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.base import CompiledQuery
+from repro.ccf.params import CCFParams
+from repro.ccf.plain import PlainCCF
+from repro.store.compaction import merge_levels
+from repro.store.config import StoreConfig
+
+
+class FilterShard:
+    """An unbounded level stack over one hash partition of the key space."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        schema: AttributeSchema,
+        params: CCFParams,
+        config: StoreConfig,
+    ) -> None:
+        self.shard_id = shard_id
+        self.schema = schema
+        self.params = params
+        self.config = config
+        self.levels: list[PlainCCF] = [self._new_level()]
+        self.rows_inserted = 0
+        self.rows_deleted = 0
+        self.num_compactions = 0
+        self.entries_compacted = 0
+
+    def _new_level(self, bucket_size: int | None = None) -> PlainCCF:
+        params = self.params
+        if bucket_size is not None and bucket_size != params.bucket_size:
+            params = params.replace(bucket_size=bucket_size)
+        return PlainCCF(self.schema, self.config.level_buckets, params)
+
+    @property
+    def active(self) -> PlainCCF:
+        """The level currently taking writes (always the newest)."""
+        return self.levels[-1]
+
+    def _target_slots(self, level: PlainCCF) -> int:
+        # At least one slot, or a degenerate target_load could roll forever.
+        return max(1, int(self.config.target_load * level.buckets.capacity))
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert_hashed_rows(
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        avecs: Sequence[tuple[int, ...]],
+    ) -> np.ndarray:
+        """Insert pre-hashed rows, rolling new levels as the active saturates.
+
+        Each chunk is sized to the active level's remaining room under the
+        target load (a row adds at most one entry), so a single batch can
+        seamlessly span a level roll — the unbounded-growth contract.
+
+        Rows an older (sealed) level already stores are **not** inserted
+        again (read-before-write dedup, screened with one vectorised
+        fingerprint probe per sealed level): the stack keeps the monolith
+        CCF's one-entry-per-row semantics, so a later delete of the row
+        removes it from the store entirely, not copy-by-copy.
+        """
+        n = len(fps)
+        out = np.ones(n, dtype=bool)
+        start = 0
+        while start < n:
+            level = self.active
+            room = self._target_slots(level) - level.num_entries
+            if room <= 0 or level.failed:
+                self.levels.append(self._new_level())
+                continue
+            stop = min(n, start + room)
+            index = np.arange(start, stop)
+            if len(self.levels) > 1:
+                duplicate = self._rows_present_in(
+                    self.levels[:-1], fps[index], homes[index], avecs, index
+                )
+                index = index[~duplicate]
+            if index.size:
+                out[index] = level._insert_hashed_rows(
+                    fps[index], homes[index], [avecs[i] for i in index.tolist()]
+                )
+            start = stop
+        self.rows_inserted += n
+        if self.config.compact_at is not None and len(self.levels) >= self.config.compact_at:
+            self.compact()
+        return out
+
+    def _rows_present_in(
+        self,
+        levels: list[PlainCCF],
+        fps: np.ndarray,
+        homes: np.ndarray,
+        avecs: Sequence[tuple[int, ...]],
+        index: np.ndarray,
+    ) -> np.ndarray:
+        """Which rows (fps/homes sliced by ``index``) some level already holds.
+
+        A vectorised key-fingerprint probe screens each level; only
+        candidates pay the exact (fingerprint, vector) pair scan.
+        """
+        duplicate = np.zeros(len(fps), dtype=bool)
+        for level in levels:
+            pending = np.nonzero(~duplicate)[0]
+            if pending.size == 0:
+                break
+            candidate = level._single_pair_query_many(fps[pending], homes[pending], None)
+            for local in np.nonzero(candidate)[0].tolist():
+                i = int(pending[local])
+                if level._row_present(int(fps[i]), int(homes[i]), avecs[int(index[i])]):
+                    duplicate[i] = True
+        return duplicate
+
+    def delete_hashed_rows(
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        avecs: Sequence[tuple[int, ...]],
+    ) -> np.ndarray:
+        """Route each delete to its owning level (newest level wins).
+
+        Levels are screened newest-first with one vectorised key-fingerprint
+        probe; only candidate rows run the exact (fingerprint, vector) slot
+        removal.  A row deleted in one level is not searched for in older
+        ones, so re-inserted rows shadow their older copies correctly.
+        """
+        n = len(fps)
+        out = np.zeros(n, dtype=bool)
+        pending = np.arange(n)
+        for level in reversed(self.levels):
+            if pending.size == 0:
+                break
+            present = level._single_pair_query_many(fps[pending], homes[pending], None)
+            for local in np.nonzero(present)[0].tolist():
+                i = int(pending[local])
+                if level._delete_hashed(int(fps[i]), int(homes[i]), avecs[i]):
+                    out[i] = True
+            pending = pending[~out[pending]]
+        self.rows_deleted += int(out.sum())
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query_hashed_many(
+        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+    ) -> np.ndarray:
+        """OR of the level answers, probing newest-first.
+
+        Keys already answered True drop out of the remaining levels' probes,
+        so a hit in a young level costs nothing in the old ones.
+        """
+        out = np.zeros(len(fps), dtype=bool)
+        pending = np.arange(len(fps))
+        for level in reversed(self.levels):
+            if pending.size == 0:
+                break
+            answers = level._query_hashed_many(fps[pending], homes[pending], compiled)
+            out[pending[answers]] = True
+            pending = pending[~answers]
+        return out
+
+    # ------------------------------------------------------------------
+    # Compaction and introspection
+    # ------------------------------------------------------------------
+
+    def compact(self) -> PlainCCF:
+        """Merge the level stack into one right-sized filter (see compaction.py)."""
+        if len(self.levels) == 1 and not self.levels[0].num_entries:
+            return self.levels[0]
+        self.entries_compacted += sum(level.num_entries for level in self.levels)
+        merged = merge_levels(
+            self.schema, self.params, self.levels, self.config.target_load
+        )
+        self.num_compactions += 1
+        self.levels = [merged]
+        return merged
+
+    @property
+    def num_entries(self) -> int:
+        """Occupied table slots across the stack (stash excluded, like CCFs)."""
+        return sum(level.num_entries for level in self.levels)
+
+    @property
+    def num_stashed(self) -> int:
+        """Stashed overflow entries across the stack."""
+        return sum(len(level.stash) for level in self.levels)
+
+    @property
+    def capacity(self) -> int:
+        """Total slots across the stack."""
+        return sum(level.buckets.capacity for level in self.levels)
+
+    def load_factor(self) -> float:
+        """Occupied fraction of the whole stack (stash excluded, in [0, 1])."""
+        capacity = self.capacity
+        return self.num_entries / capacity if capacity else 0.0
+
+    def size_in_bits(self) -> int:
+        """Summed sketch size of the stack."""
+        return sum(level.size_in_bits() for level in self.levels)
+
+    def stats(self) -> dict:
+        """Occupancy, level shape and compaction-work counters."""
+        return {
+            "shard": self.shard_id,
+            "levels": len(self.levels),
+            "entries": self.num_entries,
+            "stashed": self.num_stashed,
+            "capacity": self.capacity,
+            "load_factor": round(self.load_factor(), 4),
+            "level_loads": [round(level.load_factor(), 4) for level in self.levels],
+            "level_bucket_sizes": [level.buckets.bucket_size for level in self.levels],
+            "rows_inserted": self.rows_inserted,
+            "rows_deleted": self.rows_deleted,
+            "compactions": self.num_compactions,
+            "entries_compacted": self.entries_compacted,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FilterShard(id={self.shard_id}, levels={len(self.levels)}, "
+            f"entries={self.num_entries}, load={self.load_factor():.3f})"
+        )

@@ -1,0 +1,367 @@
+"""FilterStore: a sharded, log-structured, mutable CCF serving layer.
+
+The paper's deployment story (§2-§3) precomputes one fixed-capacity CCF per
+table.  A production service under mutable traffic outgrows any pre-sized
+filter; the FilterStore removes the cap while keeping every per-batch code
+path a single vectorised fan-out:
+
+1. **Route** — one salted hash partitions the batch across ``num_shards``
+   shards (numpy scatter; results gather back to input order).
+2. **Hash once** — key fingerprints, home buckets and attribute-fingerprint
+   vectors are computed once per batch; every level of every shard shares
+   one geometry, so the same arrays feed every level kernel.
+3. **Level** — each shard appends to an LSM-style stack of plain-CCF levels
+   (`shard.py`), growing a level when the active one saturates and merging
+   the stack into one right-sized filter on compaction (`compaction.py`).
+
+Persistence reuses the columnar wire formats: ``snapshot(path)`` writes a
+JSON manifest plus one `ccf/serialize.py` payload per level; ``open(path)``
+restores an equivalent store.  The deployment contract: answers after
+``open`` equal answers before ``snapshot``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.base import (
+    CompiledQuery,
+    ConditionalCuckooFilterBase,
+    compile_predicate,
+    validate_attr_columns,
+)
+from repro.ccf.chain import PairGeometry
+from repro.ccf.params import CCFParams
+from repro.ccf.plain import PlainCCF
+from repro.ccf.predicates import Predicate
+from repro.ccf.serialize import dumps, loads
+from repro.hashing.mixers import derive_seed, hash64, hash64_many
+from repro.store.config import StoreConfig
+from repro.store.shard import FilterShard
+
+#: Manifest schema version; bump on layout changes.
+MANIFEST_FORMAT = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class FilterStore:
+    """Unbounded, mutable, persistent conditional-membership service."""
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        params: CCFParams,
+        config: StoreConfig | None = None,
+        kind: str = "plain",
+    ) -> None:
+        if kind != "plain":
+            raise ValueError(
+                "FilterStore levels must be plain CCFs: plain placement is the "
+                "only policy whose entries can be deleted and relocated during "
+                f"compaction (got kind={kind!r}); see DESIGN.md §8"
+            )
+        self.kind = kind
+        self.schema = schema
+        self.params = params
+        self.config = config or StoreConfig()
+        self.fingerprinter = ConditionalCuckooFilterBase.make_fingerprinter(schema, params)
+        #: The geometry every level of every shard shares.
+        self.geometry = PairGeometry(
+            self.config.level_buckets, params.key_bits, seed=params.seed
+        )
+        self._shard_salt = derive_seed(self.config.seed, "store-shard")
+        self.shards = [
+            FilterShard(i, schema, params, self.config)
+            for i in range(self.config.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, key: object) -> int:
+        """The shard owning ``key`` (independent of the level hashes)."""
+        return int(hash64(key, self._shard_salt) % self.config.num_shards)
+
+    def shard_ids_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch `shard_of` (bit-identical per element)."""
+        hashed = hash64_many(keys, self._shard_salt)
+        return (hashed % np.uint64(self.config.num_shards)).astype(np.int64)
+
+    def _scatter(
+        self, keys: Sequence[object] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(shard ids, key fingerprints, home buckets), each hashed once."""
+        return (
+            self.shard_ids_of_many(keys),
+            self.geometry.fingerprints_of_many(keys),
+            self.geometry.home_indices_of_many(keys),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Insert one (key, attribute row)."""
+        return bool(self.insert_many([key], [[v] for v in self.schema.row_values(attrs)])[0])
+
+    def insert_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        attr_columns: Sequence[Sequence[Any] | np.ndarray],
+    ) -> np.ndarray:
+        """Insert a batch of rows: one hashing pass, one scatter, per-shard fills.
+
+        Capacity is unbounded — shards roll new levels as they saturate —
+        so unlike a fixed CCF this never needs pre-sizing.  Returns the
+        per-row placement results in input order (False only on the rare
+        MaxKicks overflow, where the row is stash-preserved).
+        """
+        columns = list(attr_columns)
+        n = len(keys)
+        validate_attr_columns(columns, self.schema.num_attributes, n)
+        out = np.ones(n, dtype=bool)
+        if n == 0:
+            return out
+        shard_ids, fps, homes = self._scatter(keys)
+        avecs = self.fingerprinter.vectors_many(columns)
+        for shard in self.shards:
+            index = np.nonzero(shard_ids == shard.shard_id)[0]
+            if index.size == 0:
+                continue
+            out[index] = shard.insert_hashed_rows(
+                fps[index], homes[index], [avecs[i] for i in index.tolist()]
+            )
+        return out
+
+    def delete(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Delete one stored (key, attribute row); True if a row was removed."""
+        return bool(self.delete_many([key], [[v] for v in self.schema.row_values(attrs)])[0])
+
+    def delete_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        attr_columns: Sequence[Sequence[Any] | np.ndarray],
+    ) -> np.ndarray:
+        """Batch delete; each row is removed from its newest owning level.
+
+        The usual cuckoo-deletion caveat applies per row: only delete rows
+        known to have been inserted (a colliding row's entry may be removed
+        otherwise).
+        """
+        columns = list(attr_columns)
+        n = len(keys)
+        validate_attr_columns(columns, self.schema.num_attributes, n)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        shard_ids, fps, homes = self._scatter(keys)
+        avecs = self.fingerprinter.vectors_many(columns)
+        for shard in self.shards:
+            index = np.nonzero(shard_ids == shard.shard_id)[0]
+            if index.size == 0:
+                continue
+            out[index] = shard.delete_hashed_rows(
+                fps[index], homes[index], [avecs[i] for i in index.tolist()]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def compile(self, predicate: Predicate | None) -> CompiledQuery | None:
+        """Compile a predicate once for every level of every shard."""
+        return compile_predicate(self.schema, self.fingerprinter, predicate)
+
+    def _resolve_compiled(
+        self, predicate: Predicate | CompiledQuery | None
+    ) -> CompiledQuery | None:
+        if predicate is None or isinstance(predicate, CompiledQuery):
+            return predicate
+        return self.compile(predicate)
+
+    def query(self, key: object, predicate: Predicate | CompiledQuery | None = None) -> bool:
+        """Membership test for ``key`` under an optional predicate."""
+        return bool(self.query_many([key], predicate)[0])
+
+    def query_many(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        predicate: Predicate | CompiledQuery | None = None,
+    ) -> np.ndarray:
+        """Batch membership under one (compiled-once) predicate.
+
+        One hashing pass and one scatter; each shard ORs its level answers
+        newest-first.  No false negatives for live rows, the same contract
+        as a single CCF.
+        """
+        compiled = self._resolve_compiled(predicate)
+        n = len(keys)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        shard_ids, fps, homes = self._scatter(keys)
+        for shard in self.shards:
+            index = np.nonzero(shard_ids == shard.shard_id)[0]
+            if index.size == 0:
+                continue
+            out[index] = shard.query_hashed_many(fps[index], homes[index], compiled)
+        return out
+
+    def contains_key(self, key: object) -> bool:
+        """Key-only membership test."""
+        return self.query(key, None)
+
+    def contains_key_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Batch key-only membership test."""
+        return self.query_many(keys, None)
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains_key(key)
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Compact every shard's level stack into one right-sized filter."""
+        for shard in self.shards:
+            shard.compact()
+
+    @property
+    def num_levels(self) -> int:
+        """Total level count across shards."""
+        return sum(len(shard.levels) for shard in self.shards)
+
+    @property
+    def num_entries(self) -> int:
+        """Occupied table slots across every level of every shard (stash excluded)."""
+        return sum(shard.num_entries for shard in self.shards)
+
+    def load_factor(self) -> float:
+        """Occupied fraction over the store's total slot capacity (in [0, 1])."""
+        capacity = sum(shard.capacity for shard in self.shards)
+        return self.num_entries / capacity if capacity else 0.0
+
+    def size_in_bits(self) -> int:
+        """Summed sketch size across all levels (manifest overhead excluded)."""
+        return sum(shard.size_in_bits() for shard in self.shards)
+
+    def size_in_bytes(self) -> float:
+        """Summed sketch size in bytes."""
+        return self.size_in_bits() / 8
+
+    def __len__(self) -> int:
+        """Number of live rows (inserted minus deleted)."""
+        return sum(shard.rows_inserted - shard.rows_deleted for shard in self.shards)
+
+    def stats(self) -> dict:
+        """Per-shard occupancy, level shapes and compaction work, plus totals."""
+        shards = [shard.stats() for shard in self.shards]
+        return {
+            "num_shards": self.config.num_shards,
+            "level_buckets": self.config.level_buckets,
+            "target_load": self.config.target_load,
+            "levels": self.num_levels,
+            "entries": self.num_entries,
+            "load_factor": round(self.load_factor(), 4),
+            "rows_inserted": sum(s["rows_inserted"] for s in shards),
+            "rows_deleted": sum(s["rows_deleted"] for s in shards),
+            "compactions": sum(s["compactions"] for s in shards),
+            "entries_compacted": sum(s["entries_compacted"] for s in shards),
+            "size_in_bytes": self.size_in_bytes(),
+            "shards": shards,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FilterStore(shards={self.config.num_shards}, levels={self.num_levels}, "
+            f"rows={len(self)}, load={self.load_factor():.3f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> Path:
+        """Write the store to a directory: manifest + one payload per level.
+
+        Level payloads are the standard columnar CCF wire format
+        (`ccf/serialize.py`), so any tool that reads a serialised CCF can
+        read a level.  The manifest is written last as the commit point.
+        """
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        shard_records = []
+        for shard in self.shards:
+            level_files = []
+            for level_index, level in enumerate(shard.levels):
+                name = f"shard-{shard.shard_id:04d}-level-{level_index:04d}.ccf"
+                (root / name).write_bytes(dumps(level))
+                level_files.append(name)
+            shard_records.append(
+                {
+                    "levels": level_files,
+                    "rows_inserted": shard.rows_inserted,
+                    "rows_deleted": shard.rows_deleted,
+                    "compactions": shard.num_compactions,
+                    "entries_compacted": shard.entries_compacted,
+                }
+            )
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "kind": self.kind,
+            "schema": list(self.schema.names),
+            "params": _params_to_dict(self.params),
+            "config": self.config.to_dict(),
+            "shards": shard_records,
+        }
+        (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        return root
+
+    @classmethod
+    def open(cls, path: str | Path) -> "FilterStore":
+        """Restore a store from a :meth:`snapshot` directory."""
+        root = Path(path)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"unsupported FilterStore manifest format {manifest.get('format')!r}"
+            )
+        schema = AttributeSchema(manifest["schema"])
+        params = CCFParams(**manifest["params"])
+        config = StoreConfig.from_dict(manifest["config"])
+        store = cls(schema, params, config, kind=manifest["kind"])
+        for shard, record in zip(store.shards, manifest["shards"]):
+            levels = []
+            for name in record["levels"]:
+                level = loads((root / name).read_bytes())
+                if not isinstance(level, PlainCCF):
+                    raise ValueError(f"level payload {name} is not a plain CCF")
+                if level.buckets.num_buckets != config.level_buckets:
+                    raise ValueError(
+                        f"level payload {name} has {level.buckets.num_buckets} buckets, "
+                        f"manifest says {config.level_buckets}"
+                    )
+                levels.append(level)
+            if levels:
+                shard.levels = levels
+            shard.rows_inserted = record["rows_inserted"]
+            shard.rows_deleted = record["rows_deleted"]
+            shard.num_compactions = record["compactions"]
+            shard.entries_compacted = record["entries_compacted"]
+        return store
+
+
+def _params_to_dict(params: CCFParams) -> dict:
+    """CCFParams as a JSON-safe dict (field names match the constructor)."""
+    from dataclasses import asdict
+
+    return asdict(params)

@@ -18,10 +18,12 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
         "predicate_filter_extraction.py",
         "distributed_semijoin.py",
         "multimap_store.py",
+        "filter_store_service.py",
     ],
 )
 def test_example_runs(script, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_SCALE", "0.001")  # keep the data tiny
+    monkeypatch.setenv("REPRO_STORE_ROWS", "12000")  # keep the store stream short
     path = EXAMPLES_DIR / script
     assert path.exists(), f"missing example {script}"
     saved_argv = sys.argv

@@ -109,3 +109,37 @@ class TestExtractedKeyFilter:
         extracted = ccf.predicate_filter(Eq("color", "red"))
         expected = (extracted.buckets.capacity + len(extracted.stash_fingerprints)) * PARAMS.key_bits
         assert extracted.size_in_bits() == expected
+
+
+class TestViewBatchProbes:
+    """`contains_many` on both views is bit-identical to scalar `contains`."""
+
+    def test_marked_batch_matches_scalar(self):
+        rows = random_rows(400, 8, seed=11)
+        ccf = build_ccf("chained", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(Eq("color", "red"))
+        probes = list(range(400)) + list(range(8000, 8400))
+        batch = view.contains_many(probes)
+        assert batch.tolist() == [view.contains(key) for key in probes]
+
+    def test_extracted_batch_matches_scalar(self):
+        rows = random_rows(400, 4, seed=12)
+        ccf = build_ccf("mixed", SCHEMA, rows, PARAMS)
+        view = ccf.predicate_filter(And([Eq("color", "blue")]))
+        probes = list(range(400)) + list(range(8000, 8400))
+        batch = view.contains_many(probes)
+        assert batch.tolist() == [view.contains(key) for key in probes]
+
+    def test_marked_batch_with_stash(self):
+        """Overloaded source: stashed entries disable the d-count early stop."""
+        from repro.ccf.chained import ChainedCCF
+
+        tight = PARAMS.replace(bucket_size=1, max_dupes=2, max_chain=2)
+        ccf = ChainedCCF(SCHEMA, 16, tight)
+        for key, attrs in random_rows(40, 12, seed=13):
+            ccf.insert(key, attrs)
+        assert ccf.stash, "expected the overloaded build to stash victims"
+        view = ccf.predicate_filter(Eq("color", "green"))
+        probes = list(range(40)) + list(range(5000, 5200))
+        batch = view.contains_many(probes)
+        assert batch.tolist() == [view.contains(key) for key in probes]
