@@ -1,0 +1,194 @@
+"""Probe/insert/delete kernel microbenchmark: packed vs int64 vs pre-PR loops.
+
+ISSUE 4's acceptance bar for the width-adaptive slot engine (DESIGN.md §9),
+measured at 1M keys:
+
+* ``delete_many`` — the vectorised rank-dedup kernel vs the pre-PR per-key
+  Python loop (replayed verbatim through ``_delete_hashed``): >= 3x.
+* ``contains_many`` — the fused packed-dtype gather vs the pre-PR kernel
+  (two int64 fancy-gathers, replayed below): >= 1.5x.
+* packed storage holds <= 1/4 the fingerprint bytes of int64 at f <= 16.
+
+Results merge into ``bench_results/kernel_microbench.json`` keyed by key
+count, so the 1M acceptance record and the CI smoke record coexist.
+
+**CI regression gate.**  When ``REPRO_KERNEL_BASELINE`` points at a
+committed result file holding an entry for the same key count, the run
+fails if the packed `contains_many` speedup over the replayed pre-PR
+kernel drops more than ``REPRO_KERNEL_MAX_REGRESSION`` (default 20%) below
+the baseline's.  The gate compares *speedups*, not absolute keys/s — the
+reference kernel runs in the same process on the same machine, so the
+ratio is hardware-portable where raw throughput is not — and it is
+anchored to the pre-PR loop (the widest, most stable margin) rather than
+the int64 twin, whose advantage at cache-resident smoke sizes is thin
+enough for scheduler jitter to trip a false alarm.
+
+Environment knobs: ``REPRO_KERNEL_KEYS`` (default 1M),
+``REPRO_KERNEL_BASELINE``, ``REPRO_KERNEL_MAX_REGRESSION``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import RESULTS_DIR, save_json
+from repro.cuckoo.filter import CuckooFilter
+
+NUM_KEYS = int(os.environ.get("REPRO_KERNEL_KEYS", 1_000_000))
+BASELINE_PATH = os.environ.get("REPRO_KERNEL_BASELINE")
+MAX_REGRESSION = float(os.environ.get("REPRO_KERNEL_MAX_REGRESSION", 0.2))
+#: ISSUE 4 acceptance thresholds, asserted at the 1M-key scale.
+MIN_DELETE_SPEEDUP = 3.0
+MIN_CONTAINS_SPEEDUP = 1.5
+RESULT_NAME = "kernel_microbench"
+
+
+def _build(packed: bool) -> CuckooFilter:
+    cuckoo = CuckooFilter.from_capacity(
+        NUM_KEYS, bucket_size=4, fingerprint_bits=12, seed=7, packed=packed
+    )
+    cuckoo.insert_many(np.arange(NUM_KEYS, dtype=np.int64), bulk=True)
+    return cuckoo
+
+
+def _best_of(runs: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pre_pr_contains_many(cuckoo: CuckooFilter, keys: np.ndarray) -> np.ndarray:
+    """The pre-PR probe kernel, verbatim: two int64 fancy-gathers."""
+    fps = cuckoo.fingerprints_of_many(keys)
+    homes = cuckoo.home_indices_of_many(keys)
+    alts = homes ^ cuckoo._fp_jump_many(fps)
+    table = cuckoo.buckets.fps
+    fp_col = fps[:, None]
+    found = (table[homes] == fp_col).any(axis=1)
+    found |= (table[alts] == fp_col).any(axis=1)
+    if cuckoo.stash:
+        stash = np.fromiter(cuckoo.stash, dtype=np.int64, count=len(cuckoo.stash))
+        found |= np.isin(fps, stash)
+    return found
+
+
+def _pre_pr_delete_many(cuckoo: CuckooFilter, keys: np.ndarray) -> np.ndarray:
+    """The pre-PR removal loop, verbatim: vectorised hashing, per-key kernel."""
+    fps = cuckoo.fingerprints_of_many(keys).tolist()
+    homes = cuckoo.home_indices_of_many(keys).tolist()
+    out = np.empty(len(fps), dtype=bool)
+    for i, (fp, home) in enumerate(zip(fps, homes)):
+        out[i] = cuckoo._delete_hashed(fp, home)
+    return out
+
+
+def test_kernel_microbench():
+    rng = np.random.default_rng(3)
+    # Half present, half absent probes — the serving mix.
+    probes = rng.integers(0, 2 * NUM_KEYS, NUM_KEYS)
+    victims = np.arange(0, NUM_KEYS, 2, dtype=np.int64)
+
+    packed = _build(packed=True)
+    legacy = _build(packed=False)
+    assert packed.buckets.fps.dtype == np.uint16
+    assert legacy.buckets.fps.dtype == np.int64
+    fingerprint_byte_ratio = (
+        packed.buckets.fingerprint_bytes() / legacy.buckets.fingerprint_bytes()
+    )
+    assert fingerprint_byte_ratio <= 0.25  # f=12 packs into uint16
+
+    # Probes (non-mutating): best of 3 each, answers asserted equal.
+    packed_contains = _best_of(3, packed.contains_many, probes)
+    legacy_contains = _best_of(3, legacy.contains_many, probes)
+    pre_pr_contains = _best_of(3, _pre_pr_contains_many, legacy, probes)
+    assert (
+        packed.contains_many(probes).tolist()
+        == _pre_pr_contains_many(legacy, probes).tolist()
+    )
+
+    # Bulk insert (wave eviction) timing on fresh twins.
+    keys = np.arange(NUM_KEYS, dtype=np.int64)
+    fresh = CuckooFilter.from_capacity(NUM_KEYS, bucket_size=4, fingerprint_bits=12, seed=7)
+    start = time.perf_counter()
+    fresh.insert_many(keys, bulk=True)
+    packed_insert = time.perf_counter() - start
+
+    # Deletes mutate: one run each on identically-built twins.
+    start = time.perf_counter()
+    packed_deleted = packed.delete_many(victims)
+    packed_delete = time.perf_counter() - start
+    start = time.perf_counter()
+    legacy_deleted = _pre_pr_delete_many(legacy, victims)
+    pre_pr_delete = time.perf_counter() - start
+    assert packed_deleted.tolist() == legacy_deleted.tolist()
+
+    contains_speedup_vs_int64 = legacy_contains / packed_contains
+    contains_speedup_vs_pre_pr = pre_pr_contains / packed_contains
+    delete_speedup_vs_pre_pr = pre_pr_delete / packed_delete
+    record = {
+        "keys": NUM_KEYS,
+        "bucket_size": 4,
+        "fingerprint_bits": 12,
+        "fingerprint_bytes_packed": packed.buckets.fingerprint_bytes(),
+        "fingerprint_bytes_int64": legacy.buckets.fingerprint_bytes(),
+        "fingerprint_byte_ratio": fingerprint_byte_ratio,
+        "bytes_per_slot_packed": packed.buckets.bytes_per_slot,
+        "packed_insert_bulk_keys_per_s": NUM_KEYS / packed_insert,
+        "packed_contains_keys_per_s": NUM_KEYS / packed_contains,
+        "int64_contains_keys_per_s": NUM_KEYS / legacy_contains,
+        "pre_pr_contains_keys_per_s": NUM_KEYS / pre_pr_contains,
+        "packed_delete_keys_per_s": len(victims) / packed_delete,
+        "pre_pr_delete_keys_per_s": len(victims) / pre_pr_delete,
+        "contains_speedup_vs_int64": contains_speedup_vs_int64,
+        "contains_speedup_vs_pre_pr": contains_speedup_vs_pre_pr,
+        "delete_speedup_vs_pre_pr": delete_speedup_vs_pre_pr,
+    }
+
+    # Snapshot the committed baseline BEFORE writing results: the baseline
+    # file and the output file are typically the same path.
+    baseline = None
+    if BASELINE_PATH and os.path.exists(BASELINE_PATH):
+        baseline = json.loads(open(BASELINE_PATH).read()).get(str(NUM_KEYS))
+
+    # Merge with any existing result file so 1M and smoke entries coexist.
+    path = RESULTS_DIR / f"{RESULT_NAME}.json"
+    merged: dict = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    merged[str(NUM_KEYS)] = record
+    save_json(RESULT_NAME, merged)
+    print(
+        f"kernel microbench @ {NUM_KEYS} keys: contains "
+        f"{record['packed_contains_keys_per_s']/1e6:.1f}M/s "
+        f"({contains_speedup_vs_pre_pr:.2f}x pre-PR, "
+        f"{contains_speedup_vs_int64:.2f}x int64), delete "
+        f"{record['packed_delete_keys_per_s']/1e6:.2f}M/s "
+        f"({delete_speedup_vs_pre_pr:.1f}x pre-PR), "
+        f"fingerprint bytes {fingerprint_byte_ratio:.2f}x int64"
+    )
+
+    # Regression gate against the committed baseline (same key count only).
+    if baseline is not None:
+        floor = baseline["contains_speedup_vs_pre_pr"] * (1 - MAX_REGRESSION)
+        assert contains_speedup_vs_pre_pr >= floor, (
+            f"contains_many regressed: speedup over the pre-PR kernel fell to "
+            f"{contains_speedup_vs_pre_pr:.2f}x, baseline "
+            f"{baseline['contains_speedup_vs_pre_pr']:.2f}x (floor {floor:.2f}x)"
+        )
+
+    # ISSUE 4 acceptance thresholds hold at the 1M scale; smoke runs with
+    # fewer keys only report (fixed per-batch overheads dominate there).
+    if NUM_KEYS >= 1_000_000:
+        assert delete_speedup_vs_pre_pr >= MIN_DELETE_SPEEDUP
+        assert contains_speedup_vs_pre_pr >= MIN_CONTAINS_SPEEDUP
+
+
+if __name__ == "__main__":
+    test_kernel_microbench()

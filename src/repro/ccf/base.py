@@ -39,7 +39,7 @@ from repro.ccf.chain import PairGeometry
 from repro.ccf.entries import BloomEntry, GroupSlot, VectorEntry
 from repro.ccf.params import CCFParams
 from repro.ccf.predicates import Predicate
-from repro.cuckoo.buckets import EMPTY, SlotMatrix
+from repro.cuckoo.buckets import EMPTY, SlotMatrix, dtype_for_bits
 from repro.hashing.mixers import as_native_list, derive_seed
 
 #: How many compiled predicates keep a precomputed payload matcher alive.
@@ -144,10 +144,28 @@ class ConditionalCuckooFilterBase:
         self.geometry = PairGeometry(num_buckets, params.key_bits, seed=params.seed)
         # Structure-of-arrays slot storage: key fingerprints + payload
         # objects in the SlotMatrix, attribute fingerprint vectors and
-        # matching flags in parallel typed columns.
-        self.buckets = SlotMatrix(num_buckets, params.bucket_size, with_payloads=True)
+        # matching flags in parallel typed columns.  Widths adapt to the
+        # declared fingerprint bits (DESIGN.md §9) unless ``params.packed``
+        # asks for the legacy int64 reference layout.
+        self.buckets = SlotMatrix(
+            num_buckets,
+            params.bucket_size,
+            with_payloads=True,
+            fp_bits=params.key_bits if params.packed else None,
+        )
+        if params.packed:
+            avec_dtype = dtype_for_bits(params.attr_bits)
+            self._avec_empty = int(np.iinfo(avec_dtype).max)
+        else:
+            avec_dtype = np.dtype(np.int64)
+            self._avec_empty = EMPTY
+        # The avec fill is hygiene only (cleared slots): attribute vectors
+        # are read solely for occupied slots, so a real attr fingerprint
+        # equal to the fill value is harmless and needs no folding.
         self._avecs = np.full(
-            (num_buckets, params.bucket_size, schema.num_attributes), EMPTY, dtype=np.int64
+            (num_buckets, params.bucket_size, schema.num_attributes),
+            self._avec_empty,
+            dtype=avec_dtype,
         )
         self._flags = np.ones((num_buckets, params.bucket_size), dtype=bool)
         self._num_payload_slots = 0
@@ -204,7 +222,7 @@ class ConditionalCuckooFilterBase:
         :class:`VectorEntry` from the typed columns.
         """
         fp = self.buckets.fps[bucket, slot]
-        if fp == EMPTY:
+        if fp == self.buckets.empty:
             return None
         payload = self.buckets.payloads[bucket * self.buckets.bucket_size + slot]
         if payload is not None:
@@ -230,7 +248,7 @@ class ConditionalCuckooFilterBase:
                 self._num_payload_slots -= 1
         else:
             self.buckets.set_slot(bucket, slot, entry.fp, entry)
-            self._avecs[bucket, slot] = EMPTY
+            self._avecs[bucket, slot] = self._avec_empty
             if prev is None:
                 self._num_payload_slots += 1
         self._flags[bucket, slot] = entry.matching
@@ -246,7 +264,7 @@ class ConditionalCuckooFilterBase:
             slot = self.buckets.try_add(bucket, entry.fp, entry)
             if slot < 0:
                 return False
-            self._avecs[bucket, slot] = EMPTY
+            self._avecs[bucket, slot] = self._avec_empty
             self._num_payload_slots += 1
         self._flags[bucket, slot] = entry.matching
         return True
@@ -256,7 +274,7 @@ class ConditionalCuckooFilterBase:
         if self.buckets.payloads[bucket * self.buckets.bucket_size + slot] is not None:
             self._num_payload_slots -= 1
         self.buckets.clear_slot(bucket, slot)
-        self._avecs[bucket, slot] = EMPTY
+        self._avecs[bucket, slot] = self._avec_empty
         self._flags[bucket, slot] = True
 
     # ------------------------------------------------------------------
@@ -519,9 +537,18 @@ class ConditionalCuckooFilterBase:
         return self._query_hashed_many(fps, homes, compiled)
 
     def _query_hashed_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Batch query kernel; the base fallback runs the scalar kernel."""
+        """Batch query kernel; the base fallback runs the scalar kernel.
+
+        ``alts`` optionally carries precomputed partner-bucket indices
+        (shared-geometry callers like the FilterStore hash once and fan
+        out); kernels that don't use them may ignore the argument.
+        """
         return self._scalar_batch_query(fps, homes, compiled)
 
     def _scalar_batch_query(
@@ -658,25 +685,31 @@ class ConditionalCuckooFilterBase:
         return np.array(fps, dtype=np.int64)
 
     def _pair_probe(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Vectorised probe of each key's first bucket pair.
+        """Fused probe of each key's first bucket pair.
 
         Returns ``(hit, eq_home, eq_alt, alts)``: the per-key match verdict
         (table match under the predicate, or a matching stash entry), the
         per-slot fingerprint-equality masks of both buckets, and the partner
         bucket indices — the raw material both the single-pair kernel and
-        the chained hybrid kernel build on.  Probes the live fingerprint
-        column; no snapshot is built.
+        the chained hybrid kernel build on.  Home and alternate rows are
+        gathered in one ``take`` over the live (width-adaptive) fingerprint
+        column (`SlotMatrix.pair_eq`); no snapshot is built.  Callers that
+        already computed the partner indices (the FilterStore fans one
+        hashing pass across many levels) pass ``alts`` to skip the re-hash.
         """
-        table = self.buckets.fps
-        alts = self.geometry.alt_indices_many(homes, fps)
-        fp_col = fps[:, None]
-        eq_home = table[homes] == fp_col
-        eq_alt = table[alts] == fp_col
+        if alts is None:
+            alts = self.geometry.alt_indices_many(homes, fps)
+        eq = self.buckets.pair_eq(fps, homes, alts)
+        eq_home = eq[:, 0]
+        eq_alt = eq[:, 1]
         if compiled is None:
-            hit = eq_home.any(axis=1)
-            hit |= eq_alt.any(axis=1)
+            hit = eq.any(axis=(1, 2))
         else:
             hit = self._eq_under_predicate(homes, eq_home, compiled).any(axis=1)
             hit |= self._eq_under_predicate(alts, eq_alt, compiled).any(axis=1)
@@ -686,10 +719,14 @@ class ConditionalCuckooFilterBase:
         return hit, eq_home, eq_alt, alts
 
     def _single_pair_query_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
         """Fully vectorised one-bucket-pair probe (plain/mixed/bloom CCFs)."""
-        hit, _eq_home, _eq_alt, _alts = self._pair_probe(fps, homes, compiled)
+        hit, _eq_home, _eq_alt, _alts = self._pair_probe(fps, homes, compiled, alts)
         return hit
 
     # ------------------------------------------------------------------

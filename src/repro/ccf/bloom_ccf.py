@@ -80,9 +80,13 @@ class BloomCCF(ConditionalCuckooFilterBase):
         )
 
     def _query_hashed_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
-        return self._single_pair_query_many(fps, homes, compiled)
+        return self._single_pair_query_many(fps, homes, compiled, alts)
 
     def _build_payload_matcher(self, compiled: CompiledQuery) -> Callable[[Any], bool]:
         """Batch specialisation: hash the predicate once, not once per entry.

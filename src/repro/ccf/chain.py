@@ -21,12 +21,12 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.cuckoo.buckets import is_power_of_two
+from repro.cuckoo.buckets import fingerprint_fold, is_power_of_two
 from repro.hashing.mixers import (
+    JumpCache,
     derive_seed,
     hash64,
     hash64_many_masked,
-    memoized_jump,
     mix64,
 )
 
@@ -49,6 +49,7 @@ class PairGeometry:
         "key_bits",
         "seed",
         "_fp_mask",
+        "_fp_fold",
         "_index_salt",
         "_fp_salt",
         "_jump_salt",
@@ -65,15 +66,21 @@ class PairGeometry:
         self.key_bits = key_bits
         self.seed = seed
         self._fp_mask = (1 << key_bits) - 1
+        self._fp_fold = fingerprint_fold(key_bits)
         self._index_salt = derive_seed(seed, "geom-index")
         self._fp_salt = derive_seed(seed, "geom-fp")
         self._jump_salt = derive_seed(seed, "geom-jump")
         self._chain_salt = derive_seed(seed, "geom-chain")
-        self._jump_cache: dict[int, int] = {}
+        self._jump_cache = JumpCache(self._jump_salt, num_buckets - 1)
 
     def fingerprint_of(self, key: object) -> int:
-        """Return the key fingerprint κ (``key_bits`` wide)."""
-        return hash64(key, self._fp_salt) & self._fp_mask
+        """Return the key fingerprint κ (``key_bits`` wide).
+
+        At boundary widths (8/16/32 bits) the all-ones value is reserved as
+        the packed EMPTY sentinel and folds to 0 (DESIGN.md §9).
+        """
+        fp = hash64(key, self._fp_salt) & self._fp_mask
+        return 0 if fp == self._fp_fold else fp
 
     def home_index(self, key: object) -> int:
         """Return the primary bucket l for ``key``."""
@@ -81,9 +88,7 @@ class PairGeometry:
 
     def fp_jump(self, fingerprint: int) -> int:
         """Return ``h(κ) mod m``, the XOR offset between a pair's buckets."""
-        return memoized_jump(
-            self._jump_cache, fingerprint, self._jump_salt, self.num_buckets - 1
-        )
+        return self._jump_cache.jump(fingerprint)
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the partner bucket ``index XOR h(κ)`` (an involution)."""
@@ -93,7 +98,7 @@ class PairGeometry:
 
     def fingerprints_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `fingerprint_of` (int64 array, bit-identical per element)."""
-        return hash64_many_masked(keys, self._fp_salt, self._fp_mask)
+        return hash64_many_masked(keys, self._fp_salt, self._fp_mask, self._fp_fold)
 
     def home_indices_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `home_index` (int64 array, bit-identical per element)."""

@@ -99,7 +99,11 @@ class ChainedCCF(ConditionalCuckooFilterBase):
         return True
 
     def _query_hashed_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
         """Hybrid batch kernel: vectorise the first pair, walk the rest.
 
@@ -113,8 +117,8 @@ class ChainedCCF(ConditionalCuckooFilterBase):
         if compiled is None:
             # Key-only: one pair probe, any stashed fingerprint copy is True —
             # exactly the shared single-pair kernel with no predicate.
-            return self._single_pair_query_many(fps, homes, None)
-        hit, eq_home, eq_alt, alts = self._pair_probe(fps, homes, compiled)
+            return self._single_pair_query_many(fps, homes, None, alts)
+        hit, eq_home, eq_alt, alts = self._pair_probe(fps, homes, compiled, alts)
         copies = eq_home.sum(axis=1)
         copies += np.where(alts == homes, 0, eq_alt.sum(axis=1))
         resolved_false = ~hit & (copies < self.params.max_dupes)

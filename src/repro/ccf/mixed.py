@@ -146,9 +146,13 @@ class MixedCCF(ConditionalCuckooFilterBase):
         )
 
     def _query_hashed_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
-        return self._single_pair_query_many(fps, homes, compiled)
+        return self._single_pair_query_many(fps, homes, compiled, alts)
 
     def _build_payload_matcher(self, compiled: CompiledQuery) -> Callable[[Any], bool]:
         """Batch specialisation: hash converted-group probes once per predicate.

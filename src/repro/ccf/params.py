@@ -34,6 +34,11 @@ class CCFParams:
     conversion_hashes: int | None = None
     small_value_optimization: bool = True
     seed: int = 0
+    #: Width-adaptive slot storage (DESIGN.md §9): fingerprint and attribute
+    #: columns live in the minimal unsigned dtype for their declared widths.
+    #: False keeps the legacy int64 columns (the packed-parity reference
+    #: mode); membership answers are bit-identical either way.
+    packed: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.key_bits <= 62:

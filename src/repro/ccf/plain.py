@@ -73,9 +73,13 @@ class PlainCCF(ConditionalCuckooFilterBase):
         )
 
     def _query_hashed_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
-        return self._single_pair_query_many(fps, homes, compiled)
+        return self._single_pair_query_many(fps, homes, compiled, alts)
 
     def _row_present(self, fingerprint: int, home: int, avec: tuple[int, ...]) -> bool:
         """Is this exact (fingerprint, vector) row stored (table or stash)?

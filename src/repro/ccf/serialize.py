@@ -36,15 +36,29 @@ from repro.ccf.factory import make_ccf
 from repro.ccf.params import CCFParams
 from repro.ccf.range_ccf import DyadicRangeCCF
 from repro.ccf.views import ExtractedKeyFilter, MarkedKeyFilter
-from repro.cuckoo.buckets import EMPTY
+from repro.cuckoo.buckets import SlotMatrix, dtype_for_bits, fingerprint_fold
 from repro.cuckoo.filter import CuckooFilter
 from repro.sketches.bitpack import BitReader, BitWriter
 from repro.sketches.bloom import BloomFilter
 
-_MAGIC_CCF = b"CCF2"
-_MAGIC_VIEW = b"CCV2"
-_MAGIC_CUCKOO = b"CKF2"
-_MAGIC_RANGE = b"CRF1"
+# Current (dtype-tagged) wire formats: one tag byte records the slot
+# storage dtype of the width-adaptive SlotMatrix (DESIGN.md §9).
+_MAGIC_CCF = b"CCF3"
+_MAGIC_VIEW = b"CCV3"
+_MAGIC_CUCKOO = b"CKF3"
+_MAGIC_RANGE = b"CRF2"
+
+# Legacy (pre-dtype-tag, int64 EMPTY=-1 era) magics; still loadable.  At
+# boundary fingerprint widths (8/16/32 bits) legacy payloads may contain the
+# all-ones fingerprint that packed storage reserves as its EMPTY sentinel;
+# loading folds those stored values to 0, mirroring the fingerprint
+# functions' fold so the loaded filter keeps answering True for every key
+# the legacy filter answered True for (no false negatives; the fold can only
+# add false positives at the 2^-f collision rate).
+_LEGACY_CCF = b"CCF2"
+_LEGACY_VIEW = b"CCV2"
+_LEGACY_CUCKOO = b"CKF2"
+_LEGACY_RANGE = b"CRF1"
 
 _KIND_CODES = {"plain": 0, "chained": 1, "bloom": 2, "mixed": 3}
 _KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
@@ -53,6 +67,38 @@ _MASK64 = (1 << 64) - 1
 
 # Slot tags.
 _EMPTY, _VECTOR, _BLOOM, _GROUP = 0, 1, 2, 3
+
+# Storage dtype tags: 0 = legacy int64, 1..4 = uint8/16/32/64.
+_DTYPE_TAGS = {"int64": 0, "uint8": 1, "uint16": 2, "uint32": 3, "uint64": 4}
+
+
+def _dtype_tag(buckets: SlotMatrix) -> int:
+    return _DTYPE_TAGS[buckets.fps.dtype.name]
+
+
+def _check_dtype_tag(tag: int, key_bits: int, packed: bool) -> None:
+    """Validate a payload's dtype tag against the reconstructed storage."""
+    expected = 0 if not packed else _DTYPE_TAGS[dtype_for_bits(key_bits).name]
+    if tag != expected:
+        raise ValueError(
+            f"payload dtype tag {tag} does not match the {key_bits}-bit "
+            f"storage this build reconstructs (expected {expected})"
+        )
+
+
+def _fold_loaded(fps: Any, key_bits: int) -> Any:
+    """Apply the legacy-payload sentinel fold to loaded fingerprints.
+
+    ``fps`` may be a scalar int or an int64 ndarray; values equal to the
+    reserved all-ones fingerprint of a boundary width fold to 0.
+    """
+    fold = fingerprint_fold(key_bits)
+    if fold is None:
+        return fps
+    if isinstance(fps, int):
+        return 0 if fps == fold else fps
+    fps[fps == fold] = 0
+    return fps
 
 
 def dumps(obj: Any) -> bytes:
@@ -69,15 +115,17 @@ def dumps(obj: Any) -> bytes:
 
 
 def loads(data: bytes) -> Any:
-    """Inverse of :func:`dumps`."""
-    if data[:4] == _MAGIC_CCF:
-        return _load_ccf(BitReader(data[4:]))
-    if data[:4] == _MAGIC_RANGE:
-        return _load_range(BitReader(data[4:]))
-    if data[:4] == _MAGIC_VIEW:
-        return _load_view(BitReader(data[4:]))
-    if data[:4] == _MAGIC_CUCKOO:
-        return _load_cuckoo(BitReader(data[4:]))
+    """Inverse of :func:`dumps` (current formats; legacy payloads migrate)."""
+    magic = data[:4]
+    reader = BitReader(data[4:])
+    if magic == _MAGIC_CCF or magic == _LEGACY_CCF:
+        return _load_ccf(reader, tagged=magic == _MAGIC_CCF)
+    if magic == _MAGIC_RANGE or magic == _LEGACY_RANGE:
+        return _load_range(reader, tagged=magic == _MAGIC_RANGE)
+    if magic == _MAGIC_VIEW or magic == _LEGACY_VIEW:
+        return _load_view(reader, tagged=magic == _MAGIC_VIEW)
+    if magic == _MAGIC_CUCKOO or magic == _LEGACY_CUCKOO:
+        return _load_cuckoo(reader, tagged=magic == _MAGIC_CUCKOO)
     raise ValueError("unrecognised magic header")
 
 
@@ -193,11 +241,12 @@ def _read_bloom_payload(
 def _slot_tags(ccf: ConditionalCuckooFilterBase) -> np.ndarray:
     """The 2-bit tag column (flat, bucket-major) of a CCF's slot matrix."""
     flat_fps = ccf.buckets.fps.ravel()
+    occupied = flat_fps != ccf.buckets.empty
     tags = np.zeros(flat_fps.shape, dtype=np.int64)
-    tags[flat_fps != EMPTY] = _VECTOR
+    tags[occupied] = _VECTOR
     if ccf._num_payload_slots:
         payloads = ccf.buckets.payloads
-        for index in np.nonzero(flat_fps != EMPTY)[0].tolist():
+        for index in np.nonzero(occupied)[0].tolist():
             payload = payloads[index]
             if payload is None:
                 continue
@@ -211,6 +260,7 @@ def _dump_ccf(ccf: ConditionalCuckooFilterBase) -> bytes:
     writer = BitWriter()
     writer.write_bytes(_MAGIC_CCF)
     writer.write(_KIND_CODES[ccf.kind], 8)
+    writer.write(_dtype_tag(ccf.buckets), 8)
     _write_params(writer, ccf.params, ccf.buckets.num_buckets)
     _write_schema(writer, ccf.schema)
     writer.write(ccf.num_rows_inserted, 64)
@@ -289,10 +339,18 @@ def _dump_ccf(ccf: ConditionalCuckooFilterBase) -> bytes:
     return writer.getvalue()
 
 
-def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
+def _load_ccf(reader: BitReader, tagged: bool = True) -> ConditionalCuckooFilterBase:
     kind = _KIND_NAMES[reader.read(8)]
+    tag = reader.read(8) if tagged else None
     params, num_buckets = _read_params(reader)
+    if tag == 0:
+        params = params.replace(packed=False)
     schema = _read_schema(reader)
+    if tag is not None:
+        _check_dtype_tag(tag, params.key_bits, params.packed)
+    # Legacy payloads at boundary widths may store the now-reserved all-ones
+    # fingerprint; fold it on the way in (see the module docstring).
+    fold_bits = params.key_bits if not tagged else None
     ccf = make_ccf(kind, schema, num_buckets, params)
     ccf.num_rows_inserted = reader.read(64)
     ccf.num_rows_discarded = reader.read(64)
@@ -302,10 +360,13 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
         ccf.num_conversions = reader.read(32)
         ccf.num_absorbed = reader.read(64)
 
+    def fold(fp):
+        return _fold_loaded(fp, fold_bits) if fold_bits is not None else fp
+
     groups: list[ConvertedGroup] = []
     num_groups = reader.read(32)
     for _ in range(num_groups):
-        fp = reader.read(params.key_bits)
+        fp = fold(reader.read(params.key_bits))
         num_slots = reader.read(8)
         matching = reader.read_bool()
         bloom = _read_bloom_payload(
@@ -324,7 +385,7 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
     vector_mask = tags == _VECTOR
     num_vectors = int(vector_mask.sum())
     flat_fps = ccf.buckets.fps.ravel()
-    flat_fps[vector_mask] = reader.read_array(num_vectors, params.key_bits)
+    flat_fps[vector_mask] = fold(reader.read_array(num_vectors, params.key_bits))
     ccf._avecs.reshape(-1, num_attrs)[vector_mask] = reader.read_array(
         num_vectors * num_attrs, params.attr_bits
     ).reshape(num_vectors, num_attrs)
@@ -333,7 +394,7 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
     flags = ccf._flags.ravel()
     bloom_slots = np.nonzero(tags == _BLOOM)[0]
     for index in bloom_slots.tolist():
-        fp = reader.read(params.key_bits)
+        fp = fold(reader.read(params.key_bits))
         matching = reader.read_bool()
         bloom = _read_bloom_payload(
             reader, params.bloom_bits, params.bloom_hashes, ccf._bloom_salt
@@ -355,12 +416,12 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
     def read_entry() -> Any:
         tag = reader.read(2)
         if tag == _VECTOR:
-            fp = reader.read(params.key_bits)
+            fp = fold(reader.read(params.key_bits))
             avec = tuple(reader.read(params.attr_bits) for _ in range(num_attrs))
             matching = reader.read_bool()
             return VectorEntry(fp, avec, matching)
         if tag == _BLOOM:
-            fp = reader.read(params.key_bits)
+            fp = fold(reader.read(params.key_bits))
             matching = reader.read_bool()
             bloom = _read_bloom_payload(
                 reader, params.bloom_bits, params.bloom_hashes, ccf._bloom_salt
@@ -384,6 +445,7 @@ def _load_ccf(reader: BitReader) -> ConditionalCuckooFilterBase:
 def _dump_range(wrapper: DyadicRangeCCF) -> bytes:
     writer = BitWriter()
     writer.write_bytes(_MAGIC_RANGE)
+    writer.write(_dtype_tag(wrapper.inner.buckets), 8)
     _write_schema(writer, wrapper.schema)
     writer.write(wrapper._range_index, 8)
     writer.write(wrapper.decomposer.low & _MASK64, 64)
@@ -395,7 +457,9 @@ def _dump_range(wrapper: DyadicRangeCCF) -> bytes:
     return writer.getvalue()
 
 
-def _load_range(reader: BitReader) -> DyadicRangeCCF:
+def _load_range(reader: BitReader, tagged: bool = True) -> DyadicRangeCCF:
+    if tagged:
+        reader.read(8)  # wrapper-level dtype tag; the inner payload re-checks
     schema = _read_schema(reader)
     range_index = reader.read(8)
     low = reader.read(64)
@@ -434,6 +498,7 @@ def _dump_view(view: ExtractedKeyFilter | MarkedKeyFilter) -> bytes:
     writer.write_bytes(_MAGIC_VIEW)
     is_marked = isinstance(view, MarkedKeyFilter)
     writer.write(_VIEW_MARKED if is_marked else _VIEW_EXTRACTED, 8)
+    writer.write(_dtype_tag(view.buckets), 8)
     geometry = view.geometry
     writer.write(geometry.num_buckets, 32)
     writer.write(geometry.key_bits, 8)
@@ -443,7 +508,7 @@ def _dump_view(view: ExtractedKeyFilter | MarkedKeyFilter) -> bytes:
         writer.write(view.max_dupes, 8)
         writer.write(0 if view.max_chain is None else view.max_chain + 1, 32)
     flat_fps = view.buckets.fps.ravel()
-    occupied = flat_fps != EMPTY
+    occupied = flat_fps != view.buckets.empty
     writer.write_bool_array(occupied)
     writer.write_array(flat_fps[occupied], geometry.key_bits)
     if is_marked:
@@ -459,12 +524,16 @@ def _dump_view(view: ExtractedKeyFilter | MarkedKeyFilter) -> bytes:
     return writer.getvalue()
 
 
-def _load_view(reader: BitReader) -> ExtractedKeyFilter | MarkedKeyFilter:
+def _load_view(reader: BitReader, tagged: bool = True) -> ExtractedKeyFilter | MarkedKeyFilter:
     view_type = reader.read(8)
+    tag = reader.read(8) if tagged else None
     num_buckets = reader.read(32)
     key_bits = reader.read(8)
     seed = reader.read(64)
     bucket_size = reader.read(8)
+    packed = tag != 0
+    if tag is not None:
+        _check_dtype_tag(tag, key_bits, packed)
     geometry = PairGeometry(num_buckets, key_bits, seed)
     if view_type == _VIEW_MARKED:
         max_dupes = reader.read(8)
@@ -474,24 +543,32 @@ def _load_view(reader: BitReader) -> ExtractedKeyFilter | MarkedKeyFilter:
             bucket_size,
             max_dupes,
             None if max_chain_raw == 0 else max_chain_raw - 1,
+            packed=packed,
         )
     else:
-        view = ExtractedKeyFilter(geometry, bucket_size)
+        view = ExtractedKeyFilter(geometry, bucket_size, packed=packed)
     capacity = num_buckets * bucket_size
     occupied = reader.read_bool_array(capacity)
     count = int(occupied.sum())
-    view.buckets.fps.ravel()[occupied] = reader.read_array(count, key_bits)
+    loaded = reader.read_array(count, key_bits)
+    if not tagged:
+        loaded = _fold_loaded(loaded, key_bits)
+    view.buckets.fps.ravel()[occupied] = loaded
     view.buckets.recount()
+
+    def fold(fp):
+        return _fold_loaded(fp, key_bits) if not tagged else fp
+
     if view_type == _VIEW_MARKED:
         view.marks.ravel()[occupied] = reader.read_bool_array(count)
         stash_count = reader.read(16)
         for _ in range(stash_count):
-            fp = reader.read(key_bits)
+            fp = fold(reader.read(key_bits))
             view.stash_entries.append((fp, reader.read_bool()))
     else:
         stash_count = reader.read(16)
         for _ in range(stash_count):
-            view.stash_fingerprints.append(reader.read(key_bits))
+            view.stash_fingerprints.append(fold(reader.read(key_bits)))
     return view
 
 
@@ -503,6 +580,7 @@ def _load_view(reader: BitReader) -> ExtractedKeyFilter | MarkedKeyFilter:
 def _dump_cuckoo(cuckoo: CuckooFilter) -> bytes:
     writer = BitWriter()
     writer.write_bytes(_MAGIC_CUCKOO)
+    writer.write(_dtype_tag(cuckoo.buckets), 8)
     writer.write(cuckoo.buckets.num_buckets, 32)
     writer.write(cuckoo.buckets.bucket_size, 8)
     writer.write(cuckoo.fingerprint_bits, 8)
@@ -511,7 +589,7 @@ def _dump_cuckoo(cuckoo: CuckooFilter) -> bytes:
     writer.write(cuckoo.num_items, 64)
     writer.write_bool(cuckoo.failed)
     flat_fps = cuckoo.buckets.fps.ravel()
-    occupied = flat_fps != EMPTY
+    occupied = flat_fps != cuckoo.buckets.empty
     writer.write_bool_array(occupied)
     writer.write_array(flat_fps[occupied], cuckoo.fingerprint_bits)
     writer.write(len(cuckoo.stash), 16)
@@ -520,20 +598,30 @@ def _dump_cuckoo(cuckoo: CuckooFilter) -> bytes:
     return writer.getvalue()
 
 
-def _load_cuckoo(reader: BitReader) -> CuckooFilter:
+def _load_cuckoo(reader: BitReader, tagged: bool = True) -> CuckooFilter:
+    tag = reader.read(8) if tagged else None
     num_buckets = reader.read(32)
     bucket_size = reader.read(8)
     fingerprint_bits = reader.read(8)
     max_kicks = reader.read(32)
     seed = reader.read(64)
-    cuckoo = CuckooFilter(num_buckets, bucket_size, fingerprint_bits, max_kicks, seed)
+    packed = tag != 0
+    if tag is not None:
+        _check_dtype_tag(tag, fingerprint_bits, packed)
+    cuckoo = CuckooFilter(
+        num_buckets, bucket_size, fingerprint_bits, max_kicks, seed, packed=packed
+    )
     cuckoo.num_items = reader.read(64)
     cuckoo.failed = reader.read_bool()
     occupied = reader.read_bool_array(num_buckets * bucket_size)
     count = int(occupied.sum())
-    cuckoo.buckets.fps.ravel()[occupied] = reader.read_array(count, fingerprint_bits)
+    loaded = reader.read_array(count, fingerprint_bits)
+    if not tagged:
+        loaded = _fold_loaded(loaded, fingerprint_bits)
+    cuckoo.buckets.fps.ravel()[occupied] = loaded
     cuckoo.buckets.recount()
     stash_count = reader.read(16)
     for _ in range(stash_count):
-        cuckoo.stash.append(reader.read(fingerprint_bits))
+        fp = reader.read(fingerprint_bits)
+        cuckoo.stash.append(_fold_loaded(fp, fingerprint_bits) if not tagged else fp)
     return cuckoo

@@ -34,16 +34,18 @@ from repro.cuckoo.buckets import SlotMatrix
 class ExtractedKeyFilter:
     """Key-only cuckoo filter extracted from a Bloom/Mixed CCF (Algorithm 2)."""
 
-    def __init__(self, geometry: PairGeometry, bucket_size: int) -> None:
+    def __init__(self, geometry: PairGeometry, bucket_size: int, packed: bool = True) -> None:
         self.geometry = geometry
-        self.buckets = SlotMatrix(geometry.num_buckets, bucket_size)
+        self.buckets = SlotMatrix(
+            geometry.num_buckets, bucket_size, fp_bits=geometry.key_bits if packed else None
+        )
         self.stash_fingerprints: list[int] = []
 
     @classmethod
     def from_ccf(cls, source: ConditionalCuckooFilterBase, predicate: Predicate) -> "ExtractedKeyFilter":
         """Erase non-matching entries of ``source`` into a key-only filter."""
         compiled = source.compile(predicate)
-        view = cls(source.geometry, source.params.bucket_size)
+        view = cls(source.geometry, source.params.bucket_size, packed=source.params.packed)
         for bucket, slot, entry in source.iter_entries():
             if source._entry_matches(entry, compiled):
                 view.buckets.set_slot(bucket, slot, entry.fp)
@@ -68,16 +70,14 @@ class ExtractedKeyFilter:
 
         This is the hot call of the shipped-filter deployment (§2): the
         fact-table site probes every scan key against a few-KiB view, so the
-        probe must not pay a Python loop per key.  Answers are identical to
-        scalar `contains` per key.
+        probe must not pay a Python loop per key.  Both buckets are gathered
+        in one fused `SlotMatrix.pair_eq` probe at the packed width.
+        Answers are identical to scalar `contains` per key.
         """
         fps = self.geometry.fingerprints_of_many(keys)
         homes = self.geometry.home_indices_of_many(keys)
         alts = self.geometry.alt_indices_many(homes, fps)
-        table = self.buckets.fps
-        fp_col = fps[:, None]
-        found = (table[homes] == fp_col).any(axis=1)
-        found |= (table[alts] == fp_col).any(axis=1)
+        found = self.buckets.pair_eq(fps, homes, alts).any(axis=(1, 2))
         if self.stash_fingerprints:
             stash = np.fromiter(
                 self.stash_fingerprints, dtype=np.int64, count=len(self.stash_fingerprints)
@@ -123,9 +123,12 @@ class MarkedKeyFilter:
         bucket_size: int,
         max_dupes: int,
         max_chain: int | None,
+        packed: bool = True,
     ) -> None:
         self.geometry = geometry
-        self.buckets = SlotMatrix(geometry.num_buckets, bucket_size)
+        self.buckets = SlotMatrix(
+            geometry.num_buckets, bucket_size, fp_bits=geometry.key_bits if packed else None
+        )
         self.marks = np.zeros((geometry.num_buckets, bucket_size), dtype=bool)
         self.max_dupes = max_dupes
         self.max_chain = max_chain
@@ -145,6 +148,7 @@ class MarkedKeyFilter:
             source.params.bucket_size,
             source.params.max_dupes,
             source.params.max_chain,
+            packed=source.params.packed,
         )
         for bucket, slot, entry in source.iter_entries():
             view.set_slot(bucket, slot, entry.fp, source._entry_matches(entry, compiled))
@@ -209,11 +213,10 @@ class MarkedKeyFilter:
         fps = self.geometry.fingerprints_of_many(keys)
         homes = self.geometry.home_indices_of_many(keys)
         alts = self.geometry.alt_indices_many(homes, fps)
-        table = self.buckets.fps
+        eq = self.buckets.pair_eq(fps, homes, alts)
+        eq_home = eq[:, 0]
+        eq_alt = eq[:, 1]
         marks = self.marks
-        fp_col = fps[:, None]
-        eq_home = table[homes] == fp_col
-        eq_alt = table[alts] == fp_col
         hit = (eq_home & marks[homes]).any(axis=1)
         hit |= (eq_alt & marks[alts]).any(axis=1)
         copies = eq_home.sum(axis=1)
@@ -244,9 +247,7 @@ class MarkedKeyFilter:
 
     def num_matching(self) -> int:
         """Number of slots still marked as matching the predicate."""
-        from repro.cuckoo.buckets import EMPTY
-
-        table = int((self.marks & (self.buckets.fps != EMPTY)).sum())
+        table = int((self.marks & self.buckets.occupied_mask()).sum())
         return table + sum(1 for _fp, m in self.stash_entries if m)
 
     def size_in_bits(self) -> int:

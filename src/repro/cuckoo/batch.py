@@ -1,18 +1,29 @@
 """Shared batch machinery for fingerprint-per-slot cuckoo structures.
 
 `CuckooFilter` and `MultisetCuckooFilter` store a bare integer fingerprint
-in each slot and share identical batch hashing and placement/removal loops;
-this mixin holds the single copy.  Host classes provide ``buckets`` (a
-:class:`~repro.cuckoo.buckets.SlotMatrix`), ``_fp_salt``, ``_index_salt``,
-``_jump_salt``, ``_fp_mask``, a ``num_items`` counter, and the scalar
-kernels ``_insert_hashed`` / ``_delete_hashed``.
+in each slot and share identical batch hashing and placement/removal
+kernels; this mixin holds the single copy.  Host classes provide ``buckets``
+(a :class:`~repro.cuckoo.buckets.SlotMatrix`), ``_fp_salt``, ``_index_salt``,
+``_jump_salt``, ``_fp_mask``, ``_fp_fold``, ``seed``, a ``num_items``
+counter, ``stash``/``failed``, and the scalar kernels ``_insert_hashed`` /
+``_delete_hashed``.
 
-Batch *probes* live on the host classes and index ``buckets.fps`` — the live
-columnar matrix — directly; there is no snapshot to build or invalidate
-(DESIGN.md §6).  This module adds the other half of the columnar story: an
-opt-in **bulk build** (`insert_many(..., bulk=True)`) that places the
-conflict-free first wave with vectorised occupancy counting and runs the
-sequential kick loop only on the residue.
+Three kernels are fully vectorised on the live columnar matrix (no snapshot
+to build or invalidate; DESIGN.md §6, §9):
+
+* **Fused pair probe** — `contains_many`/`count_many` gather each key's home
+  and alternate rows in one ``take`` over the (width-adaptive) fingerprint
+  matrix (`SlotMatrix.pair_eq`).
+* **Wave eviction** — the opt-in bulk build (`insert_many(..., bulk=True)`)
+  places the conflict-free first wave, then runs the kick residue in
+  *waves*: every in-flight item attempts its target bucket per round
+  (`plan_bulk_placement`), conflicting evictions are resolved one-per-bucket
+  via ``np.unique``, and only the final stragglers fall back to the scalar
+  kick loop.
+* **Vectorised delete** — `delete_many` selects each key's first matching
+  slot by rank over the pair equality mask, made conflict-safe for
+  duplicate keys in one batch by rank-deduping within (fingerprint, pair)
+  groups; results and final state are bit-identical to a scalar loop.
 """
 
 from __future__ import annotations
@@ -21,15 +32,20 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.hashing.mixers import hash64_many_masked
+from repro.cuckoo.buckets import grouped_ranks
+from repro.hashing.mixers import derive_seed, hash64_many_masked
+
+#: Below this many surviving in-flight items a wave round costs more than the
+#: scalar kick loop; the stragglers are settled sequentially instead.
+WAVE_SCALAR_CUTOFF = 4
 
 
 class FingerprintBatchMixin:
-    """Vectorised fingerprint/index derivation and bulk placement."""
+    """Vectorised fingerprint/index derivation, probing, placement, removal."""
 
     def fingerprints_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `fingerprint_of` (int64 array, bit-identical per element)."""
-        return hash64_many_masked(keys, self._fp_salt, self._fp_mask)
+        return hash64_many_masked(keys, self._fp_salt, self._fp_mask, self._fp_fold)
 
     def home_indices_of_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Batch `home_index` (int64 array, bit-identical per element)."""
@@ -38,6 +54,15 @@ class FingerprintBatchMixin:
     def _fp_jump_many(self, fingerprints: np.ndarray) -> np.ndarray:
         """Batch `_fp_jump`, computed on the fly (bypasses the memo)."""
         return hash64_many_masked(fingerprints, self._jump_salt, self.buckets.num_buckets - 1)
+
+    def _pair_eq_many(self, fps: np.ndarray, homes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fused probe of each key's bucket pair: ``((n, 2, b) mask, alts)``."""
+        alts = homes ^ self._fp_jump_many(fps)
+        return self.buckets.pair_eq(fps, homes, alts), alts
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
 
     def insert_many(
         self, keys: Sequence[object] | np.ndarray, bulk: bool = False
@@ -53,12 +78,13 @@ class FingerprintBatchMixin:
         Bulk path (``bulk=True``): the conflict-free first wave — every key
         whose home bucket still has room, counted vectorised against the
         live occupancy column — is scattered into the fingerprint matrix in
-        one pass; only the residue runs the sequential kick loop.  The
+        one pass, and the residue runs the **wave eviction** kick loop
+        (whole-residue rounds, scalar only for the final stragglers).  The
         resulting *placement* may differ from the scalar loop (first-wave
-        keys never probe their alternate bucket and consume no kick RNG),
-        but the membership contract is preserved exactly: every key is
-        stored (or stashed) and `contains` has no false negatives.  See
-        DESIGN.md §7.
+        keys never probe their alternate bucket, and wave kicks consume a
+        separate RNG stream), but the membership contract is preserved
+        exactly: every key is stored (or stashed) within its own bucket
+        pair and `contains` has no false negatives.  See DESIGN.md §7/§9.
         """
         fps = self.fingerprints_of_many(keys)
         homes = self.home_indices_of_many(keys)
@@ -70,15 +96,15 @@ class FingerprintBatchMixin:
         return out
 
     def _bulk_insert_hashed(self, fps: np.ndarray, homes: np.ndarray) -> np.ndarray:
-        """Vectorised first-wave placement; sequential kicks for the residue.
+        """Vectorised first-wave placement; wave eviction for the residue.
 
         The first wave fills each home bucket's free slots in key order:
         keys are ranked within their home bucket (stable sort), and the
         first ``bucket_size - counts[bucket]`` of them are written straight
         into that bucket's free slots — no per-key Python placement at all.
         Everything else (keys whose home bucket is already full, or whose
-        rank exceeds the free room) goes through `_insert_hashed` in input
-        order, exactly like the default path.
+        rank exceeds the free room) becomes the in-flight set of
+        `_wave_insert`.
         """
         n = len(fps)
         out = np.ones(n, dtype=bool)
@@ -91,24 +117,205 @@ class FingerprintBatchMixin:
             self.buckets.fps[placed_buckets, slots] = fps[rows]
             self.buckets.note_bulk_placement(placed_buckets)
             self.num_items += int(placed_buckets.size)
-
         if residue.size:
-            res_fps = fps[residue].tolist()
-            res_homes = homes[residue].tolist()
-            for i, fp, home in zip(residue.tolist(), res_fps, res_homes):
-                out[i] = self._insert_hashed(fp, home)
+            self._wave_insert(fps[residue], homes[residue], residue, out)
         return out
+
+    def _wave_rng(self) -> np.random.Generator:
+        """The bulk path's victim-slot RNG (separate stream from `_rng`)."""
+        rng = getattr(self, "_wave_rng_obj", None)
+        if rng is None:
+            rng = np.random.default_rng(derive_seed(self.seed, "wave-kick"))
+            self._wave_rng_obj = rng
+        return rng
+
+    def _wave_insert(
+        self, item_fps: np.ndarray, homes: np.ndarray, origins: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Wave eviction: process the whole kick residue per round.
+
+        Every in-flight item targets one bucket (initially the alternate —
+        its home filled up in the first wave).  Each round first places
+        every item whose target has room (`plan_bulk_placement`, conflicts
+        rank-resolved), then performs **one eviction per contested bucket**
+        (``np.unique`` picks the earliest item; losers retry next round
+        against the winner-free bucket): the winner swaps into a random
+        victim slot and continues as the victim, bound for the victim's
+        alternate bucket — always within the victim's own pair, so per-pair
+        fingerprint multisets (and hence membership answers) evolve exactly
+        as under scalar kicking.  An item whose chain exhausts ``max_kicks``
+        evictions is stashed (DESIGN.md §1) and its originating key reports
+        False.  The final stragglers settle through the scalar kick loop.
+        """
+        buckets = self.buckets
+        self.num_items += int(item_fps.size)
+        # Residue home buckets are full after the first wave: start at the
+        # alternates, like the scalar kernel's second `try_add`.
+        cur = homes ^ self._fp_jump_many(item_fps)
+        item_fps = item_fps.copy()
+        origins = origins.copy()
+        kicks = np.zeros(item_fps.size, dtype=np.int64)
+        rng = self._wave_rng()
+        while item_fps.size:
+            if item_fps.size <= WAVE_SCALAR_CUTOFF:
+                for fp, bucket, origin, used in zip(
+                    item_fps.tolist(), cur.tolist(), origins.tolist(), kicks.tolist()
+                ):
+                    out[origin] &= self._settle_item(fp, bucket, used)
+                return
+            rows, placed_buckets, slots, rem = buckets.plan_bulk_placement(cur)
+            if rows.size:
+                buckets.fps[placed_buckets, slots] = item_fps[rows]
+                buckets.note_bulk_placement(placed_buckets)
+                if rem.size == 0:
+                    return
+                item_fps = item_fps[rem]
+                cur = cur[rem]
+                origins = origins[rem]
+                kicks = kicks[rem]
+            exhausted = kicks >= self.max_kicks
+            if exhausted.any():
+                for fp, origin in zip(
+                    item_fps[exhausted].tolist(), origins[exhausted].tolist()
+                ):
+                    self.stash.append(fp)
+                    out[origin] = False
+                self.failed = True
+                keep = ~exhausted
+                item_fps = item_fps[keep]
+                cur = cur[keep]
+                origins = origins[keep]
+                kicks = kicks[keep]
+                if not item_fps.size:
+                    return
+            # One eviction per destination bucket this round.
+            _uniq, winners = np.unique(cur, return_index=True)
+            victim_buckets = cur[winners]
+            victim_slots = rng.integers(0, buckets.bucket_size, size=winners.size)
+            victim_fps = buckets.fps[victim_buckets, victim_slots].astype(np.int64)
+            buckets.fps[victim_buckets, victim_slots] = item_fps[winners]
+            item_fps[winners] = victim_fps
+            cur[winners] = victim_buckets ^ self._fp_jump_many(victim_fps)
+            kicks[winners] += 1
+
+    def _settle_item(self, fp: int, bucket: int, kicks_used: int) -> bool:
+        """Scalar finish for one in-flight wave item (remaining kick budget)."""
+        if self.buckets.try_add(bucket, fp) >= 0:
+            return True
+        alt = self.alt_index(bucket, fp)
+        if alt != bucket and self.buckets.try_add(alt, fp) >= 0:
+            return True
+        return self._kick_residual(self._rng.choice((bucket, alt)), fp, self.max_kicks - kicks_used)
+
+    def _kick_residual(self, start: int, item: int, budget: int) -> bool:
+        """The classic random-walk kick loop, shared by all scalar paths.
+
+        Swaps the in-flight item into a random victim slot and continues
+        with the victim at its alternate bucket, for at most ``budget``
+        kicks; on exhaustion the in-flight item is stashed (DESIGN.md §1)
+        and the structure latches ``failed``.
+        """
+        current = start
+        for _ in range(max(0, budget)):
+            victim_slot = self._rng.randrange(self.buckets.bucket_size)
+            victim = self.buckets.fp_at(current, victim_slot)
+            self.buckets.set_slot(current, victim_slot, item)
+            item = victim
+            current = self.alt_index(current, item)
+            if self.buckets.try_add(current, item) >= 0:
+                return True
+        self.stash.append(item)
+        self.failed = True
+        return False
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
 
     def delete_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
         """Delete a batch of keys; returns the per-key `delete` results.
 
-        Hashing is vectorised; removals run sequentially (each may free a
-        slot the next key's removal inspects) and match a scalar loop
-        exactly.  The usual deletion caveat applies per key.
+        Hashing, the pair probe and the slot clears are vectorised;
+        results, cleared slots and final state match a scalar `delete` loop
+        exactly (see `_delete_hashed_many`).  The usual deletion caveat
+        applies per key.
         """
-        fps = self.fingerprints_of_many(keys).tolist()
-        homes = self.home_indices_of_many(keys).tolist()
-        out = np.empty(len(fps), dtype=bool)
-        for i, (fp, home) in enumerate(zip(fps, homes)):
-            out[i] = self._delete_hashed(fp, home)
+        fps = self.fingerprints_of_many(keys)
+        homes = self.home_indices_of_many(keys)
+        return self._delete_hashed_many(fps, homes)
+
+    def _delete_hashed_many(self, fps: np.ndarray, homes: np.ndarray) -> np.ndarray:
+        """Vectorised first-match deletion, bit-identical to the scalar loop.
+
+        One fused pair probe snapshots every key's equality mask; each key
+        then claims the slot a scalar loop would have cleared: the r-th
+        batch occurrence of a (fingerprint, pair) group takes the group's
+        r-th matching slot in home-then-alternate slot order (**rank
+        deduping** — duplicate keys in one batch can never claim the same
+        slot).  Distinct groups touch disjoint (bucket, fingerprint) slots,
+        so the snapshot ranking equals sequential processing.  Only two
+        residues run the scalar kernel, in batch order: groups whose
+        members disagree on home orientation (two keys sharing a pair from
+        opposite ends — their interleaved scans don't rank-decompose), and
+        occurrences that overflow the table matches into the stash scan.
+        """
+        n = len(fps)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        eq, alts = self._pair_eq_many(fps, homes)
+        eq_home = eq[:, 0]
+        eq_alt = eq[:, 1]
+        match_home = eq_home.sum(axis=1)
+        match_alt = np.where(alts == homes, 0, eq_alt.sum(axis=1))
+        # Rank each row within its (fingerprint, pair) group, in batch order.
+        pair_lo = np.minimum(homes, alts)
+        order, boundary, group_start, sorted_rank = grouped_ranks(fps, pair_lo)
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = sorted_rank
+        # Groups probing one pair from both ends fall back to the scalar
+        # kernel (their home/alt scan orders interleave).
+        gid = np.cumsum(boundary) - 1
+        differs = homes[order] != homes[order[group_start]]
+        group_mixed = np.zeros(int(gid[-1]) + 1, dtype=bool)
+        np.logical_or.at(group_mixed, gid, differs)
+        scalar_rows = np.empty(n, dtype=bool)
+        scalar_rows[order] = group_mixed[gid]
+
+        vec = ~scalar_rows
+        take_home = vec & (rank < match_home)
+        take_alt = vec & ~take_home & (rank < match_home + match_alt)
+        overflow = vec & ~take_home & ~take_alt
+        rows = np.nonzero(take_home)[0]
+        if rows.size:
+            csum = np.cumsum(eq_home[rows], axis=1)
+            slots = (csum == (rank[rows] + 1)[:, None]).argmax(axis=1)
+            self.buckets.clear_slots(homes[rows], slots)
+            out[rows] = True
+        rows = np.nonzero(take_alt)[0]
+        if rows.size:
+            csum = np.cumsum(eq_alt[rows], axis=1)
+            slots = (csum == (rank[rows] - match_home[rows] + 1)[:, None]).argmax(axis=1)
+            self.buckets.clear_slots(alts[rows], slots)
+            out[rows] = True
+        self.num_items -= int(out.sum())
+        # Sequential residue, in batch order so stash copies are consumed
+        # exactly as a scalar loop would consume them.
+        if self.stash:
+            residual = scalar_rows | overflow
+        else:
+            residual = scalar_rows
+        for i in np.nonzero(residual)[0].tolist():
+            if scalar_rows[i]:
+                out[i] = self._delete_hashed(int(fps[i]), int(homes[i]))
+            else:
+                out[i] = self._stash_delete(int(fps[i]))
         return out
+
+    def _stash_delete(self, fp: int) -> bool:
+        """Remove one stashed copy of ``fp``; the tail of the scalar kernel."""
+        if fp in self.stash:
+            self.stash.remove(fp)
+            self.num_items -= 1
+            return True
+        return False

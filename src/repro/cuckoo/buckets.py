@@ -1,12 +1,32 @@
 """Columnar slot storage shared by every cuckoo structure in the repository.
 
 A :class:`SlotMatrix` is the repository's storage engine: a contiguous
-``(num_buckets, bucket_size)`` int64 **fingerprint matrix** (``EMPTY`` = -1
-marks a free slot) plus a per-bucket **occupancy-count column**, and — for
-structures that carry rich per-slot data (hash-table pairs, Bloom entries,
-converted groups) — an optional parallel **payload column** of Python
-objects.  All cuckoo structures (hash table, filter, conditional filters)
-sit on top of it; it knows nothing about hashing or collision policy.
+``(num_buckets, bucket_size)`` **fingerprint matrix** plus a per-bucket
+**occupancy-count column**, and — for structures that carry rich per-slot
+data (hash-table pairs, Bloom entries, converted groups) — an optional
+parallel **payload column** of Python objects.  All cuckoo structures (hash
+table, filter, conditional filters) sit on top of it; it knows nothing about
+hashing or collision policy.
+
+Storage is **width-adaptive** (DESIGN.md §9): pass ``fp_bits`` and the
+matrix picks the minimal unsigned dtype that holds an ``fp_bits``-wide
+fingerprint (uint8/16/32/64), with the dtype's all-ones value as an in-band
+``EMPTY`` sentinel; occupancy counts live in uint8.  A 12-bit fingerprint
+then costs 2 bytes per slot instead of 8 — the memory-bandwidth win every
+batch probe kernel rides on.  ``fp_bits=None`` keeps the legacy int64 layout
+with ``EMPTY = -1`` (the reference mode the packed-parity property tests
+compare against).
+
+**EMPTY migration.**  The historical convention was a module-level
+``EMPTY = -1`` in an int64 matrix.  Packed matrices store unsigned dtypes,
+where -1 does not exist; the sentinel is now *per matrix* —
+``SlotMatrix.empty`` — and equals ``iinfo(dtype).max`` for packed storage
+(-1 for legacy int64).  Code comparing against free slots must use
+``matrix.empty`` (or :meth:`occupied_mask`), never the module constant.
+When ``fp_bits`` is exactly a dtype width (8/16/32), the all-ones
+fingerprint value would collide with the sentinel; the fingerprint functions
+reserve it by folding it to 0 (`fingerprint_fold`), identically in packed
+and legacy storage so both answer bit-identically.
 
 The typed matrix is the *single source of truth*: scalar kernels mutate it
 directly and batch kernels index the very same live array, so there is no
@@ -25,8 +45,8 @@ from typing import Any, Iterator
 
 import numpy as np
 
-#: Sentinel for a free slot in the fingerprint matrix.  Every stored
-#: fingerprint/digest is non-negative, so -1 is unambiguous.
+#: Sentinel for a free slot in the *legacy* int64 fingerprint matrix.  Packed
+#: matrices use ``iinfo(dtype).max`` instead; always read ``matrix.empty``.
 EMPTY = -1
 
 
@@ -42,14 +62,71 @@ def is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
 
 
+def dtype_for_bits(bits: int) -> np.dtype:
+    """The minimal unsigned dtype holding a ``bits``-wide fingerprint."""
+    if not 1 <= bits <= 63:
+        raise ValueError(f"fingerprint widths must be in [1, 63], got {bits}")
+    if bits <= 8:
+        return np.dtype(np.uint8)
+    if bits <= 16:
+        return np.dtype(np.uint16)
+    if bits <= 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+def grouped_ranks(
+    *keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stable within-group ranks for rows grouped by equal key tuples.
+
+    Returns ``(order, boundary, group_start, rank)``, all in sorted space:
+    ``order`` sorts rows by the key arrays with original position as the
+    tie-break (so earlier rows rank first within their group), ``boundary``
+    marks each group's first sorted row, ``group_start`` maps every sorted
+    position to its group's first sorted position, and ``rank`` is each
+    sorted row's 0-based position within its group.  Requires at least one
+    row.  The one audited copy of the grouped-rank idiom shared by
+    `SlotMatrix.plan_bulk_placement` and the batch-delete rank-deduping
+    kernel (`cuckoo/batch.py`).
+    """
+    n = len(keys[0])
+    positions = np.arange(n)
+    order = np.lexsort((positions,) + tuple(reversed(keys)))
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    changed = np.zeros(n - 1, dtype=bool)
+    for key in keys:
+        sorted_key = key[order]
+        changed |= sorted_key[1:] != sorted_key[:-1]
+    boundary[1:] = changed
+    group_start = np.maximum.accumulate(np.where(boundary, positions, 0))
+    return order, boundary, group_start, positions - group_start
+
+
+def fingerprint_fold(bits: int) -> int | None:
+    """The reserved all-ones fingerprint value for ``bits``-wide storage.
+
+    When ``bits`` is exactly a packed dtype width (8/16/32), the all-ones
+    fingerprint coincides with the in-band EMPTY sentinel, so fingerprint
+    derivation folds it to 0 (see DESIGN.md §9).  Returns the folded value,
+    or None when no folding is needed (the sentinel is then out of band).
+    Folding depends only on the declared width — never on the storage mode —
+    so packed and legacy int64 filters stay bit-identical.
+    """
+    return (1 << bits) - 1 if bits in (8, 16, 32) else None
+
+
 class SlotMatrix:
     """Columnar ``num_buckets x bucket_size`` slot storage.
 
     Columns:
 
-    * ``fps`` — the live ``(num_buckets, bucket_size)`` int64 fingerprint
-      matrix (``EMPTY`` = -1).  Batch probes fancy-index this array directly.
-    * ``counts`` — per-bucket occupancy counts (int64, length
+    * ``fps`` — the live ``(num_buckets, bucket_size)`` fingerprint matrix;
+      minimal unsigned dtype for ``fp_bits``-wide fingerprints with
+      ``empty = iinfo(dtype).max``, or legacy int64 with ``empty = -1`` when
+      ``fp_bits`` is None.  Batch probes fancy-index this array directly.
+    * ``counts`` — per-bucket occupancy counts (uint8, length
       ``num_buckets``); the bulk-build first wave sizes its conflict-free
       placements from this column without touching the matrix rows.
     * ``payloads`` — optional flat (bucket-major) object column for slots
@@ -62,17 +139,40 @@ class SlotMatrix:
 
     EMPTY = EMPTY
 
-    __slots__ = ("num_buckets", "bucket_size", "fps", "counts", "payloads", "_filled")
+    __slots__ = (
+        "num_buckets",
+        "bucket_size",
+        "fp_bits",
+        "empty",
+        "fps",
+        "counts",
+        "payloads",
+        "_filled",
+    )
 
-    def __init__(self, num_buckets: int, bucket_size: int, with_payloads: bool = False) -> None:
+    def __init__(
+        self,
+        num_buckets: int,
+        bucket_size: int,
+        with_payloads: bool = False,
+        fp_bits: int | None = None,
+    ) -> None:
         if not is_power_of_two(num_buckets):
             raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
         if bucket_size < 1:
             raise ValueError("bucket_size must be at least 1")
         self.num_buckets = num_buckets
         self.bucket_size = bucket_size
-        self.fps = np.full((num_buckets, bucket_size), EMPTY, dtype=np.int64)
-        self.counts = np.zeros(num_buckets, dtype=np.int64)
+        self.fp_bits = fp_bits
+        if fp_bits is None:
+            dtype = np.dtype(np.int64)
+            self.empty = EMPTY
+        else:
+            dtype = dtype_for_bits(fp_bits)
+            self.empty = int(np.iinfo(dtype).max)
+        self.fps = np.full((num_buckets, bucket_size), self.empty, dtype=dtype)
+        counts_dtype = np.uint8 if bucket_size <= np.iinfo(np.uint8).max else np.int64
+        self.counts = np.zeros(num_buckets, dtype=counts_dtype)
         self.payloads: list[Any] | None = (
             [None] * (num_buckets * bucket_size) if with_payloads else None
         )
@@ -86,10 +186,19 @@ class SlotMatrix:
         if not 0 <= slot < self.bucket_size:
             raise IndexError(f"slot {slot} out of range")
 
+    def _check_fp(self, fp: int) -> None:
+        if fp < 0:
+            raise ValueError("fingerprints must be non-negative; use clear_slot")
+        if fp == self.empty or (self.fp_bits is not None and fp > self.empty):
+            raise ValueError(
+                f"fingerprint {fp} collides with the EMPTY sentinel of this "
+                f"{self.fps.dtype} matrix (reserved by fingerprint_fold)"
+            )
+
     # -- scalar slot access ------------------------------------------------
 
     def fp_at(self, bucket: int, slot: int) -> int:
-        """Return the fingerprint at (bucket, slot), or ``EMPTY``."""
+        """Return the fingerprint at (bucket, slot), or ``empty``."""
         self._check(bucket, slot)
         return int(self.fps[bucket, slot])
 
@@ -103,9 +212,8 @@ class SlotMatrix:
     def set_slot(self, bucket: int, slot: int, fp: int, payload: Any = None) -> None:
         """Overwrite (bucket, slot) with ``fp`` (and optional payload)."""
         self._check(bucket, slot)
-        if fp < 0:
-            raise ValueError("fingerprints must be non-negative; use clear_slot")
-        if self.fps[bucket, slot] == EMPTY:
+        self._check_fp(fp)
+        if self.fps[bucket, slot] == self.empty:
             self._filled += 1
             self.counts[bucket] += 1
         self.fps[bucket, slot] = fp
@@ -117,10 +225,10 @@ class SlotMatrix:
     def clear_slot(self, bucket: int, slot: int) -> None:
         """Free (bucket, slot); no-op if already empty."""
         self._check(bucket, slot)
-        if self.fps[bucket, slot] != EMPTY:
+        if self.fps[bucket, slot] != self.empty:
             self._filled -= 1
             self.counts[bucket] -= 1
-            self.fps[bucket, slot] = EMPTY
+            self.fps[bucket, slot] = self.empty
         if self.payloads is not None:
             self.payloads[bucket * self.bucket_size + slot] = None
 
@@ -131,15 +239,14 @@ class SlotMatrix:
 
         Returns the slot index, or -1 if the bucket is full.
         """
-        if fp < 0:
-            raise ValueError("fingerprints must be non-negative")
+        self._check_fp(fp)
         if not 0 <= bucket < self.num_buckets:
             raise IndexError(f"bucket {bucket} out of range")
         if self.counts[bucket] >= self.bucket_size:
             return -1
         row = self.fps[bucket]
         for slot in range(self.bucket_size):
-            if row[slot] == EMPTY:
+            if row[slot] == self.empty:
                 row[slot] = fp
                 self.counts[bucket] += 1
                 self._filled += 1
@@ -158,7 +265,7 @@ class SlotMatrix:
 
     def bucket_fps(self, bucket: int) -> list[int]:
         """Return the non-empty fingerprints of a bucket (in slot order)."""
-        return [fp for fp in self.fps[bucket].tolist() if fp != EMPTY]
+        return [fp for fp in self.fps[bucket].tolist() if fp != self.empty]
 
     def bucket_contains(self, bucket: int, fp: int) -> bool:
         """Return True if any slot of ``bucket`` holds ``fp``."""
@@ -173,7 +280,7 @@ class SlotMatrix:
         base = bucket * self.bucket_size
         payloads = self.payloads
         for slot, fp in enumerate(self.fps[bucket].tolist()):
-            if fp != EMPTY:
+            if fp != self.empty:
                 yield slot, fp, None if payloads is None else payloads[base + slot]
 
     def remove_fp(self, bucket: int, fp: int) -> bool:
@@ -187,12 +294,16 @@ class SlotMatrix:
 
     # -- whole-table operations -------------------------------------------
 
+    def occupied_mask(self) -> np.ndarray:
+        """Boolean (num_buckets, bucket_size) mask of occupied slots."""
+        return self.fps != self.empty
+
     def iter_entries(self) -> Iterator[tuple[int, int, int, Any]]:
         """Yield (bucket, slot, fp, payload) for every occupied slot."""
         size = self.bucket_size
         payloads = self.payloads
-        occupied = np.nonzero(self.fps.ravel() != EMPTY)[0]
         flat = self.fps.ravel()
+        occupied = np.nonzero(flat != self.empty)[0]
         for index in occupied.tolist():
             yield (
                 index // size,
@@ -200,6 +311,45 @@ class SlotMatrix:
                 int(flat[index]),
                 None if payloads is None else payloads[index],
             )
+
+    def pair_eq(self, fps: np.ndarray, homes: np.ndarray, alts: np.ndarray) -> np.ndarray:
+        """Fused bucket-pair probe: one gather over home+alt rows.
+
+        Returns the ``(n, 2, bucket_size)`` equality mask of each key's
+        fingerprint against its home row (``[:, 0]``) and alternate row
+        (``[:, 1]``).  The home and alternate rows are gathered in a single
+        ``take`` over the live matrix (no per-bucket re-gather) and the
+        comparison runs in the matrix's native dtype, so packed tables probe
+        at their narrow width end to end.  Query fingerprints are always
+        valid stored values (non-negative, never the sentinel), so the
+        unsigned cast is exact.
+        """
+        n = len(fps)
+        idx = np.empty((n, 2), dtype=np.intp)
+        idx[:, 0] = homes
+        idx[:, 1] = alts
+        gathered = self.fps.take(idx.ravel(), axis=0)
+        return (
+            gathered.reshape(n, 2 * self.bucket_size)
+            == fps.astype(self.fps.dtype, copy=False)[:, None]
+        ).reshape(n, 2, self.bucket_size)
+
+    def clear_slots(self, buckets: np.ndarray, slots: np.ndarray) -> None:
+        """Vectorised bulk clear of distinct occupied (bucket, slot) pairs.
+
+        The batch-delete kernel's scatter: all targeted slots must be
+        occupied and pairwise distinct (the caller's rank-deduping
+        guarantees both).  Payload-bearing matrices also drop the objects.
+        """
+        if buckets.size == 0:
+            return
+        self.fps[buckets, slots] = self.empty
+        np.subtract.at(self.counts, buckets, 1)
+        self._filled -= int(buckets.size)
+        if self.payloads is not None:
+            size = self.bucket_size
+            for flat in (buckets * size + slots).tolist():
+                self.payloads[flat] = None
 
     def plan_bulk_placement(
         self, homes: np.ndarray
@@ -218,27 +368,22 @@ class SlotMatrix:
         The planner only *reads* the matrix; callers scatter their columns
         into ``fps[buckets, slots]`` (and any parallel columns), then update
         occupancy via `recount` or `note_bulk_placement`.  Shared by the
-        cuckoo-filter bulk build (`cuckoo/batch.py`) and store compaction
-        (`store/compaction.py`).
+        cuckoo-filter bulk build and wave eviction (`cuckoo/batch.py`) and
+        store compaction (`store/compaction.py`).
         """
         n = len(homes)
         empty = np.empty(0, dtype=np.int64)
         if n == 0:
             return empty, empty, empty, empty
-        order = np.argsort(homes, kind="stable")
+        order, _boundary, _group_start, rank = grouped_ranks(homes)
         sorted_homes = homes[order]
-        boundary = np.empty(n, dtype=bool)
-        boundary[0] = True
-        boundary[1:] = sorted_homes[1:] != sorted_homes[:-1]
-        group_start = np.maximum.accumulate(np.where(boundary, np.arange(n), 0))
-        rank = np.arange(n) - group_start
-        free = self.bucket_size - self.counts[sorted_homes]
+        free = (self.bucket_size - self.counts[sorted_homes]).astype(np.int64)
         placed = rank < free
         placed_buckets = sorted_homes[placed]
         slots = empty
         if placed_buckets.size:
             touched, inverse = np.unique(placed_buckets, return_inverse=True)
-            emptiness = self.fps[touched] == EMPTY
+            emptiness = self.fps[touched] == self.empty
             empty_rank = np.cumsum(emptiness, axis=1) - 1
             slot_of_rank = np.full((len(touched), self.bucket_size), -1, dtype=np.int64)
             for slot in range(self.bucket_size):
@@ -260,7 +405,7 @@ class SlotMatrix:
         For bulk loaders (deserialisation, bulk build) that write the matrix
         wholesale instead of going through the slot mutators.
         """
-        np.sum(self.fps != EMPTY, axis=1, out=self.counts)
+        self.counts[:] = (self.fps != self.empty).sum(axis=1)
         self._filled = int(self.counts.sum())
 
     def state(self) -> tuple[list, list | None]:
@@ -277,6 +422,15 @@ class SlotMatrix:
         """Number of occupied slots."""
         return self._filled
 
+    @property
+    def bytes_per_slot(self) -> int:
+        """Storage bytes per fingerprint slot (the width-adaptive payoff)."""
+        return int(self.fps.itemsize)
+
+    def fingerprint_bytes(self) -> int:
+        """Total bytes of the fingerprint matrix (``fps.nbytes``)."""
+        return int(self.fps.nbytes)
+
     def load_factor(self) -> float:
         """Fraction of slots occupied."""
         return self._filled / self.capacity
@@ -284,5 +438,5 @@ class SlotMatrix:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SlotMatrix(num_buckets={self.num_buckets}, bucket_size={self.bucket_size}, "
-            f"load={self.load_factor():.3f})"
+            f"dtype={self.fps.dtype.name}, load={self.load_factor():.3f})"
         )

@@ -74,7 +74,9 @@ class ChainedCuckooHashTable:
         self._init_table(next_power_of_two(num_buckets))
 
     def _init_table(self, num_buckets: int) -> None:
-        self.buckets = SlotMatrix(num_buckets, self.bucket_size, with_payloads=True)
+        # 63-bit (key, level) digests in a packed uint64 column, matching
+        # the plain hash table's width-adaptive storage.
+        self.buckets = SlotMatrix(num_buckets, self.bucket_size, with_payloads=True, fp_bits=63)
         self._salt1 = derive_seed(self.seed, "ccht-h1", self._generation)
         self._salt2 = derive_seed(self.seed, "ccht-h2", self._generation)
         self._count = 0

@@ -24,14 +24,21 @@ from typing import Sequence
 import numpy as np
 
 from repro.cuckoo.batch import FingerprintBatchMixin
-from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
-from repro.hashing.mixers import derive_seed, hash64, memoized_jump
+from repro.cuckoo.buckets import SlotMatrix, fingerprint_fold, next_power_of_two
+from repro.hashing.mixers import JumpCache, derive_seed, hash64
 
 DEFAULT_MAX_KICKS = 500
 
 
 class CuckooFilter(FingerprintBatchMixin):
-    """Approximate-set-membership filter with partial-key cuckoo hashing."""
+    """Approximate-set-membership filter with partial-key cuckoo hashing.
+
+    Storage is width-adaptive by default (``packed=True``): fingerprints
+    live in the minimal unsigned dtype for ``fingerprint_bits`` (DESIGN.md
+    §9).  ``packed=False`` keeps the legacy int64 layout; membership
+    answers are bit-identical either way (the boundary-width sentinel fold
+    applies to both).
+    """
 
     def __init__(
         self,
@@ -40,21 +47,26 @@ class CuckooFilter(FingerprintBatchMixin):
         fingerprint_bits: int = 12,
         max_kicks: int = DEFAULT_MAX_KICKS,
         seed: int = 0,
+        packed: bool = True,
     ) -> None:
         if fingerprint_bits < 1 or fingerprint_bits > 62:
             raise ValueError("fingerprint_bits must be in [1, 62]")
         self.fingerprint_bits = fingerprint_bits
         self.max_kicks = max_kicks
         self.seed = seed
-        self.buckets = SlotMatrix(num_buckets, bucket_size)
+        self.packed = packed
+        self.buckets = SlotMatrix(
+            num_buckets, bucket_size, fp_bits=fingerprint_bits if packed else None
+        )
         self.num_items = 0
         self.failed = False
         self.stash: list[int] = []
         self._fp_mask = (1 << fingerprint_bits) - 1
+        self._fp_fold = fingerprint_fold(fingerprint_bits)
         self._index_salt = derive_seed(seed, "cf-index")
         self._fp_salt = derive_seed(seed, "cf-fingerprint")
         self._jump_salt = derive_seed(seed, "cf-jump")
-        self._jump_cache: dict[int, int] = {}
+        self._jump_cache = JumpCache(self._jump_salt, self.buckets.num_buckets - 1)
         self._rng = random.Random(derive_seed(seed, "cf-rng"))
 
     @classmethod
@@ -82,8 +94,13 @@ class CuckooFilter(FingerprintBatchMixin):
     # -- hashing ------------------------------------------------------------
 
     def fingerprint_of(self, key: object) -> int:
-        """Return the fingerprint of ``key`` (``fingerprint_bits`` wide)."""
-        return hash64(key, self._fp_salt) & self._fp_mask
+        """Return the fingerprint of ``key`` (``fingerprint_bits`` wide).
+
+        At boundary widths (8/16/32 bits) the all-ones value is reserved as
+        the packed EMPTY sentinel and folds to 0 (DESIGN.md §9).
+        """
+        fp = hash64(key, self._fp_salt) & self._fp_mask
+        return 0 if fp == self._fp_fold else fp
 
     def home_index(self, key: object) -> int:
         """Return the primary bucket for ``key``."""
@@ -91,9 +108,7 @@ class CuckooFilter(FingerprintBatchMixin):
 
     def _fp_jump(self, fingerprint: int) -> int:
         """Return ``h(fingerprint) mod m``, the XOR offset to the alternate bucket."""
-        return memoized_jump(
-            self._jump_cache, fingerprint, self._jump_salt, self.buckets.num_buckets - 1
-        )
+        return self._jump_cache.jump(fingerprint)
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the partner bucket of ``index`` for ``fingerprint``."""
@@ -115,22 +130,7 @@ class CuckooFilter(FingerprintBatchMixin):
         self.num_items += 1
         if self.buckets.try_add(i1, fp) >= 0 or self.buckets.try_add(i2, fp) >= 0:
             return True
-        return self._kick_loop(self._rng.choice((i1, i2)), fp)
-
-    def _kick_loop(self, start: int, fingerprint: int) -> bool:
-        current = start
-        item = fingerprint
-        for _ in range(self.max_kicks):
-            victim_slot = self._rng.randrange(self.buckets.bucket_size)
-            victim = self.buckets.fp_at(current, victim_slot)
-            self.buckets.set_slot(current, victim_slot, item)
-            item = victim
-            current = self.alt_index(current, item)
-            if self.buckets.try_add(current, item) >= 0:
-                return True
-        self.stash.append(item)
-        self.failed = True
-        return False
+        return self._kick_residual(self._rng.choice((i1, i2)), fp, self.max_kicks)
 
     def contains(self, key: object) -> bool:
         """Return True if ``key`` may be in the set (no false negatives)."""
@@ -142,18 +142,17 @@ class CuckooFilter(FingerprintBatchMixin):
         return fp in self.stash
 
     def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
-        """Batch `contains`: one vectorised probe of both buckets per key.
+        """Batch `contains`: one fused gather over both buckets per key.
 
-        Probes the live fingerprint matrix, so interleaving with mutations
-        costs nothing; answers are identical to scalar `contains` per key.
+        Probes the live (width-adaptive) fingerprint matrix via
+        `SlotMatrix.pair_eq` — home and alternate rows in a single gather,
+        compared at the packed dtype — so interleaving with mutations costs
+        nothing; answers are identical to scalar `contains` per key.
         """
         fps = self.fingerprints_of_many(keys)
         homes = self.home_indices_of_many(keys)
-        alts = homes ^ self._fp_jump_many(fps)
-        table = self.buckets.fps
-        fp_col = fps[:, None]
-        found = (table[homes] == fp_col).any(axis=1)
-        found |= (table[alts] == fp_col).any(axis=1)
+        eq, _alts = self._pair_eq_many(fps, homes)
+        found = eq.any(axis=(1, 2))
         if self.stash:
             stash = np.fromiter(self.stash, dtype=np.int64, count=len(self.stash))
             found |= np.isin(fps, stash)

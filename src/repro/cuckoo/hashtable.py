@@ -21,15 +21,27 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
-from repro.hashing.mixers import as_native_list, derive_seed, hash64, hash64_many
+from repro.hashing.mixers import derive_seed, hash64, hash64_many
 
 DEFAULT_MAX_KICKS = 500
 
 _MISSING = object()
 
-#: Stored digests keep 63 bits of the first bucket hash: non-negative in
-#: int64 and disjoint from the EMPTY sentinel (-1).
+#: Stored digests keep 63 bits of the first bucket hash, disjoint from the
+#: uint64 matrix's all-ones EMPTY sentinel.
 _DIGEST_MASK = (1 << 63) - 1
+
+
+def _native_item(values: Sequence[object] | np.ndarray, index: int) -> object:
+    """One element as a native Python object (numpy scalars unwrapped).
+
+    Scalar hash/storage paths dispatch on Python types (stored keys are
+    re-hashed by kicks and resizes, and `hash64` rejects numpy scalars),
+    but only the elements that actually reach a scalar path need
+    unwrapping — batch ingress never materialises a whole Python list.
+    """
+    value = values[index]
+    return value.item() if isinstance(value, np.generic) else value
 
 
 class CuckooHashTable:
@@ -51,7 +63,9 @@ class CuckooHashTable:
         self._init_table(next_power_of_two(num_buckets))
 
     def _init_table(self, num_buckets: int) -> None:
-        self.buckets = SlotMatrix(num_buckets, self.bucket_size, with_payloads=True)
+        # 63-bit digests in a packed uint64 column (sentinel = 2^64-1, out
+        # of the digest range by construction — no folding needed).
+        self.buckets = SlotMatrix(num_buckets, self.bucket_size, with_payloads=True, fp_bits=63)
         self._salt1 = derive_seed(self.seed, "cht-h1", self._generation)
         self._salt2 = derive_seed(self.seed, "cht-h2", self._generation)
         self._count = 0
@@ -69,10 +83,15 @@ class CuckooHashTable:
     def _indexes_many(
         self, keys: Sequence[object] | np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Batch `_indexes` plus digests: both bucket hashes, vectorised."""
+        """Batch `_indexes` plus digests: both bucket hashes, vectorised.
+
+        Digests stay uint64 so comparisons against the packed digest column
+        run natively (an int64/uint64 mix would promote to float64 and lose
+        low bits).
+        """
         mask = np.uint64(self.buckets.num_buckets - 1)
         h1 = hash64_many(keys, self._salt1)
-        digests = (h1 & np.uint64(_DIGEST_MASK)).astype(np.int64)
+        digests = h1 & np.uint64(_DIGEST_MASK)
         i1 = (h1 & mask).astype(np.int64)
         i2 = (hash64_many(keys, self._salt2) & mask).astype(np.int64)
         return digests, i1, i2
@@ -100,12 +119,12 @@ class CuckooHashTable:
         precomputed indices, so hashing restarts from the first unplaced key
         whenever the generation changes.  End state matches a scalar loop.
         """
-        # Native conversion matters beyond parity: stored keys are re-hashed
-        # by kicks and resizes, and hash64 rejects numpy scalars.
-        keys = as_native_list(keys)
-        values = as_native_list(values)
         if len(keys) != len(values):
             raise ValueError("keys and values must have the same length")
+        # Hashing consumes the input as-is (zero-copy for int ndarrays);
+        # only the per-key placement unwraps elements to native objects —
+        # stored keys are re-hashed by kicks/resizes and hash64 rejects
+        # numpy scalars.
         index = 0
         while index < len(keys):
             generation = self._generation
@@ -114,7 +133,10 @@ class CuckooHashTable:
             while index < len(keys) and self._generation == generation:
                 offset = index - base
                 self._set_hashed(
-                    keys[index], values[index], int(h1s[offset]), int(h2s[offset])
+                    _native_item(keys, index),
+                    _native_item(values, index),
+                    int(h1s[offset]),
+                    int(h2s[offset]),
                 )
                 index += 1
 
@@ -128,14 +150,10 @@ class CuckooHashTable:
         actual keys.
         """
         digests, h1s, h2s = self._indexes_many(keys)
-        table = self.buckets.fps
-        digest_col = digests[:, None]
-        candidate = (table[h1s] == digest_col).any(axis=1)
-        candidate |= (table[h2s] == digest_col).any(axis=1)
-        keys_list = as_native_list(keys)
-        out = [default] * len(keys_list)
+        candidate = self.buckets.pair_eq(digests, h1s, h2s).any(axis=(1, 2))
+        out = [default] * len(keys)
         for i in np.nonzero(candidate)[0].tolist():
-            key = keys_list[i]
+            key = _native_item(keys, i)
             for bucket in (int(h1s[i]), int(h2s[i])):
                 for _slot, _digest, entry in self.buckets.iter_slots(bucket):
                     if entry[0] == key:
@@ -156,12 +174,16 @@ class CuckooHashTable:
         )
 
     def delete_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
-        """Batch delete: True per key actually removed (no KeyError)."""
-        _digests, h1s, h2s = self._indexes_many(keys)
-        keys_list = as_native_list(keys)
-        out = np.empty(len(keys_list), dtype=bool)
-        for i, (key, i1, i2) in enumerate(zip(keys_list, h1s.tolist(), h2s.tolist())):
-            out[i] = self._remove_key(key, i1, i2)
+        """Batch delete: True per key actually removed (no KeyError).
+
+        A vectorised digest pre-filter screens definite misses; only
+        candidate rows run the exact per-key removal.
+        """
+        digests, h1s, h2s = self._indexes_many(keys)
+        candidate = self.buckets.pair_eq(digests, h1s, h2s).any(axis=(1, 2))
+        out = np.zeros(len(keys), dtype=bool)
+        for i in np.nonzero(candidate)[0].tolist():
+            out[i] = self._remove_key(_native_item(keys, i), int(h1s[i]), int(h2s[i]))
         return out
 
     def _remove_key(self, key: object, i1: int, i2: int) -> bool:

@@ -21,8 +21,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.cuckoo.batch import FingerprintBatchMixin
-from repro.cuckoo.buckets import SlotMatrix, next_power_of_two
-from repro.hashing.mixers import derive_seed, hash64, memoized_jump
+from repro.cuckoo.buckets import SlotMatrix, fingerprint_fold, next_power_of_two
+from repro.hashing.mixers import JumpCache, derive_seed, hash64
 
 DEFAULT_MAX_KICKS = 500
 
@@ -37,35 +37,41 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         fingerprint_bits: int = 12,
         max_kicks: int = DEFAULT_MAX_KICKS,
         seed: int = 0,
+        packed: bool = True,
     ) -> None:
         self.fingerprint_bits = fingerprint_bits
         self.max_kicks = max_kicks
         self.seed = seed
-        self.buckets = SlotMatrix(next_power_of_two(num_buckets), bucket_size)
+        self.packed = packed
+        self.buckets = SlotMatrix(
+            next_power_of_two(num_buckets),
+            bucket_size,
+            fp_bits=fingerprint_bits if packed else None,
+        )
         self.num_items = 0
         self.failed = False
         self.stash: list[int] = []
         self._fp_mask = (1 << fingerprint_bits) - 1
+        self._fp_fold = fingerprint_fold(fingerprint_bits)
         self._index_salt = derive_seed(seed, "mcf-index")
         self._fp_salt = derive_seed(seed, "mcf-fingerprint")
         self._jump_salt = derive_seed(seed, "mcf-jump")
-        self._jump_cache: dict[int, int] = {}
+        self._jump_cache = JumpCache(self._jump_salt, self.buckets.num_buckets - 1)
         self._rng = random.Random(derive_seed(seed, "mcf-rng"))
 
     # -- hashing ------------------------------------------------------------
 
     def fingerprint_of(self, key: object) -> int:
-        """Return the fingerprint of ``key``."""
-        return hash64(key, self._fp_salt) & self._fp_mask
+        """Return the fingerprint of ``key`` (boundary widths fold all-ones)."""
+        fp = hash64(key, self._fp_salt) & self._fp_mask
+        return 0 if fp == self._fp_fold else fp
 
     def home_index(self, key: object) -> int:
         """Return the primary bucket for ``key``."""
         return hash64(key, self._index_salt) & (self.buckets.num_buckets - 1)
 
     def _fp_jump(self, fingerprint: int) -> int:
-        return memoized_jump(
-            self._jump_cache, fingerprint, self._jump_salt, self.buckets.num_buckets - 1
-        )
+        return self._jump_cache.jump(fingerprint)
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the partner bucket of ``index`` for ``fingerprint``."""
@@ -83,19 +89,7 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         self.num_items += 1
         if self.buckets.try_add(i1, fp) >= 0 or self.buckets.try_add(i2, fp) >= 0:
             return True
-        current = self._rng.choice((i1, i2))
-        item = fp
-        for _ in range(self.max_kicks):
-            victim_slot = self._rng.randrange(self.buckets.bucket_size)
-            victim = self.buckets.fp_at(current, victim_slot)
-            self.buckets.set_slot(current, victim_slot, item)
-            item = victim
-            current = self.alt_index(current, item)
-            if self.buckets.try_add(current, item) >= 0:
-                return True
-        self.stash.append(item)
-        self.failed = True
-        return False
+        return self._kick_residual(self._rng.choice((i1, i2)), fp, self.max_kicks)
 
     def contains(self, key: object) -> bool:
         """Return True if at least one copy of ``key`` may be present."""
@@ -120,21 +114,20 @@ class MultisetCuckooFilter(FingerprintBatchMixin):
         return total
 
     def count_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:
-        """Batch `count`: vectorised copy counts over both buckets + stash.
+        """Batch `count`: fused copy counts over both buckets + stash.
 
-        Probes the live fingerprint matrix; answers are identical to scalar
-        `count` per key with no snapshot rebuild after mutations.
+        One `SlotMatrix.pair_eq` gather probes the live fingerprint matrix;
+        answers are identical to scalar `count` per key with no snapshot
+        rebuild after mutations.
         """
         fps = self.fingerprints_of_many(keys)
         homes = self.home_indices_of_many(keys)
-        alts = homes ^ self._fp_jump_many(fps)
-        table = self.buckets.fps
-        fp_col = fps[:, None]
-        totals = (table[homes] == fp_col).sum(axis=1)
-        totals += np.where(alts == homes, 0, (table[alts] == fp_col).sum(axis=1))
+        eq, alts = self._pair_eq_many(fps, homes)
+        totals = eq[:, 0].sum(axis=1)
+        totals += np.where(alts == homes, 0, eq[:, 1].sum(axis=1))
         if self.stash:
             stash = np.fromiter(self.stash, dtype=np.int64, count=len(self.stash))
-            totals += (fp_col == stash[None, :]).sum(axis=1)
+            totals += (fps[:, None] == stash[None, :]).sum(axis=1)
         return totals
 
     def contains_many(self, keys: Sequence[object] | np.ndarray) -> np.ndarray:

@@ -18,7 +18,7 @@ import random
 
 from repro.cuckoo.buckets import next_power_of_two
 from repro.cuckoo.semisort import decode_bucket, encode_bucket, encoded_bucket_bits
-from repro.hashing.mixers import derive_seed, hash64
+from repro.hashing.mixers import JumpCache, derive_seed, hash64
 
 DEFAULT_MAX_KICKS = 500
 
@@ -52,7 +52,7 @@ class SemiSortedCuckooFilter:
         self._index_salt = derive_seed(seed, "sscf-index")
         self._fp_salt = derive_seed(seed, "sscf-fp")
         self._jump_salt = derive_seed(seed, "sscf-jump")
-        self._jump_cache: dict[int, int] = {}
+        self._jump_cache = JumpCache(self._jump_salt, self.num_buckets - 1)
         self._rng = random.Random(derive_seed(seed, "sscf-rng"))
 
     # -- hashing ------------------------------------------------------------
@@ -67,11 +67,7 @@ class SemiSortedCuckooFilter:
         return hash64(key, self._index_salt) & (self.num_buckets - 1)
 
     def _fp_jump(self, fingerprint: int) -> int:
-        jump = self._jump_cache.get(fingerprint)
-        if jump is None:
-            jump = hash64(fingerprint, self._jump_salt) & (self.num_buckets - 1)
-            self._jump_cache[fingerprint] = jump
-        return jump
+        return self._jump_cache.jump(fingerprint)
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Partner bucket via the XOR map."""

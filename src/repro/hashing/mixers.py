@@ -170,36 +170,69 @@ def hash64_many(values: Sequence[object] | np.ndarray, seed: int = 0) -> np.ndar
 
 
 def hash64_many_masked(
-    values: Sequence[object] | np.ndarray, seed: int, mask: int
+    values: Sequence[object] | np.ndarray, seed: int, mask: int, fold: int | None = None
 ) -> np.ndarray:
     """Batch ``hash64(v, seed) & mask`` as int64 (requires ``mask < 2**63``).
 
     The one shared copy of the mask-and-cast dance used for fingerprints,
-    bucket indices and XOR jumps across all cuckoo structures.
+    bucket indices and XOR jumps across all cuckoo structures.  ``fold``
+    (when not None) remaps that one reserved value to 0 after masking —
+    the in-band EMPTY-sentinel reservation of packed slot storage
+    (`repro.cuckoo.buckets.fingerprint_fold`), applied identically to the
+    scalar path by the callers.
     """
-    return (hash64_many(values, seed) & np.uint64(mask)).astype(np.int64)
+    out = (hash64_many(values, seed) & np.uint64(mask)).astype(np.int64)
+    if fold is not None:
+        out[out == fold] = 0
+    return out
 
 
-#: Cap on the per-structure fingerprint->jump memo used by `memoized_jump`.
+#: Cap on the per-structure fingerprint->jump memo (`JumpCache`).
 #: Fingerprint spaces up to 16 bits are fully memoised; wider spaces (or
-#: adversarial key streams) reset the memo instead of growing without bound.
+#: adversarial key streams) evict least-recently-used entries instead of
+#: growing without bound.
 JUMP_CACHE_LIMIT = 1 << 16
 
 
-def memoized_jump(cache: dict[int, int], fingerprint: int, salt: int, mask: int) -> int:
-    """Memoised ``hash64(fingerprint, salt) & mask`` with a bounded cache.
+class JumpCache:
+    """Bounded LRU memo for ``hash64(fingerprint, salt) & mask`` jumps.
 
-    The shared eviction policy for every cuckoo structure's XOR-jump memo:
-    on overflow the cache is cleared (cheap, bounded, and re-derivable —
-    jumps are pure functions of their inputs).
+    The single shared eviction policy for every cuckoo structure's XOR-jump
+    memo (scalar paths; batch paths compute jumps vectorised and bypass the
+    memo entirely).  Jumps are pure functions of their inputs, so eviction
+    is always safe — it only costs a re-derivation.  Hot fingerprints stay
+    resident because lookups refresh recency.
     """
-    jump = cache.get(fingerprint)
-    if jump is None:
-        jump = hash64(fingerprint, salt) & mask
-        if len(cache) >= JUMP_CACHE_LIMIT:
-            cache.clear()
-        cache[fingerprint] = jump
-    return jump
+
+    __slots__ = ("salt", "mask", "limit", "_map")
+
+    def __init__(self, salt: int, mask: int, limit: int = JUMP_CACHE_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError("JumpCache limit must be at least 1")
+        self.salt = salt
+        self.mask = mask
+        self.limit = limit
+        self._map: dict[int, int] = {}
+
+    def jump(self, fingerprint: int) -> int:
+        """Memoised ``hash64(fingerprint, salt) & mask``."""
+        memo = self._map
+        jump = memo.get(fingerprint)
+        if jump is None:
+            jump = hash64(fingerprint, self.salt) & self.mask
+            while len(memo) >= self.limit:
+                # dicts iterate in insertion order; the first key is the LRU
+                # entry because hits below reinsert at the tail.
+                memo.pop(next(iter(memo)))
+            memo[fingerprint] = jump
+        else:
+            # Refresh recency: delete + reinsert moves the key to the tail.
+            del memo[fingerprint]
+            memo[fingerprint] = jump
+        return jump
+
+    def __len__(self) -> int:
+        return len(self._map)
 
 
 def derive_seed(seed: int, purpose: str, index: int = 0) -> int:

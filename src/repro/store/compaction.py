@@ -50,7 +50,6 @@ def collect_live_rows(
     buckets are unknowable — stashed victims lost their position), and the
     per-pair row counts that drive hot-pair sizing.
     """
-    geometry = levels[0].geometry
     seen: set[tuple[int, int, tuple[int, ...]]] = set()
     buckets: list[int] = []
     fps: list[int] = []
@@ -59,18 +58,26 @@ def collect_live_rows(
     stash_entries: list[VectorEntry] = []
     stash_seen: set[tuple[int, tuple[int, ...]]] = set()
     for level in levels:
-        for bucket, _slot, fp, _payload in level.buckets.iter_entries():
-            avec = tuple(level._avecs[bucket, _slot].tolist())
-            alt = geometry.alt_index(bucket, fp)
-            pair = bucket if bucket < alt else alt
-            signature = (pair, fp, avec)
-            if signature in seen:
-                continue
-            seen.add(signature)
-            buckets.append(bucket)
-            fps.append(fp)
-            avecs.append(avec)
-            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+        # Gather each level's occupied slots straight out of the packed
+        # columns: one fancy-index per column and one vectorised jump pass
+        # (shared geometry) instead of a per-entry Python walk.
+        bucket_idx, slot_idx = np.nonzero(level.buckets.occupied_mask())
+        if bucket_idx.size:
+            level_fps = level.buckets.fps[bucket_idx, slot_idx].astype(np.int64)
+            level_avecs = level._avecs[bucket_idx, slot_idx].astype(np.int64)
+            alts = level.geometry.alt_indices_many(bucket_idx, level_fps)
+            pairs = np.minimum(bucket_idx, alts)
+            for bucket, fp, pair, avec_row in zip(
+                bucket_idx.tolist(), level_fps.tolist(), pairs.tolist(), level_avecs.tolist()
+            ):
+                signature = (pair, fp, tuple(avec_row))
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                buckets.append(bucket)
+                fps.append(fp)
+                avecs.append(signature[2])
+                pair_counts[pair] = pair_counts.get(pair, 0) + 1
         for entry in level.stash:
             stash_signature = (entry.fp, entry.avec)
             if stash_signature not in stash_seen:

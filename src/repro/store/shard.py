@@ -76,11 +76,18 @@ class FilterShard:
     # Mutations
     # ------------------------------------------------------------------
 
+    def _alts_for(self, fps: np.ndarray, homes: np.ndarray, alts: np.ndarray | None) -> np.ndarray:
+        """Partner buckets: accept the store's hash-once array or derive."""
+        if alts is None:
+            alts = self.active.geometry.alt_indices_many(homes, fps)
+        return alts
+
     def insert_hashed_rows(
         self,
         fps: np.ndarray,
         homes: np.ndarray,
         avecs: Sequence[tuple[int, ...]],
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
         """Insert pre-hashed rows, rolling new levels as the active saturates.
 
@@ -96,6 +103,7 @@ class FilterShard:
         """
         n = len(fps)
         out = np.ones(n, dtype=bool)
+        alts = self._alts_for(fps, homes, alts)
         start = 0
         while start < n:
             level = self.active
@@ -107,7 +115,7 @@ class FilterShard:
             index = np.arange(start, stop)
             if len(self.levels) > 1:
                 duplicate = self._rows_present_in(
-                    self.levels[:-1], fps[index], homes[index], avecs, index
+                    self.levels[:-1], fps[index], homes[index], avecs, index, alts[index]
                 )
                 index = index[~duplicate]
             if index.size:
@@ -127,18 +135,22 @@ class FilterShard:
         homes: np.ndarray,
         avecs: Sequence[tuple[int, ...]],
         index: np.ndarray,
+        alts: np.ndarray,
     ) -> np.ndarray:
         """Which rows (fps/homes sliced by ``index``) some level already holds.
 
-        A vectorised key-fingerprint probe screens each level; only
-        candidates pay the exact (fingerprint, vector) pair scan.
+        A fused key-fingerprint probe (shared precomputed partner buckets,
+        no per-level re-hash) screens each level; only candidates pay the
+        exact (fingerprint, vector) pair scan.
         """
         duplicate = np.zeros(len(fps), dtype=bool)
         for level in levels:
             pending = np.nonzero(~duplicate)[0]
             if pending.size == 0:
                 break
-            candidate = level._single_pair_query_many(fps[pending], homes[pending], None)
+            candidate = level._single_pair_query_many(
+                fps[pending], homes[pending], None, alts[pending]
+            )
             for local in np.nonzero(candidate)[0].tolist():
                 i = int(pending[local])
                 if level._row_present(int(fps[i]), int(homes[i]), avecs[int(index[i])]):
@@ -150,21 +162,26 @@ class FilterShard:
         fps: np.ndarray,
         homes: np.ndarray,
         avecs: Sequence[tuple[int, ...]],
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
         """Route each delete to its owning level (newest level wins).
 
-        Levels are screened newest-first with one vectorised key-fingerprint
-        probe; only candidate rows run the exact (fingerprint, vector) slot
-        removal.  A row deleted in one level is not searched for in older
-        ones, so re-inserted rows shadow their older copies correctly.
+        Levels are screened newest-first with one fused key-fingerprint
+        probe (shared precomputed partner buckets); only candidate rows run
+        the exact (fingerprint, vector) slot removal.  A row deleted in one
+        level is not searched for in older ones, so re-inserted rows shadow
+        their older copies correctly.
         """
         n = len(fps)
         out = np.zeros(n, dtype=bool)
+        alts = self._alts_for(fps, homes, alts)
         pending = np.arange(n)
         for level in reversed(self.levels):
             if pending.size == 0:
                 break
-            present = level._single_pair_query_many(fps[pending], homes[pending], None)
+            present = level._single_pair_query_many(
+                fps[pending], homes[pending], None, alts[pending]
+            )
             for local in np.nonzero(present)[0].tolist():
                 i = int(pending[local])
                 if level._delete_hashed(int(fps[i]), int(homes[i]), avecs[i]):
@@ -178,19 +195,29 @@ class FilterShard:
     # ------------------------------------------------------------------
 
     def query_hashed_many(
-        self, fps: np.ndarray, homes: np.ndarray, compiled: CompiledQuery | None
+        self,
+        fps: np.ndarray,
+        homes: np.ndarray,
+        compiled: CompiledQuery | None,
+        alts: np.ndarray | None = None,
     ) -> np.ndarray:
         """OR of the level answers, probing newest-first.
 
-        Keys already answered True drop out of the remaining levels' probes,
-        so a hit in a young level costs nothing in the old ones.
+        Every level shares one geometry, so the partner buckets are hashed
+        once (by the store) and each level runs only its fused gather —
+        no per-level re-hash.  Keys already answered True drop out of the
+        remaining levels' probes, so a hit in a young level costs nothing
+        in the old ones.
         """
         out = np.zeros(len(fps), dtype=bool)
+        alts = self._alts_for(fps, homes, alts)
         pending = np.arange(len(fps))
         for level in reversed(self.levels):
             if pending.size == 0:
                 break
-            answers = level._query_hashed_many(fps[pending], homes[pending], compiled)
+            answers = level._query_hashed_many(
+                fps[pending], homes[pending], compiled, alts[pending]
+            )
             out[pending[answers]] = True
             pending = pending[~answers]
         return out
@@ -243,6 +270,8 @@ class FilterShard:
             "entries": self.num_entries,
             "stashed": self.num_stashed,
             "capacity": self.capacity,
+            "fingerprint_dtype": self.active.buckets.fps.dtype.name,
+            "bytes_per_slot": self.active.buckets.bytes_per_slot,
             "load_factor": round(self.load_factor(), 4),
             "level_loads": [round(level.load_factor(), 4) for level in self.levels],
             "level_bucket_sizes": [level.buckets.bucket_size for level in self.levels],

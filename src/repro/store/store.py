@@ -95,13 +95,18 @@ class FilterStore:
 
     def _scatter(
         self, keys: Sequence[object] | np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(shard ids, key fingerprints, home buckets), each hashed once."""
-        return (
-            self.shard_ids_of_many(keys),
-            self.geometry.fingerprints_of_many(keys),
-            self.geometry.home_indices_of_many(keys),
-        )
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(shard ids, key fingerprints, home buckets, partner buckets).
+
+        Hashed exactly once per batch: every level of every shard shares
+        this geometry, so the same four arrays feed every level's fused
+        probe kernel with no per-level re-hash (DESIGN.md §8/§9).
+        """
+        shard_ids = self.shard_ids_of_many(keys)
+        fps = self.geometry.fingerprints_of_many(keys)
+        homes = self.geometry.home_indices_of_many(keys)
+        alts = self.geometry.alt_indices_many(homes, fps)
+        return shard_ids, fps, homes, alts
 
     # ------------------------------------------------------------------
     # Mutations
@@ -129,14 +134,14 @@ class FilterStore:
         out = np.ones(n, dtype=bool)
         if n == 0:
             return out
-        shard_ids, fps, homes = self._scatter(keys)
+        shard_ids, fps, homes, alts = self._scatter(keys)
         avecs = self.fingerprinter.vectors_many(columns)
         for shard in self.shards:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
             out[index] = shard.insert_hashed_rows(
-                fps[index], homes[index], [avecs[i] for i in index.tolist()]
+                fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
             )
         return out
 
@@ -161,14 +166,14 @@ class FilterStore:
         out = np.zeros(n, dtype=bool)
         if n == 0:
             return out
-        shard_ids, fps, homes = self._scatter(keys)
+        shard_ids, fps, homes, alts = self._scatter(keys)
         avecs = self.fingerprinter.vectors_many(columns)
         for shard in self.shards:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
             out[index] = shard.delete_hashed_rows(
-                fps[index], homes[index], [avecs[i] for i in index.tolist()]
+                fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
             )
         return out
 
@@ -207,12 +212,14 @@ class FilterStore:
         out = np.zeros(n, dtype=bool)
         if n == 0:
             return out
-        shard_ids, fps, homes = self._scatter(keys)
+        shard_ids, fps, homes, alts = self._scatter(keys)
         for shard in self.shards:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
-            out[index] = shard.query_hashed_many(fps[index], homes[index], compiled)
+            out[index] = shard.query_hashed_many(
+                fps[index], homes[index], compiled, alts[index]
+            )
         return out
 
     def contains_key(self, key: object) -> bool:
@@ -269,6 +276,8 @@ class FilterStore:
             "num_shards": self.config.num_shards,
             "level_buckets": self.config.level_buckets,
             "target_load": self.config.target_load,
+            "fingerprint_dtype": shards[0]["fingerprint_dtype"] if shards else None,
+            "bytes_per_slot": shards[0]["bytes_per_slot"] if shards else None,
             "levels": self.num_levels,
             "entries": self.num_entries,
             "load_factor": round(self.load_factor(), 4),

@@ -1,0 +1,102 @@
+"""Legacy (pre-dtype-tag) wire payloads still load — with no false negatives.
+
+The fixtures under ``tests/data/`` were produced by the int64-era
+serialiser (magics CCF2/CKF2/CCV2/CRF1) before the width-adaptive storage
+engine landed, together with the answers the original structures gave.
+Loading them through the current code must
+
+* succeed (the formats remain readable),
+* reconstruct packed storage, and
+* preserve every True answer (the no-false-negative contract survives the
+  migration).  At non-boundary fingerprint widths answers are bit-identical;
+  at boundary widths (key_bits=8 here) the sentinel fold may only *add*
+  positives at the 2^-f collision rate.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ccf.base import ConditionalCuckooFilterBase
+from repro.ccf.predicates import Eq, Range
+from repro.ccf.serialize import dumps, loads
+from repro.cuckoo.buckets import fingerprint_fold
+
+DATA = Path(__file__).parent / "data"
+MANIFEST = json.loads((DATA / "legacy_manifest.json").read_text())
+PROBES = list(range(400))
+
+
+def _answers_preserved(old: list[bool], new: list[bool], exact: bool) -> None:
+    if exact:
+        assert new == old
+    else:
+        # Boundary-width fold: True answers must survive; new positives are
+        # allowed only at the folded-fingerprint collision rate.
+        for was, now in zip(old, new):
+            if was:
+                assert now
+        assert sum(new) - sum(old) <= 4
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_legacy_payload_loads(name):
+    record = MANIFEST[name]
+    obj = loads((DATA / name).read_bytes())
+    exact = fingerprint_fold(record.get("key_bits", record.get("fingerprint_bits", 12))) is None
+    if record["type"] == "ccf":
+        assert obj.kind == record["kind"]
+        assert obj.params.packed  # legacy payloads migrate to packed storage
+        _answers_preserved(
+            record["plain_answers"], [bool(obj.query(k)) for k in PROBES], exact
+        )
+        _answers_preserved(
+            record["pred_answers"],
+            [bool(obj.query(k, Eq("color", "red"))) for k in PROBES],
+            exact,
+        )
+    elif record["type"] == "range":
+        _answers_preserved(
+            record["plain_answers"], [bool(obj.query(k)) for k in PROBES], exact
+        )
+        _answers_preserved(
+            record["range_answers"],
+            [bool(obj.query(k, Range("size", 3, 17))) for k in PROBES],
+            exact,
+        )
+    elif record["type"] == "cuckoo":
+        _answers_preserved(
+            record["answers"], [bool(obj.contains(k)) for k in PROBES], exact
+        )
+    else:  # view — boundary width is encoded in the fixture name
+        _answers_preserved(
+            record["answers"], [bool(obj.contains(k)) for k in PROBES], "kb8" not in name
+        )
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, r in sorted(MANIFEST.items()) if r["type"] == "ccf"]
+)
+def test_legacy_payload_reserialises_as_tagged(name):
+    """Re-dumping a migrated legacy payload emits the tagged format, and the
+    migrated content round-trips exactly from then on."""
+    obj = loads((DATA / name).read_bytes())
+    payload = dumps(obj)
+    assert payload[:4] == b"CCF3"
+    clone = loads(payload)
+    assert isinstance(clone, ConditionalCuckooFilterBase)
+    probes = np.arange(400)
+    assert clone.query_many(probes).tolist() == obj.query_many(probes).tolist()
+
+
+def test_legacy_boundary_width_contains_no_sentinel_after_load():
+    """key_bits=8 legacy payloads fold stored all-ones fingerprints to 0, so
+    no occupied slot aliases the packed uint8 sentinel."""
+    obj = loads((DATA / "legacy_ccf_plain_kb8.bin").read_bytes())
+    assert obj.buckets.fps.dtype == np.uint8
+    occupied = obj.buckets.occupied_mask()
+    assert (obj.buckets.fps[occupied] != 255).all()
+    # Occupancy accounting survived the migration.
+    assert obj.buckets.counts.sum() == occupied.sum()

@@ -1,0 +1,130 @@
+"""Targeted edge cases for the loop-free batch kernels (DESIGN.md §9).
+
+The hypothesis suites in `test_batch_parity.py`/`test_bulk_build.py` pin
+the broad contracts; these tests force the specific corners the vectorised
+kernels special-case: duplicate keys racing for the same slot (rank
+deduping), stash interplay in batch order, pairs probed from both ends
+(the scalar-fallback group), and wave-eviction overload.
+"""
+
+import numpy as np
+
+from repro.cuckoo.filter import CuckooFilter
+from repro.cuckoo.multiset import MultisetCuckooFilter
+
+
+def _twins(cls, **kwargs):
+    return cls(**kwargs), cls(**kwargs)
+
+
+def test_delete_many_rank_dedupes_duplicate_keys():
+    """N copies inserted, N+2 deletes of the same key in one batch: exactly
+    N succeed, matching a scalar loop, and no slot is double-cleared."""
+    batch, scalar = _twins(MultisetCuckooFilter, num_buckets=16, bucket_size=4, seed=3)
+    for twin in (batch, scalar):
+        twin.insert_many([7] * 5)
+    victims = [7] * 7
+    want = [scalar.delete(7) for _ in victims]
+    got = batch.delete_many(victims)
+    assert got.tolist() == want == [True] * 5 + [False] * 2
+    assert batch.buckets.state() == scalar.buckets.state()
+    assert batch.num_items == scalar.num_items == 0
+
+
+def test_delete_many_mixed_batch_of_duplicates_and_misses():
+    batch, scalar = _twins(CuckooFilter, num_buckets=32, bucket_size=4, seed=5)
+    keys = list(range(40)) * 2  # duplicate fingerprints within the batch
+    for twin in (batch, scalar):
+        twin.insert_many(keys)
+    victims = [0, 0, 0, 1, 99, 1, 2, 100, 0, 2]
+    want = [scalar.delete(k) for k in victims]
+    assert batch.delete_many(victims).tolist() == want
+    assert batch.buckets.state() == scalar.buckets.state()
+    assert batch.num_items == scalar.num_items
+
+
+def test_delete_many_consumes_stash_in_batch_order():
+    """Overloaded filter with stashed fingerprints: batch deletes drain the
+    table first, then the stash, exactly as the scalar loop would."""
+    batch, scalar = _twins(CuckooFilter, num_buckets=2, bucket_size=2, max_kicks=3, seed=1)
+    keys = list(range(20))
+    for twin in (batch, scalar):
+        twin.insert_many(keys)
+        assert twin.failed and twin.stash  # overload reached the stash
+    victims = keys + keys  # second round overdraws into misses
+    want = [scalar.delete(k) for k in victims]
+    assert batch.delete_many(victims).tolist() == want
+    assert batch.stash == scalar.stash
+    assert batch.buckets.state() == scalar.buckets.state()
+
+
+def test_delete_many_pair_probed_from_both_ends():
+    """Two keys sharing one bucket pair from opposite orientations form the
+    mixed-home group that must take the scalar fallback; state still
+    matches the scalar loop."""
+    batch, scalar = _twins(CuckooFilter, num_buckets=8, bucket_size=2, seed=2)
+    # Find two keys with equal fingerprints whose homes are each other's
+    # alternates (home_a ^ jump == home_b).
+    found = None
+    for a in range(4000):
+        fp_a, home_a = scalar.fingerprint_of(a), scalar.home_index(a)
+        alt_a = scalar.alt_index(home_a, fp_a)
+        if alt_a == home_a:
+            continue
+        for b in range(a + 1, 4000):
+            if (
+                scalar.fingerprint_of(b) == fp_a
+                and scalar.home_index(b) == alt_a
+            ):
+                found = (a, b)
+                break
+        if found:
+            break
+    assert found, "no opposite-orientation pair in the probe range"
+    a, b = found
+    for twin in (batch, scalar):
+        twin.insert_many([a, b])
+    victims = [a, b, a]
+    want = [scalar.delete(k) for k in victims]
+    assert batch.delete_many(victims).tolist() == want
+    assert batch.buckets.state() == scalar.buckets.state()
+
+
+def test_wave_eviction_bounded_kicks_and_no_false_negatives():
+    """Past-capacity bulk build: wave eviction stashes over-budget chains,
+    latches failure, and keeps every inserted key answering True."""
+    cuckoo = CuckooFilter(4, 2, 10, max_kicks=6, seed=9)
+    keys = np.arange(40)
+    results = cuckoo.insert_many(keys, bulk=True)
+    assert cuckoo.failed
+    assert not results.all()
+    assert len(cuckoo.stash) == np.count_nonzero(~results) >= 1
+    assert cuckoo.contains_many(keys).all()
+    assert cuckoo.num_items == len(keys)
+    # Occupancy bookkeeping survived the eviction waves.
+    assert cuckoo.buckets.counts.sum() == cuckoo.buckets.occupied_mask().sum()
+    assert cuckoo.buckets.filled == cuckoo.buckets.occupied_mask().sum()
+
+
+def test_wave_eviction_is_deterministic_per_seed():
+    keys = np.arange(3000)
+    runs = []
+    for _ in range(2):
+        cuckoo = CuckooFilter.from_capacity(3000, bucket_size=4, fingerprint_bits=12, seed=4)
+        cuckoo.insert_many(keys, bulk=True)
+        runs.append((cuckoo.buckets.state(), list(cuckoo.stash), cuckoo.num_items))
+    assert runs[0] == runs[1]
+
+
+def test_wave_eviction_matches_membership_of_sequential_build_at_high_load():
+    """~95% load forces real multi-round waves; per-pair fingerprint
+    multisets (hence all answers) must match the sequential build."""
+    n = 4000
+    keys = np.arange(n)
+    bulk = CuckooFilter.from_capacity(n, bucket_size=4, fingerprint_bits=12, seed=8)
+    sequential = CuckooFilter.from_capacity(n, bucket_size=4, fingerprint_bits=12, seed=8)
+    bulk.insert_many(keys, bulk=True)
+    sequential.insert_many(keys)
+    probes = np.arange(2 * n)
+    assert bulk.contains_many(probes).tolist() == sequential.contains_many(probes).tolist()
+    assert bulk.buckets.filled == sequential.buckets.filled
