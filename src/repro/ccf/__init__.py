@@ -32,7 +32,8 @@ from repro.ccf.predicates import (
     TruePredicate,
     UnsupportedPredicateError,
 )
-from repro.ccf.serialize import dumps, loads
+from repro.ccf.mmapio import open_segment, read_segment_meta, write_segment
+from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.ccf.views import ExtractedKeyFilter, MarkedKeyFilter
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "Predicate",
     "Range",
     "SMALL_PARAMS",
+    "SerializeError",
     "TRUE",
     "TruePredicate",
     "UnsupportedPredicateError",
@@ -67,4 +69,7 @@ __all__ = [
     "dumps",
     "loads",
     "make_ccf",
+    "open_segment",
+    "read_segment_meta",
+    "write_segment",
 ]

@@ -169,6 +169,10 @@ class ConditionalCuckooFilterBase:
         )
         self._flags = np.ones((num_buckets, params.bucket_size), dtype=bool)
         self._num_payload_slots = 0
+        #: True while the slot columns are adopted read-only (e.g. memmapped
+        #: out of a SEG1 segment); the first mutation flips it via
+        #: `_ensure_writable` (DESIGN.md §10).
+        self._readonly = False
         self.fingerprinter = self.make_fingerprinter(schema, params)
         self._bloom_salt = derive_seed(params.seed, "ccf-bloom")
         self._rng = random.Random(derive_seed(params.seed, "ccf-rng"))
@@ -224,7 +228,10 @@ class ConditionalCuckooFilterBase:
         fp = self.buckets.fps[bucket, slot]
         if fp == self.buckets.empty:
             return None
-        payload = self.buckets.payloads[bucket * self.buckets.bucket_size + slot]
+        payloads = self.buckets.payloads
+        # Mapped (segment-backed) filters carry no payload column until a
+        # mutation promotes them; every slot is then a vector slot.
+        payload = None if payloads is None else payloads[bucket * self.buckets.bucket_size + slot]
         if payload is not None:
             return payload
         return VectorEntry(
@@ -238,8 +245,46 @@ class ConditionalCuckooFilterBase:
         for bucket, slot, _fp, _payload in self.buckets.iter_entries():
             yield bucket, slot, self.entry_at(bucket, slot)
 
+    def _ensure_writable(self) -> None:
+        """Copy-on-write promotion of read-only (mapped) slot columns.
+
+        A filter opened over memmapped SEG1 columns serves queries zero-copy;
+        its first mutation lands here and copies every parallel column — the
+        fingerprint matrix and occupancy counts (via ``SlotMatrix.promote``),
+        the attribute-vector and matching-flag columns, and a fresh payload
+        column — to private writable heap arrays.  The segment file is never
+        written through.
+        """
+        if not self._readonly:
+            return
+        self.buckets.promote()
+        if self.buckets.payloads is None:
+            self.buckets.payloads = [None] * self.buckets.capacity
+        if not self._avecs.flags.writeable:
+            self._avecs = np.array(self._avecs)
+        if not self._flags.flags.writeable:
+            self._flags = np.array(self._flags)
+        self._readonly = False
+
+    def storage_nbytes(self) -> tuple[int, int]:
+        """(mapped, resident) bytes of the typed slot columns.
+
+        Mapped bytes are file-backed ``np.memmap`` columns (paged in on
+        demand, evictable by the OS); resident bytes are private heap
+        arrays.  The Python payload column is excluded — it holds live
+        objects, not columnar storage.
+        """
+        mapped = resident = 0
+        for column in (self.buckets.fps, self.buckets.counts, self._avecs, self._flags):
+            if isinstance(column, np.memmap):
+                mapped += int(column.nbytes)
+            else:
+                resident += int(column.nbytes)
+        return mapped, resident
+
     def _store_entry(self, bucket: int, slot: int, entry: Any) -> None:
         """Overwrite (bucket, slot) with ``entry``, decomposed into columns."""
+        self._ensure_writable()
         prev = self.buckets.payloads[bucket * self.buckets.bucket_size + slot]
         if isinstance(entry, VectorEntry):
             self.buckets.set_slot(bucket, slot, entry.fp, None)
@@ -255,6 +300,7 @@ class ConditionalCuckooFilterBase:
 
     def _try_add_entry(self, bucket: int, entry: Any) -> bool:
         """Place ``entry`` in the first free slot of ``bucket``; False if full."""
+        self._ensure_writable()
         if isinstance(entry, VectorEntry):
             slot = self.buckets.try_add(bucket, entry.fp, None)
             if slot < 0:
@@ -271,6 +317,7 @@ class ConditionalCuckooFilterBase:
 
     def _clear_entry(self, bucket: int, slot: int) -> None:
         """Free (bucket, slot), resetting every parallel column."""
+        self._ensure_writable()
         if self.buckets.payloads[bucket * self.buckets.bucket_size + slot] is not None:
             self._num_payload_slots -= 1
         self.buckets.clear_slot(bucket, slot)

@@ -68,6 +68,37 @@ _MASK64 = (1 << 64) - 1
 # Slot tags.
 _EMPTY, _VECTOR, _BLOOM, _GROUP = 0, 1, 2, 3
 
+
+class SerializeError(ValueError):
+    """A payload could not be decoded: truncated, corrupted, or wrong magic.
+
+    Every decode failure — whatever low-level exception the bit reader or a
+    constructor raised — surfaces as this one typed error, carrying where it
+    happened: ``source`` names the payload (usually a file path) and
+    ``offset`` is the position inside it (bits for the bit-packed CCF wire
+    formats, bytes for SEG1 segment files; ``offset_unit`` says which).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        offset: int | None = None,
+        offset_unit: str = "bits",
+    ) -> None:
+        self.source = source
+        self.offset = offset
+        self.offset_unit = offset_unit
+        context = []
+        if source is not None:
+            context.append(f"in {source}")
+        if offset is not None:
+            context.append(f"at {offset_unit[:-1]} offset {offset}")
+        if context:
+            message = f"{message} ({' '.join(context)})"
+        super().__init__(message)
+
 # Storage dtype tags: 0 = legacy int64, 1..4 = uint8/16/32/64.
 _DTYPE_TAGS = {"int64": 0, "uint8": 1, "uint16": 2, "uint32": 3, "uint64": 4}
 
@@ -114,19 +145,41 @@ def dumps(obj: Any) -> bytes:
     raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
 
 
-def loads(data: bytes) -> Any:
-    """Inverse of :func:`dumps` (current formats; legacy payloads migrate)."""
-    magic = data[:4]
+def loads(data: bytes, *, source: str | None = None) -> Any:
+    """Inverse of :func:`dumps` (current formats; legacy payloads migrate).
+
+    Decode failures raise :class:`SerializeError` with ``source`` (if given)
+    and the bit offset the reader had reached — never a raw ``EOFError`` /
+    ``struct.error`` / ``ValueError`` from the packing layer.
+    """
+    magic = bytes(data[:4])
+    if len(data) < 4:
+        raise SerializeError(
+            f"payload is {len(data)} bytes, too short for a magic header",
+            source=source,
+            offset=0,
+        )
     reader = BitReader(data[4:])
-    if magic == _MAGIC_CCF or magic == _LEGACY_CCF:
-        return _load_ccf(reader, tagged=magic == _MAGIC_CCF)
-    if magic == _MAGIC_RANGE or magic == _LEGACY_RANGE:
-        return _load_range(reader, tagged=magic == _MAGIC_RANGE)
-    if magic == _MAGIC_VIEW or magic == _LEGACY_VIEW:
-        return _load_view(reader, tagged=magic == _MAGIC_VIEW)
-    if magic == _MAGIC_CUCKOO or magic == _LEGACY_CUCKOO:
-        return _load_cuckoo(reader, tagged=magic == _MAGIC_CUCKOO)
-    raise ValueError("unrecognised magic header")
+    try:
+        if magic == _MAGIC_CCF or magic == _LEGACY_CCF:
+            return _load_ccf(reader, tagged=magic == _MAGIC_CCF)
+        if magic == _MAGIC_RANGE or magic == _LEGACY_RANGE:
+            return _load_range(reader, tagged=magic == _MAGIC_RANGE)
+        if magic == _MAGIC_VIEW or magic == _LEGACY_VIEW:
+            return _load_view(reader, tagged=magic == _MAGIC_VIEW)
+        if magic == _MAGIC_CUCKOO or magic == _LEGACY_CUCKOO:
+            return _load_cuckoo(reader, tagged=magic == _MAGIC_CUCKOO)
+    except SerializeError:
+        raise
+    except (EOFError, ValueError, KeyError, IndexError, OverflowError, TypeError) as exc:
+        raise SerializeError(
+            f"truncated or corrupt {magic!r} payload: {exc}",
+            source=source,
+            offset=32 + reader.bit_position,
+        ) from exc
+    raise SerializeError(
+        f"unrecognised magic header {magic!r}", source=source, offset=0
+    )
 
 
 # ---------------------------------------------------------------------------

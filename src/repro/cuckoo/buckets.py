@@ -148,6 +148,7 @@ class SlotMatrix:
         "counts",
         "payloads",
         "_filled",
+        "_writeable",
     )
 
     def __init__(
@@ -177,6 +178,91 @@ class SlotMatrix:
             [None] * (num_buckets * bucket_size) if with_payloads else None
         )
         self._filled = 0
+        self._writeable = True
+
+    @classmethod
+    def from_columns(
+        cls,
+        fps: np.ndarray,
+        counts: np.ndarray,
+        fp_bits: int | None = None,
+        payloads: list[Any] | None = None,
+    ) -> "SlotMatrix":
+        """Adopt externally provided column arrays without copying.
+
+        The zero-copy ingress of the mapped-segment engine (DESIGN.md §10):
+        ``fps`` and ``counts`` may be read-only ``np.memmap`` views straight
+        out of a SEG1 file.  Probes run on the adopted arrays as-is; the
+        first mutation promotes the matrix to writable heap copies
+        (:meth:`promote`).  The arrays must be mutually consistent — the
+        occupancy column is trusted, not recomputed, so adoption stays O(1)
+        in the table size.
+        """
+        if fps.ndim != 2:
+            raise ValueError(f"fps must be 2-d (num_buckets, bucket_size), got {fps.ndim}-d")
+        num_buckets, bucket_size = fps.shape
+        if not is_power_of_two(num_buckets):
+            raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
+        if bucket_size < 1:
+            raise ValueError("bucket_size must be at least 1")
+        if counts.shape != (num_buckets,):
+            raise ValueError(
+                f"counts must have shape ({num_buckets},), got {counts.shape}"
+            )
+        if fp_bits is None:
+            if fps.dtype != np.dtype(np.int64):
+                raise ValueError(
+                    f"legacy matrices store int64 fingerprints, got {fps.dtype}"
+                )
+            empty = EMPTY
+        else:
+            expected = dtype_for_bits(fp_bits)
+            if fps.dtype != expected:
+                raise ValueError(
+                    f"{fp_bits}-bit packed matrices store {expected} fingerprints, "
+                    f"got {fps.dtype}"
+                )
+            empty = int(np.iinfo(expected).max)
+        matrix = cls.__new__(cls)
+        matrix.num_buckets = num_buckets
+        matrix.bucket_size = bucket_size
+        matrix.fp_bits = fp_bits
+        matrix.empty = empty
+        matrix.fps = fps
+        matrix.counts = counts
+        matrix.payloads = payloads
+        matrix._filled = int(counts.sum())
+        matrix._writeable = bool(fps.flags.writeable and counts.flags.writeable)
+        return matrix
+
+    def promote(self) -> None:
+        """Replace read-only/mapped columns with writable heap copies.
+
+        The copy-on-write half of the mapped-segment contract: query kernels
+        never write the adopted columns, and any mutator funnels through
+        this promotion first, so a mapped (file-backed) matrix silently
+        becomes a private heap matrix on its first write.  ``np.array``
+        drops the memmap subclass, so promoted columns are plain ndarrays.
+        """
+        if not self.fps.flags.writeable:
+            self.fps = np.array(self.fps)
+        if not self.counts.flags.writeable:
+            self.counts = np.array(self.counts)
+        self._writeable = True
+
+    @property
+    def writeable(self) -> bool:
+        """False while the columns are adopted read-only (pre-promotion)."""
+        return self._writeable
+
+    @property
+    def mapped_nbytes(self) -> int:
+        """Bytes of file-backed (memmapped) column storage."""
+        return sum(
+            int(column.nbytes)
+            for column in (self.fps, self.counts)
+            if isinstance(column, np.memmap)
+        )
 
     # -- bounds -----------------------------------------------------------
 
@@ -211,6 +297,8 @@ class SlotMatrix:
 
     def set_slot(self, bucket: int, slot: int, fp: int, payload: Any = None) -> None:
         """Overwrite (bucket, slot) with ``fp`` (and optional payload)."""
+        if not self._writeable:
+            self.promote()
         self._check(bucket, slot)
         self._check_fp(fp)
         if self.fps[bucket, slot] == self.empty:
@@ -224,6 +312,8 @@ class SlotMatrix:
 
     def clear_slot(self, bucket: int, slot: int) -> None:
         """Free (bucket, slot); no-op if already empty."""
+        if not self._writeable:
+            self.promote()
         self._check(bucket, slot)
         if self.fps[bucket, slot] != self.empty:
             self._filled -= 1
@@ -239,6 +329,8 @@ class SlotMatrix:
 
         Returns the slot index, or -1 if the bucket is full.
         """
+        if not self._writeable:
+            self.promote()
         self._check_fp(fp)
         if not 0 <= bucket < self.num_buckets:
             raise IndexError(f"bucket {bucket} out of range")
@@ -343,6 +435,8 @@ class SlotMatrix:
         """
         if buckets.size == 0:
             return
+        if not self._writeable:
+            self.promote()
         self.fps[buckets, slots] = self.empty
         np.subtract.at(self.counts, buckets, 1)
         self._filled -= int(buckets.size)
@@ -396,6 +490,8 @@ class SlotMatrix:
 
     def note_bulk_placement(self, buckets: np.ndarray) -> None:
         """Account for a first-wave scatter into ``fps[buckets, slots]``."""
+        if not self._writeable:
+            self.promote()
         np.add.at(self.counts, buckets, 1)
         self._filled += int(buckets.size)
 
@@ -405,6 +501,8 @@ class SlotMatrix:
         For bulk loaders (deserialisation, bulk build) that write the matrix
         wholesale instead of going through the slot mutators.
         """
+        if not self._writeable:
+            self.promote()
         self.counts[:] = (self.fps != self.empty).sum(axis=1)
         self._filled = int(self.counts.sum())
 

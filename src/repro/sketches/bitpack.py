@@ -184,6 +184,11 @@ class BitReader:
         return np.packbits(bits, bitorder="little").tobytes()
 
     @property
+    def bit_position(self) -> int:
+        """Bits consumed so far (the error-context offset for bad payloads)."""
+        return self._bit_position
+
+    @property
     def bits_remaining(self) -> int:
         """Unread bits (includes any final padding)."""
         return len(self._data) * 8 - self._bit_position

@@ -7,15 +7,26 @@ Public surface:
 * :class:`FilterShard` — one shard's level stack (`shard.py`);
 * :class:`StoreConfig` — shard fan-out, level geometry, load/compaction
   policy (`config.py`);
-* :func:`merge_levels` — the compaction kernel (`compaction.py`).
+* :func:`merge_levels` — the compaction kernel (`compaction.py`);
+* :class:`SegmentLevelRef` — a sealed level in a SEG1 segment file, mapped
+  zero-copy on first probe (`segments.py`).
 
 See DESIGN.md §8 for the FilterStore contract (level growth, delete
-routing, compaction, manifest format).
+routing, compaction, manifest format) and §10 for segment-backed
+persistence and the out-of-core open path.  ``python -m repro.store
+inspect <path>`` prints a snapshot's manifest and per-level geometry.
 """
 
 from repro.store.compaction import merge_levels
 from repro.store.config import StoreConfig
+from repro.store.segments import SegmentLevelRef
 from repro.store.shard import FilterShard
 from repro.store.store import FilterStore
 
-__all__ = ["FilterShard", "FilterStore", "StoreConfig", "merge_levels"]
+__all__ = [
+    "FilterShard",
+    "FilterStore",
+    "SegmentLevelRef",
+    "StoreConfig",
+    "merge_levels",
+]

@@ -1,0 +1,158 @@
+"""``python -m repro.store``: operational tooling for FilterStore snapshots.
+
+Currently one subcommand::
+
+    python -m repro.store inspect <path>
+
+prints a snapshot directory's manifest (format, kind, schema, store shape)
+and a per-level table — payload format, geometry, storage dtype, load
+factor, entries and on-disk byte size.  Segment levels are inspected from
+their SEG1 metadata alone (O(metadata), no column data read); bit-packed
+``.ccf`` payloads are fully deserialised.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.ccf.mmapio import map_column
+from repro.ccf.serialize import SerializeError, loads
+from repro.cuckoo.buckets import dtype_for_bits
+from repro.store.segments import read_segment_meta, segment_nbytes
+from repro.store.store import MANIFEST_NAME
+
+
+def _level_entries(record: dict) -> list[dict]:
+    """Normalise a shard record's level list (format-1 compat)."""
+    return [
+        {"file": entry, "format": "ccf"} if isinstance(entry, str) else entry
+        for entry in record["levels"]
+    ]
+
+
+def _describe_segment(path: Path) -> dict:
+    meta = read_segment_meta(path)
+    params = meta["params"]
+    num_buckets, bucket_size = meta["columns"]["fps"]["shape"]
+    capacity = num_buckets * bucket_size
+    # The occupancy column is one byte per bucket — cheap enough to read for
+    # a real load factor without touching the slot matrices.
+    entries = int(map_column(path, meta, "counts").sum())
+    column_bytes = segment_nbytes(meta)
+    if params.get("packed", True):
+        dtype = dtype_for_bits(params["key_bits"]).name
+    else:
+        dtype = "int64"
+    return {
+        "format": "segment",
+        "kind": meta["kind"],
+        "num_buckets": num_buckets,
+        "bucket_size": bucket_size,
+        "capacity": capacity,
+        "dtype": dtype,
+        "stash": len(meta["stash"]),
+        "file_bytes": meta["file_size"],
+        "column_bytes": sum(column_bytes.values()),
+        "load_factor": entries / capacity if capacity else 0.0,
+        "entries": entries,
+    }
+
+
+def _describe_ccf(path: Path) -> dict:
+    level = loads(path.read_bytes(), source=str(path))
+    return {
+        "format": "ccf",
+        "kind": level.kind,
+        "num_buckets": level.buckets.num_buckets,
+        "bucket_size": level.buckets.bucket_size,
+        "capacity": level.buckets.capacity,
+        "dtype": level.buckets.fps.dtype.name,
+        "stash": len(level.stash),
+        "file_bytes": path.stat().st_size,
+        "column_bytes": level.buckets.fingerprint_bytes(),
+        "load_factor": level.load_factor(),
+        "entries": level.num_entries,
+    }
+
+
+def inspect(path: str | Path, out=None) -> int:
+    """Print a snapshot's manifest and per-level geometry; 0 on success."""
+    out = sys.stdout if out is None else out
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        print(f"error: no {MANIFEST_NAME} under {root}", file=out)
+        return 1
+    manifest = json.loads(manifest_path.read_text())
+    params = manifest["params"]
+    config = manifest["config"]
+    print(f"FilterStore snapshot: {root}", file=out)
+    print(
+        f"  manifest format {manifest['format']}, kind={manifest['kind']}, "
+        f"schema={manifest['schema']}",
+        file=out,
+    )
+    print(
+        f"  params: key_bits={params['key_bits']} attr_bits={params['attr_bits']} "
+        f"bucket_size={params['bucket_size']} packed={params.get('packed', True)} "
+        f"seed={params['seed']}",
+        file=out,
+    )
+    print(
+        f"  config: num_shards={config['num_shards']} "
+        f"level_buckets={config['level_buckets']} target_load={config['target_load']}",
+        file=out,
+    )
+    total_bytes = 0
+    total_levels = 0
+    for shard_index, record in enumerate(manifest["shards"]):
+        print(
+            f"  shard {shard_index}: rows_inserted={record['rows_inserted']} "
+            f"rows_deleted={record['rows_deleted']} "
+            f"compactions={record['compactions']}",
+            file=out,
+        )
+        for entry in _level_entries(record):
+            level_path = root / entry["file"]
+            try:
+                if entry["format"] == "segment":
+                    info = _describe_segment(level_path)
+                else:
+                    info = _describe_ccf(level_path)
+            except (OSError, SerializeError) as exc:
+                print(f"    {entry['file']}: UNREADABLE ({exc})", file=out)
+                return 1
+            print(
+                f"    {entry['file']} [{info['format']}] "
+                f"{info['num_buckets']}x{info['bucket_size']} slots "
+                f"dtype={info['dtype']} load={info['load_factor']:.3f} "
+                f"stash={info['stash']} bytes={info['file_bytes']}",
+                file=out,
+            )
+            total_bytes += info["file_bytes"]
+            total_levels += 1
+    print(f"  total: {total_levels} levels, {total_bytes} payload bytes", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="FilterStore snapshot tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    inspect_cmd = sub.add_parser(
+        "inspect", help="print a snapshot's manifest and per-level geometry"
+    )
+    inspect_cmd.add_argument("path", help="snapshot directory (holds manifest.json)")
+    args = parser.parse_args(argv)
+    if args.command == "inspect":
+        return inspect(args.path)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -35,6 +35,7 @@ from repro.ccf.params import CCFParams
 from repro.ccf.plain import PlainCCF
 from repro.store.compaction import merge_levels
 from repro.store.config import StoreConfig
+from repro.store.segments import SegmentLevelRef
 
 
 class FilterShard:
@@ -51,7 +52,8 @@ class FilterShard:
         self.schema = schema
         self.params = params
         self.config = config
-        self.levels: list[PlainCCF] = [self._new_level()]
+        self._levels: list[PlainCCF] = [self._new_level()]
+        self._pending_segments: list[SegmentLevelRef] = []
         self.rows_inserted = 0
         self.rows_deleted = 0
         self.num_compactions = 0
@@ -62,6 +64,53 @@ class FilterShard:
         if bucket_size is not None and bucket_size != params.bucket_size:
             params = params.replace(bucket_size=bucket_size)
         return PlainCCF(self.schema, self.config.level_buckets, params)
+
+    # ------------------------------------------------------------------
+    # Level stack (with lazy segment materialisation)
+    # ------------------------------------------------------------------
+
+    @property
+    def levels(self) -> list[PlainCCF]:
+        """The level stack; pending segment refs map on first access.
+
+        A segment-backed ``FilterStore.open`` hands each shard its sealed
+        levels as :class:`SegmentLevelRef` paths instead of loaded filters;
+        the first probe (or any other level access) materialises them all as
+        memmapped plain CCFs.  Mapping is O(metadata) per level — no slot
+        data is read until a kernel gathers it.
+        """
+        if self._pending_segments:
+            # Open every ref before committing: a failed open (corrupt or
+            # missing segment) must leave the refs pending so the error
+            # repeats on retry instead of silently emptying the stack.
+            opened = [ref.open() for ref in self._pending_segments]
+            self._levels = opened
+            self._pending_segments = []
+        return self._levels
+
+    @levels.setter
+    def levels(self, value: list[PlainCCF]) -> None:
+        self._levels = list(value)
+        self._pending_segments = []
+
+    def attach_pending_levels(self, refs: list[SegmentLevelRef]) -> None:
+        """Adopt a snapshot's level stack lazily (replacing the current one)."""
+        if not refs:
+            raise ValueError("a shard needs at least one level")
+        self._levels = []
+        self._pending_segments = list(refs)
+
+    @property
+    def num_levels(self) -> int:
+        """Stack depth — counts pending segments without materialising them."""
+        if self._pending_segments:
+            return len(self._pending_segments)
+        return len(self._levels)
+
+    @property
+    def num_pending_segments(self) -> int:
+        """Sealed levels still waiting on disk (not yet mapped)."""
+        return len(self._pending_segments)
 
     @property
     def active(self) -> PlainCCF:
@@ -262,8 +311,23 @@ class FilterShard:
         """Summed sketch size of the stack."""
         return sum(level.size_in_bits() for level in self.levels)
 
+    def storage_nbytes(self) -> tuple[int, int]:
+        """(mapped, resident) bytes of the stack's typed slot columns.
+
+        Mapped bytes live in segment files (paged in on demand); resident
+        bytes are private heap arrays.  Accessing this materialises pending
+        segments — mapping is O(metadata), the columns stay on disk.
+        """
+        mapped = resident = 0
+        for level in self.levels:
+            level_mapped, level_resident = level.storage_nbytes()
+            mapped += level_mapped
+            resident += level_resident
+        return mapped, resident
+
     def stats(self) -> dict:
         """Occupancy, level shape and compaction-work counters."""
+        mapped_bytes, resident_bytes = self.storage_nbytes()
         return {
             "shard": self.shard_id,
             "levels": len(self.levels),
@@ -275,6 +339,8 @@ class FilterShard:
             "load_factor": round(self.load_factor(), 4),
             "level_loads": [round(level.load_factor(), 4) for level in self.levels],
             "level_bucket_sizes": [level.buckets.bucket_size for level in self.levels],
+            "mapped_bytes": mapped_bytes,
+            "resident_bytes": resident_bytes,
             "rows_inserted": self.rows_inserted,
             "rows_deleted": self.rows_deleted,
             "compactions": self.num_compactions,

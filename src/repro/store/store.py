@@ -14,15 +14,23 @@ path a single vectorised fan-out:
    (`shard.py`), growing a level when the active one saturates and merging
    the stack into one right-sized filter on compaction (`compaction.py`).
 
-Persistence reuses the columnar wire formats: ``snapshot(path)`` writes a
-JSON manifest plus one `ccf/serialize.py` payload per level; ``open(path)``
-restores an equivalent store.  The deployment contract: answers after
-``open`` equal answers before ``snapshot``.
+Persistence is **segment-first** (DESIGN.md §10): ``snapshot(path)`` stages
+a JSON manifest plus one SEG1 segment per level into a temp directory and
+renames it into place (a crash can never leave a torn store), and
+``open(path)`` restores an equivalent store in O(manifest) — sealed levels
+stay on disk as :class:`~repro.store.segments.SegmentLevelRef` handles and
+map (read-only, zero-copy) the first time a probe touches their shard.
+``snapshot(path, level_format="ccf")`` keeps the bit-packed
+`ccf/serialize.py` wire payloads for interchange; those deserialise eagerly
+on open.  The deployment contract either way: answers after ``open`` equal
+answers before ``snapshot``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -39,14 +47,20 @@ from repro.ccf.chain import PairGeometry
 from repro.ccf.params import CCFParams
 from repro.ccf.plain import PlainCCF
 from repro.ccf.predicates import Predicate
-from repro.ccf.serialize import dumps, loads
+from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.hashing.mixers import derive_seed, hash64, hash64_many
 from repro.store.config import StoreConfig
+from repro.store.segments import SEGMENT_SUFFIX, SegmentLevelRef, write_segment
 from repro.store.shard import FilterShard
 
-#: Manifest schema version; bump on layout changes.
-MANIFEST_FORMAT = 1
+#: Manifest schema version; bump on layout changes.  Format 2 records each
+#: level as ``{"file", "format"}`` (``segment`` = SEG1, ``ccf`` = bit-packed
+#: wire payload); format-1 manifests (bare filename lists, all ccf) still load.
+MANIFEST_FORMAT = 2
 MANIFEST_NAME = "manifest.json"
+
+#: Per-level payload formats a snapshot can write.
+LEVEL_FORMATS = ("segment", "ccf")
 
 
 class FilterStore:
@@ -244,8 +258,8 @@ class FilterStore:
 
     @property
     def num_levels(self) -> int:
-        """Total level count across shards."""
-        return sum(len(shard.levels) for shard in self.shards)
+        """Total level count across shards (pending segments counted unmapped)."""
+        return sum(shard.num_levels for shard in self.shards)
 
     @property
     def num_entries(self) -> int:
@@ -286,6 +300,8 @@ class FilterStore:
             "compactions": sum(s["compactions"] for s in shards),
             "entries_compacted": sum(s["entries_compacted"] for s in shards),
             "size_in_bytes": self.size_in_bytes(),
+            "mapped_bytes": sum(s["mapped_bytes"] for s in shards),
+            "resident_bytes": sum(s["resident_bytes"] for s in shards),
             "shards": shards,
         }
 
@@ -299,48 +315,98 @@ class FilterStore:
     # Persistence
     # ------------------------------------------------------------------
 
-    def snapshot(self, path: str | Path) -> Path:
+    def snapshot(self, path: str | Path, level_format: str = "segment") -> Path:
         """Write the store to a directory: manifest + one payload per level.
 
-        Level payloads are the standard columnar CCF wire format
-        (`ccf/serialize.py`), so any tool that reads a serialised CCF can
-        read a level.  The manifest is written last as the commit point.
+        ``level_format="segment"`` (the default) writes each level as a SEG1
+        segment file (`repro.ccf.mmapio`) — page-aligned raw columns that
+        :meth:`open` maps back zero-copy.  ``level_format="ccf"`` writes the
+        bit-packed columnar wire format (`ccf/serialize.py`) instead, so any
+        tool that reads a serialised CCF can read a level.
+
+        The write is staged: everything lands in a hidden sibling temp
+        directory (manifest last, the commit point) and is renamed into
+        place with ``os.replace``, so a crash while writing payloads leaves
+        the target untouched — never a torn store.  Snapshots to a fresh
+        path are fully atomic.  Overwriting an existing snapshot first
+        displaces the old directory to a hidden sibling, so the previous
+        data survives on disk until the new directory is in place; a crash
+        in the narrow window between the two renames leaves the target
+        momentarily absent but both snapshots intact under their hidden
+        names (and the next snapshot to the same path cleans them up).
         """
-        root = Path(path)
-        root.mkdir(parents=True, exist_ok=True)
-        shard_records = []
-        for shard in self.shards:
-            level_files = []
-            for level_index, level in enumerate(shard.levels):
-                name = f"shard-{shard.shard_id:04d}-level-{level_index:04d}.ccf"
-                (root / name).write_bytes(dumps(level))
-                level_files.append(name)
-            shard_records.append(
-                {
-                    "levels": level_files,
-                    "rows_inserted": shard.rows_inserted,
-                    "rows_deleted": shard.rows_deleted,
-                    "compactions": shard.num_compactions,
-                    "entries_compacted": shard.entries_compacted,
-                }
+        if level_format not in LEVEL_FORMATS:
+            raise ValueError(
+                f"level_format must be one of {LEVEL_FORMATS}, got {level_format!r}"
             )
-        manifest = {
-            "format": MANIFEST_FORMAT,
-            "kind": self.kind,
-            "schema": list(self.schema.names),
-            "params": _params_to_dict(self.params),
-            "config": self.config.to_dict(),
-            "shards": shard_records,
-        }
-        (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        root = Path(path)
+        root.parent.mkdir(parents=True, exist_ok=True)
+        # Clear staging/displaced debris from earlier runs, whatever their
+        # pid: a crashed snapshot must not leak directories forever.
+        for pattern in (f".{root.name}.tmp-*", f".{root.name}.old-*"):
+            for stale in root.parent.glob(pattern):
+                shutil.rmtree(stale, ignore_errors=True)
+        staging = root.parent / f".{root.name}.tmp-{os.getpid()}"
+        staging.mkdir()
+        suffix = SEGMENT_SUFFIX if level_format == "segment" else ".ccf"
+        try:
+            shard_records = []
+            for shard in self.shards:
+                level_files = []
+                for level_index, level in enumerate(shard.levels):
+                    name = f"shard-{shard.shard_id:04d}-level-{level_index:04d}{suffix}"
+                    if level_format == "segment":
+                        write_segment(level, staging / name)
+                    else:
+                        (staging / name).write_bytes(dumps(level))
+                    level_files.append({"file": name, "format": level_format})
+                shard_records.append(
+                    {
+                        "levels": level_files,
+                        "rows_inserted": shard.rows_inserted,
+                        "rows_deleted": shard.rows_deleted,
+                        "compactions": shard.num_compactions,
+                        "entries_compacted": shard.entries_compacted,
+                    }
+                )
+            manifest = {
+                "format": MANIFEST_FORMAT,
+                "kind": self.kind,
+                "schema": list(self.schema.names),
+                "params": _params_to_dict(self.params),
+                "config": self.config.to_dict(),
+                "shards": shard_records,
+            }
+            # The manifest is the commit point within the staging directory.
+            (staging / MANIFEST_NAME).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True)
+            )
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        if root.exists():
+            displaced = root.parent / f".{root.name}.old-{os.getpid()}"
+            os.replace(root, displaced)
+            os.replace(staging, root)
+            shutil.rmtree(displaced)
+        else:
+            os.replace(staging, root)
         return root
 
     @classmethod
     def open(cls, path: str | Path) -> "FilterStore":
-        """Restore a store from a :meth:`snapshot` directory."""
+        """Restore a store from a :meth:`snapshot` directory.
+
+        Segment-backed shards open in O(manifest): sealed levels are
+        attached as lazy :class:`SegmentLevelRef` handles and memory-map on
+        the first probe that reaches their shard, so cold-open cost and
+        resident memory are independent of store size.  CCF wire payloads
+        (``level_format="ccf"`` snapshots and format-1 manifests)
+        deserialise eagerly, as before.
+        """
         root = Path(path)
         manifest = json.loads((root / MANIFEST_NAME).read_text())
-        if manifest.get("format") != MANIFEST_FORMAT:
+        if manifest.get("format") not in (1, MANIFEST_FORMAT):
             raise ValueError(
                 f"unsupported FilterStore manifest format {manifest.get('format')!r}"
             )
@@ -349,24 +415,54 @@ class FilterStore:
         config = StoreConfig.from_dict(manifest["config"])
         store = cls(schema, params, config, kind=manifest["kind"])
         for shard, record in zip(store.shards, manifest["shards"]):
-            levels = []
-            for name in record["levels"]:
-                level = loads((root / name).read_bytes())
-                if not isinstance(level, PlainCCF):
-                    raise ValueError(f"level payload {name} is not a plain CCF")
-                if level.buckets.num_buckets != config.level_buckets:
+            # Format-1 manifests record bare filenames (all ccf payloads).
+            entries = [
+                {"file": entry, "format": "ccf"} if isinstance(entry, str) else entry
+                for entry in record["levels"]
+            ]
+            for entry in entries:
+                if entry["format"] not in LEVEL_FORMATS:
                     raise ValueError(
-                        f"level payload {name} has {level.buckets.num_buckets} buckets, "
-                        f"manifest says {config.level_buckets}"
+                        f"unsupported level payload format {entry['format']!r} "
+                        f"for {entry['file']}"
                     )
-                levels.append(level)
-            if levels:
-                shard.levels = levels
+            if entries and all(entry["format"] == "segment" for entry in entries):
+                shard.attach_pending_levels(
+                    [
+                        SegmentLevelRef(root / entry["file"], config.level_buckets)
+                        for entry in entries
+                    ]
+                )
+            elif entries:
+                shard.levels = [
+                    _load_level(root, entry, config) for entry in entries
+                ]
             shard.rows_inserted = record["rows_inserted"]
             shard.rows_deleted = record["rows_deleted"]
             shard.num_compactions = record["compactions"]
             shard.entries_compacted = record["entries_compacted"]
         return store
+
+
+def _load_level(root: Path, entry: Mapping[str, str], config: StoreConfig) -> PlainCCF:
+    """Eagerly load one level payload (the non-lazy open path)."""
+    name = entry["file"]
+    if entry["format"] == "segment":
+        return SegmentLevelRef(root / name, config.level_buckets).open()
+    level = loads((root / name).read_bytes(), source=str(root / name))
+    if not isinstance(level, PlainCCF):
+        raise SerializeError(
+            f"level payload holds a {getattr(level, 'kind', type(level).__name__)!r}; "
+            "store levels must be plain CCFs",
+            source=str(root / name),
+        )
+    if level.buckets.num_buckets != config.level_buckets:
+        raise SerializeError(
+            f"level payload has {level.buckets.num_buckets} buckets, "
+            f"manifest says {config.level_buckets}",
+            source=str(root / name),
+        )
+    return level
 
 
 def _params_to_dict(params: CCFParams) -> dict:

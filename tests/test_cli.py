@@ -1,8 +1,14 @@
-"""Tests for the ``python -m repro.bench`` experiment runner."""
+"""Tests for the ``python -m repro.bench`` experiment runner and the
+``python -m repro.store`` snapshot tooling."""
 
+import numpy as np
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.store import FilterStore, StoreConfig
+from repro.store.__main__ import main as store_main
 
 
 class TestCLI:
@@ -41,3 +47,53 @@ class TestCLI:
     def test_invalid_flag_errors(self):
         with pytest.raises(SystemExit):
             main(["--nope"])
+
+
+class TestStoreInspectCLI:
+    """``python -m repro.store inspect <path>``: manifest + per-level table."""
+
+    def _snapshot(self, tmp_path, level_format="segment"):
+        schema = AttributeSchema(["color", "size"])
+        params = CCFParams(key_bits=20, attr_bits=8, bucket_size=4, seed=5)
+        store = FilterStore(
+            schema, params, StoreConfig(num_shards=2, level_buckets=64, target_load=0.8)
+        )
+        keys = np.arange(1200, dtype=np.int64)
+        colors = np.array(["red", "green", "blue"], dtype=object)[keys % 3]
+        store.insert_many(keys, [colors, keys % 7])
+        return store, store.snapshot(tmp_path / "snap", level_format=level_format)
+
+    def test_inspect_segment_snapshot(self, capsys, tmp_path):
+        store, root = self._snapshot(tmp_path)
+        assert store_main(["inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest format 2" in out
+        assert "kind=plain" in out
+        assert "num_shards=2" in out
+        assert out.count("[segment]") == store.num_levels
+        assert "64x4 slots" in out          # per-level geometry
+        assert "dtype=uint32" in out        # 20-bit keys pack into uint32
+        assert "load=0." in out             # real occupancy from the counts column
+        assert f"total: {store.num_levels} levels" in out
+
+    def test_inspect_ccf_snapshot(self, capsys, tmp_path):
+        store, root = self._snapshot(tmp_path, level_format="ccf")
+        assert store_main(["inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ccf]") == store.num_levels
+        assert "dtype=uint32" in out
+
+    def test_inspect_missing_manifest(self, capsys, tmp_path):
+        assert store_main(["inspect", str(tmp_path)]) == 1
+        assert "manifest.json" in capsys.readouterr().out
+
+    def test_inspect_corrupt_level_payload(self, capsys, tmp_path):
+        _store, root = self._snapshot(tmp_path)
+        victim = sorted(root.glob("*.seg"))[0]
+        victim.write_bytes(victim.read_bytes()[:40])
+        assert store_main(["inspect", str(root)]) == 1
+        assert "UNREADABLE" in capsys.readouterr().out
+
+    def test_unknown_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            store_main(["frobnicate"])

@@ -227,7 +227,7 @@ class TestPersistence:
         store.delete_many(keys[:100], row_columns(keys[:100]))
         root = store.snapshot(tmp_path / "snap")
         assert (root / "manifest.json").exists()
-        assert len(list(root.glob("*.ccf"))) == store.num_levels
+        assert len(list(root.glob("*.seg"))) == store.num_levels
 
         reopened = FilterStore.open(root)
         assert len(reopened) == len(store)
@@ -256,7 +256,7 @@ class TestPersistence:
         store = make_store()
         root = store.snapshot(tmp_path / "snap")
         manifest = root / "manifest.json"
-        manifest.write_text(manifest.read_text().replace('"format": 1', '"format": 99'))
+        manifest.write_text(manifest.read_text().replace('"format": 2', '"format": 99'))
         with pytest.raises(ValueError, match="manifest format"):
             FilterStore.open(root)
 

@@ -7,7 +7,7 @@ from repro.ccf.attributes import AttributeSchema
 from repro.ccf.factory import build_ccf
 from repro.ccf.params import CCFParams
 from repro.ccf.predicates import And, Eq
-from repro.ccf.serialize import dumps, loads
+from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.cuckoo.filter import CuckooFilter
 
 from tests.conftest import random_rows
@@ -255,10 +255,61 @@ class TestCuckooFilterRoundTrip:
 
 
 class TestErrors:
+    """Every decode failure is a typed SerializeError with context — never a
+    raw EOFError/struct.error/KeyError out of the bit-packing layer."""
+
+    def _payload(self):
+        return dumps(build_ccf("plain", SCHEMA, random_rows(60, 4, seed=4), PARAMS))
+
     def test_unknown_magic(self):
+        with pytest.raises(SerializeError, match="magic"):
+            loads(b"XXXX\x00\x00")
+
+    def test_unknown_magic_is_still_a_value_error(self):
+        # Backward compatibility: SerializeError subclasses ValueError.
         with pytest.raises(ValueError):
             loads(b"XXXX\x00\x00")
 
     def test_unsupported_type(self):
         with pytest.raises(TypeError):
             dumps({"not": "a filter"})
+
+    def test_too_short_for_magic(self):
+        with pytest.raises(SerializeError, match="too short"):
+            loads(b"CC")
+
+    @pytest.mark.parametrize("keep", [5, 12, 40, 200])
+    def test_truncated_ccf_payload(self, keep):
+        payload = self._payload()
+        assert keep < len(payload)
+        with pytest.raises(SerializeError, match="truncated or corrupt"):
+            loads(payload[:keep])
+
+    def test_truncated_cuckoo_payload(self):
+        cuckoo = CuckooFilter(64, 4, 12, seed=9)
+        cuckoo.insert_many(list(range(100)))
+        payload = dumps(cuckoo)
+        with pytest.raises(SerializeError, match="truncated or corrupt"):
+            loads(payload[: len(payload) // 2])
+
+    def test_corrupt_kind_byte(self):
+        payload = bytearray(self._payload())
+        payload[4] = 0xEE  # kind code: no such variant
+        with pytest.raises(SerializeError, match="truncated or corrupt"):
+            loads(bytes(payload))
+
+    def test_error_carries_source_and_offset(self):
+        payload = self._payload()
+        with pytest.raises(SerializeError) as excinfo:
+            loads(payload[:40], source="levels/shard-0.ccf")
+        err = excinfo.value
+        assert err.source == "levels/shard-0.ccf"
+        assert err.offset is not None and err.offset > 0
+        assert err.offset_unit == "bits"
+        assert "levels/shard-0.ccf" in str(err)
+        assert "offset" in str(err)
+
+    def test_intact_payload_still_loads_with_source(self):
+        payload = self._payload()
+        restored = loads(payload, source="anywhere")
+        assert dumps(restored) == payload
