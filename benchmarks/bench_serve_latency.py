@@ -1,0 +1,236 @@
+"""Serving throughput and latency: worker-pool scaling + request coalescing.
+
+ISSUE 6's acceptance bars for the serving runtime (DESIGN.md §11), measured
+against a mapped snapshot of ``REPRO_SERVE_KEYS`` keys (default 1M) probed
+with Zipf-skewed traffic:
+
+* **pool scaling** — aggregate ``query_many`` throughput through a
+  process pool at 4 workers is **>= 3x** the single-worker pool at the 1M
+  acceptance scale.  That bar only means something with >= 4 physical
+  cores; on smaller machines (and CI smoke runs) the run still executes,
+  records honest numbers — including ``cpu_count`` — and enforces parity,
+  but skips the ratio assertion.
+* **coalescing** — many concurrent single-key async clients through the
+  CoalescingFrontEnd see a **lower p99** than the same clients dispatched
+  naively one ``query_many(batch=1)`` per request.  The per-call numpy
+  overhead the front end amortises is machine-independent, so this gate is
+  unconditional.
+* **parity** — every pooled answer is bit-identical to the direct
+  single-process baseline.
+
+Results merge into ``bench_results/serve_latency.json`` keyed by key count,
+so the acceptance record and the CI smoke record coexist.
+
+Environment knobs: ``REPRO_SERVE_KEYS`` (default 1M),
+``REPRO_SERVE_WORKERS`` (default ``1,2,4``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import RESULTS_DIR, save_json
+from repro.ccf import AttributeSchema, CCFParams
+from repro.cuckoo.buckets import next_power_of_two
+from repro.data.zipf import skewed_probe_indices
+from repro.serve import CoalescingFrontEnd, WorkerPool
+from repro.store import FilterStore, StoreConfig
+
+NUM_KEYS = int(os.environ.get("REPRO_SERVE_KEYS", 1_000_000))
+WORKER_COUNTS = tuple(
+    int(w) for w in os.environ.get("REPRO_SERVE_WORKERS", "1,2,4").split(",")
+)
+RESULT_NAME = "serve_latency"
+#: The 4-vs-1 worker scaling bar, enforced only where it is physically
+#: possible: the 1M acceptance scale on a machine with >= 4 cores.
+MIN_SCALING_4V1 = 3.0
+ZIPF_ALPHA = 1.1
+
+SCHEMA = AttributeSchema(["status", "region"])
+PARAMS = CCFParams(key_bits=16, attr_bits=8, bucket_size=4, seed=9)
+NUM_SHARDS = 4
+
+#: Pooled-throughput probe volume: enough batches that round-robin keeps
+#: every worker busy, scaled down for smoke runs.
+NUM_BATCHES = 32
+BATCH_SIZE = max(1000, min(100_000, NUM_KEYS // 10))
+#: Concurrent single-key async clients for the coalescing comparison.
+NUM_CLIENTS = 512
+
+
+def _build_snapshot(tmp_path):
+    level_buckets = next_power_of_two(
+        max(1024, NUM_KEYS // (NUM_SHARDS * PARAMS.bucket_size * 4))
+    )
+    config = StoreConfig(
+        num_shards=NUM_SHARDS, level_buckets=level_buckets, target_load=0.85, seed=1
+    )
+    store = FilterStore(SCHEMA, PARAMS, config)
+    keys = np.arange(NUM_KEYS, dtype=np.int64)
+    for chunk in np.array_split(keys, max(1, NUM_KEYS // 100_000)):
+        store.insert_many(chunk, [chunk % 5, chunk % 7])
+    root = store.snapshot(tmp_path / "serve-snap")
+    del store
+    gc.collect()
+    return root
+
+
+def _zipf_batches(seed_base: int) -> list[np.ndarray]:
+    """Zipf-skewed probe batches: hot head inside the store, cold tail
+    reaching past it (so both hits and misses are exercised)."""
+    return [
+        skewed_probe_indices(
+            BATCH_SIZE, universe=2 * NUM_KEYS, alpha=ZIPF_ALPHA, seed=seed_base + i
+        )
+        for i in range(NUM_BATCHES)
+    ]
+
+
+def _pool_throughput(root, batches, num_workers: int) -> dict:
+    """Aggregate keys/s pushing all batches through a process pool."""
+    with WorkerPool(root, num_workers=num_workers, mode="process") as pool:
+        pool.query_many(batches[0])  # warm attachments before timing
+        start = time.perf_counter()
+        answers = pool.map_batches(batches)
+        elapsed = time.perf_counter() - start
+    total_keys = sum(len(b) for b in batches)
+    return {
+        "workers": num_workers,
+        "seconds": elapsed,
+        "keys_per_second": total_keys / elapsed,
+        "answers": answers,
+    }
+
+
+async def _client_latencies_coalesced(
+    frontend: CoalescingFrontEnd, keys: list[int]
+) -> list[float]:
+    """Each client awaits one point query; returns per-client latency."""
+
+    async def one(key: int) -> float:
+        start = time.perf_counter()
+        await frontend.query(key)
+        return time.perf_counter() - start
+
+    return list(await asyncio.gather(*(one(k) for k in keys)))
+
+
+def _latency_run(store: FilterStore, keys: np.ndarray, naive: bool) -> dict:
+    """NUM_CLIENTS concurrent point queries, coalesced or naive batch=1."""
+    if naive:
+        frontend = CoalescingFrontEnd(store, tick_seconds=0.0, max_batch=1)
+    else:
+        frontend = CoalescingFrontEnd(store, tick_seconds=0.001)
+
+    async def scenario():
+        return await _client_latencies_coalesced(
+            frontend, [int(k) for k in keys]
+        )
+
+    latencies = np.array(asyncio.run(scenario()))
+    stats = frontend.stats()
+    frontend.close()
+    return {
+        "clients": int(len(keys)),
+        "flushes": stats["flushes"],
+        "mean_batch": stats["histogram"]["mean_size"],
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "total_seconds": float(latencies.sum()),
+    }
+
+
+def test_serve_latency(tmp_path):
+    root = _build_snapshot(tmp_path)
+    baseline_store = FilterStore.open(root)
+    batches = _zipf_batches(seed_base=29)
+
+    # Direct single-process baseline (and the parity reference).
+    baseline_store.query_many(batches[0])  # warm the mappings
+    start = time.perf_counter()
+    expected = [baseline_store.query_many(batch) for batch in batches]
+    direct_seconds = time.perf_counter() - start
+    total_keys = sum(len(b) for b in batches)
+    direct = {"seconds": direct_seconds, "keys_per_second": total_keys / direct_seconds}
+
+    pool_runs = {}
+    for workers in WORKER_COUNTS:
+        run = _pool_throughput(root, batches, workers)
+        answers = run.pop("answers")
+        for got, want in zip(answers, expected):  # parity, every batch
+            assert (got == want).all(), f"pool({workers}) diverged from baseline"
+        pool_runs[str(workers)] = run
+
+    # Coalesced vs naive point-query latency under concurrent clients.
+    client_keys = skewed_probe_indices(
+        NUM_CLIENTS, universe=2 * NUM_KEYS, alpha=ZIPF_ALPHA, seed=101
+    )
+    naive = _latency_run(baseline_store, client_keys, naive=True)
+    coalesced = _latency_run(baseline_store, client_keys, naive=False)
+
+    scaling_4v1 = None
+    if "1" in pool_runs and "4" in pool_runs:
+        scaling_4v1 = (
+            pool_runs["4"]["keys_per_second"] / pool_runs["1"]["keys_per_second"]
+        )
+
+    cpu_count = os.cpu_count()
+    enforce_scaling = (
+        scaling_4v1 is not None
+        and NUM_KEYS >= 1_000_000
+        and cpu_count is not None
+        and cpu_count >= 4
+    )
+    record = {
+        "keys": NUM_KEYS,
+        "cpu_count": cpu_count,
+        "zipf_alpha": ZIPF_ALPHA,
+        "batches": NUM_BATCHES,
+        "batch_size": BATCH_SIZE,
+        "direct": direct,
+        "pool": pool_runs,
+        "scaling_4v1": scaling_4v1,
+        "scaling_gate_enforced": enforce_scaling,
+        "latency": {"naive": naive, "coalesced": coalesced},
+    }
+
+    path = RESULTS_DIR / f"{RESULT_NAME}.json"
+    merged: dict = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    merged[str(NUM_KEYS)] = record
+    save_json(RESULT_NAME, merged)
+
+    scaling_text = "n/a" if scaling_4v1 is None else f"{scaling_4v1:.2f}x"
+    print(
+        f"serve @ {NUM_KEYS} keys on {cpu_count} cores: "
+        f"direct {direct['keys_per_second'] / 1e6:.2f}Mk/s, pool "
+        + ", ".join(
+            f"{w}w={run['keys_per_second'] / 1e6:.2f}Mk/s"
+            for w, run in sorted(pool_runs.items(), key=lambda kv: int(kv[0]))
+        )
+        + f", 4v1 scaling {scaling_text}; point p99 "
+        f"coalesced {coalesced['p99_ms']:.2f}ms (mean batch "
+        f"{coalesced['mean_batch']:.0f}) vs naive {naive['p99_ms']:.2f}ms"
+    )
+
+    # Coalescing really happened, and it beat per-call dispatch where it
+    # counts: tail latency under concurrency.
+    assert coalesced["mean_batch"] > 8, "front end failed to coalesce clients"
+    assert coalesced["p99_ms"] < naive["p99_ms"], (
+        f"coalesced p99 {coalesced['p99_ms']:.2f}ms did not beat naive "
+        f"per-call dispatch {naive['p99_ms']:.2f}ms"
+    )
+
+    if enforce_scaling:
+        assert scaling_4v1 >= MIN_SCALING_4V1, (
+            f"4-worker pool is only {scaling_4v1:.2f}x the 1-worker pool "
+            f"(required {MIN_SCALING_4V1:.0f}x at {NUM_KEYS} keys on "
+            f"{cpu_count} cores)"
+        )

@@ -39,6 +39,7 @@ and byte-offset context.
 from __future__ import annotations
 
 import json
+import mmap
 import struct
 from dataclasses import asdict
 from pathlib import Path
@@ -379,6 +380,31 @@ def open_segment(path: str | Path) -> ConditionalCuckooFilterBase:
         for fp, avec, matching in meta["stash"]
     ]
     return ccf
+
+
+def warm_column(arr: np.ndarray) -> int:
+    """Prefault a mapped column into the page cache; returns bytes warmed.
+
+    Serving pools call this once before forking/spawning workers: the pages
+    land in the (shared) OS page cache, so N workers attaching the same
+    segment afterwards pay no per-worker IO — the multi-process zero-copy
+    contract of DESIGN.md §10/§11.  ``madvise(WILLNEED)`` asks the kernel to
+    read ahead where available; the strided touch below guarantees residency
+    either way.  Heap (non-mapped) arrays are already resident and return 0.
+    """
+    if not isinstance(arr, np.memmap):
+        return 0
+    backing = getattr(arr, "_mmap", None)
+    if backing is not None:
+        try:
+            backing.madvise(mmap.MADV_WILLNEED)
+        except (AttributeError, ValueError, OSError):  # pragma: no cover - platform
+            pass
+    flat = np.ascontiguousarray(arr).reshape(-1).view(np.uint8) if arr.size else arr
+    if flat.size:
+        # One byte per page forces the fault-in without reading every byte.
+        int(np.asarray(flat[::PAGE_SIZE]).sum())
+    return int(arr.nbytes)
 
 
 def segment_nbytes(meta: dict) -> dict[str, int]:

@@ -77,6 +77,28 @@ class ZipfMandelbrot:
         return num_draws / expected
 
 
+def skewed_probe_indices(
+    size: int,
+    universe: int,
+    alpha: float,
+    offset: float = DEFAULT_OFFSET,
+    seed: int = 0,
+) -> np.ndarray:
+    """Zipf-skewed indices in ``[0, universe)`` for serving benchmarks.
+
+    The serve-latency benchmark (DESIGN.md §11) probes a mapped store with
+    the traffic shape the paper's deployment sees: a small set of hot keys
+    dominating, a long cold tail.  This draws ``size`` indices from a
+    truncated Zipf-Mandelbrot over a ``universe``-wide support (rather than
+    the paper's fixed 500-rank support) and shifts to 0-based, so index 0
+    is the hottest key.  Deterministic under ``seed``.
+    """
+    if universe < 1:
+        raise ValueError("universe must be at least 1")
+    dist = ZipfMandelbrot(alpha, offset=offset, support=universe, seed=seed)
+    return dist.sample(size) - 1
+
+
 def solve_alpha_for_mean_duplicates(
     target_mean: float,
     num_draws: int,

@@ -1,0 +1,35 @@
+"""Multi-core serving runtime for the FilterStore (DESIGN.md §11).
+
+PRs 1-5 made one core fast; this package makes the store *serve*: many
+concurrent readers across processes or threads, one coordinated writer,
+and an async front end that turns point-query traffic into the vectorised
+batches the kernels want.  Public surface:
+
+* :class:`WorkerPool` — N workers (processes or threads) each attaching
+  the same SEG1 snapshot zero-copy; round-robin batch dispatch, epoch
+  refresh without reopen (`pool.py`);
+* :class:`CoalescingFrontEnd` — asyncio request coalescing: concurrent
+  single-key queries become one ``query_many`` per tick (`frontend.py`);
+* :class:`ServeRuntime` — the full topology: single locked writer, epoch
+  publishing, reader pool, stats endpoint (`runtime.py`);
+* :class:`RWLock` / :func:`shard_locks` — per-shard reader/writer
+  coordination, installable on any FilterStore (`locks.py`);
+* :class:`BatchSizeHistogram` — evidence of coalescing at work
+  (`stats.py`).
+"""
+
+from repro.serve.frontend import CoalescingFrontEnd
+from repro.serve.locks import RWLock, shard_locks
+from repro.serve.pool import WorkerPool
+from repro.serve.runtime import ServeRuntime
+from repro.serve.stats import BatchSizeHistogram, merge_worker_stats
+
+__all__ = [
+    "BatchSizeHistogram",
+    "CoalescingFrontEnd",
+    "RWLock",
+    "ServeRuntime",
+    "WorkerPool",
+    "merge_worker_stats",
+    "shard_locks",
+]

@@ -1,0 +1,191 @@
+"""Batch-coalescing asyncio front end (DESIGN.md §11).
+
+The vectorised probe kernels are fast *per key* only when batches are big:
+at batch=1 the fixed numpy/dispatch overhead dominates by orders of
+magnitude.  Real serving traffic is the worst case — thousands of
+concurrent clients, each asking about one key.  The front end converts that
+workload into the shape the kernels want: concurrent ``await query(key)``
+calls land in a per-predicate accumulator, and once per **tick** (or as
+soon as ``max_batch`` keys are pending) the accumulator is flushed as one
+``query_many`` against the backend, with each caller's future resolved from
+its slice of the answers.
+
+The backend is anything with ``query_many(keys, predicate) -> ndarray`` — a
+:class:`~repro.store.store.FilterStore` served inline, or a
+:class:`~repro.serve.pool.WorkerPool` fanning batches across cores.
+Backend calls run in an executor, so the event loop keeps accepting (and
+coalescing) requests while a batch computes: the next tick's batch grows
+during the current tick's kernel, which is exactly the pipelining that
+hides per-batch latency under load.
+
+``tick_seconds`` trades latency for batch size: an idle store answers a
+lone request after at most one tick; under load the tick bounds how long
+the oldest pending key waits for company.  ``max_batch=1`` degenerates to
+naive per-call dispatch — the benchmark's baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.serve.stats import BatchSizeHistogram
+
+
+class CoalescingFrontEnd:
+    """Coalesce concurrent point queries into per-tick vectorised batches."""
+
+    def __init__(
+        self,
+        backend: Any,
+        tick_seconds: float = 0.001,
+        max_batch: int = 8192,
+        predicates: Sequence[Any] = (None,),
+    ) -> None:
+        """``predicates`` lists the predicate tokens requests may use: None
+        for key-only membership, registered names for a WorkerPool backend,
+        or compiled predicate objects for a direct FilterStore backend —
+        anything hashable the backend's ``query_many`` accepts."""
+        if tick_seconds < 0:
+            raise ValueError("tick_seconds must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.backend = backend
+        self.tick_seconds = tick_seconds
+        self.max_batch = max_batch
+        #: chunks pending per predicate token: list of (keys, future, count).
+        self._pending: dict[Any, list[tuple[Any, asyncio.Future, int]]] = {
+            name: [] for name in predicates
+        }
+        self._pending_keys: dict[Any, int] = {name: 0 for name in predicates}
+        self._tick_handles: dict[Any, Any] = {}
+        # One dedicated executor thread: backends like WorkerPool drive
+        # their dispatch plane from a single thread, and batches still
+        # pipeline — the next tick accumulates on the event loop while the
+        # current batch computes here.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-frontend"
+        )
+        self.histogram = BatchSizeHistogram()
+        self.requests = 0
+        self.flushes = 0
+
+    # -- client side ----------------------------------------------------
+
+    async def query(self, key: object, predicate: Any = None) -> bool:
+        """Point membership query; coalesced into the next tick's batch."""
+        answers = await self.query_many([key], predicate)
+        return bool(answers[0])
+
+    async def query_many(
+        self, keys: Sequence[object] | np.ndarray, predicate: Any = None
+    ) -> np.ndarray:
+        """Batch query; small batches ride along with everything pending."""
+        if predicate not in self._pending:
+            raise KeyError(
+                f"predicate {predicate!r} not declared in this front end's "
+                "predicates"
+            )
+        count = len(keys)
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[predicate].append((keys, future, count))
+        self._pending_keys[predicate] += count
+        self.requests += 1
+        if self._pending_keys[predicate] >= self.max_batch:
+            self._flush(predicate)
+        elif predicate not in self._tick_handles:
+            # First pending chunk arms the tick timer for this predicate.
+            self._tick_handles[predicate] = loop.call_later(
+                self.tick_seconds, self._flush, predicate
+            )
+        return await future
+
+    # -- flush machinery ------------------------------------------------
+
+    def _flush(self, predicate: str | None) -> None:
+        """Execute everything pending for ``predicate`` as one batch."""
+        handle = self._tick_handles.pop(predicate, None)
+        if handle is not None:
+            handle.cancel()
+        chunks = self._pending[predicate]
+        if not chunks:
+            return
+        self._pending[predicate] = []
+        self._pending_keys[predicate] = 0
+        merged = _concat_keys([keys for keys, _, _ in chunks])
+        self.histogram.record(len(merged))
+        self.flushes += 1
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            self._executor, self.backend.query_many, merged, predicate
+        )
+        task = asyncio.ensure_future(task)
+        task.add_done_callback(lambda done: self._resolve(done, chunks))
+
+    @staticmethod
+    def _resolve(
+        done: "asyncio.Future[np.ndarray]",
+        chunks: list[tuple[Any, asyncio.Future, int]],
+    ) -> None:
+        """Scatter one batch's answers back to each caller's future."""
+        error = done.exception()
+        offset = 0
+        for _, future, count in chunks:
+            if future.cancelled():
+                offset += count
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                answers = done.result()
+                future.set_result(answers[offset : offset + count])
+            offset += count
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for the batches to finish."""
+        pending_futures = [
+            future
+            for chunks in self._pending.values()
+            for _, future, _ in chunks
+        ]
+        for predicate in list(self._pending):
+            self._flush(predicate)
+        if pending_futures:
+            await asyncio.gather(*pending_futures, return_exceptions=True)
+
+    def close(self) -> None:
+        """Release the dispatch executor (pending batches finish first)."""
+        self._executor.shutdown(wait=True)
+
+    def stats(self) -> dict:
+        """Requests seen, flushes executed, and the coalesced-size histogram."""
+        return {
+            "requests": self.requests,
+            "flushes": self.flushes,
+            "tick_seconds": self.tick_seconds,
+            "max_batch": self.max_batch,
+            "histogram": self.histogram.to_dict(),
+        }
+
+
+def _concat_keys(parts: list[Any]) -> np.ndarray:
+    """Merge request key chunks into one backend batch."""
+    arrays = [np.asarray(part) for part in parts]
+    if len(arrays) == 1:
+        return arrays[0]
+    if all(arr.dtype == arrays[0].dtype and arr.dtype != object for arr in arrays):
+        return np.concatenate(arrays)
+    # Mixed or object-typed keys: fall back to an object array, which the
+    # hashing ingress treats as a generic python-object sequence.
+    merged = np.empty(sum(arr.size for arr in arrays), dtype=object)
+    offset = 0
+    for arr in arrays:
+        merged[offset : offset + arr.size] = arr
+        offset += arr.size
+    return merged

@@ -1,0 +1,101 @@
+"""Reader/writer locks for per-shard coordination (DESIGN.md §11).
+
+The FilterStore's hot paths are batch kernels that hold no global state per
+call, so the only mutual exclusion a concurrent store needs is *per shard*:
+one writer mutating shard i must exclude readers of shard i (a level roll
+swaps list entries; a delete rewrites slots), while readers of every other
+shard — and of the immutable mapped baseline — proceed untouched.  The
+stdlib has no readers/writer lock, so this module provides a small
+condition-variable one.
+
+Writers are preferred: a waiting writer blocks *new* readers, so a steady
+query stream cannot starve the single writer (the serve runtime's
+mutation path).  Both sides are exposed as context managers, which is the
+shape :meth:`repro.store.store.FilterStore.install_shard_locks` expects.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """A writer-preferring readers/writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Once a writer is waiting, new readers queue behind it (writer
+    preference), so mutations land promptly under heavy read traffic.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side ----------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read without a matching acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Hold the lock in shared (reader) mode for the with-block."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writer side ----------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold the lock in exclusive (writer) mode for the with-block."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer_active}, "
+            f"waiting={self._writers_waiting})"
+        )
+
+
+def shard_locks(num_shards: int) -> list[RWLock]:
+    """One fresh RWLock per shard, ready for ``install_shard_locks``."""
+    return [RWLock() for _ in range(num_shards)]

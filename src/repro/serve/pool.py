@@ -1,0 +1,351 @@
+"""Shared-mmap worker pool: N workers serving one FilterStore snapshot.
+
+The scaling story (DESIGN.md §11): PR 5's SEG1 segments made a snapshot a
+set of page-aligned, read-only files, so *attaching* a store is O(manifest)
+and *serving* it reads straight from the OS page cache.  That cache is
+shared machine-wide — N workers mapping the same snapshot cost one copy of
+the data, however many processes serve it.  This module exploits that:
+
+* ``mode="process"`` — each worker is a separate process that opens the
+  snapshot itself (multi-process re-attach; fork or spawn both work).  True
+  multi-core parallelism for the numpy probe kernels, zero incremental RSS
+  for the slot data.
+* ``mode="thread"`` — workers are threads, each with its own mapped store
+  attachment.  The probe kernels are numpy and release the GIL during the
+  gather/compare work, so threads overlap IO waits and some compute; best
+  for read-only mapped stores when processes are unavailable.
+
+Requests are whole key batches (the front end in `frontend.py` coalesces
+singles into batches before they get here).  Dispatch is round-robin over
+per-worker inboxes; results return on one shared outbox tagged by request
+id, so callers can pipeline hundreds of batches and collect out of order.
+
+Writers live *outside* the pool: a single writer process/thread mutates its
+own store and periodically publishes a new snapshot epoch
+(`runtime.ServeRuntime.publish`).  ``refresh(path, epoch)`` broadcasts the
+epoch to every worker, which calls :meth:`FilterStore.refresh` — reusing
+every level whose content token is unchanged, mapping only rolled/compacted
+levels — and acks.  No worker ever does a full reopen.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import traceback
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ccf.predicates import Predicate
+from repro.serve.stats import WorkerStats, merge_worker_stats
+from repro.store.store import FilterStore
+
+#: Supported worker flavours.
+POOL_MODES = ("process", "thread")
+
+#: How long `wait`/`refresh`/`stats` polls the outbox between liveness
+#: checks, seconds.
+_POLL_INTERVAL = 0.25
+
+
+def _serve_worker(
+    worker_id: int,
+    snapshot_path: str,
+    predicate_items: Sequence[tuple[str, Predicate]],
+    inbox: Any,
+    outbox: Any,
+) -> None:
+    """One worker's loop: attach the snapshot, answer query batches.
+
+    Runs in a forked/spawned process or a thread; everything it needs
+    arrives through ``inbox`` and everything it produces leaves through
+    ``outbox``, so the same body serves both modes.
+    """
+    stats = WorkerStats(worker_id)
+    try:
+        store = FilterStore.open(snapshot_path)
+        compiled = {name: store.compile(pred) for name, pred in predicate_items}
+    except BaseException as exc:  # startup failure: report, don't hang callers
+        outbox.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    epoch = 0
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "stop":
+            outbox.put(("stopped", worker_id, stats.to_dict()))
+            return
+        try:
+            if kind == "query":
+                _, request_id, keys, predicate_name = message
+                answers = store.query_many(keys, compiled.get(predicate_name))
+                stats.record_batch(len(keys))
+                outbox.put(("result", request_id, answers, worker_id))
+            elif kind == "refresh":
+                _, new_epoch, path = message
+                if new_epoch > epoch:
+                    store.refresh(path)
+                    epoch = new_epoch
+                    stats.refreshes += 1
+                outbox.put(("refreshed", worker_id, new_epoch))
+            elif kind == "stats":
+                payload = stats.to_dict()
+                payload["epoch"] = epoch
+                payload["store_ops"] = store.ops.to_dict()
+                outbox.put(("stats", worker_id, payload))
+            else:  # pragma: no cover - defensive
+                outbox.put(("error", None, f"unknown message {kind!r}", worker_id))
+        except BaseException:
+            stats.errors += 1
+            request_id = message[1] if kind == "query" else None
+            outbox.put(("error", request_id, traceback.format_exc(), worker_id))
+
+
+class WorkerPool:
+    """A pool of snapshot-serving workers with round-robin batch dispatch."""
+
+    def __init__(
+        self,
+        snapshot_path: str | Path,
+        num_workers: int = 2,
+        mode: str = "process",
+        predicates: Mapping[str, Predicate] | None = None,
+        start_method: str | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if mode not in POOL_MODES:
+            raise ValueError(f"mode must be one of {POOL_MODES}, got {mode!r}")
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.snapshot_path = str(snapshot_path)
+        self.num_workers = num_workers
+        self.mode = mode
+        self.predicates = dict(predicates or {})
+        self.timeout = timeout
+        self._ctx = (
+            multiprocessing.get_context(start_method) if mode == "process" else None
+        )
+        self._workers: list[Any] = []
+        self._inboxes: list[Any] = []
+        self._outbox: Any = None
+        self._next_worker = 0
+        self._next_request = 0
+        self._results: dict[int, np.ndarray] = {}
+        self._inflight: set[int] = set()
+        self._refresh_acks: list[tuple[int, int]] = []
+        self._stats_replies: dict[int, dict] = {}
+        self._started = False
+        self._closed = False
+        self.final_stats: dict | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Launch the workers (each attaches the snapshot on its own)."""
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._started = True
+        items = tuple(self.predicates.items())
+        if self.mode == "process":
+            self._outbox = self._ctx.Queue()
+            for worker_id in range(self.num_workers):
+                inbox = self._ctx.Queue()
+                proc = self._ctx.Process(
+                    target=_serve_worker,
+                    args=(worker_id, self.snapshot_path, items, inbox, self._outbox),
+                    daemon=True,
+                    name=f"repro-serve-{worker_id}",
+                )
+                proc.start()
+                self._inboxes.append(inbox)
+                self._workers.append(proc)
+        else:
+            self._outbox = queue.Queue()
+            for worker_id in range(self.num_workers):
+                inbox: Any = queue.Queue()
+                thread = threading.Thread(
+                    target=_serve_worker,
+                    args=(worker_id, self.snapshot_path, items, inbox, self._outbox),
+                    daemon=True,
+                    name=f"repro-serve-{worker_id}",
+                )
+                thread.start()
+                self._inboxes.append(inbox)
+                self._workers.append(thread)
+        return self
+
+    def close(self) -> dict | None:
+        """Stop every worker and return the merged final worker stats."""
+        if not self._started or self._closed:
+            return self.final_stats
+        self._closed = True
+        for inbox in self._inboxes:
+            inbox.put(("stop",))
+        collected: dict[int, dict] = {}
+        deadline = self.timeout
+        while len(collected) < self.num_workers and deadline > 0:
+            try:
+                message = self._outbox.get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                deadline -= _POLL_INTERVAL
+                if not any(self._alive()):
+                    break
+                continue
+            if message[0] == "stopped":
+                collected[message[1]] = message[2]
+            elif message[0] == "result":
+                self._results[message[1]] = message[2]
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self.final_stats = merge_worker_stats(
+            [collected[i] for i in sorted(collected)]
+        )
+        return self.final_stats
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _alive(self) -> list[bool]:
+        return [worker.is_alive() for worker in self._workers]
+
+    def _require_running(self) -> None:
+        if not self._started:
+            raise RuntimeError("pool not started (use start() or a with-block)")
+        if self._closed:
+            raise RuntimeError("pool is closed")
+
+    # -- request plane --------------------------------------------------
+
+    def submit(
+        self, keys: Sequence[object] | np.ndarray, predicate: str | None = None
+    ) -> int:
+        """Enqueue one query batch; returns a request id for :meth:`wait`.
+
+        ``predicate`` names one of the predicates registered at pool
+        construction (compiled once per worker), or None for key-only
+        membership.
+        """
+        self._require_running()
+        if predicate is not None and predicate not in self.predicates:
+            raise KeyError(
+                f"unknown predicate {predicate!r}; registered: "
+                f"{sorted(self.predicates)}"
+            )
+        request_id = self._next_request
+        self._next_request += 1
+        self._inboxes[self._next_worker].put(("query", request_id, keys, predicate))
+        self._next_worker = (self._next_worker + 1) % self.num_workers
+        self._inflight.add(request_id)
+        return request_id
+
+    def _drain_one(self, timeout: float) -> None:
+        """Route the next outbox message; raise on worker errors/death."""
+        try:
+            message = self._outbox.get(timeout=timeout)
+        except queue.Empty:
+            if not all(self._alive()):
+                dead = [i for i, ok in enumerate(self._alive()) if not ok]
+                raise RuntimeError(f"serve worker(s) {dead} died") from None
+            return
+        kind = message[0]
+        if kind == "result":
+            _, request_id, answers, _worker = message
+            self._inflight.discard(request_id)
+            self._results[request_id] = answers
+        elif kind == "error":
+            _, request_id, text, worker_id = message
+            if request_id is not None:
+                self._inflight.discard(request_id)
+            raise RuntimeError(f"serve worker {worker_id} failed:\n{text}")
+        elif kind == "fatal":
+            raise RuntimeError(
+                f"serve worker {message[1]} failed to attach snapshot: {message[2]}"
+            )
+        elif kind == "refreshed":
+            self._refresh_acks.append((message[1], message[2]))
+        elif kind == "stats":
+            self._stats_replies[message[1]] = message[2]
+
+    def wait(self, request_id: int, timeout: float | None = None) -> np.ndarray:
+        """Block until ``request_id``'s answers arrive and return them."""
+        self._require_running()
+        remaining = self.timeout if timeout is None else timeout
+        while request_id not in self._results:
+            if remaining <= 0:
+                raise TimeoutError(f"request {request_id} not answered in time")
+            self._drain_one(min(_POLL_INTERVAL, remaining))
+            remaining -= _POLL_INTERVAL
+        return self._results.pop(request_id)
+
+    def query_many(
+        self, keys: Sequence[object] | np.ndarray, predicate: str | None = None
+    ) -> np.ndarray:
+        """Synchronous single-batch convenience: submit + wait."""
+        return self.wait(self.submit(keys, predicate))
+
+    def map_batches(
+        self,
+        batches: Iterable[np.ndarray],
+        predicate: str | None = None,
+    ) -> list[np.ndarray]:
+        """Dispatch many batches round-robin and collect answers in order.
+
+        The pipelined path the latency benchmark drives: all batches are
+        enqueued up front (workers start on batch 0 while batch 1 is still
+        being pickled), then answers are collected by request id.
+        """
+        request_ids = [self.submit(batch, predicate) for batch in batches]
+        return [self.wait(request_id) for request_id in request_ids]
+
+    # -- control plane --------------------------------------------------
+
+    def refresh(self, path: str | Path, epoch: int) -> None:
+        """Broadcast a published snapshot epoch; blocks until all acks.
+
+        Idempotent per worker (an epoch at or below the worker's current one
+        is acked without re-attaching), so redelivery is harmless.
+        """
+        self._require_running()
+        self._refresh_acks = []
+        for inbox in self._inboxes:
+            inbox.put(("refresh", epoch, str(path)))
+        remaining = self.timeout
+        acked: set[int] = set()
+        while len(acked) < self.num_workers:
+            if remaining <= 0:
+                raise TimeoutError(f"refresh to epoch {epoch} not acknowledged")
+            self._drain_one(_POLL_INTERVAL)
+            remaining -= _POLL_INTERVAL
+            acked = {worker for worker, e in self._refresh_acks if e == epoch}
+
+    def stats(self) -> dict:
+        """Live pool stats: merged per-worker counters + epochs."""
+        self._require_running()
+        self._stats_replies = {}
+        for inbox in self._inboxes:
+            inbox.put(("stats",))
+        remaining = self.timeout
+        while len(self._stats_replies) < self.num_workers:
+            if remaining <= 0:
+                raise TimeoutError("workers did not report stats in time")
+            self._drain_one(_POLL_INTERVAL)
+            remaining -= _POLL_INTERVAL
+        merged = merge_worker_stats(
+            [self._stats_replies[i] for i in sorted(self._stats_replies)]
+        )
+        merged["mode"] = self.mode
+        merged["snapshot_path"] = self.snapshot_path
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("running" if self._started else "new")
+        return (
+            f"WorkerPool(mode={self.mode!r}, workers={self.num_workers}, "
+            f"{state}, snapshot={self.snapshot_path!r})"
+        )

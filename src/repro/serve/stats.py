@@ -1,0 +1,117 @@
+"""Serving-side statistics: batch-size histograms and worker counters.
+
+Two complementary views of a running serve stack (DESIGN.md §11):
+
+* :class:`BatchSizeHistogram` — power-of-two buckets over the batch sizes a
+  component actually executed.  The coalescing front end records one entry
+  per flushed tick, so the histogram *is* the evidence that single-key
+  traffic left the batch=1 regime the numpy kernels hate.
+* :class:`WorkerStats` — per-worker served-op counters (batches, keys,
+  refreshes picked up), merged across the pool for the runtime's stats
+  endpoint alongside :meth:`FilterStore.stats`'s lifetime ``ops`` counters.
+
+Everything here is plain data + a lock where concurrent writers exist, so
+the counters stay exact without touching any hot kernel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+
+class BatchSizeHistogram:
+    """Power-of-two histogram of executed batch sizes.
+
+    Bucket ``2**k`` counts batches of size in ``(2**(k-1), 2**k]`` (bucket 1
+    holds exactly size-1 batches), so the batch=1 pathology and the
+    coalesced regime are separate bars at a glance.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self.batches = 0
+        self.keys = 0
+        self.max_size = 0
+
+    def record(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        bucket = 1
+        while bucket < size:
+            bucket <<= 1
+        with self._lock:
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+            self.batches += 1
+            self.keys += size
+            if size > self.max_size:
+                self.max_size = size
+
+    def merge(self, other: "BatchSizeHistogram | Mapping") -> None:
+        """Fold another histogram (or its dict form) into this one."""
+        data = other.to_dict() if isinstance(other, BatchSizeHistogram) else other
+        with self._lock:
+            for label, count in data.get("buckets", {}).items():
+                bucket = int(label)
+                self._buckets[bucket] = self._buckets.get(bucket, 0) + int(count)
+            self.batches += int(data.get("batches", 0))
+            self.keys += int(data.get("keys", 0))
+            self.max_size = max(self.max_size, int(data.get("max_size", 0)))
+
+    def mean_size(self) -> float:
+        """Average executed batch size (0.0 before any batch)."""
+        return self.keys / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: bucket upper bounds (as strings) to counts."""
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "keys": self.keys,
+                "max_size": self.max_size,
+                "mean_size": round(self.mean_size(), 2),
+                "buckets": {
+                    str(bucket): count
+                    for bucket, count in sorted(self._buckets.items())
+                },
+            }
+
+
+class WorkerStats:
+    """One serving worker's counters (queries served, keys, refreshes)."""
+
+    __slots__ = ("worker_id", "batches", "keys", "refreshes", "errors")
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.batches = 0
+        self.keys = 0
+        self.refreshes = 0
+        self.errors = 0
+
+    def record_batch(self, keys: int) -> None:
+        self.batches += 1
+        self.keys += keys
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "batches": self.batches,
+            "keys": self.keys,
+            "refreshes": self.refreshes,
+            "errors": self.errors,
+        }
+
+
+def merge_worker_stats(stats: Iterable[Mapping]) -> dict:
+    """Pool-level totals plus the per-worker breakdown."""
+    per_worker = [dict(s) for s in stats]
+    return {
+        "workers": len(per_worker),
+        "batches": sum(s.get("batches", 0) for s in per_worker),
+        "keys": sum(s.get("keys", 0) for s in per_worker),
+        "refreshes": sum(s.get("refreshes", 0) for s in per_worker),
+        "errors": sum(s.get("errors", 0) for s in per_worker),
+        "per_worker": per_worker,
+    }

@@ -106,6 +106,15 @@ def inspect(path: str | Path, out=None) -> int:
         f"level_buckets={config['level_buckets']} target_load={config['target_load']}",
         file=out,
     )
+    ops = manifest.get("ops")
+    if ops:
+        print(
+            "  ops: "
+            f"queries={ops.get('query_calls', 0)} ({ops.get('query_keys', 0)} keys) "
+            f"inserts={ops.get('insert_calls', 0)} ({ops.get('insert_keys', 0)} keys) "
+            f"deletes={ops.get('delete_calls', 0)} ({ops.get('delete_keys', 0)} keys)",
+            file=out,
+        )
     total_bytes = 0
     total_levels = 0
     for shard_index, record in enumerate(manifest["shards"]):

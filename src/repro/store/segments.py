@@ -21,6 +21,7 @@ from repro.ccf.mmapio import (
     open_segment,
     read_segment_meta,
     segment_nbytes,
+    warm_column,
     write_segment,
 )
 from repro.ccf.plain import PlainCCF
@@ -31,6 +32,7 @@ __all__ = [
     "SegmentLevelRef",
     "read_segment_meta",
     "segment_nbytes",
+    "warm_level",
     "write_segment",
 ]
 
@@ -72,3 +74,19 @@ class SegmentLevelRef:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SegmentLevelRef({str(self.path)!r})"
+
+
+def warm_level(level: PlainCCF) -> int:
+    """Prefault a mapped level's typed columns; returns bytes warmed.
+
+    A serving pool warms the baseline snapshot once in the parent so every
+    worker — forked process or thread — attaches segments whose pages are
+    already in the shared page cache (no per-worker read amplification).
+    Heap-resident (promoted) levels contribute 0.
+    """
+    return (
+        warm_column(level.buckets.fps)
+        + warm_column(level.buckets.counts)
+        + warm_column(level._avecs)
+        + warm_column(level._flags)
+    )

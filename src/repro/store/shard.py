@@ -25,6 +25,8 @@ LSM-levelling answer (`LSMTreeCuckoo`) to that failure mode.
 
 from __future__ import annotations
 
+import itertools
+import uuid
 from typing import Sequence
 
 import numpy as np
@@ -36,6 +38,20 @@ from repro.ccf.plain import PlainCCF
 from repro.store.compaction import merge_levels
 from repro.store.config import StoreConfig
 from repro.store.segments import SegmentLevelRef
+
+#: Process-unique prefix + global counter for level sequence tokens.  A seq
+#: names one immutable *content version* of a level: any mutation (insert,
+#: delete, compaction, roll) assigns a fresh token, so two levels carrying the
+#: same seq — even across processes, via snapshot manifests — are guaranteed
+#: bit-identical.  `FilterStore.refresh` relies on this to keep already-mapped
+#: levels attached instead of re-opening them (DESIGN.md §11).
+_SEQ_PREFIX = uuid.uuid4().hex[:12]
+_SEQ_COUNTER = itertools.count()
+
+
+def alloc_level_seq() -> str:
+    """A fresh level-content token, unique across processes and restarts."""
+    return f"{_SEQ_PREFIX}-{next(_SEQ_COUNTER)}"
 
 
 class FilterShard:
@@ -54,6 +70,12 @@ class FilterShard:
         self.config = config
         self._levels: list[PlainCCF] = [self._new_level()]
         self._pending_segments: list[SegmentLevelRef] = []
+        #: Content tokens parallel to the level stack (see `alloc_level_seq`).
+        self.level_seqs: list[str | None] = [alloc_level_seq()]
+        #: Bumped on every structural change to the stack (roll, compaction,
+        #: wholesale replacement, refresh) — the cheap staleness signal a
+        #: serving worker polls instead of diffing level lists.
+        self.generation = 0
         self.rows_inserted = 0
         self.rows_deleted = 0
         self.num_compactions = 0
@@ -92,13 +114,74 @@ class FilterShard:
     def levels(self, value: list[PlainCCF]) -> None:
         self._levels = list(value)
         self._pending_segments = []
+        self.level_seqs = [alloc_level_seq() for _ in self._levels]
+        self.generation += 1
 
-    def attach_pending_levels(self, refs: list[SegmentLevelRef]) -> None:
-        """Adopt a snapshot's level stack lazily (replacing the current one)."""
+    def attach_pending_levels(
+        self,
+        refs: list[SegmentLevelRef],
+        seqs: Sequence[str | None] | None = None,
+    ) -> None:
+        """Adopt a snapshot's level stack lazily (replacing the current one).
+
+        ``seqs`` carries the manifest's per-level content tokens so a later
+        :meth:`refresh_from` can recognise unchanged levels; omitted (legacy
+        manifests), every level is treated as new content.
+        """
         if not refs:
             raise ValueError("a shard needs at least one level")
+        if seqs is not None and len(seqs) != len(refs):
+            raise ValueError("level seqs must parallel the refs")
         self._levels = []
         self._pending_segments = list(refs)
+        self.level_seqs = list(seqs) if seqs is not None else [None] * len(refs)
+        self.generation += 1
+
+    def refresh_from(
+        self,
+        seqs: Sequence[str | None],
+        refs: Sequence["SegmentLevelRef | PlainCCF"],
+    ) -> tuple[int, int]:
+        """Adopt a newer snapshot's stack, reusing unchanged attached levels.
+
+        ``seqs``/``refs`` describe the published stack newest-last.  Levels
+        whose seq matches one already attached here are kept as-is (their
+        mapped columns stay mapped — no reopen, no page-cache churn); new
+        seqs are materialised from their ref.  Any local, unpublished
+        mutation bumped the local seq, so it can never shadow published
+        content.  Returns ``(reused, attached)``.
+        """
+        if not refs:
+            raise ValueError("a shard needs at least one level")
+        if len(seqs) != len(refs):
+            raise ValueError("level seqs must parallel the refs")
+        if self._pending_segments and all(
+            isinstance(ref, SegmentLevelRef) for ref in refs
+        ):
+            # Nothing is materialised yet — stay lazy, adopt wholesale.
+            self.attach_pending_levels(list(refs), seqs)
+            return 0, len(refs)
+        attached = {
+            seq: level
+            for seq, level in zip(self.level_seqs, self._levels)
+            if seq is not None
+        }
+        new_levels: list[PlainCCF] = []
+        reused = 0
+        for seq, ref in zip(seqs, refs):
+            current = attached.get(seq)
+            if current is not None:
+                new_levels.append(current)
+                reused += 1
+            elif isinstance(ref, SegmentLevelRef):
+                new_levels.append(ref.open())
+            else:
+                new_levels.append(ref)
+        self._levels = new_levels
+        self._pending_segments = []
+        self.level_seqs = list(seqs)
+        self.generation += 1
+        return reused, len(refs) - reused
 
     @property
     def num_levels(self) -> int:
@@ -116,6 +199,16 @@ class FilterShard:
     def active(self) -> PlainCCF:
         """The level currently taking writes (always the newest)."""
         return self.levels[-1]
+
+    def _roll_level(self) -> None:
+        """Seal the active level and start a fresh one (a structural change)."""
+        self._levels.append(self._new_level())
+        self.level_seqs.append(alloc_level_seq())
+        self.generation += 1
+
+    def _touch_level(self, index: int) -> None:
+        """Record that the level at ``index`` changed content (fresh seq)."""
+        self.level_seqs[index] = alloc_level_seq()
 
     def _target_slots(self, level: PlainCCF) -> int:
         # At least one slot, or a degenerate target_load could roll forever.
@@ -158,7 +251,7 @@ class FilterShard:
             level = self.active
             room = self._target_slots(level) - level.num_entries
             if room <= 0 or level.failed:
-                self.levels.append(self._new_level())
+                self._roll_level()
                 continue
             stop = min(n, start + room)
             index = np.arange(start, stop)
@@ -171,6 +264,7 @@ class FilterShard:
                 out[index] = level._insert_hashed_rows(
                     fps[index], homes[index], [avecs[i] for i in index.tolist()]
                 )
+                self._touch_level(-1)
             start = stop
         self.rows_inserted += n
         if self.config.compact_at is not None and len(self.levels) >= self.config.compact_at:
@@ -225,16 +319,21 @@ class FilterShard:
         out = np.zeros(n, dtype=bool)
         alts = self._alts_for(fps, homes, alts)
         pending = np.arange(n)
-        for level in reversed(self.levels):
+        for level_index in range(len(self.levels) - 1, -1, -1):
             if pending.size == 0:
                 break
+            level = self.levels[level_index]
             present = level._single_pair_query_many(
                 fps[pending], homes[pending], None, alts[pending]
             )
+            touched = False
             for local in np.nonzero(present)[0].tolist():
                 i = int(pending[local])
                 if level._delete_hashed(int(fps[i]), int(homes[i]), avecs[i]):
                     out[i] = True
+                    touched = True
+            if touched:
+                self._touch_level(level_index)
             pending = pending[~out[pending]]
         self.rows_deleted += int(out.sum())
         return out

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -50,7 +51,12 @@ from repro.ccf.predicates import Predicate
 from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.hashing.mixers import derive_seed, hash64, hash64_many
 from repro.store.config import StoreConfig
-from repro.store.segments import SEGMENT_SUFFIX, SegmentLevelRef, write_segment
+from repro.store.segments import (
+    SEGMENT_SUFFIX,
+    SegmentLevelRef,
+    warm_level,
+    write_segment,
+)
 from repro.store.shard import FilterShard
 
 #: Manifest schema version; bump on layout changes.  Format 2 records each
@@ -61,6 +67,49 @@ MANIFEST_NAME = "manifest.json"
 
 #: Per-level payload formats a snapshot can write.
 LEVEL_FORMATS = ("segment", "ccf")
+
+#: The operation kinds `OpCounters` tracks (batch calls and keys for each).
+OP_KINDS = ("query", "insert", "delete")
+
+
+class OpCounters:
+    """Served-operation counters: batch calls and keys per operation kind.
+
+    One lock-protected bump per *batch* (not per key), so the counters stay
+    exact under the serve layer's concurrent readers at negligible cost.
+    Snapshots persist them and ``open`` restores them, so a restarted writer
+    keeps its lifetime totals; the ``inspect`` CLI and ``stats()`` surface
+    them (DESIGN.md §11).
+    """
+
+    __slots__ = ("_lock", "counts")
+
+    def __init__(self, counts: Mapping[str, int] | None = None) -> None:
+        self._lock = threading.Lock()
+        self.counts = {
+            f"{kind}_{unit}": 0 for kind in OP_KINDS for unit in ("calls", "keys")
+        }
+        if counts:
+            for name, value in counts.items():
+                if name in self.counts:
+                    self.counts[name] = int(value)
+
+    def record(self, kind: str, keys: int) -> None:
+        """Count one batch call of ``kind`` covering ``keys`` keys."""
+        with self._lock:
+            self.counts[f"{kind}_calls"] += 1
+            self.counts[f"{kind}_keys"] += keys
+
+    def to_dict(self) -> dict[str, int]:
+        """A plain-dict copy (stats / manifest form)."""
+        with self._lock:
+            return dict(self.counts)
+
+    def __getstate__(self) -> dict:
+        return {"counts": self.to_dict()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["counts"])
 
 
 class FilterStore:
@@ -93,6 +142,50 @@ class FilterStore:
             FilterShard(i, schema, params, self.config)
             for i in range(self.config.num_shards)
         ]
+        #: Lifetime served-operation counters (queries/inserts/deletes).
+        self.ops = OpCounters()
+        #: Per-shard reader/writer locks, installed by the serve layer
+        #: (`repro.serve`).  None (the default) means unguarded single-thread
+        #: access with zero overhead; installed, every per-shard kernel call
+        #: runs under that shard's read or write lock, so a writer on shard i
+        #: never blocks readers on shard j (DESIGN.md §11).
+        self._shard_locks: Sequence[Any] | None = None
+
+    # ------------------------------------------------------------------
+    # Concurrency seams
+    # ------------------------------------------------------------------
+
+    def install_shard_locks(self, locks: Sequence[Any] | None) -> None:
+        """Install (or with ``None`` remove) per-shard reader/writer locks.
+
+        ``locks`` must provide one lock per shard with ``read_locked()`` /
+        ``write_locked()`` context managers (see `repro.serve.locks.RWLock`).
+        """
+        if locks is not None and len(locks) != self.config.num_shards:
+            raise ValueError(
+                f"need one lock per shard ({self.config.num_shards}), got {len(locks)}"
+            )
+        self._shard_locks = locks
+
+    def _read_guard(self, shard_id: int):
+        locks = self._shard_locks
+        return None if locks is None else locks[shard_id].read_locked()
+
+    def _write_guard(self, shard_id: int):
+        locks = self._shard_locks
+        return None if locks is None else locks[shard_id].write_locked()
+
+    @property
+    def generation(self) -> int:
+        """Monotonic structural-change counter (sum of the shard counters).
+
+        Bumped whenever any shard rolls a level, compacts, or adopts a
+        refreshed stack — the cheap signal a serving worker compares before
+        deciding whether cached per-shard state is stale.  Process-local
+        (not persisted); cross-process staleness is carried by the serve
+        runtime's published epoch instead.
+        """
+        return sum(shard.generation for shard in self.shards)
 
     # ------------------------------------------------------------------
     # Routing
@@ -145,6 +238,7 @@ class FilterStore:
         columns = list(attr_columns)
         n = len(keys)
         validate_attr_columns(columns, self.schema.num_attributes, n)
+        self.ops.record("insert", n)
         out = np.ones(n, dtype=bool)
         if n == 0:
             return out
@@ -154,9 +248,16 @@ class FilterStore:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
-            out[index] = shard.insert_hashed_rows(
-                fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
-            )
+            guard = self._write_guard(shard.shard_id)
+            if guard is None:
+                out[index] = shard.insert_hashed_rows(
+                    fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
+                )
+            else:
+                with guard:
+                    out[index] = shard.insert_hashed_rows(
+                        fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
+                    )
         return out
 
     def delete(self, key: object, attrs: Mapping[str, Any] | Sequence[Any]) -> bool:
@@ -177,6 +278,7 @@ class FilterStore:
         columns = list(attr_columns)
         n = len(keys)
         validate_attr_columns(columns, self.schema.num_attributes, n)
+        self.ops.record("delete", n)
         out = np.zeros(n, dtype=bool)
         if n == 0:
             return out
@@ -186,9 +288,16 @@ class FilterStore:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
-            out[index] = shard.delete_hashed_rows(
-                fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
-            )
+            guard = self._write_guard(shard.shard_id)
+            if guard is None:
+                out[index] = shard.delete_hashed_rows(
+                    fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
+                )
+            else:
+                with guard:
+                    out[index] = shard.delete_hashed_rows(
+                        fps[index], homes[index], [avecs[i] for i in index.tolist()], alts[index]
+                    )
         return out
 
     # ------------------------------------------------------------------
@@ -223,6 +332,7 @@ class FilterStore:
         """
         compiled = self._resolve_compiled(predicate)
         n = len(keys)
+        self.ops.record("query", n)
         out = np.zeros(n, dtype=bool)
         if n == 0:
             return out
@@ -231,9 +341,16 @@ class FilterStore:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
-            out[index] = shard.query_hashed_many(
-                fps[index], homes[index], compiled, alts[index]
-            )
+            guard = self._read_guard(shard.shard_id)
+            if guard is None:
+                out[index] = shard.query_hashed_many(
+                    fps[index], homes[index], compiled, alts[index]
+                )
+            else:
+                with guard:
+                    out[index] = shard.query_hashed_many(
+                        fps[index], homes[index], compiled, alts[index]
+                    )
         return out
 
     def contains_key(self, key: object) -> bool:
@@ -252,9 +369,31 @@ class FilterStore:
     # ------------------------------------------------------------------
 
     def compact(self) -> None:
-        """Compact every shard's level stack into one right-sized filter."""
+        """Compact every shard's level stack into one right-sized filter.
+
+        With shard locks installed, each shard compacts under its write
+        lock: readers on other shards keep going, readers on this shard
+        wait out one merge rather than seeing a half-replaced stack.
+        """
         for shard in self.shards:
-            shard.compact()
+            guard = self._write_guard(shard.shard_id)
+            if guard is None:
+                shard.compact()
+            else:
+                with guard:
+                    shard.compact()
+
+    def warm(self) -> int:
+        """Prefault every mapped level's columns; returns bytes warmed.
+
+        Materialises pending segment refs (O(metadata) each) and touches one
+        byte per page of every mapped column, so the segment pages sit in
+        the shared OS page cache before a worker pool forks/spawns against
+        the same snapshot.  Promoted (heap) levels contribute nothing.
+        """
+        return sum(
+            warm_level(level) for shard in self.shards for level in shard.levels
+        )
 
     @property
     def num_levels(self) -> int:
@@ -302,6 +441,8 @@ class FilterStore:
             "size_in_bytes": self.size_in_bytes(),
             "mapped_bytes": sum(s["mapped_bytes"] for s in shards),
             "resident_bytes": sum(s["resident_bytes"] for s in shards),
+            "generation": self.generation,
+            "ops": self.ops.to_dict(),
             "shards": shards,
         }
 
@@ -359,7 +500,16 @@ class FilterStore:
                         write_segment(level, staging / name)
                     else:
                         (staging / name).write_bytes(dumps(level))
-                    level_files.append({"file": name, "format": level_format})
+                    # The seq names this level's content version: readers
+                    # refreshing onto this snapshot keep any level they
+                    # already have mapped under the same seq (DESIGN.md §11).
+                    level_files.append(
+                        {
+                            "file": name,
+                            "format": level_format,
+                            "seq": shard.level_seqs[level_index],
+                        }
+                    )
                 shard_records.append(
                     {
                         "levels": level_files,
@@ -375,6 +525,7 @@ class FilterStore:
                 "schema": list(self.schema.names),
                 "params": _params_to_dict(self.params),
                 "config": self.config.to_dict(),
+                "ops": self.ops.to_dict(),
                 "shards": shard_records,
             }
             # The manifest is the commit point within the staging directory.
@@ -414,34 +565,104 @@ class FilterStore:
         params = CCFParams(**manifest["params"])
         config = StoreConfig.from_dict(manifest["config"])
         store = cls(schema, params, config, kind=manifest["kind"])
+        store.ops = OpCounters(manifest.get("ops"))
         for shard, record in zip(store.shards, manifest["shards"]):
-            # Format-1 manifests record bare filenames (all ccf payloads).
-            entries = [
-                {"file": entry, "format": "ccf"} if isinstance(entry, str) else entry
-                for entry in record["levels"]
-            ]
-            for entry in entries:
-                if entry["format"] not in LEVEL_FORMATS:
-                    raise ValueError(
-                        f"unsupported level payload format {entry['format']!r} "
-                        f"for {entry['file']}"
-                    )
+            entries = _normalise_level_entries(record)
             if entries and all(entry["format"] == "segment" for entry in entries):
                 shard.attach_pending_levels(
                     [
                         SegmentLevelRef(root / entry["file"], config.level_buckets)
                         for entry in entries
-                    ]
+                    ],
+                    seqs=[entry.get("seq") for entry in entries],
                 )
             elif entries:
                 shard.levels = [
                     _load_level(root, entry, config) for entry in entries
                 ]
+                # Keep the manifest's content tokens so a later refresh can
+                # recognise these levels as already loaded.
+                shard.level_seqs = [entry.get("seq") for entry in entries]
             shard.rows_inserted = record["rows_inserted"]
             shard.rows_deleted = record["rows_deleted"]
             shard.num_compactions = record["compactions"]
             shard.entries_compacted = record["entries_compacted"]
         return store
+
+    def refresh(self, path: str | Path) -> dict[str, int]:
+        """Adopt a newer snapshot of this store without a full reopen.
+
+        The serve runtime's epoch signal (DESIGN.md §11): a reader holding a
+        mapped store calls ``refresh(path)`` when the writer publishes a new
+        snapshot.  Per shard, levels whose manifest ``seq`` matches one
+        already attached are kept — their memory-mapped columns stay exactly
+        as they are (unlinked old snapshot directories stay readable through
+        the live mapping, so the writer may garbage-collect them) — and only
+        rolled, compacted, or otherwise changed levels are (re-)attached.
+        Shard counters adopt the published totals; this store's own served-op
+        counters are untouched.
+
+        The snapshot must come from the same store lineage: schema, params
+        and config all have to match, or every shared-geometry kernel would
+        silently mis-probe.  Returns ``{"levels_reused": ..,
+        "levels_attached": ..}``.
+        """
+        root = Path(path)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        if manifest.get("format") not in (1, MANIFEST_FORMAT):
+            raise ValueError(
+                f"unsupported FilterStore manifest format {manifest.get('format')!r}"
+            )
+        if manifest["kind"] != self.kind:
+            raise ValueError(
+                f"cannot refresh a {self.kind!r} store from a "
+                f"{manifest['kind']!r} snapshot"
+            )
+        if list(manifest["schema"]) != list(self.schema.names):
+            raise ValueError("cannot refresh from a snapshot with a different schema")
+        if CCFParams(**manifest["params"]) != self.params:
+            raise ValueError("cannot refresh from a snapshot with different params")
+        if StoreConfig.from_dict(manifest["config"]) != self.config:
+            raise ValueError("cannot refresh from a snapshot with a different config")
+        reused = attached = 0
+        for shard, record in zip(self.shards, manifest["shards"]):
+            entries = _normalise_level_entries(record)
+            seqs = [entry.get("seq") for entry in entries]
+            refs: list[SegmentLevelRef | PlainCCF] = [
+                SegmentLevelRef(root / entry["file"], self.config.level_buckets)
+                if entry["format"] == "segment"
+                else _load_level(root, entry, self.config)
+                for entry in entries
+            ]
+            guard = self._write_guard(shard.shard_id)
+            if guard is None:
+                shard_reused, shard_attached = shard.refresh_from(seqs, refs)
+            else:
+                with guard:
+                    shard_reused, shard_attached = shard.refresh_from(seqs, refs)
+            reused += shard_reused
+            attached += shard_attached
+            shard.rows_inserted = record["rows_inserted"]
+            shard.rows_deleted = record["rows_deleted"]
+            shard.num_compactions = record["compactions"]
+            shard.entries_compacted = record["entries_compacted"]
+        return {"levels_reused": reused, "levels_attached": attached}
+
+
+def _normalise_level_entries(record: Mapping[str, Any]) -> list[dict]:
+    """A shard record's level list as dicts (format-1 manifests recorded
+    bare filenames, all ccf payloads), with payload formats validated."""
+    entries = [
+        {"file": entry, "format": "ccf"} if isinstance(entry, str) else entry
+        for entry in record["levels"]
+    ]
+    for entry in entries:
+        if entry["format"] not in LEVEL_FORMATS:
+            raise ValueError(
+                f"unsupported level payload format {entry['format']!r} "
+                f"for {entry['file']}"
+            )
+    return entries
 
 
 def _load_level(root: Path, entry: Mapping[str, str], config: StoreConfig) -> PlainCCF:

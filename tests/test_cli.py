@@ -83,6 +83,14 @@ class TestStoreInspectCLI:
         assert out.count("[ccf]") == store.num_levels
         assert "dtype=uint32" in out
 
+    def test_inspect_reports_op_counters(self, capsys, tmp_path):
+        store, _root = self._snapshot(tmp_path)
+        store.query_many(np.arange(400, dtype=np.int64))
+        root = store.snapshot(tmp_path / "snap2")
+        assert store_main(["inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "ops: queries=1 (400 keys) inserts=1 (1200 keys)" in out
+
     def test_inspect_missing_manifest(self, capsys, tmp_path):
         assert store_main(["inspect", str(tmp_path)]) == 1
         assert "manifest.json" in capsys.readouterr().out

@@ -301,3 +301,82 @@ class TestStatsAndIntrospection:
         assert merged.buckets.capacity < capacity_before
         assert merged.load_factor() <= store.config.target_load + 0.05
         store.shards[0].levels[0].check_invariants()
+
+
+class TestOpCounters:
+    def test_ops_track_batches_and_keys(self):
+        store = make_store(num_shards=2)
+        keys = np.arange(600, dtype=np.int64)
+        store.insert_many(keys, row_columns(keys))
+        store.query_many(keys)
+        store.query_many(keys[:100])
+        store.delete_many(keys[:30], row_columns(keys[:30]))
+        ops = store.stats()["ops"]
+        assert ops["insert_calls"] == 1 and ops["insert_keys"] == 600
+        assert ops["query_calls"] == 2 and ops["query_keys"] == 700
+        assert ops["delete_calls"] == 1 and ops["delete_keys"] == 30
+
+    def test_ops_survive_snapshot_round_trip(self, tmp_path):
+        store = make_store(num_shards=2)
+        keys = np.arange(500, dtype=np.int64)
+        store.insert_many(keys, row_columns(keys))
+        store.query_many(keys)
+        reopened = FilterStore.open(store.snapshot(tmp_path / "snap"))
+        ops = reopened.stats()["ops"]
+        assert ops["insert_keys"] == 500
+        assert ops["query_keys"] == 500
+        # ...and keep counting in the reopened store.
+        reopened.query_many(keys[:10])
+        assert reopened.stats()["ops"]["query_calls"] == 2
+
+
+class TestGenerationsAndRefresh:
+    def test_generation_advances_on_mutation(self):
+        store = make_store(num_shards=2)
+        g0 = store.generation
+        keys = np.arange(400, dtype=np.int64)
+        store.insert_many(keys, row_columns(keys))
+        g1 = store.generation
+        assert g1 > g0
+        store.query_many(keys)
+        assert store.generation == g1  # reads don't bump
+        store.compact()
+        assert store.generation > g1
+
+    def test_refresh_counts_reused_and_attached(self, tmp_path):
+        writer = make_store(num_shards=2)
+        keys = np.arange(2000, dtype=np.int64)
+        writer.insert_many(keys, row_columns(keys))
+        reader = FilterStore.open(writer.snapshot(tmp_path / "e1"))
+        reader.query_many(keys)  # materialise
+
+        more = np.arange(10**5, 10**5 + 100, dtype=np.int64)
+        writer.insert_many(more, row_columns(more))
+        result = reader.refresh(writer.snapshot(tmp_path / "e2"))
+        # Only the active levels changed; the full ones are reused.
+        assert result["levels_reused"] >= 1
+        assert result["levels_attached"] >= 1
+        assert result["levels_attached"] <= 2 * writer.config.num_shards
+        assert reader.query_many(keys).all()
+        assert reader.query_many(more).all()
+        assert len(reader) == len(writer)
+
+    def test_refresh_noop_when_nothing_changed(self, tmp_path):
+        writer = make_store(num_shards=2)
+        keys = np.arange(1000, dtype=np.int64)
+        writer.insert_many(keys, row_columns(keys))
+        reader = FilterStore.open(writer.snapshot(tmp_path / "e1"))
+        reader.query_many(keys)
+        result = reader.refresh(writer.snapshot(tmp_path / "e2"))
+        assert result["levels_attached"] == 0
+        assert result["levels_reused"] == reader.num_levels
+
+    def test_warm_returns_mapped_bytes(self, tmp_path):
+        store = make_store(num_shards=2)
+        keys = np.arange(1500, dtype=np.int64)
+        store.insert_many(keys, row_columns(keys))
+        assert store.warm() == 0  # in-memory store: nothing mapped
+        mapped = FilterStore.open(store.snapshot(tmp_path / "snap"))
+        mapped.query_many(keys[:1])  # materialise the lazy levels
+        assert mapped.warm() > 0
+        assert mapped.query_many(keys).all()

@@ -1,0 +1,238 @@
+"""Concurrency correctness: parallel serving is bit-identical to serial.
+
+The acceptance contract for the serving runtime (ISSUE: PR 6):
+
+* N threads or processes probing a mapped snapshot answer exactly like a
+  serial loop over the same probes;
+* with a concurrent writer driving level rolls and compaction under the
+  per-shard RW locks, readers never lose a pre-inserted key at any
+  interleaving, and the final store is bit-identical to a serial replay
+  of the same mutation trace;
+* epoch refresh reuses (``is``-identical) every level whose content token
+  is unchanged.
+
+Seeds mirror tests/test_adversarial.py (5, 6, 7) so hostile kick-path
+layouts are represented.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.serve import WorkerPool, shard_locks
+from repro.store import FilterStore, StoreConfig
+
+SCHEMA = AttributeSchema(["color", "size"])
+COLORS = ("red", "green", "blue")
+
+
+def make_params(seed: int) -> CCFParams:
+    return CCFParams(key_bits=24, attr_bits=16, bucket_size=4, seed=seed)
+
+
+def row_columns(keys: np.ndarray) -> list:
+    colors = np.array(COLORS, dtype=object)[keys % 3]
+    return [colors, keys % 11]
+
+
+class TestReaderParity:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_thread_readers_match_serial(self, tmp_path, seed):
+        store = FilterStore(
+            SCHEMA, make_params(seed), StoreConfig(num_shards=2, level_buckets=64)
+        )
+        keys = np.arange(2000, dtype=np.int64)
+        store.insert_many(keys, row_columns(keys))
+        mapped = FilterStore.open(store.snapshot(tmp_path / "snap"))
+
+        rng = np.random.default_rng(seed)
+        chunks = [
+            rng.integers(0, 4000, size=500).astype(np.int64) for _ in range(8)
+        ]
+        serial = [mapped.query_many(chunk) for chunk in chunks]
+
+        results: list = [None] * len(chunks)
+
+        def probe(slot: int) -> None:
+            results[slot] = mapped.query_many(chunks[slot])
+
+        threads = [
+            threading.Thread(target=probe, args=(i,)) for i in range(len(chunks))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        for got, want in zip(results, serial):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_process_pool_matches_serial(self, tmp_path, seed):
+        store = FilterStore(
+            SCHEMA, make_params(seed), StoreConfig(num_shards=2, level_buckets=64)
+        )
+        keys = np.arange(1500, dtype=np.int64)
+        store.insert_many(keys, row_columns(keys))
+        path = store.snapshot(tmp_path / "snap")
+        mapped = FilterStore.open(path)
+
+        rng = np.random.default_rng(seed)
+        chunks = [
+            rng.integers(0, 3000, size=400).astype(np.int64) for _ in range(6)
+        ]
+        serial = [mapped.query_many(chunk) for chunk in chunks]
+        with WorkerPool(path, num_workers=2, mode="process") as pool:
+            parallel = pool.map_batches(chunks)
+        for got, want in zip(parallel, serial):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestConcurrentWriter:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_readers_never_lose_keys_across_rolls_and_compaction(self, seed):
+        """Readers see every pre-inserted key while the writer rolls levels,
+        compacts, and keeps inserting — then the final store matches a
+        serial replay of the identical trace bit for bit."""
+        config = StoreConfig(num_shards=2, level_buckets=64, target_load=0.8)
+        params = make_params(seed)
+        store = FilterStore(SCHEMA, params, config)
+        store.install_shard_locks(shard_locks(config.num_shards))
+
+        pre_keys = np.arange(500, dtype=np.int64)
+        store.insert_many(pre_keys, row_columns(pre_keys))
+        levels_before = store.num_levels
+
+        # Enough volume to force several rolls per shard plus a mid-trace
+        # compaction (level capacity is 256 slots).
+        extra = np.arange(1000, 4600, dtype=np.int64)
+        trace = np.array_split(extra, 18)
+        compact_after = {5, 12}
+
+        violations: list[str] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                answers = store.query_many(pre_keys)
+                if not answers.all():
+                    lost = pre_keys[~answers]
+                    violations.append(f"lost keys {lost[:8].tolist()}")
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in readers:
+            t.start()
+        try:
+            for step, chunk in enumerate(trace):
+                assert store.insert_many(chunk, row_columns(chunk)).all()
+                if step in compact_after:
+                    store.compact()
+        finally:
+            stop.set()
+            for t in readers:
+                t.join(timeout=30.0)
+
+        assert violations == []
+        assert store.num_levels > levels_before  # rolls really happened
+
+        # Serial replay of the identical trace on a fresh store.
+        replay = FilterStore(SCHEMA, params, config)
+        replay.insert_many(pre_keys, row_columns(pre_keys))
+        for step, chunk in enumerate(trace):
+            replay.insert_many(chunk, row_columns(chunk))
+            if step in compact_after:
+                replay.compact()
+        probe = np.arange(0, 6000, dtype=np.int64)
+        np.testing.assert_array_equal(
+            store.query_many(probe), replay.query_many(probe)
+        )
+
+    def test_writer_and_readers_interleave_deletes(self):
+        """Deletes are visible atomically: a key is fully present or fully
+        gone, never half-deleted across its attribute rows."""
+        config = StoreConfig(num_shards=2, level_buckets=64)
+        store = FilterStore(SCHEMA, make_params(5), config)
+        store.install_shard_locks(shard_locks(config.num_shards))
+        stable = np.arange(300, dtype=np.int64)
+        doomed = np.arange(1000, 1300, dtype=np.int64)
+        store.insert_many(stable, row_columns(stable))
+        store.insert_many(doomed, row_columns(doomed))
+
+        violations: list[str] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                if not store.query_many(stable).all():
+                    violations.append("stable key lost")
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers:
+            t.start()
+        try:
+            for chunk in np.array_split(doomed, 10):
+                assert store.delete_many(chunk, row_columns(chunk)).all()
+        finally:
+            stop.set()
+            for t in readers:
+                t.join(timeout=30.0)
+
+        assert violations == []
+        assert not store.query_many(doomed).any()
+        assert store.query_many(stable).all()
+
+
+class TestRefreshReuse:
+    def test_refresh_reuses_unchanged_levels_by_identity(self, tmp_path):
+        writer = FilterStore(
+            SCHEMA, make_params(6), StoreConfig(num_shards=2, level_buckets=64)
+        )
+        keys = np.arange(1500, dtype=np.int64)
+        writer.insert_many(keys, row_columns(keys))
+        path1 = writer.snapshot(tmp_path / "epoch1")
+
+        reader = FilterStore.open(path1)
+        assert reader.query_many(keys).all()  # materialise the lazy levels
+        before = {
+            (shard.shard_id, seq): level
+            for shard in reader.shards
+            for seq, level in zip(shard.level_seqs, shard.levels)
+        }
+
+        # Touch only the active levels: full (rolled) levels keep their seq.
+        more = np.arange(20_000, 20_100, dtype=np.int64)
+        writer.insert_many(more, row_columns(more))
+        path2 = writer.snapshot(tmp_path / "epoch2")
+
+        result = reader.refresh(path2)
+        assert result["levels_reused"] >= 1
+        assert result["levels_attached"] >= 1
+        reused = 0
+        for shard in reader.shards:
+            for seq, level in zip(shard.level_seqs, shard.levels):
+                if (shard.shard_id, seq) in before:
+                    assert level is before[(shard.shard_id, seq)]
+                    reused += 1
+        assert reused == result["levels_reused"]
+        assert reader.query_many(keys).all()
+        assert reader.query_many(more).all()
+
+    def test_refresh_rejects_mismatched_store(self, tmp_path):
+        writer = FilterStore(
+            SCHEMA, make_params(6), StoreConfig(num_shards=2, level_buckets=64)
+        )
+        keys = np.arange(200, dtype=np.int64)
+        writer.insert_many(keys, row_columns(keys))
+        reader = FilterStore.open(writer.snapshot(tmp_path / "snap"))
+
+        other = FilterStore(
+            SCHEMA, make_params(99), StoreConfig(num_shards=2, level_buckets=64)
+        )
+        other.insert_many(keys, row_columns(keys))
+        other_path = other.snapshot(tmp_path / "other")
+        with pytest.raises(ValueError):
+            reader.refresh(other_path)

@@ -1,0 +1,198 @@
+"""CoalescingFrontEnd: concurrent point queries become few big batches.
+
+The backend here is a plain in-process FilterStore — the front end's
+contract (fewer flushes than requests, answers bit-identical to direct
+queries, per-caller slicing) is independent of what serves the batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq
+from repro.serve import CoalescingFrontEnd
+from repro.store import FilterStore, StoreConfig
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(key_bits=24, attr_bits=16, bucket_size=4, seed=23)
+COLORS = ("red", "green", "blue")
+
+
+def build_store(num_keys: int = 900) -> tuple[FilterStore, np.ndarray]:
+    store = FilterStore(SCHEMA, PARAMS, StoreConfig(num_shards=2, level_buckets=64))
+    keys = np.arange(num_keys, dtype=np.int64)
+    colors = np.array(COLORS, dtype=object)[keys % 3]
+    assert store.insert_many(keys, [colors, keys % 11]).all()
+    return store, keys
+
+
+class TestCoalescing:
+    def test_concurrent_point_queries_coalesce(self):
+        store, keys = build_store()
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(store, tick_seconds=0.005)
+            probes = list(range(0, 600, 2)) + list(range(10**6, 10**6 + 100))
+            answers = await asyncio.gather(
+                *(frontend.query(k) for k in probes)
+            )
+            frontend.close()
+            return probes, answers, frontend.stats()
+
+        probes, answers, stats = asyncio.run(scenario())
+        expected = store.query_many(np.array(probes, dtype=np.int64))
+        assert answers == [bool(x) for x in expected]
+        # The whole burst should land in a handful of flushes, not 400.
+        assert stats["flushes"] < stats["requests"] / 10
+        assert stats["requests"] == len(probes)
+        histogram = stats["histogram"]
+        assert histogram["batches"] == stats["flushes"]
+        assert histogram["keys"] == len(probes)
+        assert histogram["mean_size"] > 10
+
+    def test_max_batch_triggers_immediate_flush(self):
+        store, keys = build_store()
+
+        async def scenario():
+            # Tick far in the future: only max_batch can flush.
+            frontend = CoalescingFrontEnd(store, tick_seconds=30.0, max_batch=32)
+            answers = await asyncio.gather(
+                *(frontend.query(int(k)) for k in keys[:64])
+            )
+            frontend.close()
+            return answers, frontend.flushes
+
+        answers, flushes = asyncio.run(scenario())
+        assert all(answers)
+        assert flushes == 2  # 64 keys / max_batch 32
+
+    def test_max_batch_one_is_naive_dispatch(self):
+        store, keys = build_store()
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(store, tick_seconds=0.0, max_batch=1)
+            answers = [await frontend.query(int(k)) for k in keys[:20]]
+            frontend.close()
+            return answers, frontend.stats()
+
+        answers, stats = asyncio.run(scenario())
+        assert all(answers)
+        assert stats["flushes"] == stats["requests"] == 20
+        assert stats["histogram"]["mean_size"] == 1.0
+
+    def test_batch_requests_ride_along_and_slice_correctly(self):
+        store, keys = build_store()
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(store, tick_seconds=0.005)
+            chunks = [keys[i::5] for i in range(5)]
+            absent = np.arange(10**6, 10**6 + 77, dtype=np.int64)
+            results = await asyncio.gather(
+                *(frontend.query_many(chunk) for chunk in chunks),
+                frontend.query_many(absent),
+            )
+            frontend.close()
+            return chunks, absent, results
+
+        chunks, absent, results = asyncio.run(scenario())
+        for chunk, got in zip(chunks, results[:-1]):
+            assert len(got) == len(chunk)
+            np.testing.assert_array_equal(got, store.query_many(chunk))
+        assert not results[-1].any()
+
+    def test_per_predicate_accumulators(self):
+        store, keys = build_store()
+        red = store.compile(Eq("color", "red"))
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(
+                store, tick_seconds=0.005, predicates=(None, red)
+            )
+            plain, red_hits = await asyncio.gather(
+                frontend.query_many(keys[:300]),
+                frontend.query_many(keys[:300], red),
+            )
+            frontend.close()
+            return plain, red_hits, frontend.flushes
+
+        plain, red_hits, flushes = asyncio.run(scenario())
+        assert plain.all()
+        np.testing.assert_array_equal(red_hits, keys[:300] % 3 == 0)
+        assert flushes == 2  # one batch per predicate token
+
+    def test_undeclared_predicate_rejected(self):
+        store, keys = build_store(60)
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(store)
+            try:
+                with pytest.raises(KeyError, match="not declared"):
+                    await frontend.query(1, predicate="nope")
+            finally:
+                frontend.close()
+
+        asyncio.run(scenario())
+
+    def test_empty_batch_returns_empty(self):
+        store, keys = build_store(60)
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(store)
+            answers = await frontend.query_many([])
+            frontend.close()
+            return answers
+
+        answers = asyncio.run(scenario())
+        assert answers.size == 0
+
+
+class TestFailure:
+    def test_backend_errors_propagate_to_every_caller(self):
+        class Exploding:
+            def query_many(self, keys, predicate=None):
+                raise RuntimeError("kernel on fire")
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(Exploding(), tick_seconds=0.005)
+            results = await asyncio.gather(
+                *(frontend.query(k) for k in range(8)), return_exceptions=True
+            )
+            frontend.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 8
+        assert all(
+            isinstance(r, RuntimeError) and "kernel on fire" in str(r)
+            for r in results
+        )
+
+    def test_drain_flushes_pending_without_waiting_for_tick(self):
+        store, keys = build_store()
+
+        async def scenario():
+            frontend = CoalescingFrontEnd(store, tick_seconds=60.0)
+            pending = [
+                asyncio.ensure_future(frontend.query(int(k))) for k in keys[:10]
+            ]
+            await asyncio.sleep(0)  # let the queries enqueue
+            await frontend.drain()
+            answers = await asyncio.gather(*pending)
+            frontend.close()
+            return answers, frontend.flushes
+
+        answers, flushes = asyncio.run(scenario())
+        assert all(answers)
+        assert flushes == 1
+
+    def test_invalid_construction(self):
+        store, _ = build_store(60)
+        with pytest.raises(ValueError, match="tick_seconds"):
+            CoalescingFrontEnd(store, tick_seconds=-1.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            CoalescingFrontEnd(store, max_batch=0)

@@ -1,0 +1,131 @@
+"""RWLock semantics: shared readers, exclusive writers, writer preference."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.locks import RWLock, shard_locks
+
+
+class TestReaders:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            RWLock().release_read()
+        with pytest.raises(RuntimeError):
+            RWLock().release_write()
+
+
+class TestWriters:
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                order.append("reader")
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        assert order == []  # reader blocked behind the writer
+        order.append("writer")
+        lock.release_write()
+        t.join(timeout=5.0)
+        assert order == ["writer", "reader"]
+
+    def test_writer_excludes_writer(self):
+        lock = RWLock()
+        lock.acquire_write()
+        acquired = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                acquired.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert not acquired.wait(0.05)
+        lock.release_write()
+        assert acquired.wait(5.0)
+        t.join(timeout=5.0)
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+        late_reader_done = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_done.set()
+
+        def late_reader():
+            with lock.read_locked():
+                late_reader_done.set()
+
+        tw = threading.Thread(target=writer)
+        tw.start()
+        time.sleep(0.05)  # writer is now waiting on the initial reader
+        tr = threading.Thread(target=late_reader)
+        tr.start()
+        # Writer preference: the late reader queues behind the writer.
+        assert not late_reader_done.wait(0.05)
+        lock.release_read()
+        assert writer_done.wait(5.0)
+        assert late_reader_done.wait(5.0)
+        tw.join(timeout=5.0)
+        tr.join(timeout=5.0)
+
+
+class TestStress:
+    def test_counter_consistency_under_contention(self):
+        """Readers never observe a writer's half-applied update."""
+        lock = RWLock()
+        state = {"a": 0, "b": 0}
+        torn = []
+        stop = threading.Event()
+
+        def writer():
+            for i in range(300):
+                with lock.write_locked():
+                    state["a"] = i
+                    time.sleep(0)  # widen the torn-write window
+                    state["b"] = i
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                with lock.read_locked():
+                    if state["a"] != state["b"]:
+                        torn.append((state["a"], state["b"]))
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        tw = threading.Thread(target=writer)
+        for t in threads + [tw]:
+            t.start()
+        for t in threads + [tw]:
+            t.join(timeout=30.0)
+        assert torn == []
+
+
+def test_shard_locks_factory():
+    locks = shard_locks(4)
+    assert len(locks) == 4
+    assert len({id(lock) for lock in locks}) == 4

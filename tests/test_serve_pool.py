@@ -1,0 +1,161 @@
+"""WorkerPool: shared-snapshot workers answer exactly like a direct store.
+
+Both modes (threads and processes) attach the same SEG1 snapshot; every
+batch answered by any worker must be bit-identical to querying the
+snapshot directly in this process.  Key counts stay small — this suite
+exercises protocol and parity, not throughput (see
+benchmarks/bench_serve_latency.py for that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq
+from repro.serve import WorkerPool
+from repro.store import FilterStore, StoreConfig
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(key_bits=24, attr_bits=16, bucket_size=4, seed=23)
+COLORS = ("red", "green", "blue")
+PREDICATES = {"red": Eq("color", "red"), "small": Eq("size", 0)}
+
+
+def row_columns(keys: np.ndarray) -> list:
+    colors = np.array(COLORS, dtype=object)[keys % 3]
+    sizes = keys % 11
+    return [colors, sizes]
+
+
+def build_snapshot(tmp_path, num_keys: int = 1200):
+    store = FilterStore(
+        SCHEMA, PARAMS, StoreConfig(num_shards=2, level_buckets=64)
+    )
+    keys = np.arange(num_keys, dtype=np.int64)
+    assert store.insert_many(keys, row_columns(keys)).all()
+    path = store.snapshot(tmp_path / "snap")
+    return store, keys, path
+
+
+@pytest.fixture(params=["thread", "process"])
+def mode(request):
+    return request.param
+
+
+class TestParity:
+    def test_query_matches_direct_store(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        probe = np.concatenate([keys[::3], np.arange(10**6, 10**6 + 500)])
+        expected = FilterStore.open(path).query_many(probe)
+        with WorkerPool(path, num_workers=2, mode=mode) as pool:
+            answers = pool.query_many(probe)
+        np.testing.assert_array_equal(answers, expected)
+        assert answers[: len(keys[::3])].all()
+
+    def test_predicate_queries(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        with WorkerPool(
+            path, num_workers=2, mode=mode, predicates=PREDICATES
+        ) as pool:
+            answers = pool.query_many(keys, "red")
+            np.testing.assert_array_equal(answers, keys % 3 == 0)
+            answers = pool.query_many(keys, "small")
+            np.testing.assert_array_equal(answers, keys % 11 == 0)
+
+    def test_map_batches_returns_in_submission_order(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        batches = [keys[i::7] for i in range(7)]
+        expected = [FilterStore.open(path).query_many(b) for b in batches]
+        with WorkerPool(path, num_workers=3, mode=mode) as pool:
+            answers = pool.map_batches(batches)
+        assert len(answers) == len(batches)
+        for got, want in zip(answers, expected):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestRefresh:
+    def test_refresh_picks_up_new_epoch(self, tmp_path, mode):
+        store, keys, path1 = build_snapshot(tmp_path)
+        new_keys = np.arange(10_000, 10_400, dtype=np.int64)
+        with WorkerPool(path1, num_workers=2, mode=mode) as pool:
+            assert not pool.query_many(new_keys).any()
+            store.insert_many(new_keys, row_columns(new_keys))
+            path2 = store.snapshot(tmp_path / "snap2")
+            pool.refresh(path2, epoch=1)
+            assert pool.query_many(new_keys).all()
+            assert pool.query_many(keys).all()
+
+    def test_refresh_is_idempotent_per_epoch(self, tmp_path, mode):
+        store, keys, path1 = build_snapshot(tmp_path)
+        store.insert_many(
+            np.arange(10_000, 10_200, dtype=np.int64),
+            row_columns(np.arange(10_000, 10_200, dtype=np.int64)),
+        )
+        path2 = store.snapshot(tmp_path / "snap2")
+        with WorkerPool(path1, num_workers=2, mode=mode) as pool:
+            pool.refresh(path2, epoch=1)
+            pool.refresh(path2, epoch=1)  # redelivery: acked, not re-attached
+            stats = pool.stats()
+            assert stats["refreshes"] == pool.num_workers
+
+    def test_refresh_survives_pruned_old_epoch(self, tmp_path, mode):
+        """Workers keep serving after the directory they attached is gone."""
+        import shutil
+
+        store, keys, path1 = build_snapshot(tmp_path)
+        with WorkerPool(path1, num_workers=1, mode=mode) as pool:
+            # Materialise the mappings before unlinking the snapshot.
+            assert pool.query_many(keys[:100]).all()
+            path2 = store.snapshot(tmp_path / "snap2")
+            pool.refresh(path2, epoch=1)
+            shutil.rmtree(path1)
+            assert pool.query_many(keys[:100]).all()
+
+
+class TestControlPlane:
+    def test_stats_counts_batches_and_keys(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        with WorkerPool(path, num_workers=2, mode=mode) as pool:
+            for _ in range(4):
+                pool.query_many(keys[:50])
+            stats = pool.stats()
+        assert stats["batches"] == 4
+        assert stats["keys"] == 200
+        assert stats["errors"] == 0
+        assert stats["mode"] == mode
+        assert len(stats["per_worker"]) == 2
+        assert pool.final_stats["batches"] == 4
+
+    def test_unknown_predicate_rejected_locally(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        with WorkerPool(path, num_workers=1, mode=mode) as pool:
+            with pytest.raises(KeyError, match="unknown predicate"):
+                pool.submit(keys[:10], "nope")
+
+    def test_close_is_idempotent_and_final(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        pool = WorkerPool(path, num_workers=1, mode=mode).start()
+        first = pool.close()
+        assert pool.close() is first
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.query_many(keys[:10])
+
+    def test_unstarted_pool_rejects_requests(self, tmp_path, mode):
+        store, keys, path = build_snapshot(tmp_path)
+        pool = WorkerPool(path, num_workers=1, mode=mode)
+        with pytest.raises(RuntimeError, match="not started"):
+            pool.query_many(keys[:10])
+
+    def test_bad_snapshot_reports_fatal(self, tmp_path, mode):
+        with WorkerPool(tmp_path / "missing", num_workers=1, mode=mode) as pool:
+            with pytest.raises(RuntimeError, match="failed to attach|died"):
+                pool.query_many(np.arange(10))
+
+    def test_invalid_construction(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            WorkerPool(tmp_path, mode="fiber")
+        with pytest.raises(ValueError, match="num_workers"):
+            WorkerPool(tmp_path, num_workers=0)

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.data.zipf import ZipfMandelbrot, solve_alpha_for_mean_duplicates
+from repro.data.zipf import (
+    ZipfMandelbrot,
+    skewed_probe_indices,
+    solve_alpha_for_mean_duplicates,
+)
 
 
 class TestDistribution:
@@ -79,6 +83,38 @@ class TestExpectedDistinct:
         assert dist.mean_duplicates_per_key(draws) == pytest.approx(
             draws / dist.expected_distinct(draws)
         )
+
+
+class TestSkewedProbeIndices:
+    """0-based Zipf probe generator for the serving benchmarks."""
+
+    def test_within_universe_and_zero_based(self):
+        indices = skewed_probe_indices(5000, universe=1000, alpha=1.1, seed=2)
+        assert indices.min() >= 0
+        assert indices.max() < 1000
+        assert indices.dtype == np.int64
+
+    def test_deterministic_by_seed(self):
+        a = skewed_probe_indices(300, universe=1000, alpha=1.1, seed=9)
+        b = skewed_probe_indices(300, universe=1000, alpha=1.1, seed=9)
+        c = skewed_probe_indices(300, universe=1000, alpha=1.1, seed=10)
+        assert (a == b).all()
+        assert (a != c).any()
+
+    def test_higher_alpha_concentrates_on_hot_keys(self):
+        mild = skewed_probe_indices(20_000, universe=10_000, alpha=0.5, seed=4)
+        hot = skewed_probe_indices(20_000, universe=10_000, alpha=2.0, seed=4)
+        assert (hot < 100).mean() > (mild < 100).mean()
+        assert (hot < 100).mean() > 0.5
+
+    def test_index_zero_is_hottest(self):
+        indices = skewed_probe_indices(50_000, universe=100, alpha=1.5, seed=6)
+        counts = np.bincount(indices, minlength=100)
+        assert counts[0] == counts.max()
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            skewed_probe_indices(10, universe=0, alpha=1.0)
 
 
 class TestAlphaSolver:
