@@ -9,6 +9,17 @@ measured at 1M keys:
   (two int64 fancy-gathers, replayed below): >= 1.5x.
 * packed storage holds <= 1/4 the fingerprint bytes of int64 at f <= 16.
 
+ISSUE 7 adds the kernel-backend dimension (DESIGN.md §12): the record's
+``backends`` section times the same insert/probe/delete workload once per
+*timed* backend — numpy always, numba when importable (the ``python``
+oracle exists for parity testing, not timing).  Per backend it records the
+numba version (or null), **cold vs warm JIT timing separately** (the cold
+bulk insert includes any ``@njit`` compile; with ``cache=True`` a warm
+on-disk cache makes cold ~= warm), and speedups relative to the in-process
+numpy run.  ISSUE 7 acceptance, asserted only when numba is importable and
+the run is at the 1M scale: warm numba ``insert_many`` (kick-heavy, load
+>= 0.9) >= 2x numpy, with no probe/delete regression.
+
 Results merge into ``bench_results/kernel_microbench.json`` keyed by key
 count, so the 1M acceptance record and the CI smoke record coexist.
 
@@ -21,7 +32,10 @@ reference kernel runs in the same process on the same machine, so the
 ratio is hardware-portable where raw throughput is not — and it is
 anchored to the pre-PR loop (the widest, most stable margin) rather than
 the int64 twin, whose advantage at cache-resident smoke sizes is thin
-enough for scheduler jitter to trip a false alarm.
+enough for scheduler jitter to trip a false alarm.  The same gate applies
+**per backend**: any backend present in both the baseline's and this run's
+``backends`` section must hold its insert/contains speedup-vs-numpy to
+within the allowed regression.
 
 Environment knobs: ``REPRO_KERNEL_KEYS`` (default 1M),
 ``REPRO_KERNEL_BASELINE``, ``REPRO_KERNEL_MAX_REGRESSION``.
@@ -37,6 +51,7 @@ import numpy as np
 
 from repro.bench.reporting import RESULTS_DIR, save_json
 from repro.cuckoo.filter import CuckooFilter
+from repro.kernels import active_backend, available_backends, set_backend
 
 NUM_KEYS = int(os.environ.get("REPRO_KERNEL_KEYS", 1_000_000))
 BASELINE_PATH = os.environ.get("REPRO_KERNEL_BASELINE")
@@ -44,6 +59,10 @@ MAX_REGRESSION = float(os.environ.get("REPRO_KERNEL_MAX_REGRESSION", 0.2))
 #: ISSUE 4 acceptance thresholds, asserted at the 1M-key scale.
 MIN_DELETE_SPEEDUP = 3.0
 MIN_CONTAINS_SPEEDUP = 1.5
+#: ISSUE 7 acceptance thresholds (numba importable, 1M-key scale only).
+MIN_NUMBA_INSERT_SPEEDUP = 2.0
+#: "No regression" floor on numba probe/delete vs numpy (10% jitter allowance).
+MIN_NUMBA_HOLD = 0.9
 RESULT_NAME = "kernel_microbench"
 
 
@@ -89,6 +108,102 @@ def _pre_pr_delete_many(cuckoo: CuckooFilter, keys: np.ndarray) -> np.ndarray:
     return out
 
 
+def _kick_heavy_buckets() -> int:
+    """Smallest power-of-two bucket count fitting NUM_KEYS, load < 1.
+
+    ``from_capacity`` at the default 0.95 target usually rounds up a full
+    power of two (load ~0.48) — far too roomy to exercise the eviction
+    loop.  The backend sweep instead sizes the table tight: at the 1M
+    default this lands at 262144 buckets (load ~0.954), making the bulk
+    insert kick-heavy as ISSUE 7's acceptance bar requires.
+    """
+    buckets = 1
+    while buckets * 4 < NUM_KEYS:
+        buckets *= 2
+    if buckets * 4 == NUM_KEYS:  # exactly full would demand load 1.0
+        buckets *= 2
+    return buckets
+
+
+def _bench_one_backend(
+    name: str, keys: np.ndarray, probes: np.ndarray
+) -> tuple[dict, np.ndarray, np.ndarray]:
+    """Time insert (cold + warm), probe and delete under backend ``name``.
+
+    Cold = the first bulk insert after selecting the backend, which pays any
+    JIT compile (or on-disk cache load) the backend defers to first use.
+    Warm = the same build on a fresh filter once the kernels are compiled.
+    Returns the timing record plus the probe/delete answers for parity
+    assertions against the reference backend.
+    """
+    backend = set_backend(name)
+    num_buckets = _kick_heavy_buckets()
+    try:
+        cold_filter = CuckooFilter(num_buckets, 4, 12, seed=7)
+        start = time.perf_counter()
+        cold_filter.insert_many(keys, bulk=True)
+        insert_cold = time.perf_counter() - start
+
+        warm_filter = CuckooFilter(num_buckets, 4, 12, seed=7)
+        start = time.perf_counter()
+        warm_filter.insert_many(keys, bulk=True)
+        insert_warm = time.perf_counter() - start
+
+        contains = _best_of(3, warm_filter.contains_many, probes)
+        probe_answers = warm_filter.contains_many(probes)
+
+        victims = keys[::2]
+        start = time.perf_counter()
+        delete_answers = warm_filter.delete_many(victims)
+        delete = time.perf_counter() - start
+
+        record = {
+            "backend": backend.name,
+            "numba_version": backend.info.get("numba_version"),
+            "load_factor_built": cold_filter.load_factor(),
+            "insert_cold_s": insert_cold,
+            "insert_warm_s": insert_warm,
+            "jit_overhead_s": max(0.0, insert_cold - insert_warm),
+            "insert_cold_keys_per_s": NUM_KEYS / insert_cold,
+            "insert_warm_keys_per_s": NUM_KEYS / insert_warm,
+            "contains_keys_per_s": NUM_KEYS / contains,
+            "delete_keys_per_s": len(victims) / delete,
+        }
+        return record, probe_answers, delete_answers
+    finally:
+        set_backend(None)
+
+
+def _bench_backends(keys: np.ndarray, probes: np.ndarray) -> dict:
+    """Per-backend timing sweep: numpy always, numba when importable."""
+    timed = ["numpy"]
+    if available_backends().get("numba"):
+        timed.append("numba")
+    records: dict[str, dict] = {}
+    reference_probe = reference_delete = None
+    for name in timed:
+        record, probe_answers, delete_answers = _bench_one_backend(name, keys, probes)
+        if reference_probe is None:
+            reference_probe, reference_delete = probe_answers, delete_answers
+        else:
+            # Timed runs double as a full-scale parity check.
+            assert probe_answers.tolist() == reference_probe.tolist()
+            assert delete_answers.tolist() == reference_delete.tolist()
+        records[name] = record
+    numpy_record = records["numpy"]
+    for record in records.values():
+        record["insert_speedup_vs_numpy"] = (
+            record["insert_warm_keys_per_s"] / numpy_record["insert_warm_keys_per_s"]
+        )
+        record["contains_speedup_vs_numpy"] = (
+            record["contains_keys_per_s"] / numpy_record["contains_keys_per_s"]
+        )
+        record["delete_speedup_vs_numpy"] = (
+            record["delete_keys_per_s"] / numpy_record["delete_keys_per_s"]
+        )
+    return records
+
+
 def test_kernel_microbench():
     rng = np.random.default_rng(3)
     # Half present, half absent probes — the serving mix.
@@ -129,11 +244,15 @@ def test_kernel_microbench():
     pre_pr_delete = time.perf_counter() - start
     assert packed_deleted.tolist() == legacy_deleted.tolist()
 
+    backends = _bench_backends(keys, probes)
+
     contains_speedup_vs_int64 = legacy_contains / packed_contains
     contains_speedup_vs_pre_pr = pre_pr_contains / packed_contains
     delete_speedup_vs_pre_pr = pre_pr_delete / packed_delete
     record = {
         "keys": NUM_KEYS,
+        "active_backend": active_backend().name,
+        "backends": backends,
         "bucket_size": 4,
         "fingerprint_bits": 12,
         "fingerprint_bytes_packed": packed.buckets.fingerprint_bytes(),
@@ -173,6 +292,19 @@ def test_kernel_microbench():
         f"({delete_speedup_vs_pre_pr:.1f}x pre-PR), "
         f"fingerprint bytes {fingerprint_byte_ratio:.2f}x int64"
     )
+    for name, entry in backends.items():
+        version = entry["numba_version"] or "-"
+        print(
+            f"  backend {name} (numba={version}): insert warm "
+            f"{entry['insert_warm_keys_per_s']/1e6:.2f}M/s "
+            f"(cold {entry['insert_cold_keys_per_s']/1e6:.2f}M/s, "
+            f"jit {entry['jit_overhead_s']*1e3:.0f}ms), contains "
+            f"{entry['contains_keys_per_s']/1e6:.1f}M/s, delete "
+            f"{entry['delete_keys_per_s']/1e6:.2f}M/s "
+            f"[{entry['insert_speedup_vs_numpy']:.2f}x / "
+            f"{entry['contains_speedup_vs_numpy']:.2f}x / "
+            f"{entry['delete_speedup_vs_numpy']:.2f}x vs numpy]"
+        )
 
     # Regression gate against the committed baseline (same key count only).
     if baseline is not None:
@@ -182,12 +314,40 @@ def test_kernel_microbench():
             f"{contains_speedup_vs_pre_pr:.2f}x, baseline "
             f"{baseline['contains_speedup_vs_pre_pr']:.2f}x (floor {floor:.2f}x)"
         )
+        # Per-backend leg of the gate: a backend timed in both runs must
+        # hold its warm speedups vs numpy (in-process ratios, so the
+        # comparison is hardware-portable like the pre-PR anchor above).
+        for name, base_entry in (baseline.get("backends") or {}).items():
+            entry = backends.get(name)
+            if entry is None or name == "numpy":
+                continue
+            for metric in ("insert_speedup_vs_numpy", "contains_speedup_vs_numpy"):
+                backend_floor = base_entry[metric] * (1 - MAX_REGRESSION)
+                assert entry[metric] >= backend_floor, (
+                    f"backend {name} regressed on {metric}: "
+                    f"{entry[metric]:.2f}x, baseline {base_entry[metric]:.2f}x "
+                    f"(floor {backend_floor:.2f}x)"
+                )
 
     # ISSUE 4 acceptance thresholds hold at the 1M scale; smoke runs with
     # fewer keys only report (fixed per-batch overheads dominate there).
     if NUM_KEYS >= 1_000_000:
         assert delete_speedup_vs_pre_pr >= MIN_DELETE_SPEEDUP
         assert contains_speedup_vs_pre_pr >= MIN_CONTAINS_SPEEDUP
+
+    # ISSUE 7 acceptance: numba's JIT path must earn its keep at scale —
+    # >= 2x on the kick-heavy bulk insert (built load >= 0.9) with no
+    # probe/delete regression.  Self-disables honestly when numba is not
+    # importable (the record then carries numba_version: null).
+    numba_entry = backends.get("numba")
+    if numba_entry is not None and NUM_KEYS >= 1_000_000:
+        assert numba_entry["load_factor_built"] >= 0.9
+        assert numba_entry["insert_speedup_vs_numpy"] >= MIN_NUMBA_INSERT_SPEEDUP, (
+            f"numba insert_many speedup {numba_entry['insert_speedup_vs_numpy']:.2f}x "
+            f"below the {MIN_NUMBA_INSERT_SPEEDUP}x acceptance bar"
+        )
+        assert numba_entry["contains_speedup_vs_numpy"] >= MIN_NUMBA_HOLD
+        assert numba_entry["delete_speedup_vs_numpy"] >= MIN_NUMBA_HOLD
 
 
 if __name__ == "__main__":

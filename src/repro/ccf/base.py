@@ -746,7 +746,8 @@ class ConditionalCuckooFilterBase:
         bucket indices — the raw material both the single-pair kernel and
         the chained hybrid kernel build on.  Home and alternate rows are
         gathered in one ``take`` over the live (width-adaptive) fingerprint
-        column (`SlotMatrix.pair_eq`); no snapshot is built.  Callers that
+        column (`SlotMatrix.pair_eq`, dispatched to the active kernel
+        backend — see `repro.kernels`); no snapshot is built.  Callers that
         already computed the partner indices (the FilterStore fans one
         hashing pass across many levels) pass ``alts`` to skip the re-hash.
         """

@@ -71,7 +71,8 @@ class ExtractedKeyFilter:
         This is the hot call of the shipped-filter deployment (§2): the
         fact-table site probes every scan key against a few-KiB view, so the
         probe must not pay a Python loop per key.  Both buckets are gathered
-        in one fused `SlotMatrix.pair_eq` probe at the packed width.
+        in one fused `SlotMatrix.pair_eq` probe at the packed width (the
+        probe dispatches to the active kernel backend, `repro.kernels`).
         Answers are identical to scalar `contains` per key.
         """
         fps = self.geometry.fingerprints_of_many(keys)

@@ -8,22 +8,26 @@ kernels; this mixin holds the single copy.  Host classes provide ``buckets``
 counter, ``stash``/``failed``, and the scalar kernels ``_insert_hashed`` /
 ``_delete_hashed``.
 
-Three kernels are fully vectorised on the live columnar matrix (no snapshot
-to build or invalidate; DESIGN.md §6, §9):
+Three kernels run loop-free on the live columnar matrix (no snapshot to
+build or invalidate; DESIGN.md §6, §9), all dispatched through the kernel
+backend seam (`repro.kernels`, DESIGN.md §12):
 
 * **Fused pair probe** — `contains_many`/`count_many` gather each key's home
   and alternate rows in one ``take`` over the (width-adaptive) fingerprint
-  matrix (`SlotMatrix.pair_eq`).
+  matrix (`SlotMatrix.pair_eq` → backend ``pair_eq``).
 * **Wave eviction** — the opt-in bulk build (`insert_many(..., bulk=True)`)
-  places the conflict-free first wave, then runs the kick residue in
-  *waves*: every in-flight item attempts its target bucket per round
-  (`plan_bulk_placement`), conflicting evictions are resolved one-per-bucket
-  via ``np.unique``, and only the final stragglers fall back to the scalar
-  kick loop.
+  places the conflict-free first wave, then hands the kick residue to the
+  backend ``wave_kick`` kernel: every in-flight item attempts its target
+  bucket per round, conflicting evictions are resolved one-per-bucket, and
+  only the final stragglers fall back to the scalar kick loop here.  Victim
+  slots come from a stateless counter-based SplitMix64 stream (seed + stream
+  position persisted on the host object), so every backend reproduces the
+  same kick chains and no per-call RNG object is ever constructed.
 * **Vectorised delete** — `delete_many` selects each key's first matching
   slot by rank over the pair equality mask, made conflict-safe for
   duplicate keys in one batch by rank-deduping within (fingerprint, pair)
-  groups; results and final state are bit-identical to a scalar loop.
+  groups (backend ``delete_plan``); results and final state are
+  bit-identical to a scalar loop.
 """
 
 from __future__ import annotations
@@ -32,8 +36,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.cuckoo.buckets import grouped_ranks
-from repro.hashing.mixers import derive_seed, hash64_many_masked
+from repro.hashing.mixers import _mixed_seed, derive_seed, hash64_many_masked
+from repro.kernels import active_backend
 
 #: Below this many surviving in-flight items a wave round costs more than the
 #: scalar kick loop; the stragglers are settled sequentially instead.
@@ -110,6 +114,8 @@ class FingerprintBatchMixin:
         out = np.ones(n, dtype=bool)
         if n == 0:
             return out
+        if not self.buckets.writeable:
+            self.buckets.promote()
         # The (bucket, rank) -> free-slot assignment lives on SlotMatrix
         # (`plan_bulk_placement`), shared with store compaction.
         rows, placed_buckets, slots, residue = self.buckets.plan_bulk_placement(homes)
@@ -121,82 +127,83 @@ class FingerprintBatchMixin:
             self._wave_insert(fps[residue], homes[residue], residue, out)
         return out
 
-    def _wave_rng(self) -> np.random.Generator:
-        """The bulk path's victim-slot RNG (separate stream from `_rng`)."""
-        rng = getattr(self, "_wave_rng_obj", None)
-        if rng is None:
-            rng = np.random.default_rng(derive_seed(self.seed, "wave-kick"))
-            self._wave_rng_obj = rng
-        return rng
+    def _wave_victim_seed(self) -> int:
+        """The victim-slot stream seed (derived once, cached on the host).
+
+        The wave kernel draws victim slots from a stateless SplitMix64
+        stream keyed by this seed and a persistent counter
+        (``_wave_victim_counter``) — the bulk path's separate "RNG stream"
+        without any RNG object: nothing to construct per call, nothing to
+        reseed, and any backend reproduces the draws from two integers.
+        """
+        seed = getattr(self, "_wave_victim_seed_val", None)
+        if seed is None:
+            seed = _mixed_seed(derive_seed(self.seed, "wave-kick"))
+            self._wave_victim_seed_val = seed
+            self._wave_victim_counter = 0
+        return seed
 
     def _wave_insert(
         self, item_fps: np.ndarray, homes: np.ndarray, origins: np.ndarray, out: np.ndarray
     ) -> None:
-        """Wave eviction: process the whole kick residue per round.
+        """Wave eviction: hand the kick residue to the backend kernel.
 
         Every in-flight item targets one bucket (initially the alternate —
-        its home filled up in the first wave).  Each round first places
-        every item whose target has room (`plan_bulk_placement`, conflicts
-        rank-resolved), then performs **one eviction per contested bucket**
-        (``np.unique`` picks the earliest item; losers retry next round
-        against the winner-free bucket): the winner swaps into a random
-        victim slot and continues as the victim, bound for the victim's
-        alternate bucket — always within the victim's own pair, so per-pair
-        fingerprint multisets (and hence membership answers) evolve exactly
-        as under scalar kicking.  An item whose chain exhausts ``max_kicks``
-        evictions is stashed (DESIGN.md §1) and its originating key reports
-        False.  The final stragglers settle through the scalar kick loop.
+        its home filled up in the first wave).  The backend ``wave_kick``
+        kernel runs the rounds (place / stash exhausted chains / one
+        eviction per contested bucket; see `repro.kernels.reference`)
+        directly on the fingerprint and occupancy columns; this host wrapper
+        owns everything object-shaped: the stash list, the ``failed`` latch,
+        occupancy reconciliation, the victim-stream counter, and the final
+        <= `WAVE_SCALAR_CUTOFF` stragglers, which settle through the scalar
+        kick loop.  Evictions always stay within the victim's own bucket
+        pair, so per-pair fingerprint multisets (and hence membership
+        answers) evolve exactly as under scalar kicking; an item whose chain
+        exhausts ``max_kicks`` evictions is stashed (DESIGN.md §1) and its
+        originating key reports False.
         """
         buckets = self.buckets
         self.num_items += int(item_fps.size)
+        if not buckets.writeable:
+            buckets.promote()
         # Residue home buckets are full after the first wave: start at the
         # alternates, like the scalar kernel's second `try_add`.
         cur = homes ^ self._fp_jump_many(item_fps)
-        item_fps = item_fps.copy()
-        origins = origins.copy()
-        kicks = np.zeros(item_fps.size, dtype=np.int64)
-        rng = self._wave_rng()
-        while item_fps.size:
-            if item_fps.size <= WAVE_SCALAR_CUTOFF:
-                for fp, bucket, origin, used in zip(
-                    item_fps.tolist(), cur.tolist(), origins.tolist(), kicks.tolist()
-                ):
-                    out[origin] &= self._settle_item(fp, bucket, used)
-                return
-            rows, placed_buckets, slots, rem = buckets.plan_bulk_placement(cur)
-            if rows.size:
-                buckets.fps[placed_buckets, slots] = item_fps[rows]
-                buckets.note_bulk_placement(placed_buckets)
-                if rem.size == 0:
-                    return
-                item_fps = item_fps[rem]
-                cur = cur[rem]
-                origins = origins[rem]
-                kicks = kicks[rem]
-            exhausted = kicks >= self.max_kicks
-            if exhausted.any():
-                for fp, origin in zip(
-                    item_fps[exhausted].tolist(), origins[exhausted].tolist()
-                ):
-                    self.stash.append(fp)
-                    out[origin] = False
-                self.failed = True
-                keep = ~exhausted
-                item_fps = item_fps[keep]
-                cur = cur[keep]
-                origins = origins[keep]
-                kicks = kicks[keep]
-                if not item_fps.size:
-                    return
-            # One eviction per destination bucket this round.
-            _uniq, winners = np.unique(cur, return_index=True)
-            victim_buckets = cur[winners]
-            victim_slots = rng.integers(0, buckets.bucket_size, size=winners.size)
-            victim_fps = buckets.fps[victim_buckets, victim_slots].astype(np.int64)
-            buckets.fps[victim_buckets, victim_slots] = item_fps[winners]
-            item_fps[winners] = victim_fps
-            cur[winners] = victim_buckets ^ self._fp_jump_many(victim_fps)
-            kicks[winners] += 1
+        victim_seed = self._wave_victim_seed()
+        (
+            stash_fps,
+            stash_origins,
+            strag_fps,
+            strag_cur,
+            strag_origins,
+            strag_kicks,
+            placed,
+            self._wave_victim_counter,
+        ) = active_backend().wave_kick(
+            buckets.fps,
+            buckets.counts,
+            buckets.empty,
+            item_fps.copy(),
+            cur,
+            origins.copy(),
+            np.zeros(item_fps.size, dtype=np.int64),
+            out,
+            self.max_kicks,
+            buckets.num_buckets - 1,
+            _mixed_seed(self._jump_salt),
+            victim_seed,
+            self._wave_victim_counter,
+            WAVE_SCALAR_CUTOFF,
+        )
+        buckets.note_kernel_fills(placed)
+        if stash_fps.size:
+            self.stash.extend(stash_fps.tolist())
+            self.failed = True
+        for fp, bucket, origin, used in zip(
+            strag_fps.tolist(), strag_cur.tolist(), strag_origins.tolist(),
+            strag_kicks.tolist(),
+        ):
+            out[origin] &= self._settle_item(fp, bucket, used)
 
     def _settle_item(self, fp: int, bucket: int, kicks_used: int) -> bool:
         """Scalar finish for one in-flight wave item (remaining kick budget)."""
@@ -258,46 +265,21 @@ class FingerprintBatchMixin:
         members disagree on home orientation (two keys sharing a pair from
         opposite ends — their interleaved scans don't rank-decompose), and
         occurrences that overflow the table matches into the stash scan.
+        The slot-claim plan is computed by the backend ``delete_plan``
+        kernel (`repro.kernels`); this wrapper owns the mutation, the item
+        counter and the scalar residue.
         """
         n = len(fps)
         out = np.zeros(n, dtype=bool)
         if n == 0:
             return out
         eq, alts = self._pair_eq_many(fps, homes)
-        eq_home = eq[:, 0]
-        eq_alt = eq[:, 1]
-        match_home = eq_home.sum(axis=1)
-        match_alt = np.where(alts == homes, 0, eq_alt.sum(axis=1))
-        # Rank each row within its (fingerprint, pair) group, in batch order.
-        pair_lo = np.minimum(homes, alts)
-        order, boundary, group_start, sorted_rank = grouped_ranks(fps, pair_lo)
-        rank = np.empty(n, dtype=np.int64)
-        rank[order] = sorted_rank
-        # Groups probing one pair from both ends fall back to the scalar
-        # kernel (their home/alt scan orders interleave).
-        gid = np.cumsum(boundary) - 1
-        differs = homes[order] != homes[order[group_start]]
-        group_mixed = np.zeros(int(gid[-1]) + 1, dtype=bool)
-        np.logical_or.at(group_mixed, gid, differs)
-        scalar_rows = np.empty(n, dtype=bool)
-        scalar_rows[order] = group_mixed[gid]
-
-        vec = ~scalar_rows
-        take_home = vec & (rank < match_home)
-        take_alt = vec & ~take_home & (rank < match_home + match_alt)
-        overflow = vec & ~take_home & ~take_alt
-        rows = np.nonzero(take_home)[0]
-        if rows.size:
-            csum = np.cumsum(eq_home[rows], axis=1)
-            slots = (csum == (rank[rows] + 1)[:, None]).argmax(axis=1)
-            self.buckets.clear_slots(homes[rows], slots)
-            out[rows] = True
-        rows = np.nonzero(take_alt)[0]
-        if rows.size:
-            csum = np.cumsum(eq_alt[rows], axis=1)
-            slots = (csum == (rank[rows] - match_home[rows] + 1)[:, None]).argmax(axis=1)
-            self.buckets.clear_slots(alts[rows], slots)
-            out[rows] = True
+        clear_buckets, clear_slots, deleted, scalar_rows, overflow = (
+            active_backend().delete_plan(eq, fps, homes, alts)
+        )
+        if clear_buckets.size:
+            self.buckets.clear_slots(clear_buckets, clear_slots)
+        out[deleted] = True
         self.num_items -= int(out.sum())
         # Sequential residue, in batch order so stash copies are consumed
         # exactly as a scalar loop would consume them.

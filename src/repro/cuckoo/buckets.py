@@ -45,6 +45,11 @@ from typing import Any, Iterator
 
 import numpy as np
 
+# ``grouped_ranks`` moved to the kernel package with the other hot kernels
+# (DESIGN.md §12); re-exported here because it has always been part of this
+# module's public surface.
+from repro.kernels import active_backend, grouped_ranks  # noqa: F401
+
 #: Sentinel for a free slot in the *legacy* int64 fingerprint matrix.  Packed
 #: matrices use ``iinfo(dtype).max`` instead; always read ``matrix.empty``.
 EMPTY = -1
@@ -73,35 +78,6 @@ def dtype_for_bits(bits: int) -> np.dtype:
     if bits <= 32:
         return np.dtype(np.uint32)
     return np.dtype(np.uint64)
-
-
-def grouped_ranks(
-    *keys: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Stable within-group ranks for rows grouped by equal key tuples.
-
-    Returns ``(order, boundary, group_start, rank)``, all in sorted space:
-    ``order`` sorts rows by the key arrays with original position as the
-    tie-break (so earlier rows rank first within their group), ``boundary``
-    marks each group's first sorted row, ``group_start`` maps every sorted
-    position to its group's first sorted position, and ``rank`` is each
-    sorted row's 0-based position within its group.  Requires at least one
-    row.  The one audited copy of the grouped-rank idiom shared by
-    `SlotMatrix.plan_bulk_placement` and the batch-delete rank-deduping
-    kernel (`cuckoo/batch.py`).
-    """
-    n = len(keys[0])
-    positions = np.arange(n)
-    order = np.lexsort((positions,) + tuple(reversed(keys)))
-    boundary = np.empty(n, dtype=bool)
-    boundary[0] = True
-    changed = np.zeros(n - 1, dtype=bool)
-    for key in keys:
-        sorted_key = key[order]
-        changed |= sorted_key[1:] != sorted_key[:-1]
-    boundary[1:] = changed
-    group_start = np.maximum.accumulate(np.where(boundary, positions, 0))
-    return order, boundary, group_start, positions - group_start
 
 
 def fingerprint_fold(bits: int) -> int | None:
@@ -414,17 +390,10 @@ class SlotMatrix:
         comparison runs in the matrix's native dtype, so packed tables probe
         at their narrow width end to end.  Query fingerprints are always
         valid stored values (non-negative, never the sentinel), so the
-        unsigned cast is exact.
+        unsigned cast is exact.  Dispatches to the active kernel backend
+        (`repro.kernels`); every backend answers bit-identically.
         """
-        n = len(fps)
-        idx = np.empty((n, 2), dtype=np.intp)
-        idx[:, 0] = homes
-        idx[:, 1] = alts
-        gathered = self.fps.take(idx.ravel(), axis=0)
-        return (
-            gathered.reshape(n, 2 * self.bucket_size)
-            == fps.astype(self.fps.dtype, copy=False)[:, None]
-        ).reshape(n, 2, self.bucket_size)
+        return active_backend().pair_eq(self.fps, fps, homes, alts)
 
     def clear_slots(self, buckets: np.ndarray, slots: np.ndarray) -> None:
         """Vectorised bulk clear of distinct occupied (bucket, slot) pairs.
@@ -463,30 +432,12 @@ class SlotMatrix:
         into ``fps[buckets, slots]`` (and any parallel columns), then update
         occupancy via `recount` or `note_bulk_placement`.  Shared by the
         cuckoo-filter bulk build and wave eviction (`cuckoo/batch.py`) and
-        store compaction (`store/compaction.py`).
+        store compaction (`store/compaction.py`).  Dispatches to the active
+        kernel backend (`repro.kernels`).
         """
-        n = len(homes)
-        empty = np.empty(0, dtype=np.int64)
-        if n == 0:
-            return empty, empty, empty, empty
-        order, _boundary, _group_start, rank = grouped_ranks(homes)
-        sorted_homes = homes[order]
-        free = (self.bucket_size - self.counts[sorted_homes]).astype(np.int64)
-        placed = rank < free
-        placed_buckets = sorted_homes[placed]
-        slots = empty
-        if placed_buckets.size:
-            touched, inverse = np.unique(placed_buckets, return_inverse=True)
-            emptiness = self.fps[touched] == self.empty
-            empty_rank = np.cumsum(emptiness, axis=1) - 1
-            slot_of_rank = np.full((len(touched), self.bucket_size), -1, dtype=np.int64)
-            for slot in range(self.bucket_size):
-                here = emptiness[:, slot]
-                slot_of_rank[here, empty_rank[here, slot]] = slot
-            slots = slot_of_rank[inverse, rank[placed]]
-        residue = order[~placed]
-        residue.sort()
-        return order[placed], placed_buckets, slots, residue
+        return active_backend().plan_bulk_placement(
+            self.fps, self.counts, self.empty, homes
+        )
 
     def note_bulk_placement(self, buckets: np.ndarray) -> None:
         """Account for a first-wave scatter into ``fps[buckets, slots]``."""
@@ -494,6 +445,16 @@ class SlotMatrix:
             self.promote()
         np.add.at(self.counts, buckets, 1)
         self._filled += int(buckets.size)
+
+    def note_kernel_fills(self, placed: int) -> None:
+        """Account for ``placed`` slots filled by a dispatch kernel.
+
+        The wave-eviction kernel (`repro.kernels`) writes the fingerprint
+        matrix and maintains the occupancy column itself; only the derived
+        filled total lives outside the columns, so the host reconciles it
+        here after the kernel returns.
+        """
+        self._filled += int(placed)
 
     def recount(self) -> None:
         """Rebuild the occupancy column from the fingerprint matrix.

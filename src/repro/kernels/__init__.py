@@ -1,0 +1,52 @@
+"""Backend-dispatched hot kernels for every cuckoo structure (DESIGN.md §12).
+
+The package splits into:
+
+* :mod:`repro.kernels.dispatch` — backend registry, selection
+  (``REPRO_KERNEL_BACKEND`` / :func:`set_backend`), fallback semantics and
+  the :func:`xp` array-namespace shim;
+* :mod:`repro.kernels.reference` — the vectorised numpy kernels (the
+  behavioural contract every backend must match bit for bit);
+* :mod:`repro.kernels._sequential` — numba-compatible scalar twins,
+  registered as the ``"python"`` oracle backend;
+* :mod:`repro.kernels.numba_backend` — the optional JIT fast path
+  (guarded import; falls back to numpy when numba is absent).
+
+Call sites never pick an implementation: they fetch
+``active_backend()`` and call through its :class:`KernelBackend` fields.
+"""
+
+from repro.kernels import _sequential, numba_backend, reference
+from repro.kernels.dispatch import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    BackendUnavailable,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    backend_spec,
+    register_backend,
+    registered_backends,
+    set_backend,
+    xp,
+)
+from repro.kernels.reference import grouped_ranks
+
+register_backend("numpy", reference.make_backend)
+register_backend("python", _sequential.make_backend)
+register_backend("numba", numba_backend.make_backend)
+
+__all__ = [
+    "BackendUnavailable",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "KernelBackend",
+    "active_backend",
+    "available_backends",
+    "backend_spec",
+    "grouped_ranks",
+    "register_backend",
+    "registered_backends",
+    "set_backend",
+    "xp",
+]

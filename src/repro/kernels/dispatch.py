@@ -1,0 +1,208 @@
+"""Backend dispatch for the hot cuckoo kernels (DESIGN.md §12).
+
+Every hot kernel in the repository — the fused pair probe, the grouped-rank
+helper, the bulk-placement planner, the rank-deduped delete plan and the
+wave-eviction kick loop — is a *pure function over columns* collected into a
+:class:`KernelBackend`.  Callers never import a kernel module directly; they
+ask :func:`active_backend` and call through it, so `SlotMatrix`, the five CCF
+variants, the FilterStore shards and the serve workers all share one seam
+behind which alternative implementations (numba JIT today, CuPy tomorrow)
+can slot in without touching any call site.
+
+Selection, in precedence order:
+
+1. an explicit :func:`set_backend` call (process-local; the serve pool
+   forwards its spec to workers so the choice survives fork *and* spawn);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. the default, ``"numpy"``.
+
+A requested backend that is not registered or whose factory raises
+:class:`BackendUnavailable` (e.g. ``numba`` without numba installed) falls
+back to numpy with a warning — an accelerator going missing must degrade to
+the reference path, never crash the store.  ``set_backend(..., strict=True)``
+turns that fallback into an error for callers that need the real thing
+(benchmarks, the CI numba leg).
+
+Backends are *contractually bit-identical*: every registered backend must
+produce the same placements, stash contents and query answers as the numpy
+reference on identical inputs (property-tested in
+``tests/test_kernel_backends.py``).  Speed may differ; behaviour may not.
+
+The module also hosts the array-namespace shim :func:`xp`: kernels that can
+be expressed in the array-API subset resolve their array module from the
+operand (``arr.__array_namespace__()``), so a CuPy array would transparently
+bring its own namespace.  Kernels that need numpy-only primitives
+(``lexsort``, ``ufunc.at``) document the dependency instead.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+#: Environment variable naming the kernel backend (e.g. ``numba``).
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The always-available reference backend every fallback lands on.
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailable(RuntimeError):
+    """A backend factory's dependencies are missing or broken."""
+
+
+def xp(arr: Any):
+    """Resolve the array namespace of ``arr`` (array-API style).
+
+    Returns ``arr.__array_namespace__()`` when the operand publishes one
+    (numpy >= 2 ndarrays do, as would CuPy arrays), else the numpy module.
+    Kernels use this so array-API-expressible steps follow their operand's
+    backing library instead of hard-wiring ``np``.
+    """
+    ns = getattr(arr, "__array_namespace__", None)
+    if ns is not None:
+        return ns()
+    return np
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One backend's kernel suite: pure functions over column arrays.
+
+    Fields mirror the five extracted kernels; see ``reference.py`` for the
+    canonical signatures and semantics.  ``info`` carries provenance for
+    stats/benchmark records (e.g. the numba version that compiled the
+    fast path).
+    """
+
+    name: str
+    pair_eq: Callable[..., np.ndarray]
+    grouped_ranks: Callable[..., tuple]
+    plan_bulk_placement: Callable[..., tuple]
+    delete_plan: Callable[..., tuple]
+    wave_kick: Callable[..., tuple]
+    info: Mapping[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelBackend(name={self.name!r})"
+
+
+#: Registered backend factories.  Factories run lazily (on first resolve) so
+#: optional dependencies are only imported when the backend is requested.
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+
+#: Instantiated backends, by name (a factory runs at most once per process).
+_INSTANCES: dict[str, KernelBackend] = {}
+
+#: Explicit process-local request (highest precedence), or None.
+_REQUESTED: str | None = None
+
+#: The resolved backend, cached until the selection inputs change.
+_ACTIVE: KernelBackend | None = None
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory must return a fully-populated :class:`KernelBackend` or
+    raise :class:`BackendUnavailable`.  Registering is how a future CuPy
+    backend plugs in: implement the five kernels over ``cupy`` arrays and
+    call ``register_backend("cupy", make_backend)`` at import time.
+    """
+    _FACTORIES[name] = factory
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names of all registered backends (available or not)."""
+    return tuple(_FACTORIES)
+
+
+def available_backends() -> dict[str, bool]:
+    """Map each registered backend to whether its factory currently works."""
+    out: dict[str, bool] = {}
+    for name in _FACTORIES:
+        try:
+            _instantiate(name)
+        except BackendUnavailable:
+            out[name] = False
+        else:
+            out[name] = True
+    return out
+
+
+def _instantiate(name: str) -> KernelBackend:
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise BackendUnavailable(
+                f"unknown kernel backend {name!r}; registered: {sorted(_FACTORIES)}"
+            )
+        backend = factory()  # may raise BackendUnavailable
+        _INSTANCES[name] = backend
+    return backend
+
+
+def backend_spec() -> str | None:
+    """The *requested* backend spec (explicit request or env), or None.
+
+    This is what must be forwarded across process boundaries: spawned serve
+    workers re-import this module with fresh state, so the pool ships
+    ``backend_spec()`` in the worker args and the worker replays it through
+    :func:`set_backend` before attaching its store.
+    """
+    if _REQUESTED is not None:
+        return _REQUESTED
+    return os.environ.get(ENV_VAR) or None
+
+
+def set_backend(spec: str | None, strict: bool = True) -> KernelBackend:
+    """Select the kernel backend for this process and return it.
+
+    ``spec=None`` clears any explicit request (selection falls back to the
+    environment variable / default).  With ``strict=False`` an unavailable
+    or unknown backend degrades to numpy with a warning instead of raising —
+    the behaviour env-var selection always gets.
+    """
+    global _REQUESTED, _ACTIVE
+    _REQUESTED = spec
+    _ACTIVE = None
+    if spec is not None and strict:
+        _ACTIVE = _instantiate(spec)
+        return _ACTIVE
+    return active_backend()
+
+
+def active_backend() -> KernelBackend:
+    """The process's resolved kernel backend (cached after first call)."""
+    global _ACTIVE
+    backend = _ACTIVE
+    if backend is not None:
+        return backend
+    spec = backend_spec()
+    if spec is None or spec == DEFAULT_BACKEND:
+        backend = _instantiate(DEFAULT_BACKEND)
+    else:
+        try:
+            backend = _instantiate(spec)
+        except BackendUnavailable as exc:
+            warnings.warn(
+                f"kernel backend {spec!r} unavailable ({exc}); "
+                f"falling back to {DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            backend = _instantiate(DEFAULT_BACKEND)
+    _ACTIVE = backend
+    return backend
+
+
+def _reset_for_tests() -> None:
+    """Clear resolution state (not the registry); test isolation hook."""
+    global _REQUESTED, _ACTIVE
+    _REQUESTED = None
+    _ACTIVE = None

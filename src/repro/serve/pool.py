@@ -40,6 +40,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.ccf.predicates import Predicate
+from repro.kernels import active_backend, backend_spec, set_backend
 from repro.serve.stats import WorkerStats, merge_worker_stats
 from repro.store.store import FilterStore
 
@@ -55,6 +56,7 @@ def _serve_worker(
     worker_id: int,
     snapshot_path: str,
     predicate_items: Sequence[tuple[str, Predicate]],
+    kernel_backend: str | None,
     inbox: Any,
     outbox: Any,
 ) -> None:
@@ -62,10 +64,18 @@ def _serve_worker(
 
     Runs in a forked/spawned process or a thread; everything it needs
     arrives through ``inbox`` and everything it produces leaves through
-    ``outbox``, so the same body serves both modes.
+    ``outbox``, so the same body serves both modes.  ``kernel_backend`` is
+    the pool's requested kernel-backend spec, replayed here *before* the
+    store attaches: a spawned process re-imports `repro.kernels` with fresh
+    state, so the selection must travel in the args (fork and threads would
+    inherit it, spawn would silently lose it).  Replay is non-strict — a
+    worker on a host without the accelerator degrades to numpy and says so
+    in its stats rather than dying.
     """
     stats = WorkerStats(worker_id)
     try:
+        if kernel_backend is not None:
+            set_backend(kernel_backend, strict=False)
         store = FilterStore.open(snapshot_path)
         compiled = {name: store.compile(pred) for name, pred in predicate_items}
     except BaseException as exc:  # startup failure: report, don't hang callers
@@ -95,6 +105,7 @@ def _serve_worker(
                 payload = stats.to_dict()
                 payload["epoch"] = epoch
                 payload["store_ops"] = store.ops.to_dict()
+                payload["kernel_backend"] = active_backend().name
                 outbox.put(("stats", worker_id, payload))
             else:  # pragma: no cover - defensive
                 outbox.put(("error", None, f"unknown message {kind!r}", worker_id))
@@ -125,6 +136,9 @@ class WorkerPool:
         self.mode = mode
         self.predicates = dict(predicates or {})
         self.timeout = timeout
+        # Capture the kernel-backend request *now* so spawned workers (fresh
+        # interpreters, fresh `repro.kernels` state) replay the same choice.
+        self.kernel_backend = backend_spec()
         self._ctx = (
             multiprocessing.get_context(start_method) if mode == "process" else None
         )
@@ -155,7 +169,14 @@ class WorkerPool:
                 inbox = self._ctx.Queue()
                 proc = self._ctx.Process(
                     target=_serve_worker,
-                    args=(worker_id, self.snapshot_path, items, inbox, self._outbox),
+                    args=(
+                        worker_id,
+                        self.snapshot_path,
+                        items,
+                        self.kernel_backend,
+                        inbox,
+                        self._outbox,
+                    ),
                     daemon=True,
                     name=f"repro-serve-{worker_id}",
                 )
@@ -168,7 +189,14 @@ class WorkerPool:
                 inbox: Any = queue.Queue()
                 thread = threading.Thread(
                     target=_serve_worker,
-                    args=(worker_id, self.snapshot_path, items, inbox, self._outbox),
+                    args=(
+                        worker_id,
+                        self.snapshot_path,
+                        items,
+                        self.kernel_backend,
+                        inbox,
+                        self._outbox,
+                    ),
                     daemon=True,
                     name=f"repro-serve-{worker_id}",
                 )
@@ -341,6 +369,14 @@ class WorkerPool:
         )
         merged["mode"] = self.mode
         merged["snapshot_path"] = self.snapshot_path
+        # One name when every worker agrees (the common case), else the
+        # per-worker breakdown already carries each worker's answer.
+        backends = {
+            s.get("kernel_backend") for s in merged["per_worker"]
+        } - {None}
+        merged["kernel_backend"] = (
+            backends.pop() if len(backends) == 1 else sorted(backends)
+        )
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

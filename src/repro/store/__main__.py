@@ -21,6 +21,7 @@ from pathlib import Path
 from repro.ccf.mmapio import map_column
 from repro.ccf.serialize import SerializeError, loads
 from repro.cuckoo.buckets import dtype_for_bits
+from repro.kernels import active_backend
 from repro.store.segments import read_segment_meta, segment_nbytes
 from repro.store.store import MANIFEST_NAME
 
@@ -106,6 +107,9 @@ def inspect(path: str | Path, out=None) -> int:
         f"level_buckets={config['level_buckets']} target_load={config['target_load']}",
         file=out,
     )
+    # The backend this process would probe the snapshot with (selection is
+    # process-local: env var / set_backend, not a property of the snapshot).
+    print(f"  kernel backend: {active_backend().name}", file=out)
     ops = manifest.get("ops")
     if ops:
         print(

@@ -118,10 +118,11 @@ def bulk_load_rows(
 ) -> None:
     """Place pre-deduplicated rows into ``merged`` at their resident buckets.
 
-    First wave (vectorised, PR 2's ranking): rows are stably grouped by
-    bucket and the first ``bucket_size - counts[bucket]`` of each group are
-    scattered straight into that bucket's free slots — fingerprints into the
-    SlotMatrix, vectors into the attribute column.  The residue replays the
+    First wave (vectorised, PR 2's ranking, planned by the active kernel
+    backend's placement planner — `repro.kernels`): rows are stably grouped
+    by bucket and the first ``bucket_size - counts[bucket]`` of each group
+    are scattered straight into that bucket's free slots — fingerprints into
+    the SlotMatrix, vectors into the attribute column.  The residue replays the
     sequential pair-placement kernel (`_insert_hashed`), which may kick but
     never leaves the row's own pair.
     """

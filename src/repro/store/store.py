@@ -50,6 +50,7 @@ from repro.ccf.plain import PlainCCF
 from repro.ccf.predicates import Predicate
 from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.hashing.mixers import derive_seed, hash64, hash64_many
+from repro.kernels import active_backend
 from repro.store.config import StoreConfig
 from repro.store.segments import (
     SEGMENT_SUFFIX,
@@ -431,6 +432,10 @@ class FilterStore:
             "target_load": self.config.target_load,
             "fingerprint_dtype": shards[0]["fingerprint_dtype"] if shards else None,
             "bytes_per_slot": shards[0]["bytes_per_slot"] if shards else None,
+            # What actually executes the probe/kick/delete kernels in this
+            # process — benchmark artifacts and serve stats record it so a
+            # number is never attributed to the wrong backend.
+            "kernel_backend": active_backend().name,
             "levels": self.num_levels,
             "entries": self.num_entries,
             "load_factor": round(self.load_factor(), 4),
