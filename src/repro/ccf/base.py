@@ -34,6 +34,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ccf.attributes import AttributeFingerprinter, AttributeSchema
 from repro.ccf.chain import PairGeometry
 from repro.ccf.entries import BloomEntry, GroupSlot, VectorEntry
@@ -44,6 +45,25 @@ from repro.hashing.mixers import as_native_list, derive_seed
 
 #: How many compiled predicates keep a precomputed payload matcher alive.
 MATCHER_CACHE_SIZE = 8
+
+# Probe-outcome instrumentation (one record per query batch, per variant):
+# the measurement substrate for the adaptive-CCF roadmap item — observed
+# negative-lookup traffic is the signal an adaptive filter reacts to.
+_CCF_HITS = obs.counter(
+    "repro_ccf_query_hits_total",
+    "Positive batch-query answers, by CCF variant.",
+    ("kind",),
+)
+_CCF_MISSES = obs.counter(
+    "repro_ccf_query_misses_total",
+    "Negative batch-query answers, by CCF variant.",
+    ("kind",),
+)
+_STASH_HITS = obs.counter(
+    "repro_probe_stash_hits_total",
+    "Keys answered positively only by a stash entry, by CCF variant.",
+    ("kind",),
+)
 
 
 def validate_attr_columns(
@@ -581,7 +601,12 @@ class ConditionalCuckooFilterBase:
         compiled = self._resolve_compiled(predicate)
         fps = self.geometry.fingerprints_of_many(keys)
         homes = self.geometry.home_indices_of_many(keys)
-        return self._query_hashed_many(fps, homes, compiled)
+        answers = self._query_hashed_many(fps, homes, compiled)
+        if obs.state.enabled and answers.size:
+            hits = int(np.count_nonzero(answers))
+            _CCF_HITS.labels(kind=self.kind).inc(hits)
+            _CCF_MISSES.labels(kind=self.kind).inc(int(answers.size) - hits)
+        return answers
 
     def _query_hashed_many(
         self,
@@ -763,7 +788,12 @@ class ConditionalCuckooFilterBase:
             hit |= self._eq_under_predicate(alts, eq_alt, compiled).any(axis=1)
         stash_fps = self._matching_stash_fps(compiled)
         if stash_fps is not None:
-            hit |= np.isin(fps, stash_fps)
+            stash_hit = np.isin(fps, stash_fps)
+            if obs.state.enabled:
+                rescued = int(np.count_nonzero(stash_hit & ~hit))
+                if rescued:
+                    _STASH_HITS.labels(kind=self.kind).inc(rescued)
+            hit |= stash_hit
         return hit, eq_home, eq_alt, alts
 
     def _single_pair_query_many(

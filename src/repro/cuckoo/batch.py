@@ -36,12 +36,40 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.hashing.mixers import _mixed_seed, derive_seed, hash64_many_masked
 from repro.kernels import active_backend
 
 #: Below this many surviving in-flight items a wave round costs more than the
 #: scalar kick loop; the stragglers are settled sequentially instead.
 WAVE_SCALAR_CUTOFF = 4
+
+# Wave-eviction instrumentation: one record set per wave_kick call (never per
+# key).  Relocations are counted from the victim-stream counter delta — each
+# draw is exactly one eviction, and the counter advances identically on every
+# backend, so this is the backend-stable kick-depth signal.
+_WAVE_CALLS = obs.counter(
+    "repro_wave_calls_total", "Bulk wave-eviction kernel invocations."
+)
+_WAVE_ITEMS = obs.counter(
+    "repro_wave_items_total", "In-flight items handed to the wave kernel."
+)
+_WAVE_RELOCATIONS = obs.counter(
+    "repro_wave_relocations_total",
+    "Evictions performed by the wave kernel (victim-stream counter delta).",
+)
+_WAVE_STASH_SPILLS = obs.counter(
+    "repro_wave_stash_spills_total",
+    "Items whose kick chains exhausted max_kicks and spilled to the stash.",
+)
+_WAVE_STRAGGLERS = obs.counter(
+    "repro_wave_stragglers_total",
+    "Items settled by the scalar kick loop after the wave rounds.",
+)
+_WAVE_RELOCATION_HIST = obs.histogram(
+    "repro_wave_relocations",
+    "Evictions per wave_kick call (insert-depth distribution).",
+)
 
 
 class FingerprintBatchMixin:
@@ -170,6 +198,7 @@ class FingerprintBatchMixin:
         # alternates, like the scalar kernel's second `try_add`.
         cur = homes ^ self._fp_jump_many(item_fps)
         victim_seed = self._wave_victim_seed()
+        counter_before = self._wave_victim_counter
         (
             stash_fps,
             stash_origins,
@@ -196,6 +225,14 @@ class FingerprintBatchMixin:
             WAVE_SCALAR_CUTOFF,
         )
         buckets.note_kernel_fills(placed)
+        if obs.state.enabled:
+            relocations = self._wave_victim_counter - counter_before
+            _WAVE_CALLS.inc()
+            _WAVE_ITEMS.inc(int(item_fps.size))
+            _WAVE_RELOCATIONS.inc(relocations)
+            _WAVE_STASH_SPILLS.inc(int(stash_fps.size))
+            _WAVE_STRAGGLERS.inc(int(strag_fps.size))
+            _WAVE_RELOCATION_HIST.observe(relocations)
         if stash_fps.size:
             self.stash.extend(stash_fps.tolist())
             self.failed = True

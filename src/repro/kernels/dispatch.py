@@ -39,10 +39,13 @@ from __future__ import annotations
 
 import os
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Any, Callable, Mapping
 
 import numpy as np
+
+from repro import obs
 
 #: Environment variable naming the kernel backend (e.g. ``numba``).
 ENV_VAR = "REPRO_KERNEL_BACKEND"
@@ -134,6 +137,62 @@ def available_backends() -> dict[str, bool]:
     return out
 
 
+#: The five kernel fields every backend populates, in declaration order.
+_KERNEL_FIELDS = (
+    "pair_eq",
+    "grouped_ranks",
+    "plan_bulk_placement",
+    "delete_plan",
+    "wave_kick",
+)
+
+_KERNEL_CALLS = obs.counter(
+    "repro_kernel_calls_total",
+    "Kernel invocations, by backend and kernel (one per batch call).",
+    ("backend", "kernel"),
+)
+_KERNEL_SECONDS = obs.counter(
+    "repro_kernel_seconds_total",
+    "Wall time spent inside kernels, by backend and kernel.",
+    ("backend", "kernel"),
+)
+
+
+def _timed_kernel(fn: Callable, calls, seconds) -> Callable:
+    def run(*args, **kwargs):
+        if not obs.state.enabled:
+            return fn(*args, **kwargs)
+        start = perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            calls.inc()
+            seconds.inc(perf_counter() - start)
+
+    run.__name__ = getattr(fn, "__name__", "kernel")
+    run.__wrapped__ = fn
+    return run
+
+
+def _instrument(backend: KernelBackend) -> KernelBackend:
+    """Wrap a backend's kernels with call-count + wall-time instruments.
+
+    One counter bump and one timestamp pair per *kernel call* — the
+    batch-granularity cost point; the kill-switch check is the only work
+    left on the path when metrics are off.  ``name``/``info`` and the
+    frozen-dataclass contract are preserved by ``dataclasses.replace``.
+    """
+    wrapped = {
+        kernel: _timed_kernel(
+            getattr(backend, kernel),
+            _KERNEL_CALLS.labels(backend=backend.name, kernel=kernel),
+            _KERNEL_SECONDS.labels(backend=backend.name, kernel=kernel),
+        )
+        for kernel in _KERNEL_FIELDS
+    }
+    return replace(backend, **wrapped)
+
+
 def _instantiate(name: str) -> KernelBackend:
     backend = _INSTANCES.get(name)
     if backend is None:
@@ -142,7 +201,7 @@ def _instantiate(name: str) -> KernelBackend:
             raise BackendUnavailable(
                 f"unknown kernel backend {name!r}; registered: {sorted(_FACTORIES)}"
             )
-        backend = factory()  # may raise BackendUnavailable
+        backend = _instrument(factory())  # factory may raise BackendUnavailable
         _INSTANCES[name] = backend
     return backend
 

@@ -1,0 +1,104 @@
+"""Unified observability layer: metrics registry, trace spans, exporters.
+
+Every layer of the stack instruments into one process-wide registry
+(``REGISTRY``) and one span ring (``RECORDER``); this package is the only
+telemetry surface.  See DESIGN.md §13 for the full metric inventory and the
+cost-point contract (batch-granularity recording, ``REPRO_METRICS=off``
+kill switch leaves answers bit-identical).
+
+Typical instrumentation site::
+
+    from repro import obs
+
+    _CALLS = obs.counter("repro_widget_calls_total", "Widget calls.")
+
+    def hot_path(batch):
+        _CALLS.inc()          # one bump per batch, no-op when disabled
+        ...
+
+Typical scrape::
+
+    print(obs.to_prometheus(obs.snapshot()))
+"""
+
+from __future__ import annotations
+
+from .export import (
+    from_json,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+    validate_snapshot,
+)
+from .registry import (
+    ENV_VAR,
+    REGISTRY,
+    MetricsRegistry,
+    Pow2Histogram,
+    counters_total,
+    enabled,
+    merge_snapshots,
+    set_enabled,
+    state,
+)
+from .spans import RECORDER, SpanRecorder, span
+
+__all__ = [
+    "ENV_VAR",
+    "REGISTRY",
+    "RECORDER",
+    "MetricsRegistry",
+    "Pow2Histogram",
+    "SpanRecorder",
+    "counter",
+    "counters_total",
+    "enabled",
+    "from_json",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "parse_prometheus",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "state",
+    "to_chrome_trace",
+    "to_json",
+    "to_prometheus",
+    "validate_snapshot",
+]
+
+
+def counter(name: str, help: str = "", labelnames=()):
+    """Get or create a counter family on the default registry."""
+    return REGISTRY.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames=()):
+    """Get or create a gauge family on the default registry."""
+    return REGISTRY.gauge(name, help, labelnames)
+
+
+def histogram(name: str, help: str = "", labelnames=()):
+    """Get or create a histogram family on the default registry."""
+    return REGISTRY.histogram(name, help, labelnames)
+
+
+def snapshot() -> dict:
+    """Picklable snapshot of the default registry."""
+    return REGISTRY.snapshot()
+
+
+def to_chrome_trace() -> dict:
+    """The default span ring as Chrome trace-event JSON."""
+    return RECORDER.to_chrome_trace()
+
+
+def _reset_for_tests() -> None:
+    """Zero the default registry and span ring in place (test/worker hook).
+
+    In-place: instrumented modules hold references to family objects, so
+    the registry dict itself must survive resets.
+    """
+    REGISTRY.clear()
+    RECORDER.clear()

@@ -1,0 +1,128 @@
+"""CLI for the observability layer: schema validation and a selftest.
+
+``python -m repro.obs validate <snapshot.json>`` — schema-check a registry
+snapshot (or a bench artifact carrying one under ``"metrics_snapshot"``).
+Exit 0 if clean, 1 with one problem per line otherwise.  CI runs this over
+the overhead-bench artifact and the store CLI output.
+
+``python -m repro.obs selftest`` — exercise the registry, exporters and
+round-trip invariants in-process; used as the CI metrics-schema smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import (
+    MetricsRegistry,
+    from_json,
+    merge_snapshots,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+    validate_snapshot,
+)
+
+
+def _find_snapshots(data, label: str = "") -> list[tuple[str, dict]]:
+    """Every registry snapshot in a JSON document, with a locator label.
+
+    Accepts a bare snapshot, a bench artifact embedding one under
+    ``"metrics_snapshot"``, or an artifact keyed by run parameter (the
+    overhead bench keys entries by key count) — any nesting of the above.
+    """
+    if not isinstance(data, dict):
+        return []
+    if "metrics_snapshot" in data:
+        return [(label or "<root>", data["metrics_snapshot"])]
+    if data and all(
+        isinstance(v, dict) and "type" in v and "samples" in v
+        for v in data.values()
+    ):
+        return [(label or "<root>", data)]
+    found: list[tuple[str, dict]] = []
+    for key, value in data.items():
+        found.extend(_find_snapshots(value, f"{label}[{key}]" if label else str(key)))
+    return found
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    problems: list[str] = []
+    checked = 0
+    for path in args.paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshots = _find_snapshots(json.load(fh))
+        if not snapshots:
+            problems.append(f"{path}: no registry snapshot found")
+            continue
+        for label, snapshot in snapshots:
+            checked += 1
+            for problem in validate_snapshot(snapshot):
+                problems.append(f"{path} {label}: {problem}")
+            if args.round_trip:
+                text = to_prometheus(snapshot)
+                if parse_prometheus(text) != snapshot:
+                    problems.append(f"{path} {label}: prometheus round-trip mismatch")
+                if from_json(to_json(snapshot)) != snapshot:
+                    problems.append(f"{path} {label}: json round-trip mismatch")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"ok: {checked} snapshot(s) valid")
+    return 1 if problems else 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    calls = registry.counter("selftest_calls_total", "Calls.", ("kind",))
+    calls.labels(kind="a").inc(3)
+    calls.labels(kind="b").inc(2)
+    registry.gauge("selftest_level", "Level.").set(7)
+    lat = registry.histogram("selftest_latency_us", "Latency.", ("stage",))
+    for value in (1, 3, 3, 17, 250):
+        lat.labels(stage="probe").observe(value)
+
+    snapshot = registry.snapshot()
+    problems = validate_snapshot(snapshot)
+    if parse_prometheus(to_prometheus(snapshot)) != snapshot:
+        problems.append("prometheus round-trip mismatch")
+    if from_json(to_json(snapshot)) != snapshot:
+        problems.append("json round-trip mismatch")
+    merged = merge_snapshots(snapshot, snapshot)
+    doubled = merged["selftest_calls_total"]["samples"][0]["value"]
+    single = snapshot["selftest_calls_total"]["samples"][0]["value"]
+    if doubled != 2 * single:
+        problems.append("self-merge did not double counter values")
+    if merged["selftest_level"]["samples"][0]["value"] != 7:
+        problems.append("self-merge changed the gauge (should take max)")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print("ok: obs selftest passed")
+    return 1 if problems else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="schema-check snapshot JSON files")
+    p_validate.add_argument("paths", nargs="+", help="snapshot or bench-artifact JSON")
+    p_validate.add_argument(
+        "--round-trip",
+        action="store_true",
+        help="additionally require exact prometheus/json round-trips",
+    )
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_selftest = sub.add_parser("selftest", help="in-process registry/export check")
+    p_selftest.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,366 @@
+"""Exposition formats for registry snapshots: Prometheus text and JSON.
+
+Everything here is a pure function over the snapshot dict form
+(``MetricsRegistry.snapshot()``), so exporters work identically on a live
+registry, a merged worker pool, or a snapshot read back from disk.
+
+* :func:`to_prometheus` — the Prometheus text exposition format (0.0.4):
+  ``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}`` series
+  ending in ``+Inf``, ``_sum`` and ``_count``, plus a ``<name>_max`` gauge
+  per histogram (our histograms track max; Prometheus's don't, so it rides
+  as a companion gauge).
+* :func:`parse_prometheus` — the exact inverse: de-cumulates buckets and
+  folds ``_max`` companions back, so text → snapshot → text round-trips.
+* :func:`to_json` / :func:`from_json` — the JSON dump of the same snapshot.
+* :func:`validate_snapshot` — the schema check CI runs against bench
+  artifacts and CLI output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Mapping
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_MAX_SUFFIX = "_max"
+_MAX_HELP_PREFIX = "Largest single observation of "
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, "")
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        raise TypeError("boolean metric values are not supported")
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _parse_value(text: str):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _labels_text(labels: Mapping[str, str], extra: tuple = ()) -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: Mapping[str, Mapping]) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Families declaring labelnames additionally get a ``# LABELS`` comment:
+    plain comments are ignored by Prometheus scrapers, and they let
+    :func:`parse_prometheus` reconstruct the label schema of families that
+    currently have no samples (exact round-trip).
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family["type"]
+        help_text = family.get("help", "").replace("\\", "\\\\").replace("\n", "\\n")
+        labelnames = list(family.get("labelnames", ()))
+        if kind in ("counter", "gauge"):
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            if labelnames:
+                lines.append(f"# LABELS {name} {','.join(labelnames)}")
+            for sample in family["samples"]:
+                labels = _labels_text(sample["labels"])
+                lines.append(f"{name}{labels} {_format_value(sample['value'])}")
+        elif kind == "histogram":
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} histogram")
+            if labelnames:
+                lines.append(f"# LABELS {name} {','.join(labelnames)}")
+            max_lines: list[str] = []
+            for sample in family["samples"]:
+                cumulative = 0
+                for bound, count in sorted(
+                    sample["buckets"].items(), key=lambda kv: int(kv[0])
+                ):
+                    cumulative += count
+                    le = _labels_text(sample["labels"], (("le", bound),))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                le_inf = _labels_text(sample["labels"], (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{le_inf} {sample['count']}")
+                labels = _labels_text(sample["labels"])
+                lines.append(f"{name}_sum{labels} {_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{labels} {sample['count']}")
+                max_lines.append(
+                    f"{name}{_MAX_SUFFIX}{labels} {_format_value(sample['max'])}"
+                )
+            lines.append(
+                f"# HELP {name}{_MAX_SUFFIX} {_MAX_HELP_PREFIX}{name}"
+            )
+            lines.append(f"# TYPE {name}{_MAX_SUFFIX} gauge")
+            lines.extend(max_lines)
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    return {
+        key: _unescape_label_value(raw)
+        for key, raw in _LABEL_PAIR_RE.findall(text)
+    }
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse :func:`to_prometheus` output back into snapshot form.
+
+    De-cumulates histogram buckets and folds the ``<name>_max`` companion
+    gauges back into their histogram samples, so the result compares equal
+    to the snapshot that produced the text.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    declared_labels: dict[str, list[str]] = {}
+    raw_samples: dict[str, list[tuple[dict, object]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text.replace("\\n", "\n").replace("\\\\", "\\")
+            continue
+        if line.startswith("# LABELS "):
+            _, _, rest = line.partition("# LABELS ")
+            name, _, joined = rest.partition(" ")
+            declared_labels[name] = [l for l in joined.split(",") if l]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        raw_samples.setdefault(name, []).append((labels, value))
+
+    out: dict[str, dict] = {}
+    histograms = {name for name, kind in types.items() if kind == "histogram"}
+    max_companions = {name + _MAX_SUFFIX for name in histograms}
+
+    for name, kind in types.items():
+        if name in max_companions:
+            continue
+        if kind in ("counter", "gauge"):
+            samples = [
+                {"labels": labels, "value": value}
+                for labels, value in raw_samples.get(name, [])
+            ]
+            labelnames = declared_labels.get(
+                name, list(samples[0]["labels"]) if samples else []
+            )
+            out[name] = {
+                "type": kind,
+                "help": helps.get(name, ""),
+                "labelnames": labelnames,
+                "samples": samples,
+            }
+        elif kind == "histogram":
+            by_labels: dict[tuple, dict] = {}
+            order: list[tuple] = []
+
+            def entry(labels: dict) -> dict:
+                key = tuple(sorted(labels.items()))
+                if key not in by_labels:
+                    by_labels[key] = {
+                        "labels": labels,
+                        "count": 0,
+                        "sum": 0,
+                        "max": 0,
+                        "buckets": {},
+                    }
+                    order.append(key)
+                return by_labels[key]
+
+            for labels, value in raw_samples.get(name + "_bucket", []):
+                bound = labels.pop("le")
+                if bound == "+Inf":
+                    continue
+                sample = entry(labels)
+                sample["buckets"][bound] = value
+            for labels, value in raw_samples.get(name + "_sum", []):
+                entry(labels)["sum"] = value
+            for labels, value in raw_samples.get(name + "_count", []):
+                entry(labels)["count"] = value
+            for labels, value in raw_samples.get(name + _MAX_SUFFIX, []):
+                entry(labels)["max"] = value
+            samples = []
+            for key in order:
+                sample = by_labels[key]
+                cumulative = 0
+                buckets: dict[str, int] = {}
+                for bound, cum in sorted(
+                    sample["buckets"].items(), key=lambda kv: int(kv[0])
+                ):
+                    buckets[bound] = cum - cumulative
+                    cumulative = cum
+                sample["buckets"] = buckets
+                samples.append(sample)
+            labelnames = declared_labels.get(
+                name, list(samples[0]["labels"]) if samples else []
+            )
+            out[name] = {
+                "type": "histogram",
+                "help": helps.get(name, ""),
+                "labelnames": labelnames,
+                "samples": samples,
+            }
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return out
+
+
+def to_json(snapshot: Mapping[str, Mapping], indent: int | None = 2) -> str:
+    """The snapshot as a JSON document (sorted keys, stable across runs)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> dict:
+    """Parse :func:`to_json` output back into snapshot form."""
+    return json.loads(text)
+
+
+def validate_snapshot(snapshot) -> list[str]:
+    """Schema-check a snapshot dict; returns a list of problems (empty = ok).
+
+    The CI metrics-schema step runs this over the bench artifact and the
+    CLI JSON output.  Checks: metric/label name syntax, known types,
+    counter ``_total`` naming, non-negative counter values, histogram
+    invariants (power-of-two bounds, bucket counts summing to ``count``,
+    ``max`` consistent with the top bucket).
+    """
+    problems: list[str] = []
+    if not isinstance(snapshot, Mapping):
+        return ["snapshot is not a mapping"]
+    for name, family in snapshot.items():
+        where = f"metric {name!r}"
+        if not _NAME_RE.match(str(name)):
+            problems.append(f"{where}: invalid metric name")
+        if not isinstance(family, Mapping):
+            problems.append(f"{where}: family is not a mapping")
+            continue
+        kind = family.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where}: unknown type {kind!r}")
+            continue
+        if kind == "counter" and not str(name).endswith("_total"):
+            problems.append(f"{where}: counter name must end in _total")
+        labelnames = family.get("labelnames", [])
+        for label in labelnames:
+            if not _LABEL_RE.match(str(label)):
+                problems.append(f"{where}: invalid label name {label!r}")
+        for i, sample in enumerate(family.get("samples", [])):
+            swhere = f"{where} sample {i}"
+            labels = sample.get("labels", {})
+            if sorted(labels) != sorted(labelnames):
+                problems.append(
+                    f"{swhere}: labels {sorted(labels)} do not match "
+                    f"labelnames {sorted(labelnames)}"
+                )
+            if kind in ("counter", "gauge"):
+                value = sample.get("value")
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"{swhere}: non-numeric value {value!r}")
+                elif kind == "counter" and value < 0:
+                    problems.append(f"{swhere}: negative counter value {value!r}")
+            else:
+                count = sample.get("count")
+                total = sample.get("sum")
+                max_value = sample.get("max")
+                buckets = sample.get("buckets")
+                if not isinstance(count, int) or count < 0:
+                    problems.append(f"{swhere}: bad count {count!r}")
+                    continue
+                if not isinstance(total, (int, float)) or total < 0:
+                    problems.append(f"{swhere}: bad sum {total!r}")
+                if not isinstance(max_value, (int, float)) or max_value < 0:
+                    problems.append(f"{swhere}: bad max {max_value!r}")
+                if not isinstance(buckets, Mapping):
+                    problems.append(f"{swhere}: buckets is not a mapping")
+                    continue
+                bucket_total = 0
+                top_bound = 0
+                for bound, bucket_count in buckets.items():
+                    try:
+                        bound_int = int(bound)
+                    except (TypeError, ValueError):
+                        problems.append(f"{swhere}: non-integer bound {bound!r}")
+                        continue
+                    if bound_int < 1 or bound_int & (bound_int - 1):
+                        problems.append(
+                            f"{swhere}: bound {bound!r} is not a power of two"
+                        )
+                    if not isinstance(bucket_count, int) or bucket_count < 0:
+                        problems.append(
+                            f"{swhere}: bad bucket count {bucket_count!r}"
+                        )
+                        continue
+                    bucket_total += bucket_count
+                    if bucket_count and bound_int > top_bound:
+                        top_bound = bound_int
+                if bucket_total != count:
+                    problems.append(
+                        f"{swhere}: bucket counts sum to {bucket_total}, "
+                        f"count is {count}"
+                    )
+                if count and isinstance(max_value, (int, float)):
+                    if max_value > top_bound:
+                        problems.append(
+                            f"{swhere}: max {max_value!r} exceeds top bucket "
+                            f"bound {top_bound}"
+                        )
+    return problems

@@ -1,0 +1,490 @@
+"""Process-wide metrics registry: counters, gauges, power-of-two histograms.
+
+The one self-knowledge surface of the stack (DESIGN.md §13).  Three metric
+kinds cover everything the layers record:
+
+* :class:`Counter` — monotone flows (kernel calls, probe hits, level rolls).
+  By convention counter names end in ``_total`` (Prometheus style, enforced
+  by the exporter's schema validator).
+* :class:`Gauge` — point-in-time levels (mapped bytes, load factor).  Gauges
+  are normally *sampled at collection time* rather than maintained on the
+  hot path; see ``repro.store.metrics``.
+* :class:`Histogram` — distributions over power-of-two buckets
+  (:class:`Pow2Histogram`, the primitive generalised out of
+  ``serve/stats.py``'s batch-size histogram): batch sizes, stage latencies
+  in microseconds, wave relocation depths.
+
+Cost model (the tentpole constraint): every record is **batch-granularity**
+— one counter bump or histogram observation per kernel call, never per key —
+and every record checks the global kill switch first.  ``REPRO_METRICS=off``
+(or ``0``/``false``/``no``) disables recording at import time;
+:func:`set_enabled` flips it at runtime (the overhead benchmark uses this to
+time on-vs-off in one process).  Instrumentation is strictly passive: no
+recorded value ever feeds back into placement, probing or sizing, so the
+kill switch is property-tested to leave answers bit-identical.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-safe dicts —
+picklable, so serve workers ship them across fork/spawn boundaries — and
+:func:`merge_snapshots` folds any number of them: counters and histograms
+sum, gauges take the max (they are levels, not flows; summing N workers'
+views of the same mapped bytes would over-count).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Environment variable of the global kill switch.
+ENV_VAR = "REPRO_METRICS"
+
+#: Values of :data:`ENV_VAR` that disable metrics at import.
+_OFF_VALUES = ("off", "0", "false", "no")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _OFF_VALUES
+
+
+class _State:
+    """The kill switch, shared by every instrument via one attribute read."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+
+
+#: The process-wide kill-switch state.  Hot paths read ``state.enabled``
+#: directly (one attribute load) before doing any metric work.
+state = _State()
+
+
+def enabled() -> bool:
+    """Whether metric recording is currently on."""
+    return state.enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the kill switch at runtime (overrides the env default)."""
+    state.enabled = bool(flag)
+
+
+class Pow2Histogram:
+    """Power-of-two histogram: the bucketing primitive of the stack.
+
+    Bucket ``2**k`` counts observations in ``(2**(k-1), 2**k]`` (bucket 1
+    holds values <= 1), so a distribution's shape reads as one bar per
+    doubling.  Works for any non-negative value — integer batch sizes,
+    float microsecond latencies, relocation counts.  Tracks ``count``,
+    ``total`` (the sum) and ``max`` alongside the buckets; merging is
+    associative and commutative (bucket-wise sums, max of maxes), which the
+    cross-process worker merge relies on.
+
+    This is a plain data structure, **not** gated by the kill switch —
+    gating happens in the registry's :class:`Histogram` metric (and in the
+    call sites).  `serve.stats.BatchSizeHistogram` subclasses it to keep its
+    legacy dict schema.
+    """
+
+    __slots__ = ("_lock", "_buckets", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        """The power-of-two upper bound covering ``value``."""
+        bucket = 1
+        while bucket < value:
+            bucket <<= 1
+        return bucket
+
+    def observe(self, value: float) -> None:
+        """Record one observation (non-negative int or float)."""
+        if value < 0:
+            raise ValueError("observations must be non-negative")
+        bucket = self.bucket_of(value)
+        with self._lock:
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+            self.count += 1
+            self.total += value
+            if value > self.max:
+                self.max = value
+
+    def merge_data(
+        self, buckets: Mapping, count: int, total: float, max_value: float
+    ) -> None:
+        """Fold another histogram's raw data into this one."""
+        with self._lock:
+            for label, bucket_count in buckets.items():
+                bucket = int(label)
+                self._buckets[bucket] = self._buckets.get(bucket, 0) + int(bucket_count)
+            self.count += int(count)
+            self.total += total
+            if max_value > self.max:
+                self.max = max_value
+
+    def merge(self, other: "Pow2Histogram") -> None:
+        """Fold another histogram into this one (associative)."""
+        self.merge_data(other._buckets, other.count, other.total, other.max)
+
+    def buckets_dict(self) -> dict[str, int]:
+        """Bucket upper bounds (as strings, sorted ascending) to counts."""
+        with self._lock:
+            return {str(b): c for b, c in sorted(self._buckets.items())}
+
+    def mean(self) -> float:
+        """Average observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def data(self) -> dict:
+        """JSON-safe sample form used by registry snapshots."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "max": self.max,
+                "buckets": {str(b): c for b, c in sorted(self._buckets.items())},
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self.count = 0
+            self.total = 0
+            self.max = 0
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labelnames: Sequence[str], labels: Mapping[str, Any]) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared labelnames "
+            f"{list(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _CounterChild:
+    """One labelled counter series."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (no-op while the kill switch is off)."""
+        if not state.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class _GaugeChild:
+    """One labelled gauge series."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Set the level (no-op while the kill switch is off)."""
+        if not state.enabled:
+            return
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if not state.enabled:
+            return
+        with self._lock:
+            self.value += amount
+
+
+class _HistogramChild:
+    """One labelled histogram series (a gated :class:`Pow2Histogram`)."""
+
+    __slots__ = ("hist",)
+
+    def __init__(self) -> None:
+        self.hist = Pow2Histogram()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (no-op while the kill switch is off)."""
+        if not state.enabled:
+            return
+        self.hist.observe(value)
+
+
+_CHILD_TYPES = {
+    "counter": _CounterChild,
+    "gauge": _GaugeChild,
+    "histogram": _HistogramChild,
+}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-label children.
+
+    ``labels(...)`` returns (and caches) the child for one label
+    combination — hot call sites pre-bind children once so the per-record
+    cost is a single method call on the child.  A family declared without
+    labelnames proxies the record methods of its single default child.
+    """
+
+    __slots__ = ("name", "kind", "help", "labelnames", "_children", "_lock")
+
+    def __init__(
+        self, name: str, kind: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = _check_name(name)
+        if kind not in _CHILD_TYPES:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if kind == "counter" and not name.endswith("_total"):
+            raise ValueError(f"counter names must end in _total, got {name!r}")
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _check_name(label)
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+        if not self.labelnames:
+            self._children[()] = _CHILD_TYPES[kind]()
+
+    def labels(self, **labels: Any):
+        """The child series for one label combination (created on demand)."""
+        key = _label_key(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = _CHILD_TYPES[self.kind]()
+                    self._children[key] = child
+        return child
+
+    # Label-less convenience proxies (families declared without labelnames).
+    def inc(self, amount: float = 1) -> None:
+        self._children[()].inc(amount)
+
+    def set(self, value: float) -> None:
+        self._children[()].set(value)
+
+    def observe(self, value: float) -> None:
+        self._children[()].observe(value)
+
+    def samples(self) -> list[dict]:
+        """JSON-safe per-label samples, sorted by label values."""
+        with self._lock:
+            items = sorted(self._children.items())
+        out = []
+        for key, child in items:
+            labels = dict(zip(self.labelnames, key))
+            if self.kind == "histogram":
+                sample = {"labels": labels, **child.hist.data()}
+            else:
+                sample = {"labels": labels, "value": child.value}
+            out.append(sample)
+        return out
+
+    def clear(self) -> None:
+        """Zero every child in place (children and bindings survive)."""
+        with self._lock:
+            for child in self._children.values():
+                if self.kind == "histogram":
+                    child.hist.clear()
+                else:
+                    child.value = 0
+
+
+class MetricsRegistry:
+    """A named collection of metric families with one snapshot form."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self, name: str, kind: str, help: str, labelnames: Sequence[str]
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind}"
+                    )
+                if family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labelnames "
+                        f"{family.labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, kind, help, labelnames)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        """Get or create a counter family (names must end in ``_total``)."""
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        """Get or create a gauge family."""
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        """Get or create a power-of-two histogram family."""
+        return self._family(name, "histogram", help, labelnames)
+
+    def families(self) -> tuple[MetricFamily, ...]:
+        with self._lock:
+            return tuple(self._families.values())
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-safe, picklable dict.
+
+        ``{name: {"type", "help", "labelnames", "samples": [...]}}`` —
+        the wire form every exporter, merge and cross-process ship uses.
+        """
+        out: dict[str, dict] = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": family.samples(),
+            }
+        return out
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold a snapshot's values into this registry's live families."""
+        for name, family_data in snapshot.items():
+            kind = family_data["type"]
+            family = self._family(
+                name, kind, family_data.get("help", ""),
+                family_data.get("labelnames", ()),
+            )
+            for sample in family_data["samples"]:
+                child = family.labels(**sample["labels"]) if family.labelnames else (
+                    family._children[()]
+                )
+                if kind == "histogram":
+                    child.hist.merge_data(
+                        sample["buckets"], sample["count"], sample["sum"], sample["max"]
+                    )
+                elif kind == "counter":
+                    with child._lock:
+                        child.value += sample["value"]
+                else:  # gauge: levels merge by max, see module docstring
+                    with child._lock:
+                        child.value = max(child.value, sample["value"])
+
+    def clear(self) -> None:
+        """Zero every family in place; module-level bindings stay valid."""
+        for family in self.families():
+            family.clear()
+
+
+def _merge_sample(kind: str, into: dict, sample: Mapping) -> None:
+    if kind == "histogram":
+        into["count"] += sample["count"]
+        into["sum"] += sample["sum"]
+        into["max"] = max(into["max"], sample["max"])
+        buckets = into["buckets"]
+        for bound, count in sample["buckets"].items():
+            buckets[bound] = buckets.get(bound, 0) + count
+    elif kind == "counter":
+        into["value"] += sample["value"]
+    else:
+        into["value"] = max(into["value"], sample["value"])
+
+
+def merge_snapshots(*snapshots: Mapping[str, Mapping]) -> dict:
+    """Merge registry snapshots: counters/histograms sum, gauges max.
+
+    Pure function over the dict form — the cross-process path: every serve
+    worker ships its snapshot, and the merged result equals what a single
+    process running all the work would have recorded (property-tested for
+    associativity).
+    """
+    out: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, family_data in snapshot.items():
+            merged = out.get(name)
+            if merged is None:
+                out[name] = {
+                    "type": family_data["type"],
+                    "help": family_data.get("help", ""),
+                    "labelnames": list(family_data.get("labelnames", ())),
+                    "samples": [
+                        {
+                            **{"labels": dict(s["labels"])},
+                            **{
+                                k: (dict(v) if isinstance(v, Mapping) else v)
+                                for k, v in s.items()
+                                if k != "labels"
+                            },
+                        }
+                        for s in family_data["samples"]
+                    ],
+                }
+                continue
+            if merged["type"] != family_data["type"]:
+                raise ValueError(
+                    f"cannot merge {name!r}: {merged['type']} vs "
+                    f"{family_data['type']}"
+                )
+            by_labels = {
+                tuple(sorted(s["labels"].items())): s for s in merged["samples"]
+            }
+            for sample in family_data["samples"]:
+                key = tuple(sorted(sample["labels"].items()))
+                into = by_labels.get(key)
+                if into is None:
+                    copied = {
+                        **{"labels": dict(sample["labels"])},
+                        **{
+                            k: (dict(v) if isinstance(v, Mapping) else v)
+                            for k, v in sample.items()
+                            if k != "labels"
+                        },
+                    }
+                    merged["samples"].append(copied)
+                    by_labels[key] = copied
+                else:
+                    _merge_sample(merged["type"], into, sample)
+    for family_data in out.values():
+        family_data["samples"].sort(
+            key=lambda s: tuple(str(v) for v in s["labels"].values())
+        )
+    return out
+
+
+def counters_total(snapshot: Mapping[str, Mapping], name: str) -> float:
+    """Sum of one counter family's samples in a snapshot (0 if absent)."""
+    family = snapshot.get(name)
+    if family is None:
+        return 0
+    return sum(sample["value"] for sample in family["samples"])
+
+
+#: The process-wide default registry every layer instruments into.
+REGISTRY = MetricsRegistry()

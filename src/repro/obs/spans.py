@@ -1,0 +1,112 @@
+"""Bounded-ring trace-span recorder with Chrome-trace export.
+
+Spans are coarse, named durations around the stack's structural events —
+`store.snapshot`, `shard.compact`, `frontend.flush` — not per-key probes.
+The recorder is a fixed-size ring (`collections.deque(maxlen=...)`): old
+spans fall off the back, so a long-running server's trace memory is bounded
+no matter how many compactions it performs.  `dropped` counts what fell off.
+
+The export form is Chrome's trace-event JSON (``chrome://tracing`` /
+Perfetto): complete events (``ph: "X"``) with microsecond timestamps
+relative to a process-start origin, one row per thread.  Recording honours
+the same kill switch as the metrics registry — with ``REPRO_METRICS=off``
+the :func:`span` context manager is a zero-allocation passthrough.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Iterator
+
+from .registry import state
+
+#: perf_counter value all span timestamps are measured from, fixed at
+#: import so timestamps are comparable across threads within one process.
+_ORIGIN = perf_counter()
+
+DEFAULT_CAPACITY = 4096
+
+
+class SpanRecorder:
+    """Fixed-capacity ring of completed spans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0  # lifetime total, including spans since dropped
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Record one named duration; ``args`` become trace-event args."""
+        if not state.enabled:
+            yield
+            return
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            end = perf_counter()
+            record = {
+                "name": name,
+                "start": start - _ORIGIN,
+                "duration": end - start,
+                "thread": threading.get_ident(),
+                "args": args,
+            }
+            with self._lock:
+                self._ring.append(record)
+                self.recorded += 1
+
+    def spans(self) -> list[dict]:
+        """Current ring contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Spans that have fallen off the back of the ring."""
+        with self._lock:
+            return self.recorded - len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.recorded = 0
+
+    def to_chrome_trace(self) -> dict:
+        """The ring as a Chrome trace-event JSON object.
+
+        Load the result in ``chrome://tracing`` or Perfetto: complete
+        (``ph: "X"``) events, microsecond units, one row per thread.
+        """
+        pid = os.getpid()
+        events = []
+        for record in self.spans():
+            events.append(
+                {
+                    "name": record["name"],
+                    "ph": "X",
+                    "ts": record["start"] * 1e6,
+                    "dur": record["duration"] * 1e6,
+                    "pid": pid,
+                    "tid": record["thread"],
+                    "args": record["args"],
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+#: The process-wide default recorder all layers record into.
+RECORDER = SpanRecorder()
+
+
+def span(name: str, **args: Any):
+    """Record a span on the process-wide default recorder."""
+    return RECORDER.span(name, **args)

@@ -28,11 +28,36 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.serve.stats import BatchSizeHistogram
+
+# Stage timings of the request pipeline, one record per flush (never per
+# request): how long the oldest key waited for company (coalesce), how long
+# the backend batch took (dispatch), how long scattering answers back took.
+_COALESCE_WAIT_US = obs.histogram(
+    "repro_frontend_coalesce_wait_us",
+    "Oldest pending key's wait before its batch flushed, in microseconds.",
+)
+_DISPATCH_US = obs.histogram(
+    "repro_frontend_dispatch_us",
+    "Backend query_many execution time per flushed batch, in microseconds.",
+)
+_SCATTER_US = obs.histogram(
+    "repro_frontend_scatter_us",
+    "Answer scatter-back time per flushed batch, in microseconds.",
+)
+_BATCH_SIZE = obs.histogram(
+    "repro_frontend_batch_size", "Coalesced keys per flushed batch."
+)
+_REQUESTS = obs.counter(
+    "repro_frontend_requests_total", "query/query_many calls accepted."
+)
+_FLUSHES = obs.counter("repro_frontend_flushes_total", "Batches flushed.")
 
 
 class CoalescingFrontEnd:
@@ -61,6 +86,8 @@ class CoalescingFrontEnd:
             name: [] for name in predicates
         }
         self._pending_keys: dict[Any, int] = {name: 0 for name in predicates}
+        #: When each predicate's oldest pending chunk arrived (coalesce wait).
+        self._pending_since: dict[Any, float] = {}
         self._tick_handles: dict[Any, Any] = {}
         # One dedicated executor thread: backends like WorkerPool drive
         # their dispatch plane from a single thread, and batches still
@@ -94,9 +121,12 @@ class CoalescingFrontEnd:
             return np.zeros(0, dtype=bool)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        if not self._pending[predicate]:
+            self._pending_since[predicate] = perf_counter()
         self._pending[predicate].append((keys, future, count))
         self._pending_keys[predicate] += count
         self.requests += 1
+        _REQUESTS.inc()
         if self._pending_keys[predicate] >= self.max_batch:
             self._flush(predicate)
         elif predicate not in self._tick_handles:
@@ -118,15 +148,30 @@ class CoalescingFrontEnd:
             return
         self._pending[predicate] = []
         self._pending_keys[predicate] = 0
+        pending_since = self._pending_since.pop(predicate, None)
         merged = _concat_keys([keys for keys, _, _ in chunks])
         self.histogram.record(len(merged))
         self.flushes += 1
+        _FLUSHES.inc()
+        if obs.state.enabled:
+            _BATCH_SIZE.observe(len(merged))
+            if pending_since is not None:
+                _COALESCE_WAIT_US.observe((perf_counter() - pending_since) * 1e6)
         loop = asyncio.get_running_loop()
         task = loop.run_in_executor(
-            self._executor, self.backend.query_many, merged, predicate
+            self._executor, self._dispatch, merged, predicate
         )
         task = asyncio.ensure_future(task)
         task.add_done_callback(lambda done: self._resolve(done, chunks))
+
+    def _dispatch(self, merged: np.ndarray, predicate: Any) -> np.ndarray:
+        """Run one coalesced batch on the backend (executor thread)."""
+        with obs.span("frontend.flush", keys=int(len(merged))):
+            start = perf_counter()
+            try:
+                return self.backend.query_many(merged, predicate)
+            finally:
+                _DISPATCH_US.observe((perf_counter() - start) * 1e6)
 
     @staticmethod
     def _resolve(
@@ -134,6 +179,7 @@ class CoalescingFrontEnd:
         chunks: list[tuple[Any, asyncio.Future, int]],
     ) -> None:
         """Scatter one batch's answers back to each caller's future."""
+        start = perf_counter()
         error = done.exception()
         offset = 0
         for _, future, count in chunks:
@@ -146,6 +192,7 @@ class CoalescingFrontEnd:
                 answers = done.result()
                 future.set_result(answers[offset : offset + count])
             offset += count
+        _SCATTER_US.observe((perf_counter() - start) * 1e6)
 
     async def drain(self) -> None:
         """Flush everything pending and wait for the batches to finish."""

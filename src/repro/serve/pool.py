@@ -39,9 +39,11 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ccf.predicates import Predicate
 from repro.kernels import active_backend, backend_spec, set_backend
 from repro.serve.stats import WorkerStats, merge_worker_stats
+from repro.store.metrics import OPS_METRIC, ops_family, store_metrics
 from repro.store.store import FilterStore
 
 #: Supported worker flavours.
@@ -59,6 +61,7 @@ def _serve_worker(
     kernel_backend: str | None,
     inbox: Any,
     outbox: Any,
+    isolated: bool = False,
 ) -> None:
     """One worker's loop: attach the snapshot, answer query batches.
 
@@ -71,12 +74,27 @@ def _serve_worker(
     inherit it, spawn would silently lose it).  Replay is non-strict — a
     worker on a host without the accelerator degrades to numpy and says so
     in its stats rather than dying.
+
+    ``isolated`` marks a worker whose metrics registry is its own (process
+    mode).  An isolated worker zeroes the registry before attaching — a
+    forked child inherits the parent's counters, and shipping those back
+    would double-count every pre-fork flow — and answers ``metrics``
+    requests with its full registry snapshot.  A thread worker *shares* the
+    process registry (its kernel/probe counters are already in the parent's
+    snapshot), so it must neither reset it nor re-ship it: it reports only
+    its served-ops delta.
     """
     stats = WorkerStats(worker_id)
     try:
+        if isolated:
+            obs._reset_for_tests()
         if kernel_backend is not None:
             set_backend(kernel_backend, strict=False)
         store = FilterStore.open(snapshot_path)
+        # The snapshot manifest restores the writer's lifetime OpCounters;
+        # report deltas from here so pool merges count only work this
+        # worker actually served.
+        ops_baseline = store.ops.to_dict()
         compiled = {name: store.compile(pred) for name, pred in predicate_items}
     except BaseException as exc:  # startup failure: report, don't hang callers
         outbox.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
@@ -107,6 +125,17 @@ def _serve_worker(
                 payload["store_ops"] = store.ops.to_dict()
                 payload["kernel_backend"] = active_backend().name
                 outbox.put(("stats", worker_id, payload))
+            elif kind == "metrics":
+                current = store.ops.to_dict()
+                delta = {
+                    name: current[name] - ops_baseline.get(name, 0)
+                    for name in current
+                }
+                if isolated:
+                    payload = store_metrics(store, ops=delta)
+                else:
+                    payload = {OPS_METRIC: ops_family(delta)}
+                outbox.put(("metrics", worker_id, payload))
             else:  # pragma: no cover - defensive
                 outbox.put(("error", None, f"unknown message {kind!r}", worker_id))
         except BaseException:
@@ -151,6 +180,7 @@ class WorkerPool:
         self._inflight: set[int] = set()
         self._refresh_acks: list[tuple[int, int]] = []
         self._stats_replies: dict[int, dict] = {}
+        self._metrics_replies: dict[int, dict] = {}
         self._started = False
         self._closed = False
         self.final_stats: dict | None = None
@@ -176,6 +206,7 @@ class WorkerPool:
                         self.kernel_backend,
                         inbox,
                         self._outbox,
+                        True,  # isolated: own process, own metrics registry
                     ),
                     daemon=True,
                     name=f"repro-serve-{worker_id}",
@@ -299,6 +330,8 @@ class WorkerPool:
             self._refresh_acks.append((message[1], message[2]))
         elif kind == "stats":
             self._stats_replies[message[1]] = message[2]
+        elif kind == "metrics":
+            self._metrics_replies[message[1]] = message[2]
 
     def wait(self, request_id: int, timeout: float | None = None) -> np.ndarray:
         """Block until ``request_id``'s answers arrive and return them."""
@@ -378,6 +411,29 @@ class WorkerPool:
             backends.pop() if len(backends) == 1 else sorted(backends)
         )
         return merged
+
+    def metrics(self) -> dict:
+        """Merged per-worker metrics snapshots (one registry-shaped dict).
+
+        Process workers ship their full registry (counters/histograms sum,
+        gauges take the max); thread workers ship only their served-ops
+        delta, because their hot-path counters already live in this
+        process's registry.  Either way the result merges cleanly into the
+        caller's snapshot via :func:`repro.obs.merge_snapshots`.
+        """
+        self._require_running()
+        self._metrics_replies = {}
+        for inbox in self._inboxes:
+            inbox.put(("metrics",))
+        remaining = self.timeout
+        while len(self._metrics_replies) < self.num_workers:
+            if remaining <= 0:
+                raise TimeoutError("workers did not report metrics in time")
+            self._drain_one(_POLL_INTERVAL)
+            remaining -= _POLL_INTERVAL
+        return obs.merge_snapshots(
+            *[self._metrics_replies[i] for i in sorted(self._metrics_replies)]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else ("running" if self._started else "new")

@@ -34,10 +34,12 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ccf.predicates import Predicate
 from repro.serve.frontend import CoalescingFrontEnd
 from repro.serve.locks import shard_locks
 from repro.serve.pool import WorkerPool
+from repro.store.metrics import store_metrics
 from repro.store.store import FilterStore
 
 #: Epoch directories are named so a directory listing sorts by recency.
@@ -212,6 +214,31 @@ class ServeRuntime:
             "writer": self.store.stats(),
             "pool": self.pool.stats() if self.pool is not None else None,
         }
+
+    def metrics(self, fmt: str = "snapshot") -> dict | str:
+        """The scrapeable telemetry endpoint: writer + pool, one registry.
+
+        Merges the writer process's registry snapshot (with the store's
+        structural gauges overlaid) with every pool worker's contribution —
+        process workers ship their whole registry, thread workers just
+        their served-ops delta (their counters already live in this
+        process's registry).  ``fmt`` selects the output form:
+        ``"snapshot"`` (the dict), ``"prometheus"`` (text exposition) or
+        ``"json"``.
+        """
+        snapshots = [store_metrics(self.store)]
+        if self.pool is not None:
+            snapshots.append(self.pool.metrics())
+        merged = obs.merge_snapshots(*snapshots)
+        if fmt == "snapshot":
+            return merged
+        if fmt == "prometheus":
+            return obs.to_prometheus(merged)
+        if fmt == "json":
+            return obs.to_json(merged)
+        raise ValueError(
+            f"fmt must be 'snapshot', 'prometheus' or 'json', got {fmt!r}"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         running = self.pool is not None

@@ -16,66 +16,66 @@ the counters stay exact without touching any hot kernel.
 
 from __future__ import annotations
 
-import threading
 from typing import Iterable, Mapping
 
+from repro.obs import Pow2Histogram
 
-class BatchSizeHistogram:
+
+class BatchSizeHistogram(Pow2Histogram):
     """Power-of-two histogram of executed batch sizes.
 
-    Bucket ``2**k`` counts batches of size in ``(2**(k-1), 2**k]`` (bucket 1
-    holds exactly size-1 batches), so the batch=1 pathology and the
-    coalesced regime are separate bars at a glance.
-    """
+    A thin façade over :class:`repro.obs.Pow2Histogram` (the bucketing and
+    merge logic live there) keeping this module's historical vocabulary:
+    ``batches``/``keys``/``max_size`` and the ``to_dict`` schema consumers
+    scrape.  Bucket ``2**k`` counts batches of size in ``(2**(k-1), 2**k]``
+    (bucket 1 holds exactly size-1 batches), so the batch=1 pathology and
+    the coalesced regime are separate bars at a glance.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._buckets: dict[int, int] = {}
-        self.batches = 0
-        self.keys = 0
-        self.max_size = 0
+    Deliberately not gated by the metrics kill switch: the histogram is
+    part of the serve stats contract, not optional telemetry.
+    """
 
     def record(self, size: int) -> None:
         if size < 0:
             raise ValueError("batch size must be non-negative")
-        bucket = 1
-        while bucket < size:
-            bucket <<= 1
-        with self._lock:
-            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
-            self.batches += 1
-            self.keys += size
-            if size > self.max_size:
-                self.max_size = size
+        self.observe(size)
+
+    @property
+    def batches(self) -> int:
+        return self.count
+
+    @property
+    def keys(self) -> int:
+        return self.total
+
+    @property
+    def max_size(self) -> int:
+        return self.max
 
     def merge(self, other: "BatchSizeHistogram | Mapping") -> None:
         """Fold another histogram (or its dict form) into this one."""
-        data = other.to_dict() if isinstance(other, BatchSizeHistogram) else other
-        with self._lock:
-            for label, count in data.get("buckets", {}).items():
-                bucket = int(label)
-                self._buckets[bucket] = self._buckets.get(bucket, 0) + int(count)
-            self.batches += int(data.get("batches", 0))
-            self.keys += int(data.get("keys", 0))
-            self.max_size = max(self.max_size, int(data.get("max_size", 0)))
+        if isinstance(other, Pow2Histogram):
+            return super().merge(other)
+        self.merge_data(
+            other.get("buckets", {}),
+            int(other.get("batches", 0)),
+            int(other.get("keys", 0)),
+            int(other.get("max_size", 0)),
+        )
 
     def mean_size(self) -> float:
         """Average executed batch size (0.0 before any batch)."""
-        return self.keys / self.batches if self.batches else 0.0
+        return self.mean()
 
     def to_dict(self) -> dict:
         """JSON-safe form: bucket upper bounds (as strings) to counts."""
-        with self._lock:
-            return {
-                "batches": self.batches,
-                "keys": self.keys,
-                "max_size": self.max_size,
-                "mean_size": round(self.mean_size(), 2),
-                "buckets": {
-                    str(bucket): count
-                    for bucket, count in sorted(self._buckets.items())
-                },
-            }
+        return {
+            "batches": self.count,
+            "keys": self.total,
+            "max_size": self.max,
+            "mean_size": round(self.mean(), 2),
+            "buckets": self.buckets_dict(),
+        }
 
 
 class WorkerStats:

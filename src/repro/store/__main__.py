@@ -1,14 +1,24 @@
 """``python -m repro.store``: operational tooling for FilterStore snapshots.
 
-Currently one subcommand::
+Two subcommands::
 
     python -m repro.store inspect <path>
 
-prints a snapshot directory's manifest (format, kind, schema, store shape)
-and a per-level table — payload format, geometry, storage dtype, load
-factor, entries and on-disk byte size.  Segment levels are inspected from
-their SEG1 metadata alone (O(metadata), no column data read); bit-packed
-``.ccf`` payloads are fully deserialised.
+prints a snapshot directory's manifest (format, kind, schema, store shape),
+a per-level table — payload format, geometry, storage dtype, load factor,
+entries and on-disk byte size — and one compact memory line per shard
+(mapped vs resident column bytes, from segment metadata).  Segment levels
+are inspected from their SEG1 metadata alone (O(metadata), no column data
+read); bit-packed ``.ccf`` payloads are fully deserialised.
+
+::
+
+    python -m repro.store metrics <path> [--format prometheus|json]
+
+attaches the snapshot and emits the unified observability snapshot
+(`repro.store.metrics.store_metrics`): the structural gauges sampled from
+the attached store plus this process's metrics registry, in Prometheus
+text exposition (default) or JSON.
 """
 
 from __future__ import annotations
@@ -18,12 +28,14 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.ccf.mmapio import map_column
 from repro.ccf.serialize import SerializeError, loads
 from repro.cuckoo.buckets import dtype_for_bits
 from repro.kernels import active_backend
+from repro.store.metrics import store_metrics
 from repro.store.segments import read_segment_meta, segment_nbytes
-from repro.store.store import MANIFEST_NAME
+from repro.store.store import MANIFEST_NAME, FilterStore
 
 
 def _level_entries(record: dict) -> list[dict]:
@@ -128,6 +140,7 @@ def inspect(path: str | Path, out=None) -> int:
             f"compactions={record['compactions']}",
             file=out,
         )
+        shard_mapped = shard_resident = 0
         for entry in _level_entries(record):
             level_path = root / entry["file"]
             try:
@@ -145,9 +158,35 @@ def inspect(path: str | Path, out=None) -> int:
                 f"stash={info['stash']} bytes={info['file_bytes']}",
                 file=out,
             )
+            # Segment columns serve memory-mapped (shared page cache);
+            # ccf payloads deserialise to private heap arrays.
+            if info["format"] == "segment":
+                shard_mapped += info["column_bytes"]
+            else:
+                shard_resident += info["column_bytes"]
             total_bytes += info["file_bytes"]
             total_levels += 1
+        print(
+            f"    memory: mapped={shard_mapped} resident={shard_resident} bytes",
+            file=out,
+        )
     print(f"  total: {total_levels} levels, {total_bytes} payload bytes", file=out)
+    return 0
+
+
+def metrics(path: str | Path, fmt: str = "prometheus", out=None) -> int:
+    """Attach a snapshot and emit its metrics snapshot; 0 on success."""
+    out = sys.stdout if out is None else out
+    root = Path(path)
+    if not (root / MANIFEST_NAME).exists():
+        print(f"error: no {MANIFEST_NAME} under {root}", file=out)
+        return 1
+    store = FilterStore.open(root)
+    snapshot = store_metrics(store)
+    if fmt == "prometheus":
+        print(obs.to_prometheus(snapshot), end="", file=out)
+    else:
+        print(obs.to_json(snapshot), file=out)
     return 0
 
 
@@ -161,9 +200,21 @@ def main(argv: list[str] | None = None) -> int:
         "inspect", help="print a snapshot's manifest and per-level geometry"
     )
     inspect_cmd.add_argument("path", help="snapshot directory (holds manifest.json)")
+    metrics_cmd = sub.add_parser(
+        "metrics", help="emit the snapshot's metrics registry (scrape surface)"
+    )
+    metrics_cmd.add_argument("path", help="snapshot directory (holds manifest.json)")
+    metrics_cmd.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output form (default: prometheus text exposition)",
+    )
     args = parser.parse_args(argv)
     if args.command == "inspect":
         return inspect(args.path)
+    if args.command == "metrics":
+        return metrics(args.path, args.format)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,98 @@
+"""Collection-time store metrics: registry snapshot + structural gauges.
+
+:func:`store_metrics` is how every telemetry surface — ``store.stats()``,
+the ``repro.store metrics`` CLI, ``ServeRuntime.metrics()`` — obtains one
+coherent snapshot: the process registry's hot-path flows (kernel calls,
+probe outcomes, wave work) overlaid with gauges *sampled from the store at
+collection time* (per-shard mapped/resident bytes, entries, levels, load
+factor) and the lifetime ``OpCounters`` re-expressed as a counter family.
+
+Gauges and ops are synthesized here rather than maintained through the
+registry for two reasons: they are derivable state, not flows (sampling at
+scrape time is both cheaper and always current), and they must stay
+visible when the kill switch disables hot-path recording — an operator who
+turned metrics off for a benchmark still gets structure and lifetime ops
+from the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro import obs
+
+OPS_METRIC = "repro_store_ops_total"
+
+_GAUGE_SPECS = (
+    ("repro_store_mapped_bytes", "Segment-mapped slot-column bytes, by shard."),
+    ("repro_store_resident_bytes", "Private heap slot-column bytes, by shard."),
+    ("repro_store_entries", "Occupied table slots, by shard."),
+    ("repro_store_levels", "Level-stack depth, by shard."),
+    ("repro_store_load_factor", "Occupied slot fraction, by shard."),
+)
+
+
+def _gauge_family(name: str, help_text: str, samples: list[dict]) -> dict:
+    return {
+        "type": "gauge",
+        "help": help_text,
+        "labelnames": ["shard"],
+        "samples": samples,
+    }
+
+
+def ops_family(ops: Mapping[str, int]) -> dict:
+    """The ``OpCounters`` dict as one labelled counter family."""
+    samples = []
+    for name in sorted(ops):
+        op, _, unit = name.rpartition("_")
+        samples.append(
+            {"labels": {"op": op, "unit": unit}, "value": int(ops[name])}
+        )
+    return {
+        "type": "counter",
+        "help": "Lifetime served operations (batch calls and keys, by kind).",
+        "labelnames": ["op", "unit"],
+        "samples": samples,
+    }
+
+
+def store_metrics(store, ops: Mapping[str, int] | None = None) -> dict:
+    """One registry snapshot with the store's structural gauges overlaid.
+
+    ``ops`` overrides the store's own lifetime counters — serve workers pass
+    their since-attach delta so a pool merge doesn't re-count the baseline
+    the snapshot manifest restored into every worker.
+    """
+    snapshot = obs.snapshot()
+    per_gauge: dict[str, list[dict]] = {name: [] for name, _ in _GAUGE_SPECS}
+    total_size = 0.0
+    for shard in store.shards:
+        label = {"shard": str(shard.shard_id)}
+        mapped, resident = shard.storage_nbytes()
+        per_gauge["repro_store_mapped_bytes"].append(
+            {"labels": label, "value": mapped}
+        )
+        per_gauge["repro_store_resident_bytes"].append(
+            {"labels": dict(label), "value": resident}
+        )
+        per_gauge["repro_store_entries"].append(
+            {"labels": dict(label), "value": shard.num_entries}
+        )
+        per_gauge["repro_store_levels"].append(
+            {"labels": dict(label), "value": shard.num_levels}
+        )
+        per_gauge["repro_store_load_factor"].append(
+            {"labels": dict(label), "value": shard.load_factor()}
+        )
+        total_size += shard.size_in_bits() / 8
+    for name, help_text in _GAUGE_SPECS:
+        snapshot[name] = _gauge_family(name, help_text, per_gauge[name])
+    snapshot["repro_store_size_bytes"] = {
+        "type": "gauge",
+        "help": "Summed sketch size of every level in bytes.",
+        "labelnames": [],
+        "samples": [{"labels": {}, "value": total_size}],
+    }
+    snapshot[OPS_METRIC] = ops_family(store.ops.to_dict() if ops is None else ops)
+    return snapshot

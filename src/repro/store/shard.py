@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import itertools
 import uuid
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ccf.attributes import AttributeSchema
 from repro.ccf.base import CompiledQuery
 from repro.ccf.params import CCFParams
@@ -38,6 +40,38 @@ from repro.ccf.plain import PlainCCF
 from repro.store.compaction import merge_levels
 from repro.store.config import StoreConfig
 from repro.store.segments import SegmentLevelRef
+
+# Store-layer structural metrics (all batch- or event-granularity).  Probe
+# outcomes are labelled by level depth-from-newest: depth 0 is the active
+# level, so a drifting hit depth means reads are paying for old levels —
+# the signal that compaction is overdue.
+_LEVEL_ROLLS = obs.counter(
+    "repro_store_level_rolls_total",
+    "Active levels sealed because they reached target load (or failed).",
+    ("shard",),
+)
+_COMPACTIONS = obs.counter(
+    "repro_store_compactions_total", "Level-stack compactions run.", ("shard",)
+)
+_COMPACTION_ENTRIES = obs.counter(
+    "repro_store_compaction_entries_total", "Entries merged by compactions."
+)
+_COMPACTION_BYTES = obs.counter(
+    "repro_store_compaction_bytes_total",
+    "Slot-column bytes read by compactions (stack size before the merge).",
+)
+_COMPACTION_US = obs.histogram(
+    "repro_store_compaction_us", "Compaction duration in microseconds."
+)
+_PROBE_HITS = obs.counter(
+    "repro_probe_hits_total",
+    "Keys answered True, by level depth-from-newest that answered.",
+    ("level",),
+)
+_PROBE_MISSES = obs.counter(
+    "repro_probe_misses_total",
+    "Keys no level of the probed shard answered True.",
+)
 
 #: Process-unique prefix + global counter for level sequence tokens.  A seq
 #: names one immutable *content version* of a level: any mutation (insert,
@@ -205,6 +239,7 @@ class FilterShard:
         self._levels.append(self._new_level())
         self.level_seqs.append(alloc_level_seq())
         self.generation += 1
+        _LEVEL_ROLLS.labels(shard=str(self.shard_id)).inc()
 
     def _touch_level(self, index: int) -> None:
         """Record that the level at ``index`` changed content (fresh seq)."""
@@ -360,14 +395,21 @@ class FilterShard:
         out = np.zeros(len(fps), dtype=bool)
         alts = self._alts_for(fps, homes, alts)
         pending = np.arange(len(fps))
-        for level in reversed(self.levels):
+        record = obs.state.enabled
+        for depth, level in enumerate(reversed(self.levels)):
             if pending.size == 0:
                 break
             answers = level._query_hashed_many(
                 fps[pending], homes[pending], compiled, alts[pending]
             )
+            if record:
+                hits = int(np.count_nonzero(answers))
+                if hits:
+                    _PROBE_HITS.labels(level=str(depth)).inc(hits)
             out[pending[answers]] = True
             pending = pending[~answers]
+        if record and pending.size:
+            _PROBE_MISSES.inc(int(pending.size))
         return out
 
     # ------------------------------------------------------------------
@@ -378,10 +420,21 @@ class FilterShard:
         """Merge the level stack into one right-sized filter (see compaction.py)."""
         if len(self.levels) == 1 and not self.levels[0].num_entries:
             return self.levels[0]
-        self.entries_compacted += sum(level.num_entries for level in self.levels)
-        merged = merge_levels(
-            self.schema, self.params, self.levels, self.config.target_load
-        )
+        entries = sum(level.num_entries for level in self.levels)
+        self.entries_compacted += entries
+        record = obs.state.enabled
+        if record:
+            mapped, resident = self.storage_nbytes()
+            start = perf_counter()
+        with obs.span("shard.compact", shard=self.shard_id, entries=entries):
+            merged = merge_levels(
+                self.schema, self.params, self.levels, self.config.target_load
+            )
+        if record:
+            _COMPACTIONS.labels(shard=str(self.shard_id)).inc()
+            _COMPACTION_ENTRIES.inc(entries)
+            _COMPACTION_BYTES.inc(mapped + resident)
+            _COMPACTION_US.observe((perf_counter() - start) * 1e6)
         self.num_compactions += 1
         self.levels = [merged]
         return merged

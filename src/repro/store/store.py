@@ -33,10 +33,12 @@ import os
 import shutil
 import threading
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ccf.attributes import AttributeSchema
 from repro.ccf.base import (
     CompiledQuery,
@@ -52,6 +54,7 @@ from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.hashing.mixers import derive_seed, hash64, hash64_many
 from repro.kernels import active_backend
 from repro.store.config import StoreConfig
+from repro.store.metrics import store_metrics
 from repro.store.segments import (
     SEGMENT_SUFFIX,
     SegmentLevelRef,
@@ -71,6 +74,20 @@ LEVEL_FORMATS = ("segment", "ccf")
 
 #: The operation kinds `OpCounters` tracks (batch calls and keys for each).
 OP_KINDS = ("query", "insert", "delete")
+
+# Persistence-path instrumentation: one record per snapshot/refresh call.
+_SNAPSHOT_US = obs.histogram(
+    "repro_store_snapshot_us", "Snapshot write duration in microseconds."
+)
+_SNAPSHOTS = obs.counter("repro_store_snapshots_total", "Snapshots written.")
+_REFRESH_US = obs.histogram(
+    "repro_store_refresh_us", "Snapshot refresh duration in microseconds."
+)
+_REFRESH_LEVELS = obs.counter(
+    "repro_store_refresh_levels_total",
+    "Levels handled by refresh, by outcome (reused = mapping kept).",
+    ("outcome",),
+)
 
 
 class OpCounters:
@@ -392,9 +409,10 @@ class FilterStore:
         the shared OS page cache before a worker pool forks/spawns against
         the same snapshot.  Promoted (heap) levels contribute nothing.
         """
-        return sum(
-            warm_level(level) for shard in self.shards for level in shard.levels
-        )
+        with obs.span("store.warm"):
+            return sum(
+                warm_level(level) for shard in self.shards for level in shard.levels
+            )
 
     @property
     def num_levels(self) -> int:
@@ -449,6 +467,9 @@ class FilterStore:
             "generation": self.generation,
             "ops": self.ops.to_dict(),
             "shards": shards,
+            # The unified observability view: the process registry overlaid
+            # with collection-time store gauges (repro.store.metrics).
+            "metrics": store_metrics(self),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -485,6 +506,14 @@ class FilterStore:
             raise ValueError(
                 f"level_format must be one of {LEVEL_FORMATS}, got {level_format!r}"
             )
+        start = perf_counter()
+        with obs.span("store.snapshot", path=str(path), level_format=level_format):
+            root = self._snapshot(path, level_format)
+        _SNAPSHOTS.inc()
+        _SNAPSHOT_US.observe((perf_counter() - start) * 1e6)
+        return root
+
+    def _snapshot(self, path: str | Path, level_format: str) -> Path:
         root = Path(path)
         root.parent.mkdir(parents=True, exist_ok=True)
         # Clear staging/displaced debris from earlier runs, whatever their
@@ -612,6 +641,15 @@ class FilterStore:
         silently mis-probe.  Returns ``{"levels_reused": ..,
         "levels_attached": ..}``.
         """
+        start = perf_counter()
+        with obs.span("store.refresh", path=str(path)):
+            result = self._refresh(path)
+        _REFRESH_US.observe((perf_counter() - start) * 1e6)
+        _REFRESH_LEVELS.labels(outcome="reused").inc(result["levels_reused"])
+        _REFRESH_LEVELS.labels(outcome="attached").inc(result["levels_attached"])
+        return result
+
+    def _refresh(self, path: str | Path) -> dict[str, int]:
         root = Path(path)
         manifest = json.loads((root / MANIFEST_NAME).read_text())
         if manifest.get("format") not in (1, MANIFEST_FORMAT):

@@ -102,6 +102,76 @@ class TestStoreInspectCLI:
         assert store_main(["inspect", str(root)]) == 1
         assert "UNREADABLE" in capsys.readouterr().out
 
+    def test_inspect_reports_shard_memory(self, capsys, tmp_path):
+        store, root = self._snapshot(tmp_path)
+        assert store_main(["inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        memory_lines = [
+            line.strip() for line in out.splitlines() if "memory:" in line
+        ]
+        assert len(memory_lines) == 2  # one compact line per shard
+        for line in memory_lines:
+            assert line.startswith("memory: mapped=")
+            assert "resident=" in line and line.endswith("bytes")
+        # Segment snapshots serve mmap'd: all column bytes are mapped.
+        assert all("resident=0 bytes" in line for line in memory_lines)
+
+    def test_inspect_ccf_snapshot_is_resident(self, capsys, tmp_path):
+        _store, root = self._snapshot(tmp_path, level_format="ccf")
+        assert store_main(["inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        memory_lines = [l for l in out.splitlines() if "memory:" in l]
+        assert all("mapped=0 " in line for line in memory_lines)
+        assert not any("resident=0 " in line for line in memory_lines)
+
     def test_unknown_subcommand_errors(self):
         with pytest.raises(SystemExit):
             store_main(["frobnicate"])
+
+
+class TestStoreMetricsCLI:
+    """``python -m repro.store metrics <path>``: the scrape surface."""
+
+    def _snapshot(self, tmp_path):
+        schema = AttributeSchema(["color", "size"])
+        params = CCFParams(key_bits=20, attr_bits=8, bucket_size=4, seed=5)
+        store = FilterStore(
+            schema, params, StoreConfig(num_shards=2, level_buckets=64)
+        )
+        keys = np.arange(900, dtype=np.int64)
+        colors = np.array(["red", "green", "blue"], dtype=object)[keys % 3]
+        store.insert_many(keys, [colors, keys % 7])
+        return store.snapshot(tmp_path / "snap")
+
+    def test_metrics_prometheus_output(self, capsys, tmp_path):
+        from repro import obs
+
+        root = self._snapshot(tmp_path)
+        assert store_main(["metrics", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_store_ops_total counter" in out
+        assert "# TYPE repro_store_entries gauge" in out
+        parsed = obs.parse_prometheus(out)
+        assert obs.validate_snapshot(parsed) == []
+        entries = sum(
+            s["value"] for s in parsed["repro_store_entries"]["samples"]
+        )
+        assert entries == 900
+        ops = {
+            (s["labels"]["op"], s["labels"]["unit"]): s["value"]
+            for s in parsed["repro_store_ops_total"]["samples"]
+        }
+        assert ops[("insert", "keys")] == 900  # manifest-restored lifetime ops
+
+    def test_metrics_json_output(self, capsys, tmp_path):
+        from repro import obs
+
+        root = self._snapshot(tmp_path)
+        assert store_main(["metrics", str(root), "--format", "json"]) == 0
+        parsed = obs.from_json(capsys.readouterr().out)
+        assert obs.validate_snapshot(parsed) == []
+        assert "repro_store_size_bytes" in parsed
+
+    def test_metrics_missing_manifest(self, capsys, tmp_path):
+        assert store_main(["metrics", str(tmp_path)]) == 1
+        assert "manifest.json" in capsys.readouterr().out

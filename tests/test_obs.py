@@ -1,0 +1,400 @@
+"""Unit tests for the observability primitives (repro.obs).
+
+Covers the registry (counters/gauges/histograms, label children, kill
+switch, in-place reset), snapshot merging (sum/max semantics, hypothesis
+associativity), the Prometheus/JSON exposition round-trips, snapshot schema
+validation, and the bounded span ring with Chrome-trace export.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry, Pow2Histogram, merge_snapshots
+from repro.obs.spans import SpanRecorder
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    """Every test here runs with recording on and a clean default registry."""
+    was = obs.enabled()
+    obs.set_enabled(True)
+    obs._reset_for_tests()
+    yield
+    obs.set_enabled(was)
+    obs._reset_for_tests()
+
+
+# ----------------------------------------------------------------------
+# Pow2Histogram
+# ----------------------------------------------------------------------
+
+
+def test_pow2_bucketing_matches_doubling_intervals():
+    assert Pow2Histogram.bucket_of(0) == 1
+    assert Pow2Histogram.bucket_of(1) == 1
+    assert Pow2Histogram.bucket_of(2) == 2
+    assert Pow2Histogram.bucket_of(3) == 4
+    assert Pow2Histogram.bucket_of(1024) == 1024
+    assert Pow2Histogram.bucket_of(1025) == 2048
+    assert Pow2Histogram.bucket_of(0.5) == 1
+    assert Pow2Histogram.bucket_of(17.3) == 32
+
+
+def test_pow2_observe_tracks_count_sum_max():
+    hist = Pow2Histogram()
+    for value in (1, 3, 3, 17):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == 24
+    assert hist.max == 17
+    assert hist.mean() == 6.0
+    assert hist.buckets_dict() == {"1": 1, "4": 2, "32": 1}
+    with pytest.raises(ValueError):
+        hist.observe(-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=30),
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=30),
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=30),
+)
+def test_pow2_merge_is_associative(a, b, c):
+    def hist_of(values):
+        h = Pow2Histogram()
+        for v in values:
+            h.observe(v)
+        return h
+
+    left = hist_of(a)
+    left.merge(hist_of(b))
+    right = hist_of(b)
+    right.merge(hist_of(c))
+
+    ab_c = hist_of([])
+    ab_c.merge(left)
+    ab_c.merge(hist_of(c))
+    a_bc = hist_of(a)
+    a_bc.merge(right)
+    assert ab_c.data() == a_bc.data()
+    flat = hist_of(a + b + c)
+    assert ab_c.data() == flat.data()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_counter_family_label_children_accumulate():
+    reg = MetricsRegistry()
+    calls = reg.counter("x_calls_total", "calls", ("backend",))
+    calls.labels(backend="numpy").inc()
+    calls.labels(backend="numpy").inc(2)
+    calls.labels(backend="numba").inc(5)
+    snap = reg.snapshot()
+    samples = {
+        s["labels"]["backend"]: s["value"]
+        for s in snap["x_calls_total"]["samples"]
+    }
+    assert samples == {"numpy": 3, "numba": 5}
+
+
+def test_counter_name_must_end_in_total():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x_calls", "bad name")
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x_total", "c").inc(-1)
+
+
+def test_family_getters_are_idempotent_and_typed():
+    reg = MetricsRegistry()
+    first = reg.counter("x_total", "c", ("a",))
+    assert reg.counter("x_total", "c", ("a",)) is first
+    with pytest.raises(ValueError):
+        reg.gauge("x_total", "now a gauge", ("a",))
+    with pytest.raises(ValueError):
+        reg.counter("x_total", "c", ("b",))
+
+
+def test_labels_must_match_declared_names():
+    reg = MetricsRegistry()
+    calls = reg.counter("x_total", "c", ("backend",))
+    with pytest.raises(ValueError):
+        calls.labels(wrong="numpy")
+
+
+def test_kill_switch_makes_recording_a_noop():
+    reg = MetricsRegistry()
+    counter = reg.counter("x_total", "c")
+    gauge = reg.gauge("g", "g")
+    hist = reg.histogram("h", "h")
+    obs.set_enabled(False)
+    counter.inc()
+    gauge.set(9)
+    hist.observe(5)
+    obs.set_enabled(True)
+    snap = reg.snapshot()
+    assert snap["x_total"]["samples"][0]["value"] == 0
+    assert snap["g"]["samples"][0]["value"] == 0
+    assert snap["h"]["samples"][0]["count"] == 0
+
+
+def test_env_var_off_values_disable(monkeypatch):
+    from repro.obs import registry
+
+    for value in ("off", "0", "false", "no", " OFF "):
+        monkeypatch.setenv(registry.ENV_VAR, value)
+        assert registry._env_enabled() is False
+    for value in ("", "on", "1", "yes"):
+        monkeypatch.setenv(registry.ENV_VAR, value)
+        assert registry._env_enabled() is True
+
+
+def test_clear_resets_in_place_keeping_bindings():
+    reg = MetricsRegistry()
+    calls = reg.counter("x_total", "c", ("k",))
+    child = calls.labels(k="a")
+    child.inc(7)
+    reg.clear()
+    assert reg.snapshot()["x_total"]["samples"][0]["value"] == 0
+    # The pre-reset binding still records into the same registry.
+    child.inc(2)
+    assert reg.snapshot()["x_total"]["samples"][0]["value"] == 2
+
+
+# ----------------------------------------------------------------------
+# Snapshot merging
+# ----------------------------------------------------------------------
+
+
+def _sample_registry(counter_value: int, gauge_value: float) -> dict:
+    reg = MetricsRegistry()
+    reg.counter("c_total", "c", ("k",)).labels(k="x").inc(counter_value)
+    reg.gauge("g", "g").set(gauge_value)
+    hist = reg.histogram("h", "h")
+    for v in range(counter_value):
+        hist.observe(v)
+    return reg.snapshot()
+
+
+def test_merge_snapshots_sums_counters_and_maxes_gauges():
+    a = _sample_registry(3, 10.0)
+    b = _sample_registry(5, 4.0)
+    merged = merge_snapshots(a, b)
+    assert merged["c_total"]["samples"][0]["value"] == 8
+    assert merged["g"]["samples"][0]["value"] == 10.0
+    assert merged["h"]["samples"][0]["count"] == 8
+    assert merged["h"]["samples"][0]["max"] == 4
+
+
+def test_merge_snapshots_unions_disjoint_label_sets():
+    reg_a = MetricsRegistry()
+    reg_a.counter("c_total", "c", ("k",)).labels(k="a").inc(1)
+    reg_b = MetricsRegistry()
+    reg_b.counter("c_total", "c", ("k",)).labels(k="b").inc(2)
+    merged = merge_snapshots(reg_a.snapshot(), reg_b.snapshot())
+    got = {s["labels"]["k"]: s["value"] for s in merged["c_total"]["samples"]}
+    assert got == {"a": 1, "b": 2}
+
+
+def test_merge_snapshots_does_not_mutate_inputs():
+    a = _sample_registry(3, 1.0)
+    b = _sample_registry(4, 2.0)
+    a_copy = json.loads(json.dumps(a))
+    merge_snapshots(a, b)
+    assert a == a_copy
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=3,
+        max_size=3,
+    )
+)
+def test_merge_snapshots_is_associative(parts):
+    snaps = [_sample_registry(c, g) for c, g in parts]
+    left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+    right = merge_snapshots(snaps[0], merge_snapshots(snaps[1], snaps[2]))
+    assert left == right
+    assert left == merge_snapshots(*snaps)
+
+
+def test_registry_merge_snapshot_folds_into_live_families():
+    reg = MetricsRegistry()
+    reg.counter("c_total", "c", ("k",)).labels(k="x").inc(2)
+    reg.merge_snapshot(_sample_registry(3, 5.0))
+    snap = reg.snapshot()
+    assert snap["c_total"]["samples"][0]["value"] == 5
+    assert snap["g"]["samples"][0]["value"] == 5.0
+
+
+# ----------------------------------------------------------------------
+# Exposition round-trips + validation
+# ----------------------------------------------------------------------
+
+
+def _rich_snapshot() -> dict:
+    reg = MetricsRegistry()
+    calls = reg.counter("rt_calls_total", "calls", ("backend", "kernel"))
+    calls.labels(backend="numpy", kernel="pair_eq").inc(7)
+    calls.labels(backend='we"ird\\n', kernel="x y").inc(1)
+    reg.gauge("rt_bytes", "bytes", ("shard",)).labels(shard="0").set(12.5)
+    hist = reg.histogram("rt_us", "latency", ("stage",))
+    for v in (1, 2, 3, 100, 1000):
+        hist.labels(stage="flush").observe(v)
+    # A labelled family with zero samples must survive the round trip too.
+    reg.counter("rt_empty_total", "empty", ("k",))
+    reg.histogram("rt_empty_hist", "empty hist")
+    return reg.snapshot()
+
+
+def test_prometheus_round_trip_is_exact():
+    snap = _rich_snapshot()
+    text = obs.to_prometheus(snap)
+    assert obs.parse_prometheus(text) == snap
+    # Idempotent: render → parse → render is stable.
+    assert obs.to_prometheus(obs.parse_prometheus(text)) == text
+
+
+def test_json_round_trip_is_exact():
+    snap = _rich_snapshot()
+    assert obs.from_json(obs.to_json(snap)) == snap
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    snap = _rich_snapshot()
+    text = obs.to_prometheus(snap)
+    lines = [l for l in text.splitlines() if l.startswith("rt_us_bucket")]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+    assert counts == sorted(counts)
+    assert 'le="+Inf"' in lines[-1]
+    assert counts[-1] == 5
+    assert "rt_us_max" in text  # the max companion gauge
+
+
+def test_validate_accepts_real_snapshots():
+    assert obs.validate_snapshot(_rich_snapshot()) == []
+    assert obs.validate_snapshot(obs.snapshot()) == []
+
+
+def test_validate_flags_schema_violations():
+    bad = {
+        "1bad name": {"type": "counter", "labelnames": [], "samples": []},
+        "no_suffix": {"type": "counter", "labelnames": [], "samples": []},
+        "mystery": {"type": "summary", "labelnames": [], "samples": []},
+        "neg_total": {
+            "type": "counter",
+            "labelnames": [],
+            "samples": [{"labels": {}, "value": -4}],
+        },
+        "broken_hist": {
+            "type": "histogram",
+            "labelnames": [],
+            "samples": [
+                {
+                    "labels": {},
+                    "count": 3,
+                    "sum": 5,
+                    "max": 900,
+                    "buckets": {"3": 1, "4": 1},
+                }
+            ],
+        },
+    }
+    problems = obs.validate_snapshot(bad)
+    text = "\n".join(problems)
+    assert "invalid metric name" in text
+    assert "must end in _total" in text
+    assert "unknown type" in text
+    assert "negative counter value" in text
+    assert "not a power of two" in text
+    assert "bucket counts sum to" in text
+    assert "exceeds top bucket" in text
+
+
+# ----------------------------------------------------------------------
+# Span recorder
+# ----------------------------------------------------------------------
+
+
+def test_span_ring_is_bounded_and_counts_drops():
+    rec = SpanRecorder(capacity=4)
+    for i in range(10):
+        with rec.span("step", i=i):
+            pass
+    assert len(rec.spans()) == 4
+    assert rec.recorded == 10
+    assert rec.dropped == 6
+    assert [s["args"]["i"] for s in rec.spans()] == [6, 7, 8, 9]
+
+
+def test_span_recording_honours_kill_switch():
+    rec = SpanRecorder(capacity=8)
+    obs.set_enabled(False)
+    with rec.span("invisible"):
+        pass
+    obs.set_enabled(True)
+    assert rec.spans() == []
+    with rec.span("visible"):
+        pass
+    assert [s["name"] for s in rec.spans()] == ["visible"]
+
+
+def test_chrome_trace_export_shape():
+    rec = SpanRecorder(capacity=8)
+    with rec.span("compact", shard=3):
+        pass
+    trace = rec.to_chrome_trace()
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    (event,) = trace["traceEvents"]
+    assert event["ph"] == "X"
+    assert event["name"] == "compact"
+    assert event["args"] == {"shard": 3}
+    assert event["dur"] >= 0
+    assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+    json.dumps(trace)  # must be JSON-serialisable as-is
+
+
+def test_default_recorder_span_api():
+    with obs.span("store.snapshot", path="/tmp/x"):
+        pass
+    trace = obs.to_chrome_trace()
+    assert any(e["name"] == "store.snapshot" for e in trace["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# CLI selftest / validate
+# ----------------------------------------------------------------------
+
+
+def test_obs_cli_selftest_and_validate(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    assert main(["selftest"]) == 0
+    good = tmp_path / "snap.json"
+    good.write_text(obs.to_json(_rich_snapshot()))
+    assert main(["validate", str(good), "--round-trip"]) == 0
+    wrapped = tmp_path / "bench.json"
+    wrapped.write_text(json.dumps({"metrics_snapshot": _rich_snapshot(), "other": 1}))
+    assert main(["validate", str(wrapped)]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"x": {"type": "summary", "samples": []}}))
+    capsys.readouterr()
+    assert main(["validate", str(bad)]) == 1
