@@ -1,0 +1,209 @@
+"""WAL append throughput and crash-recovery replay time (DESIGN.md §14).
+
+ISSUE 9's acceptance bar for the crash-consistent FilterStore, measured on
+``REPRO_WAL_KEYS`` keys (default 1M):
+
+* **Append throughput** under every fsync discipline — ``never`` (commit
+  points only), ``batch`` (deferred to ``flush_bytes``), ``always`` (synced
+  per append) — against the non-durable store inserting the same batches.
+  At the 1M acceptance scale, redo logging in ``fsync=never`` mode must
+  keep at least **20%** of the non-durable insert rate (in practice it
+  keeps far more; the gate catches pathological regressions like frame
+  re-encoding or accidental per-row work).
+* **Replay time vs WAL size**: the same store is crash-abandoned (handles
+  dropped, no checkpoint) at ~25%, ~50% and 100% of the keys, and each
+  reopen replays the whole log.  Replay throughput at the full scale must
+  be at least **20%** of the baseline insert rate, and must scale roughly
+  linearly in log size (per-row replay cost at 100% <= 3x the 25% point).
+* **Correctness always** (every scale): the final recovered store answers
+  a probe batch exactly like an oracle that applied the same inserts.
+
+Results merge into ``bench_results/wal_recovery.json`` keyed by key count,
+so the 1M acceptance record and the CI smoke record coexist.
+
+Environment knobs: ``REPRO_WAL_KEYS`` (default 1M).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import RESULTS_DIR, save_json
+from repro.ccf import AttributeSchema, CCFParams
+from repro.cuckoo.buckets import next_power_of_two
+from repro.store import DurabilityConfig, FilterStore, StoreConfig
+
+NUM_KEYS = int(os.environ.get("REPRO_WAL_KEYS", 1_000_000))
+RESULT_NAME = "wal_recovery"
+FSYNC_MODES = ("never", "batch", "always")
+#: Gates (assert at the 1M acceptance scale; report-only below, where
+#: per-call constants dominate and shared runners measure noise).
+MIN_APPEND_RELATIVE = 0.20  # fsync=never durable rate vs non-durable rate
+MIN_REPLAY_RELATIVE = 0.20  # replay rate vs non-durable insert rate
+MAX_REPLAY_COST_GROWTH = 3.0  # per-row replay cost, full log vs smallest
+
+SCHEMA = AttributeSchema(["status", "region"])
+PARAMS = CCFParams(key_bits=16, attr_bits=8, bucket_size=4, seed=9)
+NUM_SHARDS = 4
+
+
+def _config() -> StoreConfig:
+    level_buckets = next_power_of_two(
+        max(1024, NUM_KEYS // (NUM_SHARDS * PARAMS.bucket_size * 4))
+    )
+    return StoreConfig(
+        num_shards=NUM_SHARDS, level_buckets=level_buckets, target_load=0.85, seed=1
+    )
+
+
+def _chunks(keys: np.ndarray) -> list[np.ndarray]:
+    return np.array_split(keys, max(1, len(keys) // 50_000))
+
+
+def _insert_all(store: FilterStore, keys: np.ndarray) -> float:
+    start = time.perf_counter()
+    for chunk in _chunks(keys):
+        store.insert_many(chunk, [chunk % 5, chunk % 7])
+    return time.perf_counter() - start
+
+
+def _abandon(store: FilterStore) -> None:
+    """Drop the WAL handles without syncing or checkpointing — the store
+    dies the way a crashed process does, so reopen really replays."""
+    for shard in store.shards:
+        if shard.wal is not None:
+            shard.wal.close()
+            shard.wal = None
+
+
+def _wal_bytes(store: FilterStore) -> int:
+    return sum(shard.wal.nbytes for shard in store.shards if shard.wal is not None)
+
+
+def test_wal_recovery(tmp_path):
+    keys = np.arange(NUM_KEYS, dtype=np.int64)
+
+    # Non-durable baseline: the same batches with no logging at all.
+    baseline = FilterStore(SCHEMA, PARAMS, _config())
+    baseline_seconds = _insert_all(baseline, keys)
+    baseline_rate = NUM_KEYS / baseline_seconds
+    rng = np.random.default_rng(17)
+    probe = rng.integers(0, 2 * NUM_KEYS, size=min(NUM_KEYS, 200_000)).astype(np.int64)
+    expected = baseline.query_many(probe)
+    del baseline
+
+    # Append throughput per fsync discipline (batch/always on their own
+    # roots; "never" doubles as the replay-curve store below).
+    append: dict[str, dict] = {}
+    for mode in ("batch", "always"):
+        store = FilterStore(SCHEMA, PARAMS, _config())
+        store.attach_wal(
+            tmp_path / f"store-{mode}",
+            DurabilityConfig(fsync=mode, flush_bytes=1 << 20, roll_bytes=1 << 40),
+        )
+        seconds = _insert_all(store, keys)
+        append[mode] = {
+            "rows_per_sec": NUM_KEYS / seconds,
+            "relative": baseline_seconds / seconds,
+            "wal_bytes": _wal_bytes(store),
+        }
+        store.close()
+
+    # fsync=never + the replay curve: crash-abandon at ~25%, ~50%, 100% of
+    # the keys; every reopen replays the whole (growing) gen-1 log, and the
+    # recovered store keeps inserting, so one build yields three points.
+    root = tmp_path / "store-never"
+    store = FilterStore(SCHEMA, PARAMS, _config())
+    store.attach_wal(
+        root, DurabilityConfig(fsync="never", flush_bytes=1 << 20, roll_bytes=1 << 40)
+    )
+    cuts = sorted({max(1, NUM_KEYS // 4), max(1, NUM_KEYS // 2), NUM_KEYS})
+    replay: list[dict] = []
+    done = 0
+    never_seconds = 0.0
+    for cut in cuts:
+        never_seconds += _insert_all(store, keys[done:cut])
+        done = cut
+        wal_bytes = _wal_bytes(store)
+        _abandon(store)
+        start = time.perf_counter()
+        store = FilterStore.open(root)
+        seconds = time.perf_counter() - start
+        replay.append(
+            {
+                "rows": cut,
+                "wal_bytes": wal_bytes,
+                "seconds": seconds,
+                "rows_per_sec": cut / seconds,
+            }
+        )
+    append["never"] = {
+        "rows_per_sec": NUM_KEYS / never_seconds,
+        "relative": baseline_seconds / never_seconds,
+        "wal_bytes": replay[-1]["wal_bytes"],
+    }
+
+    # Correctness first, at every scale: the thrice-recovered store answers
+    # exactly like the oracle that applied the same inserts.
+    assert (store.query_many(probe) == expected).all(), (
+        "recovered store disagrees with the uninterrupted oracle"
+    )
+    _abandon(store)
+
+    replay_rate = replay[-1]["rows_per_sec"]
+    cost_growth = (
+        (replay[-1]["seconds"] / replay[-1]["rows"])
+        / (replay[0]["seconds"] / replay[0]["rows"])
+    )
+    record = {
+        "keys": NUM_KEYS,
+        "baseline_insert_rows_per_sec": baseline_rate,
+        "append": append,
+        "replay": replay,
+        "replay_cost_growth": cost_growth,
+        "gates": {
+            "min_append_relative": MIN_APPEND_RELATIVE,
+            "min_replay_relative": MIN_REPLAY_RELATIVE,
+            "max_replay_cost_growth": MAX_REPLAY_COST_GROWTH,
+            "asserted": NUM_KEYS >= 1_000_000,
+        },
+    }
+
+    path = RESULTS_DIR / f"{RESULT_NAME}.json"
+    merged: dict = json.loads(path.read_text()) if path.exists() else {}
+    merged[str(NUM_KEYS)] = record
+    save_json(RESULT_NAME, merged)
+
+    print(
+        f"wal recovery @ {NUM_KEYS} keys: baseline {baseline_rate / 1e3:.0f}k rows/s; "
+        "append "
+        + ", ".join(
+            f"{mode} {append[mode]['rows_per_sec'] / 1e3:.0f}k rows/s "
+            f"({append[mode]['relative']:.2f}x baseline)"
+            for mode in FSYNC_MODES
+        )
+        + f"; replay {replay[-1]['wal_bytes'] / 1e6:.1f}MB in "
+        f"{replay[-1]['seconds'] * 1e3:.0f}ms ({replay_rate / 1e3:.0f}k rows/s, "
+        f"cost growth {cost_growth:.2f}x)"
+    )
+
+    if NUM_KEYS >= 1_000_000:
+        assert append["never"]["relative"] >= MIN_APPEND_RELATIVE, (
+            f"fsync=never redo logging keeps only "
+            f"{append['never']['relative']:.2f}x of the non-durable insert "
+            f"rate (gate {MIN_APPEND_RELATIVE})"
+        )
+        assert replay_rate >= MIN_REPLAY_RELATIVE * baseline_rate, (
+            f"replay runs at {replay_rate / 1e3:.0f}k rows/s, under "
+            f"{MIN_REPLAY_RELATIVE:.0%} of the {baseline_rate / 1e3:.0f}k "
+            "rows/s insert baseline"
+        )
+        assert cost_growth <= MAX_REPLAY_COST_GROWTH, (
+            f"per-row replay cost grew {cost_growth:.2f}x from the smallest "
+            f"to the full log (gate {MAX_REPLAY_COST_GROWTH}x): replay is "
+            "superlinear in WAL size"
+        )

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import mmap
+import os
 import struct
 from dataclasses import asdict
 from pathlib import Path
@@ -53,7 +54,7 @@ from repro.ccf.chain import PairGeometry
 from repro.ccf.entries import VectorEntry
 from repro.ccf.factory import make_ccf
 from repro.ccf.params import CCFParams
-from repro.ccf.serialize import SerializeError
+from repro.ccf.serialize import SerializeError, crc32c
 from repro.cuckoo.buckets import SlotMatrix, dtype_for_bits
 
 MAGIC = b"SEG1"
@@ -68,6 +69,20 @@ COLUMN_NAMES = ("fps", "counts", "avecs", "flags")
 
 _PRELUDE = struct.Struct("<4sIQQ")
 _NPY_MAGIC = b"\x93NUMPY\x01\x00"
+
+#: Lazily bound `repro.store.faults` module (importing it at module scope
+#: would cycle: repro.store.__init__ → store.segments → this module).
+_faults = None
+
+
+def _fault_hit(point: str) -> None:
+    """Cross a durability fault-injection point (write path only)."""
+    global _faults
+    if _faults is None:
+        from repro.store import faults
+
+        _faults = faults
+    _faults.hit(point)
 
 
 # ---------------------------------------------------------------------------
@@ -105,13 +120,25 @@ def _segment_columns(ccf: ConditionalCuckooFilterBase) -> dict[str, np.ndarray]:
     }
 
 
-def write_segment(ccf: ConditionalCuckooFilterBase, path: str | Path) -> Path:
+def write_segment(
+    ccf: ConditionalCuckooFilterBase,
+    path: str | Path,
+    checksums: bool = False,
+    fsync: bool = False,
+) -> Path:
     """Write ``ccf`` to a SEG1 segment file at ``path``.
 
     The filter must hold only vector slots (plain/chained CCFs; every
     FilterStore level qualifies) — payload slots carry live Python objects
     with no columnar representation and raise ``TypeError``.  Writing a
     *mapped* filter works and simply streams the mapped columns through.
+
+    ``checksums=True`` records a CRC32C per column block in the metadata
+    table; :func:`open_segment` then verifies each column as it maps.  It
+    is opt-in (FilterStore checkpoints use it) so default snapshots stay
+    byte-identical to pre-checksum writers.  ``fsync=True`` forces the
+    finished file to stable storage before returning — required when the
+    segment sits below a commit point, as in a checkpoint.
     """
     if ccf._num_payload_slots:
         raise TypeError(
@@ -158,12 +185,19 @@ def write_segment(ccf: ConditionalCuckooFilterBase, path: str | Path) -> Path:
                 "shape": list(arr.shape),
                 "nbytes": int(arr.nbytes),
             }
+            if checksums:
+                table[name]["crc32c"] = crc32c(arr)
+        _fault_hit("segment.write.columns")
         meta["columns"] = table
         meta_offset = f.tell()
         payload = json.dumps(meta, sort_keys=True).encode("utf-8")
         f.write(payload)
         f.seek(0)
         f.write(_PRELUDE.pack(MAGIC, VERSION, meta_offset, len(payload)))
+        if fsync:
+            f.flush()
+            os.fsync(f.fileno())
+        _fault_hit("segment.write.meta")
     return path
 
 
@@ -292,7 +326,9 @@ def _map_column(path: Path, spec: dict) -> np.ndarray:
     )
 
 
-def open_segment(path: str | Path) -> ConditionalCuckooFilterBase:
+def open_segment(
+    path: str | Path, verify: bool | None = None
+) -> ConditionalCuckooFilterBase:
     """Open a SEG1 segment as a queryable CCF, zero-copy.
 
     Every typed column becomes a read-only ``np.memmap``; no slot data is
@@ -301,6 +337,14 @@ def open_segment(path: str | Path) -> ConditionalCuckooFilterBase:
     ``contains_key_many`` bit-identically to the filter that was written;
     the first mutation (insert/delete) copy-on-write-promotes all columns to
     private heap arrays.
+
+    ``verify`` controls CRC32C validation of column blocks written with
+    ``write_segment(checksums=True)``: ``None`` (default) verifies exactly
+    the columns that carry a checksum — unchecksummed segments keep their
+    O(metadata) open; ``True`` additionally *requires* every column to be
+    checksummed (a durable baseline must not silently lose its checksums);
+    ``False`` skips validation.  Verifying pages a column in, so a durable
+    recovery doubles as a warm-up.
     """
     path = Path(path)
     source = str(path)
@@ -357,13 +401,42 @@ def open_segment(path: str | Path) -> ConditionalCuckooFilterBase:
     ccf = make_ccf(meta["kind"], schema, 2, params)
     ccf.geometry = PairGeometry(num_buckets, params.key_bits, seed=params.seed)
     try:
+        mapped = {name: _map_column(path, specs[name]) for name in COLUMN_NAMES}
+    except (ValueError, OSError) as exc:
+        raise SerializeError(
+            f"inconsistent segment columns: {exc}", source=source
+        ) from exc
+    if verify is not False:
+        for name in COLUMN_NAMES:
+            recorded = specs[name].get("crc32c")
+            if recorded is None:
+                if verify:
+                    raise SerializeError(
+                        f"column {name!r} carries no checksum but "
+                        "verification was required",
+                        source=source,
+                        offset=specs[name]["data_offset"],
+                        offset_unit="bytes",
+                    )
+                continue
+            actual = crc32c(mapped[name])
+            if actual != recorded:
+                raise SerializeError(
+                    f"column {name!r} fails its checksum "
+                    f"(recorded {recorded:#010x}, computed {actual:#010x}) — "
+                    "the block is corrupt",
+                    source=source,
+                    offset=specs[name]["data_offset"],
+                    offset_unit="bytes",
+                )
+    try:
         ccf.buckets = SlotMatrix.from_columns(
-            _map_column(path, specs["fps"]),
-            _map_column(path, specs["counts"]),
+            mapped["fps"],
+            mapped["counts"],
             fp_bits=params.key_bits if params.packed else None,
         )
-        ccf._avecs = _map_column(path, specs["avecs"])
-        ccf._flags = _map_column(path, specs["flags"])
+        ccf._avecs = mapped["avecs"]
+        ccf._flags = mapped["flags"]
     except (ValueError, OSError) as exc:
         raise SerializeError(
             f"inconsistent segment columns: {exc}", source=source

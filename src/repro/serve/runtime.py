@@ -76,6 +76,10 @@ class ServeRuntime:
         self.start_method = start_method
         self.epoch = 0
         self.pool: WorkerPool | None = None
+        #: Optional budgeted maintenance, run after each publish
+        #: (`install_maintenance`); requires a durable (WAL-attached) writer.
+        self.maintenance = None
+        self._maintenance_budget = 0
         self._locks = shard_locks(store.config.num_shards)
         store.install_shard_locks(self._locks)
         self._compiled = {
@@ -135,6 +139,21 @@ class ServeRuntime:
         """Compact the writer store shard-by-shard under its write locks."""
         self.store.compact()
 
+    def install_maintenance(self, scheduler, steps_per_publish: int = 4) -> None:
+        """Run budgeted maintenance steps piggybacked on every publish.
+
+        ``scheduler`` is a `repro.store.maintenance.MaintenanceScheduler`
+        over this runtime's (durable) writer.  Each ``publish()`` then
+        retires at most ``steps_per_publish`` units of debt — compaction
+        slices under single-shard write locks, WAL rolls when a log passes
+        its threshold — so durability upkeep rides the publish cadence
+        instead of needing a second timer.
+        """
+        if scheduler.store is not self.store:
+            raise ValueError("scheduler must wrap this runtime's writer store")
+        self.maintenance = scheduler
+        self._maintenance_budget = steps_per_publish
+
     def publish(self) -> Path:
         """Snapshot the writer as the next epoch and refresh the pool.
 
@@ -142,6 +161,14 @@ class ServeRuntime:
         page cache warmed here is shared by every worker.  Epoch
         directories older than ``keep_epochs`` are deleted afterwards —
         safe, because live mappings keep their inodes readable.
+
+        Epoch snapshots are plain (no WAL section) even when the writer is
+        durable: workers are read-only replicas and must never replay or
+        adopt the writer's log.  A WAL roll between publishes is invisible
+        to the pool — checkpoints re-seal levels under unchanged content
+        tokens, so the next refresh still reuses every mapped level.  With
+        a scheduler installed (`install_maintenance`), a budgeted
+        maintenance pass runs after the broadcast.
         """
         self.epoch += 1
         path = self.root / EPOCH_DIR_FORMAT.format(epoch=self.epoch)
@@ -151,6 +178,8 @@ class ServeRuntime:
         if self.pool is not None:
             self.pool.refresh(path, self.epoch)
         self._prune_epochs()
+        if self.maintenance is not None:
+            self.maintenance.run(max_steps=self._maintenance_budget)
         return path
 
     def _prune_epochs(self) -> None:
@@ -207,11 +236,15 @@ class ServeRuntime:
 
     def stats(self) -> dict:
         """The serving stats endpoint: writer ops + pool counters + epoch."""
+        writer = self.store.stats()
         return {
             "epoch": self.epoch,
             "mode": self.mode,
             "num_workers": self.num_workers,
-            "writer": self.store.stats(),
+            # Hoisted from the writer record: operators checking "can this
+            # deployment lose acked writes?" shouldn't have to dig.
+            "durability": writer["durability"],
+            "writer": writer,
             "pool": self.pool.stats() if self.pool is not None else None,
         }
 

@@ -9,24 +9,39 @@ Public surface:
   policy (`config.py`);
 * :func:`merge_levels` — the compaction kernel (`compaction.py`);
 * :class:`SegmentLevelRef` — a sealed level in a SEG1 segment file, mapped
-  zero-copy on first probe (`segments.py`).
+  zero-copy on first probe (`segments.py`);
+* :class:`DurabilityConfig` — fsync discipline and WAL roll thresholds
+  (`config.py`);
+* :class:`ShardWal` / :func:`scan_wal` — per-shard write-ahead log and its
+  pure frame-chain scanner (`wal.py`);
+* :class:`MaintenanceScheduler` / :class:`MaintenancePolicy` — budgeted
+  incremental compaction, sealing and WAL rolls (`maintenance.py`).
 
 See DESIGN.md §8 for the FilterStore contract (level growth, delete
-routing, compaction, manifest format) and §10 for segment-backed
-persistence and the out-of-core open path.  ``python -m repro.store
-inspect <path>`` prints a snapshot's manifest and per-level geometry.
+routing, compaction, manifest format), §10 for segment-backed persistence
+and the out-of-core open path, and §14 for the crash-consistency story
+(WAL framing, checkpoint commit points, recovery, fault injection via
+`faults.py`).  ``python -m repro.store inspect <path>`` prints a
+snapshot's manifest, per-level geometry, and per-shard WAL state.
 """
 
 from repro.store.compaction import merge_levels
-from repro.store.config import StoreConfig
+from repro.store.config import DurabilityConfig, StoreConfig
+from repro.store.maintenance import MaintenancePolicy, MaintenanceScheduler
 from repro.store.segments import SegmentLevelRef
 from repro.store.shard import FilterShard
 from repro.store.store import FilterStore
+from repro.store.wal import ShardWal, scan_wal
 
 __all__ = [
+    "DurabilityConfig",
     "FilterShard",
     "FilterStore",
+    "MaintenancePolicy",
+    "MaintenanceScheduler",
     "SegmentLevelRef",
+    "ShardWal",
     "StoreConfig",
     "merge_levels",
+    "scan_wal",
 ]

@@ -9,7 +9,11 @@ a per-level table — payload format, geometry, storage dtype, load factor,
 entries and on-disk byte size — and one compact memory line per shard
 (mapped vs resident column bytes, from segment metadata).  Segment levels
 are inspected from their SEG1 metadata alone (O(metadata), no column data
-read); bit-packed ``.ccf`` payloads are fully deserialised.
+read); bit-packed ``.ccf`` payloads are fully deserialised.  Durable roots
+additionally show a store-level ``durability:`` mode line and one WAL line
+per shard — frames, rows, bytes, last seq, and whether the tail is clean
+or torn (the scan is read-only: inspecting a crashed store never truncates
+what recovery would).
 
 ::
 
@@ -36,6 +40,7 @@ from repro.kernels import active_backend
 from repro.store.metrics import store_metrics
 from repro.store.segments import read_segment_meta, segment_nbytes
 from repro.store.store import MANIFEST_NAME, FilterStore
+from repro.store.wal import scan_wal, wal_dir, wal_name
 
 
 def _level_entries(record: dict) -> list[dict]:
@@ -122,6 +127,15 @@ def inspect(path: str | Path, out=None) -> int:
     # The backend this process would probe the snapshot with (selection is
     # process-local: env var / set_backend, not a property of the snapshot).
     print(f"  kernel backend: {active_backend().name}", file=out)
+    walsec = manifest.get("wal")
+    if walsec is None:
+        print("  durability: none (snapshot-only)", file=out)
+    else:
+        print(
+            f"  durability: fsync={walsec['fsync']} gen={walsec['gen']} "
+            f"flush_bytes={walsec['flush_bytes']} roll_bytes={walsec['roll_bytes']}",
+            file=out,
+        )
     ops = manifest.get("ops")
     if ops:
         print(
@@ -170,8 +184,32 @@ def inspect(path: str | Path, out=None) -> int:
             f"    memory: mapped={shard_mapped} resident={shard_resident} bytes",
             file=out,
         )
+        if walsec is not None:
+            wal_line = _describe_wal(
+                wal_dir(root) / wal_name(shard_index, walsec["gen"])
+            )
+            print(f"    {wal_line}", file=out)
     print(f"  total: {total_levels} levels, {total_bytes} payload bytes", file=out)
     return 0
+
+
+def _describe_wal(path: Path) -> str:
+    """One shard's WAL line: frame chain shape and tail health (read-only)."""
+    if not path.exists():
+        return f"wal: {path.name} MISSING (recovery would fail)"
+    try:
+        scan = scan_wal(path)
+    except SerializeError as exc:
+        return f"wal: {path.name} UNREADABLE ({exc})"
+    tail = "clean" if not scan.torn else (
+        f"torn ({scan.torn_reason}; {scan.file_bytes - scan.valid_bytes} "
+        "bytes would truncate)"
+    )
+    rows = sum(frame.nrows for frame in scan.frames)
+    return (
+        f"wal: frames={len(scan.frames)} rows={rows} bytes={scan.valid_bytes} "
+        f"last_seq={scan.last_seq} tail={tail}"
+    )
 
 
 def metrics(path: str | Path, fmt: str = "prometheus", out=None) -> int:

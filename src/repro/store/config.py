@@ -57,3 +57,50 @@ class StoreConfig:
     def from_dict(cls, data: dict) -> "StoreConfig":
         """Inverse of :meth:`to_dict`."""
         return cls(**data)
+
+
+FSYNC_MODES = ("never", "batch", "always")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Durability knobs for a WAL-attached :class:`FilterStore`.
+
+    * ``fsync`` — when appended frames are forced to stable storage:
+
+      - ``"always"``: every append fsyncs before it is acked.  An acked
+        batch survives both process *and* machine crashes.
+      - ``"batch"``: appends are written (and survive process crashes
+        immediately — the OS holds the data) but fsync is deferred until
+        ``flush_bytes`` unsynced bytes accumulate, a checkpoint runs, or
+        the WAL rolls.
+      - ``"never"``: no fsync on the append path at all; commit points
+        (checkpoint manifests, WAL rolls) still sync.  Survives process
+        crashes, not power loss.
+
+    * ``flush_bytes`` — unsynced-byte threshold for ``fsync="batch"``.
+    * ``roll_bytes`` — WAL size past which maintenance rolls the shard's
+      log into a fresh generation (checkpointing the shard's state).
+    """
+
+    fsync: str = "batch"
+    flush_bytes: int = 1 << 20
+    roll_bytes: int = 64 << 20
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_MODES:
+            raise ValueError(f"fsync must be one of {FSYNC_MODES}")
+        if self.flush_bytes < 1:
+            raise ValueError("flush_bytes must be positive")
+        if self.roll_bytes < 1:
+            raise ValueError("roll_bytes must be positive")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the manifest's ``wal`` section."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DurabilityConfig":
+        """Inverse of :meth:`to_dict` (ignores non-config manifest keys)."""
+        fields = {k: data[k] for k in ("fsync", "flush_bytes", "roll_bytes") if k in data}
+        return cls(**fields)

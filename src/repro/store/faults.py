@@ -1,0 +1,131 @@
+"""Fault injection for durability code paths.
+
+Every fsync/rename/write boundary in the WAL, segment writer, and
+checkpoint/snapshot protocols calls :func:`hit` with a stable point name
+(e.g. ``"wal.append.torn"``).  In normal operation this is a single dict
+lookup on an empty registry.  Under test, points are *armed* — either
+programmatically via :func:`arm` / :func:`arm_many`, or through the
+``REPRO_FAULTS`` environment variable — and the Nth hit of an armed point
+raises :class:`InjectedFault`, simulating a crash at exactly that boundary
+(the process state that would die with a real crash is whatever the code
+had durably written *before* the point).
+
+``REPRO_FAULTS`` is a comma-separated list of ``point[@n]`` specs:
+``REPRO_FAULTS="wal.fsync@3,checkpoint.staged"`` kills the third fsync and
+the first checkpoint-staging hit.  The env var is read once per
+:func:`reset` (tests call ``reset()`` around each scenario).
+
+Trace mode (:func:`trace`) records every point crossed, in order, without
+raising — the crash-recovery property suite uses one traced run to
+enumerate the exact kill schedule a workload exposes, then replays the
+workload once per (point, hit-count) pair.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+class InjectedFault(RuntimeError):
+    """Raised at an armed injection point; simulates a crash there."""
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+@dataclass
+class _Registry:
+    #: armed point -> 1-based hit count at which to raise
+    armed: dict[str, int] = field(default_factory=dict)
+    #: per-point crossing counters (all points, armed or not, once tracing
+    #: or arming is active; empty-registry fast path skips counting)
+    hits: dict[str, int] = field(default_factory=dict)
+    #: ordered crossings recorded while trace mode is on
+    trace: list[str] | None = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.armed) or self.trace is not None
+
+
+_REG = _Registry()
+
+
+def _parse_env(spec: str) -> dict[str, int]:
+    armed: dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        point, _, count = part.partition("@")
+        armed[point] = int(count) if count else 1
+    return armed
+
+
+def reset() -> None:
+    """Clear all armed points, counters, and trace state; re-read env."""
+    _REG.armed = _parse_env(os.environ.get("REPRO_FAULTS", ""))
+    _REG.hits = {}
+    _REG.trace = None
+
+
+def arm(point: str, hit: int = 1) -> None:
+    """Arm ``point`` to raise on its ``hit``-th crossing (1-based)."""
+    if hit < 1:
+        raise ValueError("hit count is 1-based")
+    _REG.armed[point] = hit
+
+
+def arm_many(spec: dict[str, int]) -> None:
+    """Arm several points at once (``{point: hit}``)."""
+    for point, count in spec.items():
+        arm(point, count)
+
+
+def disarm(point: str) -> None:
+    """Remove ``point`` from the armed set (no-op if not armed)."""
+    _REG.armed.pop(point, None)
+
+
+def trace(enabled: bool = True) -> None:
+    """Record every crossing (without raising) into :func:`trace_log`."""
+    _REG.trace = [] if enabled else None
+
+
+def trace_log() -> list[str]:
+    """Ordered point crossings since trace mode was enabled."""
+    return list(_REG.trace or [])
+
+
+def active() -> bool:
+    """Whether any point is armed or trace mode is on (fast-path check)."""
+    return _REG.active
+
+
+def hit_counts() -> dict[str, int]:
+    """Per-point crossing counts since the last :func:`reset`."""
+    return dict(_REG.hits)
+
+
+def hit(point: str) -> None:
+    """Cross an injection point; raises :class:`InjectedFault` if armed.
+
+    The un-armed, un-traced path is one attribute load and two truthiness
+    checks — cheap enough to sit on every fsync/rename in production code.
+    """
+    reg = _REG
+    if not reg.armed and reg.trace is None:
+        return
+    count = reg.hits.get(point, 0) + 1
+    reg.hits[point] = count
+    if reg.trace is not None:
+        reg.trace.append(point)
+    when = reg.armed.get(point)
+    if when is not None and count == when:
+        raise InjectedFault(point, count)
+
+
+reset()

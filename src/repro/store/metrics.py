@@ -29,6 +29,8 @@ _GAUGE_SPECS = (
     ("repro_store_entries", "Occupied table slots, by shard."),
     ("repro_store_levels", "Level-stack depth, by shard."),
     ("repro_store_load_factor", "Occupied slot fraction, by shard."),
+    ("repro_store_wal_bytes", "Live write-ahead log bytes, by shard (0 = no WAL)."),
+    ("repro_store_wal_frames", "Unsealed write-ahead log frames, by shard."),
 )
 
 
@@ -84,6 +86,13 @@ def store_metrics(store, ops: Mapping[str, int] | None = None) -> dict:
         )
         per_gauge["repro_store_load_factor"].append(
             {"labels": dict(label), "value": shard.load_factor()}
+        )
+        wal = getattr(shard, "wal", None)
+        per_gauge["repro_store_wal_bytes"].append(
+            {"labels": dict(label), "value": 0 if wal is None else wal.nbytes}
+        )
+        per_gauge["repro_store_wal_frames"].append(
+            {"labels": dict(label), "value": 0 if wal is None else wal.num_frames}
         )
         total_size += shard.size_in_bits() / 8
     for name, help_text in _GAUGE_SPECS:

@@ -47,17 +47,28 @@ class SegmentLevelRef:
     level fits the owning store (plain kind, manifest bucket count).  Refs
     are single-shot by design: the shard materialises every ref of its stack
     the first time any probe needs the levels, then drops them.
+
+    ``verify`` is `repro.ccf.mmapio.open_segment`'s checksum policy: the
+    default (None) validates exactly the columns that carry a CRC32C —
+    checkpoint-sealed baselines verify as they map, classic snapshots keep
+    their O(metadata) open.
     """
 
-    __slots__ = ("path", "expected_buckets")
+    __slots__ = ("path", "expected_buckets", "verify")
 
-    def __init__(self, path: str | Path, expected_buckets: int) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        expected_buckets: int,
+        verify: bool | None = None,
+    ) -> None:
         self.path = Path(path)
         self.expected_buckets = expected_buckets
+        self.verify = verify
 
     def open(self) -> PlainCCF:
         """Map the segment and validate it against the store geometry."""
-        level = open_segment(self.path)
+        level = open_segment(self.path, verify=self.verify)
         if not isinstance(level, PlainCCF):
             raise SerializeError(
                 f"level segment holds a {level.kind!r} CCF; store levels "

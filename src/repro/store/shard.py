@@ -40,6 +40,7 @@ from repro.ccf.plain import PlainCCF
 from repro.store.compaction import merge_levels
 from repro.store.config import StoreConfig
 from repro.store.segments import SegmentLevelRef
+from repro.store.wal import OP_COMPACT, OP_DELETE, OP_INSERT, ShardWal
 
 # Store-layer structural metrics (all batch- or event-granularity).  Probe
 # outcomes are labelled by level depth-from-newest: depth 0 is the active
@@ -114,6 +115,12 @@ class FilterShard:
         self.rows_deleted = 0
         self.num_compactions = 0
         self.entries_compacted = 0
+        #: Write-ahead log handle, attached by a durable FilterStore.  When
+        #: set, every mutation batch appends one frame *before* it applies
+        #: (redo logging): a crash mid-apply replays the whole frame over
+        #: the checkpoint baseline, which re-derives the identical state.
+        #: Detached (None) during recovery replay so replays don't re-log.
+        self.wal: ShardWal | None = None
 
     def _new_level(self, bucket_size: int | None = None) -> PlainCCF:
         params = self.params
@@ -259,6 +266,22 @@ class FilterShard:
             alts = self.active.geometry.alt_indices_many(homes, fps)
         return alts
 
+    def _avec_matrix(self, avecs: Sequence[tuple[int, ...]], n: int) -> np.ndarray:
+        """The batch's attribute-fingerprint vectors as an (n, nattrs) int64
+        matrix — the WAL frame's third column group."""
+        return np.asarray(avecs, dtype=np.int64).reshape(n, self.schema.num_attributes)
+
+    def log_compact(self) -> None:
+        """Append an explicit-compaction frame (callers compact right after).
+
+        Only *explicit* compactions log: automatic ``compact_at`` merges
+        re-derive deterministically while the triggering insert frame
+        replays, and logging those too would compact twice on recovery.
+        """
+        if self.wal is not None:
+            empty = np.empty(0, dtype=np.int64)
+            self.wal.append(OP_COMPACT, empty, empty, empty.reshape(0, self.schema.num_attributes))
+
     def insert_hashed_rows(
         self,
         fps: np.ndarray,
@@ -279,6 +302,8 @@ class FilterShard:
         removes it from the store entirely, not copy-by-copy.
         """
         n = len(fps)
+        if self.wal is not None and n:
+            self.wal.append(OP_INSERT, fps, homes, self._avec_matrix(avecs, n))
         out = np.ones(n, dtype=bool)
         alts = self._alts_for(fps, homes, alts)
         start = 0
@@ -351,6 +376,8 @@ class FilterShard:
         their older copies correctly.
         """
         n = len(fps)
+        if self.wal is not None and n:
+            self.wal.append(OP_DELETE, fps, homes, self._avec_matrix(avecs, n))
         out = np.zeros(n, dtype=bool)
         alts = self._alts_for(fps, homes, alts)
         pending = np.arange(n)
@@ -497,6 +524,7 @@ class FilterShard:
             "rows_deleted": self.rows_deleted,
             "compactions": self.num_compactions,
             "entries_compacted": self.entries_compacted,
+            "wal": None if self.wal is None else self.wal.stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -32,6 +32,7 @@ import json
 import os
 import shutil
 import threading
+from contextlib import ExitStack
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Mapping, Sequence
@@ -53,7 +54,8 @@ from repro.ccf.predicates import Predicate
 from repro.ccf.serialize import SerializeError, dumps, loads
 from repro.hashing.mixers import derive_seed, hash64, hash64_many
 from repro.kernels import active_backend
-from repro.store.config import StoreConfig
+from repro.store import faults
+from repro.store.config import DurabilityConfig, StoreConfig
 from repro.store.metrics import store_metrics
 from repro.store.segments import (
     SEGMENT_SUFFIX,
@@ -62,6 +64,17 @@ from repro.store.segments import (
     write_segment,
 )
 from repro.store.shard import FilterShard
+from repro.store.wal import (
+    OP_COMPACT,
+    OP_DELETE,
+    OP_INSERT,
+    ShardWal,
+    WAL_SUFFIX,
+    record_replay,
+    scan_wal,
+    wal_dir,
+    wal_name,
+)
 
 #: Manifest schema version; bump on layout changes.  Format 2 records each
 #: level as ``{"file", "format"}`` (``segment`` = SEG1, ``ccf`` = bit-packed
@@ -87,6 +100,12 @@ _REFRESH_LEVELS = obs.counter(
     "repro_store_refresh_levels_total",
     "Levels handled by refresh, by outcome (reused = mapping kept).",
     ("outcome",),
+)
+_CHECKPOINTS = obs.counter(
+    "repro_store_checkpoints_total", "Durable checkpoints committed."
+)
+_CHECKPOINT_US = obs.histogram(
+    "repro_store_checkpoint_us", "Checkpoint (seal + WAL roll) duration in microseconds."
 )
 
 
@@ -162,6 +181,17 @@ class FilterStore:
         ]
         #: Lifetime served-operation counters (queries/inserts/deletes).
         self.ops = OpCounters()
+        #: Durable-store attachment (None = the classic snapshot-only mode).
+        #: Set by :meth:`attach_wal` or a WAL-carrying :meth:`open`; when
+        #: set, every shard holds a live `ShardWal` and mutations are
+        #: logged-before-applied under the root's WAL directory.
+        self._root: Path | None = None
+        self._durability: DurabilityConfig | None = None
+        self._wal_gen = 0
+        #: Latched when a checkpoint dies half-way: the in-memory state and
+        #: the on-disk commit point can then disagree, so further writes
+        #: would risk acking frames recovery cannot see.  Reopen to clear.
+        self._wal_broken = False
         #: Per-shard reader/writer locks, installed by the serve layer
         #: (`repro.serve`).  None (the default) means unguarded single-thread
         #: access with zero overhead; installed, every per-shard kernel call
@@ -192,6 +222,19 @@ class FilterStore:
     def _write_guard(self, shard_id: int):
         locks = self._shard_locks
         return None if locks is None else locks[shard_id].write_locked()
+
+    @property
+    def durable(self) -> bool:
+        """Whether a WAL is attached (mutations survive a crash)."""
+        return self._root is not None
+
+    def _ensure_writable(self) -> None:
+        if self._wal_broken:
+            raise RuntimeError(
+                "durable store is write-poisoned: a checkpoint failed part-way, "
+                "so in-memory state and the on-disk commit point may disagree; "
+                "reopen the store from its root to recover"
+            )
 
     @property
     def generation(self) -> int:
@@ -253,6 +296,7 @@ class FilterStore:
         per-row placement results in input order (False only on the rare
         MaxKicks overflow, where the row is stash-preserved).
         """
+        self._ensure_writable()
         columns = list(attr_columns)
         n = len(keys)
         validate_attr_columns(columns, self.schema.num_attributes, n)
@@ -293,6 +337,7 @@ class FilterStore:
         known to have been inserted (a colliding row's entry may be removed
         otherwise).
         """
+        self._ensure_writable()
         columns = list(attr_columns)
         n = len(keys)
         validate_attr_columns(columns, self.schema.num_attributes, n)
@@ -392,13 +437,18 @@ class FilterStore:
         With shard locks installed, each shard compacts under its write
         lock: readers on other shards keep going, readers on this shard
         wait out one merge rather than seeing a half-replaced stack.
+        On a durable store each shard logs a compaction frame first, so
+        recovery re-merges at the same point in the operation order.
         """
+        self._ensure_writable()
         for shard in self.shards:
             guard = self._write_guard(shard.shard_id)
             if guard is None:
+                shard.log_compact()
                 shard.compact()
             else:
                 with guard:
+                    shard.log_compact()
                     shard.compact()
 
     def warm(self) -> int:
@@ -465,6 +515,21 @@ class FilterStore:
             "mapped_bytes": sum(s["mapped_bytes"] for s in shards),
             "resident_bytes": sum(s["resident_bytes"] for s in shards),
             "generation": self.generation,
+            # Durability posture: None = snapshot-only; attached, the mode
+            # plus live WAL shape (the serve runtime surfaces this as the
+            # writer's durability line).
+            "durability": None
+            if self._durability is None
+            else {
+                **self._durability.to_dict(),
+                "gen": self._wal_gen,
+                "wal_bytes": sum(
+                    s["wal"]["bytes"] for s in shards if s["wal"] is not None
+                ),
+                "wal_frames": sum(
+                    s["wal"]["frames"] for s in shards if s["wal"] is not None
+                ),
+            },
             "ops": self.ops.to_dict(),
             "shards": shards,
             # The unified observability view: the process registry overlaid
@@ -506,6 +571,12 @@ class FilterStore:
             raise ValueError(
                 f"level_format must be one of {LEVEL_FORMATS}, got {level_format!r}"
             )
+        if self._root is not None and Path(path).resolve() == self._root:
+            # Snapshotting a durable store onto its own root *is* a
+            # checkpoint: seal, commit manifest-last, roll the WALs.  The
+            # staged-directory protocol below would displace (and then
+            # delete) the live WAL directory out from under the store.
+            return self.checkpoint()
         start = perf_counter()
         with obs.span("store.snapshot", path=str(path), level_format=level_format):
             root = self._snapshot(path, level_format)
@@ -553,15 +624,7 @@ class FilterStore:
                         "entries_compacted": shard.entries_compacted,
                     }
                 )
-            manifest = {
-                "format": MANIFEST_FORMAT,
-                "kind": self.kind,
-                "schema": list(self.schema.names),
-                "params": _params_to_dict(self.params),
-                "config": self.config.to_dict(),
-                "ops": self.ops.to_dict(),
-                "shards": shard_records,
-            }
+            manifest = self._manifest_dict(shard_records)
             # The manifest is the commit point within the staging directory.
             (staging / MANIFEST_NAME).write_text(
                 json.dumps(manifest, indent=2, sort_keys=True)
@@ -569,13 +632,206 @@ class FilterStore:
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
+        faults.hit("snapshot.staged")
         if root.exists():
             displaced = root.parent / f".{root.name}.old-{os.getpid()}"
             os.replace(root, displaced)
+            faults.hit("snapshot.displaced")
             os.replace(staging, root)
             shutil.rmtree(displaced)
         else:
             os.replace(staging, root)
+        return root
+
+    def _manifest_dict(self, shard_records: list[dict]) -> dict:
+        """The manifest common to snapshots and checkpoints (no wal section)."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "kind": self.kind,
+            "schema": list(self.schema.names),
+            "params": _params_to_dict(self.params),
+            "config": self.config.to_dict(),
+            "ops": self.ops.to_dict(),
+            "shards": shard_records,
+        }
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead logging; DESIGN.md §14)
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the per-shard WAL file handles (no-op when not durable).
+
+        Unsynced batch-mode bytes are synced first, so a clean close never
+        costs acked frames even on later power loss.  The store must not
+        be mutated afterwards; reopen from the root to resume.
+        """
+        for shard in self.shards:
+            if shard.wal is not None:
+                shard.wal.sync()
+                shard.wal.close()
+                shard.wal = None
+        self._wal_broken = self._root is not None
+
+    def attach_wal(
+        self, path: str | Path, durability: DurabilityConfig | None = None
+    ) -> Path:
+        """Make this store durable, rooted at ``path``.
+
+        Runs an initial :meth:`checkpoint`: the current state is sealed to
+        checksummed segments under ``path``, a fresh per-shard WAL
+        generation starts under ``path/wal/``, and from then on every
+        mutation batch appends one checksummed frame *before* it applies.
+        ``path`` may be a fresh directory or an existing snapshot of this
+        store (upgrade-in-place); there must be exactly one durable writer
+        per root at a time.  ``snapshot(path)`` onto the root becomes a
+        checkpoint; reopen with plain :meth:`open`, which replays the log.
+        """
+        if self._root is not None:
+            raise RuntimeError(f"a WAL is already attached at {self._root}")
+        self._durability = durability or DurabilityConfig()
+        self._root = Path(path).resolve()
+        self._wal_gen = 0
+        try:
+            self.checkpoint()
+        except BaseException:
+            self._root = None
+            self._durability = None
+            raise
+        return self._root
+
+    def checkpoint(self) -> Path:
+        """Seal state to segments and roll the WALs (the durable commit).
+
+        Equivalent to a snapshot for a durable store: after it returns,
+        recovery replays an empty log over freshly sealed checksummed
+        segments.  The manifest ``os.replace`` is the single commit point —
+        a crash anywhere before it leaves the previous generation (old
+        manifest + old WALs) fully intact, a crash after it leaves the new
+        one; either way no acked frame is lost.  Runs with every shard's
+        write lock held (when installed): mutations wait, readers on
+        already-mapped levels keep going.
+        """
+        if self._root is None:
+            raise RuntimeError("no WAL attached: call attach_wal(path) first")
+        self._ensure_writable()
+        start = perf_counter()
+        gen = self._wal_gen + 1
+        with obs.span("store.checkpoint", path=str(self._root), gen=gen):
+            with ExitStack() as stack:
+                for shard in self.shards:
+                    guard = self._write_guard(shard.shard_id)
+                    if guard is not None:
+                        stack.enter_context(guard)
+                root = self._checkpoint(gen)
+        _CHECKPOINTS.inc()
+        _CHECKPOINT_US.observe((perf_counter() - start) * 1e6)
+        return root
+
+    def _checkpoint(self, gen: int) -> Path:
+        root = self._root
+        root.mkdir(parents=True, exist_ok=True)
+        wdir = wal_dir(root)
+        wdir.mkdir(exist_ok=True)
+        _reap_stale_wal_temps(wdir)
+        faults.hit("checkpoint.begin")
+        new_wals: list[ShardWal] = []
+        try:
+            # 1. Fresh WAL generation, one file per shard, seq chains
+            #    continuing where the live logs stand.  Created (atomically,
+            #    each) before the seal so the commit can switch instantly.
+            for shard in self.shards:
+                base_seq = 0 if shard.wal is None else shard.wal.last_seq
+                new_wals.append(
+                    ShardWal.create(
+                        wdir / wal_name(shard.shard_id, gen),
+                        shard.shard_id,
+                        gen,
+                        base_seq,
+                        self._durability,
+                    )
+                )
+            faults.hit("checkpoint.walled")
+            # 2. Seal every level to a generation-prefixed checksummed
+            #    segment.  Direct writes into the live root: until the
+            #    manifest commits these names are unreferenced, so a crash
+            #    leaves debris (reaped on the next open/checkpoint), never
+            #    a torn store.
+            shard_records = []
+            for shard in self.shards:
+                level_files = []
+                for level_index, level in enumerate(shard.levels):
+                    name = (
+                        f"g{gen:06d}-shard-{shard.shard_id:04d}"
+                        f"-level-{level_index:04d}{SEGMENT_SUFFIX}"
+                    )
+                    write_segment(level, root / name, checksums=True, fsync=True)
+                    faults.hit("checkpoint.segment")
+                    level_files.append(
+                        {
+                            "file": name,
+                            "format": "segment",
+                            "seq": shard.level_seqs[level_index],
+                        }
+                    )
+                shard_records.append(
+                    {
+                        "levels": level_files,
+                        "rows_inserted": shard.rows_inserted,
+                        "rows_deleted": shard.rows_deleted,
+                        "compactions": shard.num_compactions,
+                        "entries_compacted": shard.entries_compacted,
+                    }
+                )
+            manifest = self._manifest_dict(shard_records)
+            manifest["wal"] = {"gen": gen, **self._durability.to_dict()}
+            # 3. Commit: durable staged manifest, one atomic replace.
+            staged = root / f".{MANIFEST_NAME}.tmp-{os.getpid()}"
+            with open(staged, "w") as f:
+                f.write(json.dumps(manifest, indent=2, sort_keys=True))
+                f.flush()
+                os.fsync(f.fileno())
+            faults.hit("checkpoint.staged")
+            os.replace(staged, root / MANIFEST_NAME)
+            _fsync_dir_path(root)
+            faults.hit("checkpoint.committed")
+        except BaseException:
+            # The store object may now disagree with the on-disk commit
+            # point (e.g. manifest committed, WAL handles not switched).
+            # Poison writes; the on-disk state itself is consistent and a
+            # reopen recovers it.
+            self._wal_broken = True
+            for new_wal in new_wals:
+                new_wal.close()
+            for shard in self.shards:
+                if shard.wal is not None:
+                    shard.wal.close()
+                    shard.wal = None
+            raise
+        # 4. Committed: switch the live logs, then retire the previous
+        #    generation (close + unlink old WALs, unlink unreferenced
+        #    segment payloads — including debris from crashed checkpoints).
+        old_wals = [shard.wal for shard in self.shards]
+        for shard, new_wal in zip(self.shards, new_wals):
+            shard.wal = new_wal
+        self._wal_gen = gen
+        for old_wal in old_wals:
+            if old_wal is not None:
+                old_wal.close()
+                old_wal.path.unlink(missing_ok=True)
+        referenced = {
+            entry["file"] for record in shard_records for entry in record["levels"]
+        }
+        for stale in root.iterdir():
+            if (
+                stale.is_file()
+                and stale.suffix in (SEGMENT_SUFFIX, ".ccf")
+                and stale.name not in referenced
+            ):
+                stale.unlink()
+        for stale in wdir.glob(f"*{WAL_SUFFIX}"):
+            if stale.name not in {wal_name(s.shard_id, gen) for s in self.shards}:
+                stale.unlink()
         return root
 
     @classmethod
@@ -588,6 +844,13 @@ class FilterStore:
         resident memory are independent of store size.  CCF wire payloads
         (``level_format="ccf"`` snapshots and format-1 manifests)
         deserialise eagerly, as before.
+
+        A durable root (manifest carries a ``wal`` section) additionally
+        **recovers**: each shard's log is scanned, a torn/corrupt tail is
+        truncated at the last valid frame (never raising — those bytes were
+        never acked), valid frames replay over the sealed baseline, and the
+        logs re-attach for appending, so the returned store is the durable
+        writer resuming exactly where the last acked batch left it.
         """
         root = Path(path)
         manifest = json.loads((root / MANIFEST_NAME).read_text())
@@ -621,7 +884,63 @@ class FilterStore:
             shard.rows_deleted = record["rows_deleted"]
             shard.num_compactions = record["compactions"]
             shard.entries_compacted = record["entries_compacted"]
+        if manifest.get("wal") is not None:
+            store._recover_wal(root, manifest)
         return store
+
+    def _recover_wal(self, root: Path, manifest: Mapping[str, Any]) -> None:
+        """Replay and re-attach the per-shard logs of a durable root."""
+        walsec = manifest["wal"]
+        self._durability = DurabilityConfig.from_dict(walsec)
+        self._root = root.resolve()
+        self._wal_gen = gen = int(walsec["gen"])
+        wdir = wal_dir(root)
+        _reap_stale_wal_temps(wdir)
+        # Reap crashed-checkpoint debris: logs of non-committed generations
+        # and sealed payloads the committed manifest doesn't reference.
+        expected = {wal_name(shard.shard_id, gen) for shard in self.shards}
+        for stale in wdir.glob(f"*{WAL_SUFFIX}"):
+            if stale.name not in expected:
+                stale.unlink()
+        referenced = {
+            entry["file"]
+            for record in manifest["shards"]
+            for entry in _normalise_level_entries(record)
+        }
+        for stale in root.iterdir():
+            if (
+                stale.is_file()
+                and stale.suffix in (SEGMENT_SUFFIX, ".ccf")
+                and stale.name not in referenced
+            ):
+                stale.unlink()
+        for stale in root.glob(f".{MANIFEST_NAME}.tmp-*"):
+            if not _pid_alive(_path_pid(stale)):
+                stale.unlink()
+        for shard in self.shards:
+            path = wdir / wal_name(shard.shard_id, gen)
+            if not path.exists():
+                raise SerializeError(
+                    f"durable store is missing its log: manifest generation "
+                    f"{gen} expects {path.name}",
+                    source=str(path),
+                )
+            scan = scan_wal(path)
+            if scan.shard_id != shard.shard_id or scan.gen != gen:
+                raise SerializeError(
+                    f"WAL header says shard {scan.shard_id} gen {scan.gen}, "
+                    f"manifest expects shard {shard.shard_id} gen {gen}",
+                    source=str(path),
+                )
+            if scan.frames:
+                with obs.span(
+                    "store.wal_replay", shard=shard.shard_id, frames=len(scan.frames)
+                ):
+                    _replay_frames(shard, scan.frames)
+            record_replay(1 if scan.torn else 0)
+            # Attach truncates the torn tail (the one destructive step) and
+            # takes append ownership at the last acked frame.
+            shard.wal = ShardWal.attach(scan, self._durability)
 
     def refresh(self, path: str | Path) -> dict[str, int]:
         """Adopt a newer snapshot of this store without a full reopen.
@@ -641,6 +960,12 @@ class FilterStore:
         silently mis-probe.  Returns ``{"levels_reused": ..,
         "levels_attached": ..}``.
         """
+        if self._root is not None:
+            raise RuntimeError(
+                "refresh() is for read-only serving replicas; this store owns "
+                "a WAL — its durable state advances through checkpoint(), not "
+                "by adopting snapshots"
+            )
         start = perf_counter()
         with obs.span("store.refresh", path=str(path)):
             result = self._refresh(path)
@@ -734,3 +1059,77 @@ def _params_to_dict(params: CCFParams) -> dict:
     from dataclasses import asdict
 
     return asdict(params)
+
+
+def _fsync_dir_path(path: Path) -> None:
+    """Force a directory's entry table (renames, unlinks) to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _path_pid(path: Path) -> int:
+    """The pid suffix of a ``.…tmp-<pid>`` staging name (0 if malformed)."""
+    _, _, tail = path.name.rpartition("-")
+    return int(tail) if tail.isdigit() else 0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def _reap_stale_wal_temps(wdir: Path) -> int:
+    """Remove WAL-roll staging files left by dead processes.
+
+    A crash between `ShardWal.create`'s staged write and its rename leaves
+    ``.shard-….wal.tmp-<pid>`` debris; files whose pid is still alive are
+    left alone (a concurrent roll mid-flight).  Returns the reap count.
+    """
+    reaped = 0
+    if not wdir.is_dir():
+        return reaped
+    for stale in wdir.glob(".*.tmp-*"):
+        if not _pid_alive(_path_pid(stale)):
+            stale.unlink(missing_ok=True)
+            reaped += 1
+    return reaped
+
+
+def _replay_frames(shard: FilterShard, frames: Sequence) -> None:
+    """Re-apply a scanned frame chain to a shard (recovery redo).
+
+    The shard's ``wal`` must be detached (frames must not re-log), and its
+    counters must already hold the checkpoint-time values — replay advances
+    them exactly as the original applications did.  Every shard mutation is
+    deterministic given the frame arrays (partner buckets re-derive from
+    the shared geometry; automatic ``compact_at`` merges re-trigger at the
+    same fill points), so the replayed stack is bit-identical to the state
+    the acked batches had built.
+    """
+    assert shard.wal is None, "replay would re-log frames"
+    for frame in frames:
+        fps = np.asarray(frame.fps, dtype=np.int64)
+        homes = np.asarray(frame.homes, dtype=np.int64)
+        if frame.op == OP_INSERT:
+            shard.insert_hashed_rows(
+                fps, homes, [tuple(row) for row in frame.avecs.tolist()]
+            )
+        elif frame.op == OP_DELETE:
+            shard.delete_hashed_rows(
+                fps, homes, [tuple(row) for row in frame.avecs.tolist()]
+            )
+        elif frame.op == OP_COMPACT:
+            shard.compact()
+        else:  # pragma: no cover - scan_wal rejects unknown ops
+            raise SerializeError(f"unknown WAL op {frame.op}")

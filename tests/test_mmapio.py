@@ -183,6 +183,54 @@ class TestCopyOnWrite:
         assert reopened.query(777777)
 
 
+class TestChecksums:
+    """Opt-in CRC32C column trailers (the durable-checkpoint segment mode)."""
+
+    def _checksummed(self, tmp_path):
+        return write_segment(
+            _filled("plain", PARAMS), tmp_path / "level.seg", checksums=True
+        )
+
+    def test_checksums_are_recorded_and_verified(self, tmp_path):
+        path = self._checksummed(tmp_path)
+        meta = read_segment_meta(path)
+        assert all("crc32c" in spec for spec in meta["columns"].values())
+        # Auto mode verifies columns that carry checksums; strict requires them.
+        for verify in (None, True):
+            mapped = open_segment(path, verify=verify)
+            assert mapped.num_entries == 500
+
+    def test_default_segments_stay_checksum_free(self, tmp_path):
+        """checksums=False (the default) must keep the wire format — and
+        therefore snapshot bytes — exactly as before."""
+        path = write_segment(_filled("plain", PARAMS), tmp_path / "plain.seg")
+        meta = read_segment_meta(path)
+        assert all("crc32c" not in spec for spec in meta["columns"].values())
+        with pytest.raises(SerializeError, match="carries no checksum"):
+            open_segment(path, verify=True)
+        open_segment(path)  # auto mode: nothing to verify, nothing raised
+
+    def test_flipped_column_bit_fails_verification(self, tmp_path):
+        path = self._checksummed(tmp_path)
+        spec = read_segment_meta(path)["columns"]["fps"]
+        data = bytearray(path.read_bytes())
+        data[spec["data_offset"] + 17] ^= 0x04
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerializeError, match="fails its checksum") as excinfo:
+            open_segment(path)
+        assert excinfo.value.offset == spec["data_offset"]
+        # An explicit opt-out maps the damaged column without checking.
+        open_segment(path, verify=False)
+
+    def test_query_parity_with_checksums(self, tmp_path):
+        ccf = _filled("plain", PARAMS)
+        mapped = open_segment(
+            write_segment(ccf, tmp_path / "level.seg", checksums=True)
+        )
+        probes = np.arange(1200, dtype=np.int64)
+        assert (mapped.query_many(probes) == ccf.query_many(probes)).all()
+
+
 class TestCorruption:
     def _segment(self, tmp_path):
         return write_segment(_filled("plain", PARAMS), tmp_path / "level.seg")
