@@ -1,10 +1,12 @@
-"""Unified observability layer: metrics registry, trace spans, exporters.
+"""Unified observability layer: metrics, traces, SLO derivation, exporters.
 
 Every layer of the stack instruments into one process-wide registry
 (``REGISTRY``) and one span ring (``RECORDER``); this package is the only
-telemetry surface.  See DESIGN.md §13 for the full metric inventory and the
+telemetry surface.  See DESIGN.md §13 for the metric inventory and the
 cost-point contract (batch-granularity recording, ``REPRO_METRICS=off``
-kill switch leaves answers bit-identical).
+kill switch leaves answers bit-identical), and §15 for the request-scoped
+half: :class:`TraceContext` propagation, the ``repro_request_us`` SLO
+histograms, and the slow-op ring behind the ``/trace`` endpoint.
 
 Typical instrumentation site::
 
@@ -23,9 +25,12 @@ Typical scrape::
 
 from __future__ import annotations
 
+from .context import TraceContext, activate, current, new_trace
 from .export import (
     from_json,
+    histogram_quantile,
     parse_prometheus,
+    slo_summary,
     to_json,
     to_prometheus,
     validate_snapshot,
@@ -41,24 +46,33 @@ from .registry import (
     set_enabled,
     state,
 )
+from .slowops import SLOW_OPS, SlowOpRing
 from .spans import RECORDER, SpanRecorder, span
 
 __all__ = [
     "ENV_VAR",
     "REGISTRY",
     "RECORDER",
+    "SLOW_OPS",
     "MetricsRegistry",
     "Pow2Histogram",
+    "SlowOpRing",
     "SpanRecorder",
+    "TraceContext",
+    "activate",
     "counter",
     "counters_total",
+    "current",
     "enabled",
     "from_json",
     "gauge",
     "histogram",
+    "histogram_quantile",
     "merge_snapshots",
+    "new_trace",
     "parse_prometheus",
     "set_enabled",
+    "slo_summary",
     "snapshot",
     "span",
     "state",
@@ -89,16 +103,18 @@ def snapshot() -> dict:
     return REGISTRY.snapshot()
 
 
-def to_chrome_trace() -> dict:
+def to_chrome_trace(trace_ids=None) -> dict:
     """The default span ring as Chrome trace-event JSON."""
-    return RECORDER.to_chrome_trace()
+    return RECORDER.to_chrome_trace(trace_ids)
 
 
 def _reset_for_tests() -> None:
-    """Zero the default registry and span ring in place (test/worker hook).
+    """Zero the default registry, span ring and slow-op ring in place
+    (test/worker hook).
 
     In-place: instrumented modules hold references to family objects, so
     the registry dict itself must survive resets.
     """
     REGISTRY.clear()
     RECORDER.clear()
+    SLOW_OPS.clear()

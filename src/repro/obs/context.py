@@ -1,0 +1,114 @@
+"""Request-scoped trace context (DESIGN.md §15).
+
+A :class:`TraceContext` names one request's place in a distributed trace:
+its ``trace_id`` groups every span the request touches, its ``span_id`` is
+the span new child work should parent under, and ``tenant``/``predicate``
+carry the request labels the SLO histograms key on.  The context rides a
+:mod:`contextvars` variable, so it follows the request through asyncio
+tasks automatically and is *explicitly* re-activated where Python drops it:
+executor threads (``run_in_executor`` does not copy context) and worker
+processes (the pool ships the context in its inbox messages as a plain
+tuple — see :meth:`TraceContext.to_wire`).
+
+Ids are strings unique across the serving topology: a per-process random
+prefix plus the pid (fork duplicates the prefix *and* the counter, the pid
+tells the twins apart) plus a monotonic counter.  Allocation is two dict
+lookups and a format — cheap enough to mint per request, and only ever
+minted when recording is enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Random per-process prefix; spawn re-imports (fresh prefix), fork
+#: inherits it but the pid component below disambiguates the twins.
+_PREFIX = uuid.uuid4().hex[:8]
+_IDS = itertools.count(1)
+
+#: Cached pid component: ids are minted per request, and ``os.getpid()``
+#: per mint is measurable there.  Refreshed after fork so the twins (which
+#: share prefix *and* counter position) still mint distinct ids.
+_PID_HEX = f"{os.getpid():x}"
+
+
+def _refresh_pid() -> None:
+    global _PID_HEX
+    _PID_HEX = f"{os.getpid():x}"
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in CI
+    os.register_at_fork(after_in_child=_refresh_pid)
+
+
+def _next_id(kind: str) -> str:
+    return f"{kind}{_PREFIX}.{_PID_HEX}.{next(_IDS):x}"
+
+
+def new_trace_id() -> str:
+    """A fresh trace id, unique across processes of one serving topology."""
+    return _next_id("t")
+
+
+def new_span_id() -> str:
+    """A fresh span id (same uniqueness domain as trace ids)."""
+    return _next_id("s")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's position in a trace: ids plus SLO label values."""
+
+    trace_id: str
+    span_id: str
+    tenant: str = "default"
+    predicate: str | None = None
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The same trace, re-rooted under ``span_id`` for nested work."""
+        # Direct construction, not dataclasses.replace: child() runs once
+        # per span on the dispatch critical path and replace() re-does
+        # field introspection every call.
+        return TraceContext(self.trace_id, span_id, self.tenant, self.predicate)
+
+    def to_wire(self) -> tuple:
+        """Plain-tuple form for queue messages (picklable, no class dep)."""
+        return (self.trace_id, self.span_id, self.tenant, self.predicate)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "TraceContext":
+        trace_id, span_id, tenant, predicate = wire
+        return cls(trace_id, span_id, tenant, predicate)
+
+
+#: The active request context, if any.  ``None`` means untraced work —
+#: structural spans still record, they just carry no trace ids.
+_CURRENT: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The trace context active on this task/thread, or None."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make ``ctx`` the active context for the duration of the block."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def new_trace(tenant: str = "default", predicate: str | None = None) -> TraceContext:
+    """Mint a root context for one new request."""
+    return TraceContext(new_trace_id(), new_span_id(), tenant, predicate)

@@ -364,3 +364,61 @@ def validate_snapshot(snapshot) -> list[str]:
                             f"bound {top_bound}"
                         )
     return problems
+
+
+def histogram_quantile(sample: Mapping, q: float) -> float:
+    """Approximate quantile ``q`` from one Pow2 histogram sample.
+
+    ``sample`` is the snapshot form (``{"buckets", "count", "sum",
+    "max"}``).  The matched bucket with bound ``b`` covers ``(b/2, b]``
+    (``(0, 1]`` for the first); the estimate interpolates linearly inside
+    it and clamps to the recorded ``max`` — so ``q=1.0`` returns the exact
+    maximum, and no estimate ever exceeds an observed value's bucket.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    count = sample.get("count", 0)
+    if not count:
+        return 0.0
+    max_value = float(sample.get("max", 0))
+    buckets = sorted((int(b), int(n)) for b, n in sample["buckets"].items())
+    rank = q * count
+    seen = 0
+    for bound, n in buckets:
+        if not n:
+            continue
+        if seen + n >= rank:
+            low = bound / 2 if bound > 1 else 0.0
+            estimate = low + (bound - low) * (rank - seen) / n
+            return min(estimate, max_value) if max_value else estimate
+        seen += n
+    return max_value
+
+
+def slo_summary(
+    snapshot: Mapping[str, Mapping], name: str = "repro_request_us"
+) -> dict:
+    """Per-labelled-series p50/p99/max/mean for one histogram family.
+
+    The derivation half of the SLO surface: the registry stores raw
+    power-of-two buckets (cheap, mergeable); quantiles are computed at
+    export time, here, so cross-process merges stay exact.  Returns
+    ``{label_text: {"count", "p50", "p99", "max", "mean"}}`` — empty if
+    the family is absent or empty.
+    """
+    family = snapshot.get(name)
+    if family is None or family.get("type") != "histogram":
+        return {}
+    out = {}
+    for sample in family.get("samples", []):
+        labels = sample.get("labels", {})
+        key = ",".join(f"{k}={labels[k]}" for k in sorted(labels)) or "all"
+        count = sample.get("count", 0)
+        out[key] = {
+            "count": count,
+            "p50": histogram_quantile(sample, 0.50),
+            "p99": histogram_quantile(sample, 0.99),
+            "max": float(sample.get("max", 0)),
+            "mean": (sample.get("sum", 0) / count) if count else 0.0,
+        }
+    return out

@@ -1,0 +1,135 @@
+"""Bounded worst-N slow-request ring (DESIGN.md §15).
+
+Every traced request that completes in the front end is *offered* here with
+its total latency and per-stage decomposition; the ring keeps only the
+worst ``capacity`` by total microseconds (a min-heap, O(log N) per offer).
+The payoff is the ``/trace`` endpoint: the ring's trace ids select which
+span trees the Chrome-trace export includes, so an operator asking "what do
+the slow requests look like?" gets exactly those trees — bounded memory, no
+sampling config, and the worst offenders are never the ones that fell out.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Mapping
+
+DEFAULT_CAPACITY = 32
+
+
+class SlowOpRing:
+    """Keep the worst-N completed requests by total latency."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: (total_us, tiebreak, entry) min-heap: heap[0] is the *least*
+        #: slow tracked request — the one the next slower offer evicts.
+        self._heap: list[tuple[float, int, dict]] = []
+        self._seq = itertools.count()
+        self.offered = 0  # lifetime offers, tracked or not
+
+    def offer(
+        self,
+        trace_id: str | None,
+        tenant: str,
+        total_us: float,
+        stages: Mapping[str, float] | None = None,
+    ) -> None:
+        """Consider one completed request for the worst-N set."""
+        total_us = float(total_us)
+        with self._lock:
+            self.offered += 1
+            full = len(self._heap) >= self.capacity
+            if full and total_us <= self._heap[0][0]:
+                # Not slow enough to track: skip the entry dicts entirely —
+                # under steady load nearly every offer lands here, once per
+                # request.
+                return
+            entry = {
+                "trace": trace_id,
+                "tenant": tenant,
+                "total_us": total_us,
+                "stages": dict(stages or {}),
+            }
+            item = (total_us, next(self._seq), entry)
+            if full:
+                heapq.heapreplace(self._heap, item)
+            else:
+                heapq.heappush(self._heap, item)
+
+    def admit_floor(self) -> float | None:
+        """The ``total_us`` a new offer must exceed to be tracked, or None
+        while the ring still has room.
+
+        A batch recorder reads this once and pre-filters its requests,
+        skipping the per-offer argument building for the fast majority.
+        The floor only rises as offers land, so the filter never drops a
+        request the ring would have kept (a concurrent :meth:`clear` can
+        lower it mid-batch; worst case a few fast requests go untracked,
+        which is the ring's business anyway).  Skipped offers must be
+        accounted via :meth:`count_skipped`.
+        """
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                return None
+            return self._heap[0][0]
+
+    def count_skipped(self, n: int) -> None:
+        """Fold ``n`` pre-filtered (not-slow-enough) offers into the
+        lifetime ``offered`` count."""
+        with self._lock:
+            self.offered += n
+
+    def entries(self) -> list[dict]:
+        """Tracked requests, slowest first."""
+        with self._lock:
+            items = sorted(self._heap, reverse=True)
+        return [entry for _, _, entry in items]
+
+    def trace_ids(self) -> set[str]:
+        """Trace ids of the tracked requests (the ``/trace`` filter)."""
+        with self._lock:
+            return {
+                entry["trace"]
+                for _, _, entry in self._heap
+                if entry["trace"] is not None
+            }
+
+    def summary(self) -> dict:
+        """The one-line operator view: count, worst request, worst stage."""
+        with self._lock:
+            offered = self.offered
+            worst = max(self._heap)[2] if self._heap else None
+            tracked = len(self._heap)
+        if worst is None:
+            return {
+                "count": offered,
+                "tracked": 0,
+                "worst_us": 0.0,
+                "worst_stage": None,
+                "worst_tenant": None,
+                "worst_trace": None,
+            }
+        stages = worst["stages"]
+        return {
+            "count": offered,
+            "tracked": tracked,
+            "worst_us": worst["total_us"],
+            "worst_stage": max(stages, key=stages.get) if stages else None,
+            "worst_tenant": worst["tenant"],
+            "worst_trace": worst["trace"],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+            self.offered = 0
+
+
+#: The process-wide ring the front end offers into.
+SLOW_OPS = SlowOpRing()

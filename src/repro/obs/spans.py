@@ -1,110 +1,316 @@
 """Bounded-ring trace-span recorder with Chrome-trace export.
 
 Spans are coarse, named durations around the stack's structural events —
-`store.snapshot`, `shard.compact`, `frontend.flush` — not per-key probes.
-The recorder is a fixed-size ring (`collections.deque(maxlen=...)`): old
-spans fall off the back, so a long-running server's trace memory is bounded
-no matter how many compactions it performs.  `dropped` counts what fell off.
+`store.snapshot`, `shard.compact`, `frontend.dispatch` — not per-key
+probes.  The recorder is a fixed-size ring (`collections.deque(maxlen=...)`):
+old spans fall off the back, so a long-running server's trace memory is
+bounded no matter how many compactions it performs.  `dropped` counts what
+fell off, and both lifetime counts are mirrored into the metrics registry
+(``repro_spans_recorded_total`` / ``repro_spans_dropped_total``) so ring
+overflow is visible on the scrape surface, not just in the export.
+
+Spans are **trace-aware**: when a request's :class:`~repro.obs.context.
+TraceContext` is active, :meth:`SpanRecorder.span` allocates a span id,
+parents itself under the context's span, and re-activates a child context
+for the block — so nested spans across layers (frontend → worker → store)
+form one tree under one trace id.  With no context active, behaviour is
+the pre-trace one: a structural span with no ids and no contextvar cost.
+
+Cross-process merge: a worker's ring is shipped with :meth:`drain` plus its
+``_ORIGIN_EPOCH``, and the parent re-bases the timestamps in
+:meth:`adopt` — one export is then time-coherent across every process that
+contributed, and adopted spans do not double-count the registry counters
+the worker already ships in its own snapshot.
 
 The export form is Chrome's trace-event JSON (``chrome://tracing`` /
 Perfetto): complete events (``ph: "X"``) with microsecond timestamps
-relative to a process-start origin, one row per thread.  Recording honours
-the same kill switch as the metrics registry — with ``REPRO_METRICS=off``
-the :func:`span` context manager is a zero-allocation passthrough.
+relative to a process-start origin, one row per (pid, thread); traced
+events carry ``trace``/``span``/``parent`` ids in their args.  Recording
+honours the same kill switch as the metrics registry — with
+``REPRO_METRICS=off`` the :func:`span` context manager is a
+zero-allocation passthrough.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time as _time
 from collections import deque
-from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Iterator
+from typing import Any, Iterable
 
-from .registry import state
+from . import context as _context
+from .registry import REGISTRY, state
 
 #: perf_counter value all span timestamps are measured from, fixed at
 #: import so timestamps are comparable across threads within one process.
 _ORIGIN = perf_counter()
+#: Wall-clock instant of `_ORIGIN` (captured back-to-back): the rebase
+#: anchor when adopting spans shipped from a process with its own origin.
+_ORIGIN_EPOCH = _time.time()
 
 DEFAULT_CAPACITY = 4096
 
+_RECORDED = REGISTRY.counter(
+    "repro_spans_recorded_total",
+    "Spans recorded into this process's span ring (adopted spans excluded).",
+)
+_DROPPED = REGISTRY.counter(
+    "repro_spans_dropped_total",
+    "Spans pushed off the back of the span ring by newer spans.",
+)
+
+
+class _NoopSpan:
+    """Shared do-nothing block returned while the kill switch is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanBlock:
+    """One open span as a plain context-manager object.
+
+    Traced requests open several spans per batch on the dispatch critical
+    path (dispatch → worker probe → store probe), so this
+    is a slotted class rather than ``@contextmanager``: skipping the
+    generator protocol, ``dataclasses.replace`` and the nested ``activate``
+    context manager cuts the per-span cost roughly 3x.
+    """
+
+    __slots__ = ("_recorder", "_name", "_args", "_ctx", "_span_id", "_token", "_start")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, args: dict) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_SpanBlock":
+        ctx = _context.current()
+        self._ctx = ctx
+        if ctx is None:
+            self._span_id = None
+            self._token = None
+        else:
+            span_id = _context.new_span_id()
+            self._span_id = span_id
+            self._token = _context._CURRENT.set(ctx.child(span_id))
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration = perf_counter() - self._start
+        token = self._token
+        if token is not None:
+            _context._CURRENT.reset(token)
+        ctx = self._ctx
+        self._recorder._append(
+            {
+                "name": self._name,
+                "start": self._start - _ORIGIN,
+                "duration": duration,
+                "thread": threading.get_ident(),
+                "pid": os.getpid(),
+                "trace": None if ctx is None else ctx.trace_id,
+                "span": self._span_id,
+                "parent": None if ctx is None else ctx.span_id,
+                "args": self._args,
+            },
+            adopted=False,
+        )
+        return False
+
 
 class SpanRecorder:
-    """Fixed-capacity ring of completed spans."""
+    """Fixed-capacity ring of completed spans.
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    ``count_in_registry`` mirrors the lifetime recorded/dropped counts into
+    the process registry; only the module-level default recorder sets it,
+    so private recorders (tests, tools) don't pollute the scrape surface.
+    """
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, count_in_registry: bool = False
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.count_in_registry = count_in_registry
         self._lock = threading.Lock()
         self._ring: deque[dict] = deque(maxlen=capacity)
-        self.recorded = 0  # lifetime total, including spans since dropped
+        self.recorded = 0  # lifetime appends (local + adopted)
+        self._overflowed = 0  # lifetime spans pushed off the back
 
-    @contextmanager
-    def span(self, name: str, **args: Any) -> Iterator[None]:
-        """Record one named duration; ``args`` become trace-event args."""
+    def span(self, name: str, **args: Any):
+        """Record one named duration; ``args`` become trace-event args.
+
+        Under an active :func:`repro.obs.context.current` trace the span
+        joins the tree: it parents under the context's span and activates
+        a child context for the block, so spans opened inside it (same
+        task, or an explicitly re-activated worker) nest beneath it.
+        """
         if not state.enabled:
-            yield
-            return
-        start = perf_counter()
-        try:
-            yield
-        finally:
-            end = perf_counter()
-            record = {
+            return _NOOP_SPAN
+        return _SpanBlock(self, name, args)
+
+    def record(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        trace: str | None = None,
+        span: str | None = None,
+        parent: str | None = None,
+        thread: int | None = None,
+        args: dict | None = None,
+    ) -> None:
+        """Append one externally-timed span (``start`` is a raw
+        ``perf_counter()`` value).  Callers on hot paths gate on
+        ``obs.state.enabled`` themselves — this method always records."""
+        self._append(
+            {
                 "name": name,
                 "start": start - _ORIGIN,
-                "duration": end - start,
-                "thread": threading.get_ident(),
-                "args": args,
-            }
-            with self._lock:
-                self._ring.append(record)
-                self.recorded += 1
+                "duration": duration,
+                "thread": threading.get_ident() if thread is None else thread,
+                "pid": os.getpid(),
+                "trace": trace,
+                "span": span,
+                "parent": parent,
+                "args": args or {},
+            },
+            adopted=False,
+        )
+
+    def record_many(self, records: list[dict]) -> None:
+        """Append many externally-timed spans under one lock acquisition.
+
+        The bulk form of :meth:`record` for callers that emit one span per
+        coalesced request: ``records`` carry raw ``perf_counter()`` values
+        in ``"start"`` (rebased onto the origin here, mutating the dicts)
+        and must already hold the full record schema — ``name``,
+        ``duration``, ``thread``, ``pid``, ``trace``, ``span``, ``parent``
+        and ``args``.
+        """
+        dropped = 0
+        with self._lock:
+            ring = self._ring
+            for record in records:
+                record["start"] -= _ORIGIN
+                if len(ring) == self.capacity:
+                    dropped += 1
+                ring.append(record)
+            self.recorded += len(records)
+            self._overflowed += dropped
+            if self.count_in_registry:
+                _RECORDED.inc(len(records))
+                if dropped:
+                    _DROPPED.inc(dropped)
+
+    def _append(self, record: dict, adopted: bool) -> None:
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self._overflowed += 1
+                if self.count_in_registry:
+                    _DROPPED.inc()
+            self._ring.append(record)
+            self.recorded += 1
+            if self.count_in_registry and not adopted:
+                _RECORDED.inc()
 
     def spans(self) -> list[dict]:
         """Current ring contents, oldest first."""
         with self._lock:
             return list(self._ring)
 
+    def drain(self) -> list[dict]:
+        """Return and remove the ring's contents (lifetime counts stay).
+
+        The cross-process ship: a worker drains so each span is shipped
+        at most once, and the parent :meth:`adopt`\\ s the result.
+        """
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+            return records
+
+    def adopt(
+        self, records: Iterable[dict], origin_epoch: float | None = None
+    ) -> int:
+        """Append spans drained from another process's recorder.
+
+        ``origin_epoch`` is the shipper's ``_ORIGIN_EPOCH``; timestamps are
+        re-based onto this process's origin so one export is time-coherent.
+        Adopted spans do not bump the registry recorded counter — process
+        workers already ship their own counts in their registry snapshot.
+        """
+        shift = 0.0 if origin_epoch is None else origin_epoch - _ORIGIN_EPOCH
+        count = 0
+        for record in records:
+            record = dict(record)
+            record["start"] = record["start"] + shift
+            self._append(record, adopted=True)
+            count += 1
+        return count
+
     @property
     def dropped(self) -> int:
         """Spans that have fallen off the back of the ring."""
         with self._lock:
-            return self.recorded - len(self._ring)
+            return self._overflowed
 
     def clear(self) -> None:
         with self._lock:
             self._ring.clear()
             self.recorded = 0
+            self._overflowed = 0
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self, trace_ids: Iterable[str] | None = None) -> dict:
         """The ring as a Chrome trace-event JSON object.
 
         Load the result in ``chrome://tracing`` or Perfetto: complete
-        (``ph: "X"``) events, microsecond units, one row per thread.
+        (``ph: "X"``) events, microsecond units, one row per (pid,
+        thread).  ``trace_ids`` restricts the export to those traces (the
+        slow-op endpoint's filter); traced events carry their
+        ``trace``/``span``/``parent`` ids in args.
         """
-        pid = os.getpid()
+        wanted = None if trace_ids is None else set(trace_ids)
+        default_pid = os.getpid()
         events = []
         for record in self.spans():
+            if wanted is not None and record.get("trace") not in wanted:
+                continue
+            args = dict(record["args"])
+            if record.get("trace") is not None:
+                args["trace"] = record["trace"]
+                args["span"] = record["span"]
+                args["parent"] = record["parent"]
             events.append(
                 {
                     "name": record["name"],
                     "ph": "X",
                     "ts": record["start"] * 1e6,
                     "dur": record["duration"] * 1e6,
-                    "pid": pid,
+                    "pid": record.get("pid", default_pid),
                     "tid": record["thread"],
-                    "args": record["args"],
+                    "args": args,
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 #: The process-wide default recorder all layers record into.
-RECORDER = SpanRecorder()
+RECORDER = SpanRecorder(count_in_registry=True)
 
 
 def span(name: str, **args: Any):

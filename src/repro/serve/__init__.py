@@ -12,6 +12,8 @@ batches the kernels want.  Public surface:
   single-key queries become one ``query_many`` per tick (`frontend.py`);
 * :class:`ServeRuntime` — the full topology: single locked writer, epoch
   publishing, reader pool, stats endpoint (`runtime.py`);
+* :class:`TelemetryServer` — live HTTP scrape surface over a runtime:
+  ``/metrics``, ``/metrics.json``, ``/health``, ``/trace`` (`http.py`);
 * :class:`RWLock` / :func:`shard_locks` — per-shard reader/writer
   coordination, installable on any FilterStore (`locks.py`);
 * :class:`BatchSizeHistogram` — evidence of coalescing at work
@@ -19,6 +21,7 @@ batches the kernels want.  Public surface:
 """
 
 from repro.serve.frontend import CoalescingFrontEnd
+from repro.serve.http import TelemetryServer
 from repro.serve.locks import RWLock, shard_locks
 from repro.serve.pool import WorkerPool
 from repro.serve.runtime import ServeRuntime
@@ -29,6 +32,7 @@ __all__ = [
     "CoalescingFrontEnd",
     "RWLock",
     "ServeRuntime",
+    "TelemetryServer",
     "WorkerPool",
     "merge_worker_stats",
     "shard_locks",

@@ -1,0 +1,219 @@
+"""``python -m repro.serve``: operational tooling for the serving runtime.
+
+One subcommand::
+
+    python -m repro.serve smoke [--keys N] [--mode thread|process]
+                                [--workers N] [--out-dir DIR]
+
+builds a small store, starts a full :class:`~repro.serve.runtime.
+ServeRuntime` with the HTTP telemetry server attached, drives coalesced
+multi-tenant traffic through the front end, then scrapes every endpoint
+over real HTTP and checks the whole observability contract end to end:
+
+* ``/health`` answers 200 with ``status: ok`` while serving;
+* ``/metrics`` parses back through the Prometheus round-trip parser;
+* ``/metrics.json``'s embedded registry snapshot passes
+  `repro.obs.validate_snapshot` and carries the ``repro_request_us`` SLO
+  series for every tenant driven;
+* the merged Chrome-trace export contains a complete frontend → worker →
+  store span tree under a single trace id.
+
+Artifacts land in ``--out-dir`` (default ``bench_results/``):
+``serve_telemetry_smoke.json`` (the ``/metrics.json`` body — CI
+schema-validates it with ``python -m repro.obs validate``) and
+``serve_trace.json`` (the merged Chrome trace — load it in
+``chrome://tracing``).  Exit code 0 only if every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq
+from repro.serve.runtime import ServeRuntime
+from repro.store import FilterStore, StoreConfig
+
+SCHEMA = AttributeSchema(["status", "region"])
+PARAMS = CCFParams(key_bits=20, attr_bits=8, bucket_size=4, seed=11)
+TENANTS = ("alpha", "beta")
+
+
+def _get(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _build_store(num_keys: int) -> tuple[FilterStore, np.ndarray]:
+    store = FilterStore(
+        SCHEMA, PARAMS, StoreConfig(num_shards=4, level_buckets=1024)
+    )
+    keys = np.arange(num_keys, dtype=np.int64)
+    statuses = np.array(["live", "dead"], dtype=object)[keys % 2]
+    assert store.insert_many(keys, [statuses, keys % 17]).all()
+    return store, keys
+
+
+async def _drive(frontend, keys: np.ndarray) -> None:
+    """Concurrent point queries across tenants, plus predicate batches."""
+    point = [
+        frontend.query(int(key), tenant=TENANTS[i % len(TENANTS)])
+        for i, key in enumerate(keys[:256])
+    ]
+    batches = [
+        frontend.query_many(keys[:128], "live", tenant=tenant)
+        for tenant in TENANTS
+    ]
+    answers = await asyncio.gather(*point)
+    if not all(answers):
+        raise AssertionError("smoke traffic returned a false negative")
+    for hits in await asyncio.gather(*batches):
+        if not (hits == (keys[:128] % 2 == 0)).all():
+            raise AssertionError("predicate batch diverged")
+
+
+def smoke(num_keys: int, mode: str, workers: int, out_dir: Path) -> int:
+    obs.set_enabled(True)
+    problems: list[str] = []
+    store, keys = _build_store(num_keys)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        runtime = ServeRuntime(
+            store,
+            Path(tmp) / "epochs",
+            num_workers=workers,
+            mode=mode,
+            predicates={"live": Eq("status", "live")},
+            warm=False,
+        )
+        with runtime:
+            server = runtime.serve_telemetry()
+            frontend = runtime.frontend()
+            asyncio.run(_drive(frontend, keys))
+            frontend.close()
+
+            status, body = _get(server.url("/health"))
+            health = json.loads(body)
+            if status != 200 or health.get("status") != "ok":
+                problems.append(f"/health: {status} {health}")
+
+            status, body = _get(server.url("/metrics"))
+            if status != 200:
+                problems.append(f"/metrics: HTTP {status}")
+            else:
+                parsed = obs.parse_prometheus(body.decode())
+                if "repro_request_us" not in parsed:
+                    problems.append("/metrics: repro_request_us missing")
+
+            status, body = _get(server.url("/metrics.json"))
+            telemetry = json.loads(body) if status == 200 else {}
+            if status != 200:
+                problems.append(f"/metrics.json: HTTP {status}")
+            else:
+                schema_problems = obs.validate_snapshot(
+                    telemetry.get("metrics_snapshot", {})
+                )
+                problems += [f"/metrics.json: {p}" for p in schema_problems]
+                slo = telemetry.get("slo", {})
+                for tenant in TENANTS:
+                    if f"stage=total,tenant={tenant}" not in slo:
+                        problems.append(f"/metrics.json: no SLO row for {tenant}")
+
+            status, body = _get(server.url("/trace"))
+            if status != 200 or not json.loads(body).get("traceEvents"):
+                problems.append(f"/trace: HTTP {status} or empty")
+
+            status, _ = _get(server.url("/bogus"))
+            if status != 404:
+                problems.append(f"/bogus: expected 404, got {status}")
+
+            trace = runtime.trace()
+            problems += _check_tree(trace)
+
+            (out_dir / "serve_telemetry_smoke.json").write_text(
+                json.dumps(telemetry, indent=2, sort_keys=True)
+            )
+            (out_dir / "serve_trace.json").write_text(
+                json.dumps(trace, indent=2, sort_keys=True)
+            )
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    verdict = "FAILED" if problems else "ok"
+    print(
+        f"serve smoke {verdict}: {num_keys} keys, mode={mode}, "
+        f"workers={workers}; artifacts in {out_dir}/"
+    )
+    return 1 if problems else 0
+
+
+def _check_tree(trace: dict) -> list[str]:
+    """Every traced event's parent must resolve inside its own trace, and
+    at least one trace must span frontend, worker and store layers."""
+    by_trace: dict[str, list[dict]] = {}
+    for event in trace.get("traceEvents", []):
+        trace_id = event.get("args", {}).get("trace")
+        if trace_id:
+            by_trace.setdefault(trace_id, []).append(event)
+    if not by_trace:
+        return ["trace: no traced events at all"]
+    problems = []
+    complete = 0
+    for trace_id, events in by_trace.items():
+        spans = {e["args"]["span"] for e in events}
+        dangling = [
+            e["args"]["parent"]
+            for e in events
+            if e["args"]["parent"] and e["args"]["parent"] not in spans
+        ]
+        if dangling:
+            problems.append(f"trace {trace_id}: dangling parents {dangling[:3]}")
+        names = {e["name"] for e in events}
+        if {"frontend.request", "worker.probe", "store.probe"} <= names:
+            complete += 1
+    if not complete:
+        problems.append("trace: no trace spans frontend → worker → store")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serving runtime tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    smoke_cmd = sub.add_parser(
+        "smoke",
+        help="start a runtime + telemetry server, scrape and verify it",
+    )
+    smoke_cmd.add_argument("--keys", type=int, default=20_000)
+    smoke_cmd.add_argument("--mode", choices=("thread", "process"), default="thread")
+    smoke_cmd.add_argument("--workers", type=int, default=2)
+    smoke_cmd.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("bench_results"),
+        help="artifact directory (default: bench_results/)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "smoke":
+        return smoke(args.keys, args.mode, args.workers, args.out_dir)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

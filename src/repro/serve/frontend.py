@@ -1,4 +1,4 @@
-"""Batch-coalescing asyncio front end (DESIGN.md §11).
+"""Batch-coalescing asyncio front end (DESIGN.md §11, §15).
 
 The vectorised probe kernels are fast *per key* only when batches are big:
 at batch=1 the fixed numpy/dispatch overhead dominates by orders of
@@ -22,11 +22,34 @@ hides per-batch latency under load.
 lone request after at most one tick; under load the tick bounds how long
 the oldest pending key waits for company.  ``max_batch=1`` degenerates to
 naive per-call dispatch — the benchmark's baseline.
+
+**Request-scoped tracing** (DESIGN.md §15): with recording on, each
+request's life is decomposed into the labelled SLO histogram
+``repro_request_us{stage, tenant}`` — ``coalesce`` (arrival → flush),
+``dispatch`` (backend batch), ``scatter`` (answer fan-out) and ``total`` —
+with one matching span per observation, so per-stage span sums and
+histogram sums agree by construction.  The flushed batch adopts its oldest
+request's :class:`~repro.obs.context.TraceContext` (minting a fresh root
+when no caller had one active); the dispatch context is re-activated on
+the executor thread, which is what parents worker/store spans under this
+request.  Completed requests are offered to the slow-op ring.
+
+**Cost discipline**: the enqueue path records nothing but a
+``perf_counter()`` stamp and a contextvar read; per-request span/histogram
+recording is deferred to a loop callback scheduled *after* the batch's
+futures resolve, so callers' wake-ups never wait on telemetry (the p99
+overhead gate in ``bench_serve_latency.py`` holds the front end to within
+5% of the kill switch).  Batch-level recording (the dispatch span) runs on
+the executor thread, also off the loop.  All of it sits behind the
+``REPRO_METRICS`` kill switch: disabled, nothing is recorded and answers
+are bit-identical.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Any, Sequence
@@ -34,7 +57,14 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import context
 from repro.serve.stats import BatchSizeHistogram
+
+# Enqueue-path aliases: one attribute load and one bound-method call per
+# request instead of module->object->attribute chains.  `_STATE.enabled`
+# stays live (set_enabled mutates the shared _State object in place).
+_STATE = obs.state
+_current_context = context._CURRENT.get
 
 # Stage timings of the request pipeline, one record per flush (never per
 # request): how long the oldest key waited for company (coalesce), how long
@@ -59,6 +89,59 @@ _REQUESTS = obs.counter(
 )
 _FLUSHES = obs.counter("repro_frontend_flushes_total", "Batches flushed.")
 
+# The SLO surface: per-request latency decomposition.  Per-request stages
+# (coalesce, total) observe once per request; per-batch stages (dispatch,
+# scatter) observe once per flush under the batch's adopted tenant.  Export
+# derives p50/p99 per (stage, tenant) via `obs.slo_summary`.
+_REQUEST_US = obs.histogram(
+    "repro_request_us",
+    "Per-request latency decomposition by pipeline stage, in microseconds.",
+    ("stage", "tenant"),
+)
+
+#: Pre-bound (stage, tenant) children of ``_REQUEST_US``: the deferred
+#: recording callback observes three stages per request, and the labels()
+#: dict round-trip would dominate it.  Children survive registry clears.
+_REQUEST_CHILDREN: dict[tuple[str, str], Any] = {}
+
+
+def _request_child(stage: str, tenant: str):
+    key = (stage, tenant)
+    child = _REQUEST_CHILDREN.get(key)
+    if child is None:
+        child = _REQUEST_US.labels(stage=stage, tenant=tenant)
+        _REQUEST_CHILDREN[key] = child
+    return child
+
+
+#: Shared, treat-as-immutable span-args dicts.  Per-request span records
+#: would otherwise allocate two args dicts each, and the extra gen-0 GC
+#: pressure at serving concurrency is measurable; consumers that mutate
+#: args (the Chrome exporter) copy first.
+_COALESCE_ARGS: dict[str, dict] = {}
+_REQUEST_ARGS: dict[tuple, dict] = {}
+
+
+def _coalesce_args(tenant: str) -> dict:
+    args = _COALESCE_ARGS.get(tenant)
+    if args is None:
+        args = {"stage": "coalesce", "tenant": tenant}
+        _COALESCE_ARGS[tenant] = args
+    return args
+
+
+def _request_args(tenant: str, predicate: Any, count: int) -> dict:
+    if count != 1:
+        # Multi-key requests are rare on the coalesced path; only the
+        # point-query shape is worth interning.
+        return {"stage": "total", "tenant": tenant, "predicate": predicate, "keys": count}
+    key = (tenant, predicate)
+    args = _REQUEST_ARGS.get(key)
+    if args is None:
+        args = {"stage": "total", "tenant": tenant, "predicate": predicate, "keys": 1}
+        _REQUEST_ARGS[key] = args
+    return args
+
 
 class CoalescingFrontEnd:
     """Coalesce concurrent point queries into per-tick vectorised batches."""
@@ -81,13 +164,16 @@ class CoalescingFrontEnd:
         self.backend = backend
         self.tick_seconds = tick_seconds
         self.max_batch = max_batch
-        #: chunks pending per predicate token: list of (keys, future, count).
-        self._pending: dict[Any, list[tuple[Any, asyncio.Future, int]]] = {
-            name: [] for name in predicates
-        }
+        #: chunks pending per predicate token: list of
+        #: (keys, future, count, upstream_ctx, arrival, tenant); upstream
+        #: and arrival are None when recording is off.
+        self._pending: dict[Any, list[tuple]] = {name: [] for name in predicates}
         self._pending_keys: dict[Any, int] = {name: 0 for name in predicates}
         #: When each predicate's oldest pending chunk arrived (coalesce wait).
         self._pending_since: dict[Any, float] = {}
+        #: Oldest pending upstream TraceContext per predicate — tracked at
+        #: enqueue so _flush adopts it O(1) instead of scanning every chunk.
+        self._pending_upstream: dict[Any, Any] = {}
         self._tick_handles: dict[Any, Any] = {}
         # One dedicated executor thread: backends like WorkerPool drive
         # their dispatch plane from a single thread, and batches still
@@ -102,15 +188,25 @@ class CoalescingFrontEnd:
 
     # -- client side ----------------------------------------------------
 
-    async def query(self, key: object, predicate: Any = None) -> bool:
+    async def query(
+        self, key: object, predicate: Any = None, tenant: str = "default"
+    ) -> bool:
         """Point membership query; coalesced into the next tick's batch."""
-        answers = await self.query_many([key], predicate)
+        answers = await self.query_many([key], predicate, tenant=tenant)
         return bool(answers[0])
 
     async def query_many(
-        self, keys: Sequence[object] | np.ndarray, predicate: Any = None
+        self,
+        keys: Sequence[object] | np.ndarray,
+        predicate: Any = None,
+        tenant: str = "default",
     ) -> np.ndarray:
-        """Batch query; small batches ride along with everything pending."""
+        """Batch query; small batches ride along with everything pending.
+
+        ``tenant`` labels this request's ``repro_request_us`` series.  If a
+        trace context is already active on the calling task it is joined
+        (its tenant wins); otherwise a fresh root context is minted.
+        """
         if predicate not in self._pending:
             raise KeyError(
                 f"predicate {predicate!r} not declared in this front end's "
@@ -119,14 +215,23 @@ class CoalescingFrontEnd:
         count = len(keys)
         if count == 0:
             return np.zeros(0, dtype=bool)
+        upstream = arrival = None
+        if _STATE.enabled:
+            # Deliberately cheap: a clock read and a contextvar read.  Trace
+            # ids are minted lazily, after this request's future resolves.
+            arrival = perf_counter()
+            upstream = _current_context()
+            if upstream is not None and self._pending_upstream.get(predicate) is None:
+                self._pending_upstream[predicate] = upstream
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         if not self._pending[predicate]:
             self._pending_since[predicate] = perf_counter()
-        self._pending[predicate].append((keys, future, count))
+        self._pending[predicate].append(
+            (keys, future, count, upstream, arrival, tenant)
+        )
         self._pending_keys[predicate] += count
         self.requests += 1
-        _REQUESTS.inc()
         if self._pending_keys[predicate] >= self.max_batch:
             self._flush(predicate)
         elif predicate not in self._tick_handles:
@@ -149,40 +254,103 @@ class CoalescingFrontEnd:
         self._pending[predicate] = []
         self._pending_keys[predicate] = 0
         pending_since = self._pending_since.pop(predicate, None)
-        merged = _concat_keys([keys for keys, _, _ in chunks])
+        merged = _concat_keys([keys for keys, *_ in chunks])
         self.histogram.record(len(merged))
         self.flushes += 1
         _FLUSHES.inc()
+        # Counted per flush, not per enqueue: a locked inc on the enqueue
+        # path bills every concurrent caller ~0.5us, which is exactly the
+        # per-request budget the tracing-overhead gate protects.
+        _REQUESTS.inc(len(chunks))
+        # Popped even when recording flipped off mid-batch, so a stale
+        # adopter can't leak into the next batch.
+        adopted_upstream = self._pending_upstream.pop(predicate, None)
+        batch_info = None
         if obs.state.enabled:
+            flush_t = perf_counter()
             _BATCH_SIZE.observe(len(merged))
             if pending_since is not None:
-                _COALESCE_WAIT_US.observe((perf_counter() - pending_since) * 1e6)
+                _COALESCE_WAIT_US.observe((flush_t - pending_since) * 1e6)
+            # The batch adopts the oldest request with an upstream context
+            # (so a caller-propagated trace reaches the workers), minting a
+            # fresh root on the oldest request's behalf otherwise.  The
+            # adopter was tracked at enqueue — no scan over the chunks here,
+            # this callback runs on the serving path.
+            batch_ctx = adopted_upstream
+            minted = batch_ctx is None
+            if minted:
+                batch_ctx = context.new_trace(
+                    tenant=chunks[0][5],
+                    predicate=None if predicate is None else str(predicate),
+                )
+            batch_info = {
+                "batch_ctx": batch_ctx,
+                "dispatch_ctx": batch_ctx.child(context.new_span_id()),
+                "flush_t": flush_t,
+                "minted": minted,
+            }
         loop = asyncio.get_running_loop()
         task = loop.run_in_executor(
-            self._executor, self._dispatch, merged, predicate
+            self._executor, self._dispatch, merged, predicate, batch_info
         )
         task = asyncio.ensure_future(task)
-        task.add_done_callback(lambda done: self._resolve(done, chunks))
+        task.add_done_callback(
+            lambda done: self._resolve(done, chunks, batch_info)
+        )
 
-    def _dispatch(self, merged: np.ndarray, predicate: Any) -> np.ndarray:
-        """Run one coalesced batch on the backend (executor thread)."""
-        with obs.span("frontend.flush", keys=int(len(merged))):
-            start = perf_counter()
+    def _dispatch(
+        self, merged: np.ndarray, predicate: Any, batch_info: dict | None = None
+    ) -> np.ndarray:
+        """Run one coalesced batch on the backend (executor thread).
+
+        The batch's dispatch context is activated here explicitly —
+        ``run_in_executor`` does not carry contextvars — so backend spans
+        (worker probe, store probe) parent under this request's tree.
+        """
+        start = perf_counter()
+        try:
+            if batch_info is None:
+                return self.backend.query_many(merged, predicate)
+            # Raw token set/reset instead of the activate() helper: once per
+            # batch on the dispatch path, and the generator-based context
+            # manager costs a few extra microseconds there.
+            token = context._CURRENT.set(batch_info["dispatch_ctx"])
             try:
                 return self.backend.query_many(merged, predicate)
             finally:
-                _DISPATCH_US.observe((perf_counter() - start) * 1e6)
+                context._CURRENT.reset(token)
+        finally:
+            elapsed_us = (perf_counter() - start) * 1e6
+            _DISPATCH_US.observe(elapsed_us)
+            if batch_info is not None and obs.state.enabled:
+                ctx = batch_info["batch_ctx"]
+                batch_info["dispatch_us"] = elapsed_us
+                _request_child("dispatch", ctx.tenant).observe(elapsed_us)
+                obs.RECORDER.record(
+                    "frontend.dispatch",
+                    start=start,
+                    duration=elapsed_us / 1e6,
+                    trace=ctx.trace_id,
+                    span=batch_info["dispatch_ctx"].span_id,
+                    parent=ctx.span_id,
+                    args={
+                        "stage": "dispatch",
+                        "tenant": ctx.tenant,
+                        "keys": int(len(merged)),
+                    },
+                )
 
-    @staticmethod
     def _resolve(
+        self,
         done: "asyncio.Future[np.ndarray]",
-        chunks: list[tuple[Any, asyncio.Future, int]],
+        chunks: list[tuple],
+        batch_info: dict | None = None,
     ) -> None:
         """Scatter one batch's answers back to each caller's future."""
         start = perf_counter()
         error = done.exception()
         offset = 0
-        for _, future, count in chunks:
+        for _, future, count, *_ in chunks:
             if future.cancelled():
                 offset += count
                 continue
@@ -192,14 +360,139 @@ class CoalescingFrontEnd:
                 answers = done.result()
                 future.set_result(answers[offset : offset + count])
             offset += count
-        _SCATTER_US.observe((perf_counter() - start) * 1e6)
+        end = perf_counter()
+        scatter_us = (end - start) * 1e6
+        _SCATTER_US.observe(scatter_us)
+        if batch_info is None or not obs.state.enabled:
+            return
+        # Defer the per-request recording to a later loop callback: the
+        # set_result wake-ups queued above run first, so callers never wait
+        # on telemetry bookkeeping.
+        asyncio.get_running_loop().call_soon(
+            self._record_requests, chunks, batch_info, start, end, scatter_us
+        )
+
+    def _record_requests(
+        self,
+        chunks: list[tuple],
+        batch_info: dict,
+        scatter_start: float,
+        end: float,
+        scatter_us: float,
+    ) -> None:
+        """Per-request SLO observations, spans and slow-op offers for one
+        resolved batch (loop callback, after the callers woke up).
+
+        Recording is bulk: span records are built as plain dicts and
+        appended under one ring lock, and histogram values are grouped per
+        (stage, tenant) and observed under one lock each.  Per-request
+        locking multiplies by the batch size, and with batches pipelining
+        under load this callback runs while later batches' callers still
+        have their latency clocks open.
+        """
+        if not obs.state.enabled:
+            return
+        batch_ctx = batch_info["batch_ctx"]
+        flush_t = batch_info["flush_t"]
+        dispatch_us = batch_info.get("dispatch_us", 0.0)
+        thread = threading.get_ident()
+        pid = os.getpid()
+        predicate = batch_ctx.predicate
+        _request_child("scatter", batch_ctx.tenant).observe(scatter_us)
+        records = [
+            {
+                "name": "frontend.scatter",
+                "start": scatter_start,
+                "duration": scatter_us / 1e6,
+                "thread": thread,
+                "pid": pid,
+                "trace": batch_ctx.trace_id,
+                "span": context.new_span_id(),
+                "parent": batch_ctx.span_id,
+                "args": {"stage": "scatter", "tenant": batch_ctx.tenant},
+            }
+        ]
+        waits: dict[str, list] = {}
+        totals: dict[str, list] = {}
+        offers: list[tuple] = []
+        # Requests no slower than the ring's current floor can't be tracked;
+        # pre-filtering skips their offer bookkeeping (the fast majority).
+        offer_floor = obs.SLOW_OPS.admit_floor()
+        offers_skipped = 0
+        # If the batch context was minted (no caller carried one), it was
+        # minted on the oldest request's behalf: that request's tree is the
+        # one holding the dispatch/worker/store spans.
+        root_pending = batch_info["minted"]
+        for _, _, count, upstream, arrival, tenant in chunks:
+            if arrival is None:
+                continue
+            if upstream is not None:
+                ctx = upstream
+            elif root_pending:
+                ctx = batch_ctx
+                root_pending = False
+            else:
+                ctx = context.new_trace(tenant=tenant, predicate=predicate)
+            wait_us = (flush_t - arrival) * 1e6
+            total_us = (end - arrival) * 1e6
+            waits.setdefault(ctx.tenant, []).append(wait_us)
+            totals.setdefault(ctx.tenant, []).append(total_us)
+            records.append(
+                {
+                    "name": "frontend.coalesce",
+                    "start": arrival,
+                    "duration": wait_us / 1e6,
+                    "thread": thread,
+                    "pid": pid,
+                    "trace": ctx.trace_id,
+                    "span": context.new_span_id(),
+                    "parent": ctx.span_id,
+                    "args": _coalesce_args(ctx.tenant),
+                }
+            )
+            records.append(
+                {
+                    "name": "frontend.request",
+                    "start": arrival,
+                    "duration": total_us / 1e6,
+                    "thread": thread,
+                    "pid": pid,
+                    "trace": ctx.trace_id,
+                    "span": ctx.span_id,
+                    "parent": None,
+                    "args": _request_args(ctx.tenant, ctx.predicate, int(count)),
+                }
+            )
+            if offer_floor is not None and total_us <= offer_floor:
+                offers_skipped += 1
+            else:
+                offers.append((ctx.trace_id, ctx.tenant, total_us, wait_us))
+        obs.RECORDER.record_many(records)
+        for tenant, values in waits.items():
+            _request_child("coalesce", tenant).observe_many(values)
+        for tenant, values in totals.items():
+            _request_child("total", tenant).observe_many(values)
+        offer = obs.SLOW_OPS.offer
+        for trace_id, tenant, total_us, wait_us in offers:
+            offer(
+                trace_id,
+                tenant,
+                total_us,
+                stages={
+                    "coalesce": wait_us,
+                    "dispatch": dispatch_us,
+                    "scatter": scatter_us,
+                },
+            )
+        if offers_skipped:
+            obs.SLOW_OPS.count_skipped(offers_skipped)
 
     async def drain(self) -> None:
         """Flush everything pending and wait for the batches to finish."""
         pending_futures = [
             future
             for chunks in self._pending.values()
-            for _, future, _ in chunks
+            for _, future, *_ in chunks
         ]
         for predicate in list(self._pending):
             self._flush(predicate)

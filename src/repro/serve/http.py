@@ -1,0 +1,212 @@
+"""Asyncio HTTP telemetry server for a live ServeRuntime (DESIGN.md §15).
+
+A deliberately tiny HTTP/1.1 server — stdlib only, GET only, one response
+per connection — that turns a running :class:`~repro.serve.runtime.
+ServeRuntime` into a scrape target:
+
+* ``/metrics`` — Prometheus text exposition of the merged writer + pool
+  registry (the same bytes ``runtime.metrics("prometheus")`` returns).
+* ``/metrics.json`` — ``{"metrics_snapshot": <registry dict>, "slo":
+  <p50/p99 per repro_request_us series>, "stats": <runtime.stats()>}``;
+  the wrapper key is what ``python -m repro.obs validate`` looks for, so
+  the body schema-checks with the stock CLI.
+* ``/health`` — 200 when ready (epoch published + every worker alive),
+  503 otherwise; JSON body either way, so load balancers and humans read
+  the same endpoint.
+* ``/trace`` — Chrome-trace JSON of the slow-op ring's requests (worker
+  spans drained and merged first); load it in ``chrome://tracing``.
+
+The server owns a daemon thread running its own event loop, so it scrapes
+concurrently with the serving work; handler bodies run on the loop's
+default executor because the pool control-plane calls they make are
+blocking.  ``port=0`` binds an ephemeral port, published via ``.port``
+once :meth:`start` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import TYPE_CHECKING
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.runtime import ServeRuntime
+
+_MAX_REQUEST_BYTES = 16384
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+_REQUESTS = obs.counter(
+    "repro_telemetry_requests_total",
+    "Telemetry HTTP requests served, by route and status.",
+    ("route", "status"),
+)
+
+
+class TelemetryServer:
+    """Live scrape endpoint over one ServeRuntime."""
+
+    def __init__(
+        self, runtime: "ServeRuntime", host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.runtime = runtime
+        self.host = host
+        self.port = port  # rebound to the real port once started
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is not None:
+            raise RuntimeError("telemetry server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"telemetry server failed to bind {self.host}:{self.port}"
+            ) from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("telemetry server did not start in time")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port)
+            )
+        except BaseException as exc:  # bind failure: report, don't hang start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.close()
+
+    def close(self) -> None:
+        """Stop accepting and join the server thread (idempotent)."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+        self._server = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self if self._thread is not None else self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def url(self, path: str = "/") -> str:
+        """Absolute URL for ``path`` on the bound socket."""
+        return f"http://{self.host}:{self.port}{path}"
+
+    # -- request handling -----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+            )
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            asyncio.TimeoutError,
+        ):
+            writer.close()
+            return
+        try:
+            line = request.split(b"\r\n", 1)[0].decode("latin-1")
+            method, target, _ = line.split(" ", 2)
+            path = target.split("?", 1)[0]
+        except ValueError:
+            method, path = "GET", "/__malformed__"
+        loop = asyncio.get_running_loop()
+        status, reason, ctype, body = await loop.run_in_executor(
+            None, self._respond, method, path
+        )
+        known = ("/metrics", "/metrics.json", "/health", "/trace")
+        route = path if path in known else "other"  # bound label cardinality
+        _REQUESTS.labels(route=route, status=str(status)).inc()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        try:
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        writer.close()
+
+    def _respond(self, method: str, path: str) -> tuple[int, str, str, bytes]:
+        """Route one request (runs on the executor: handlers may block on
+        the pool control plane)."""
+        if method != "GET":
+            return 405, "Method Not Allowed", _JSON_CONTENT_TYPE, _json_body(
+                {"error": f"method {method} not allowed"}
+            )
+        try:
+            if path == "/metrics":
+                text = self.runtime.metrics("prometheus")
+                return 200, "OK", _PROM_CONTENT_TYPE, text.encode()
+            if path == "/metrics.json":
+                snapshot = self.runtime.metrics("snapshot")
+                body = {
+                    "metrics_snapshot": snapshot,
+                    "slo": obs.slo_summary(snapshot),
+                    "slow_ops": obs.SLOW_OPS.summary(),
+                }
+                return 200, "OK", _JSON_CONTENT_TYPE, _json_body(body)
+            if path == "/health":
+                ready = self.runtime.ready()
+                body = {
+                    "status": "ok" if ready else "unavailable",
+                    "epoch": self.runtime.epoch,
+                    "workers_alive": (
+                        self.runtime.pool is not None
+                        and self.runtime.pool.alive()
+                    ),
+                    "mode": self.runtime.mode,
+                }
+                status = 200 if ready else 503
+                reason = "OK" if ready else "Service Unavailable"
+                return status, reason, _JSON_CONTENT_TYPE, _json_body(body)
+            if path == "/trace":
+                trace = self.runtime.trace(slow_only=True)
+                return 200, "OK", _JSON_CONTENT_TYPE, _json_body(trace)
+        except Exception as exc:  # surface handler failures as 500s
+            return 500, "Internal Server Error", _JSON_CONTENT_TYPE, _json_body(
+                {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        return 404, "Not Found", _JSON_CONTENT_TYPE, _json_body(
+            {"error": f"no route {path}"}
+        )
+
+
+def _json_body(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode()

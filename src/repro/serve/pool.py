@@ -31,6 +31,7 @@ levels — and acks.  No worker ever does a full reopen.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import threading
 import traceback
@@ -40,6 +41,8 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import context as trace_context
+from repro.obs import spans as trace_spans
 from repro.ccf.predicates import Predicate
 from repro.kernels import active_backend, backend_spec, set_backend
 from repro.serve.stats import WorkerStats, merge_worker_stats
@@ -108,8 +111,28 @@ def _serve_worker(
             return
         try:
             if kind == "query":
-                _, request_id, keys, predicate_name = message
-                answers = store.query_many(keys, compiled.get(predicate_name))
+                _, request_id, keys, predicate_name, wire = message
+                if wire is not None and obs.state.enabled:
+                    # Re-activate the request's trace context shipped in the
+                    # message, so the probe span (and the store spans under
+                    # it) parent into the front end's dispatch span.  Raw
+                    # token set/reset, not the activate() helper: this runs
+                    # once per traced batch and the generator-based context
+                    # manager costs a few extra microseconds the
+                    # tracing-overhead gate has to absorb.
+                    ctx = trace_context.TraceContext.from_wire(wire)
+                    token = trace_context._CURRENT.set(ctx)
+                    try:
+                        with obs.span(
+                            "worker.probe", worker=worker_id, keys=int(len(keys))
+                        ):
+                            answers = store.query_many(
+                                keys, compiled.get(predicate_name)
+                            )
+                    finally:
+                        trace_context._CURRENT.reset(token)
+                else:
+                    answers = store.query_many(keys, compiled.get(predicate_name))
                 stats.record_batch(len(keys))
                 outbox.put(("result", request_id, answers, worker_id))
             elif kind == "refresh":
@@ -136,6 +159,20 @@ def _serve_worker(
                 else:
                     payload = {OPS_METRIC: ops_family(delta)}
                 outbox.put(("metrics", worker_id, payload))
+            elif kind == "trace":
+                # Ship-and-clear this process's span ring so the caller can
+                # merge one coherent trace.  A thread worker shares the
+                # caller's ring — its spans are already there, so it ships
+                # nothing rather than duplicating them.
+                if isolated:
+                    payload = {
+                        "spans": obs.RECORDER.drain(),
+                        "origin_epoch": trace_spans._ORIGIN_EPOCH,
+                        "pid": os.getpid(),
+                    }
+                else:
+                    payload = None
+                outbox.put(("trace", worker_id, payload))
             else:  # pragma: no cover - defensive
                 outbox.put(("error", None, f"unknown message {kind!r}", worker_id))
         except BaseException:
@@ -181,6 +218,12 @@ class WorkerPool:
         self._refresh_acks: list[tuple[int, int]] = []
         self._stats_replies: dict[int, dict] = {}
         self._metrics_replies: dict[int, dict] = {}
+        self._trace_replies: dict[int, dict | None] = {}
+        # Control-plane calls (refresh/stats/metrics/trace) may come from
+        # more than one thread once a telemetry server is scraping a live
+        # runtime; serialise them so concurrent collections don't clobber
+        # each other's reply buffers.  The query plane stays lock-free.
+        self._control_lock = threading.Lock()
         self._started = False
         self._closed = False
         self.final_stats: dict | None = None
@@ -273,6 +316,11 @@ class WorkerPool:
     def _alive(self) -> list[bool]:
         return [worker.is_alive() for worker in self._workers]
 
+    def alive(self) -> bool:
+        """True while the pool is started, not closed, and every worker
+        lives — the readiness half of the ``/health`` endpoint."""
+        return self._started and not self._closed and all(self._alive())
+
     def _require_running(self) -> None:
         if not self._started:
             raise RuntimeError("pool not started (use start() or a with-block)")
@@ -298,7 +346,11 @@ class WorkerPool:
             )
         request_id = self._next_request
         self._next_request += 1
-        self._inboxes[self._next_worker].put(("query", request_id, keys, predicate))
+        ctx = trace_context.current() if obs.state.enabled else None
+        wire = None if ctx is None else ctx.to_wire()
+        self._inboxes[self._next_worker].put(
+            ("query", request_id, keys, predicate, wire)
+        )
         self._next_worker = (self._next_worker + 1) % self.num_workers
         self._inflight.add(request_id)
         return request_id
@@ -332,6 +384,8 @@ class WorkerPool:
             self._stats_replies[message[1]] = message[2]
         elif kind == "metrics":
             self._metrics_replies[message[1]] = message[2]
+        elif kind == "trace":
+            self._trace_replies[message[1]] = message[2]
 
     def wait(self, request_id: int, timeout: float | None = None) -> np.ndarray:
         """Block until ``request_id``'s answers arrive and return them."""
@@ -373,30 +427,34 @@ class WorkerPool:
         is acked without re-attaching), so redelivery is harmless.
         """
         self._require_running()
-        self._refresh_acks = []
-        for inbox in self._inboxes:
-            inbox.put(("refresh", epoch, str(path)))
-        remaining = self.timeout
-        acked: set[int] = set()
-        while len(acked) < self.num_workers:
-            if remaining <= 0:
-                raise TimeoutError(f"refresh to epoch {epoch} not acknowledged")
-            self._drain_one(_POLL_INTERVAL)
-            remaining -= _POLL_INTERVAL
-            acked = {worker for worker, e in self._refresh_acks if e == epoch}
+        with self._control_lock:
+            self._refresh_acks = []
+            for inbox in self._inboxes:
+                inbox.put(("refresh", epoch, str(path)))
+            remaining = self.timeout
+            acked: set[int] = set()
+            while len(acked) < self.num_workers:
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"refresh to epoch {epoch} not acknowledged"
+                    )
+                self._drain_one(_POLL_INTERVAL)
+                remaining -= _POLL_INTERVAL
+                acked = {worker for worker, e in self._refresh_acks if e == epoch}
 
     def stats(self) -> dict:
         """Live pool stats: merged per-worker counters + epochs."""
         self._require_running()
-        self._stats_replies = {}
-        for inbox in self._inboxes:
-            inbox.put(("stats",))
-        remaining = self.timeout
-        while len(self._stats_replies) < self.num_workers:
-            if remaining <= 0:
-                raise TimeoutError("workers did not report stats in time")
-            self._drain_one(_POLL_INTERVAL)
-            remaining -= _POLL_INTERVAL
+        with self._control_lock:
+            self._stats_replies = {}
+            for inbox in self._inboxes:
+                inbox.put(("stats",))
+            remaining = self.timeout
+            while len(self._stats_replies) < self.num_workers:
+                if remaining <= 0:
+                    raise TimeoutError("workers did not report stats in time")
+                self._drain_one(_POLL_INTERVAL)
+                remaining -= _POLL_INTERVAL
         merged = merge_worker_stats(
             [self._stats_replies[i] for i in sorted(self._stats_replies)]
         )
@@ -422,18 +480,49 @@ class WorkerPool:
         caller's snapshot via :func:`repro.obs.merge_snapshots`.
         """
         self._require_running()
-        self._metrics_replies = {}
-        for inbox in self._inboxes:
-            inbox.put(("metrics",))
-        remaining = self.timeout
-        while len(self._metrics_replies) < self.num_workers:
-            if remaining <= 0:
-                raise TimeoutError("workers did not report metrics in time")
-            self._drain_one(_POLL_INTERVAL)
-            remaining -= _POLL_INTERVAL
+        with self._control_lock:
+            self._metrics_replies = {}
+            for inbox in self._inboxes:
+                inbox.put(("metrics",))
+            remaining = self.timeout
+            while len(self._metrics_replies) < self.num_workers:
+                if remaining <= 0:
+                    raise TimeoutError("workers did not report metrics in time")
+                self._drain_one(_POLL_INTERVAL)
+                remaining -= _POLL_INTERVAL
         return obs.merge_snapshots(
             *[self._metrics_replies[i] for i in sorted(self._metrics_replies)]
         )
+
+    def trace(self) -> int:
+        """Collect every worker's drained span ring into this process's.
+
+        Process workers ship their ring plus their clock origin, and the
+        spans are re-based and adopted into ``obs.RECORDER`` — after this
+        call one :func:`repro.obs.to_chrome_trace` export holds the whole
+        request tree, frontend through store.  Thread workers share this
+        process's ring already and ship nothing.  Returns the number of
+        spans adopted.
+        """
+        self._require_running()
+        with self._control_lock:
+            self._trace_replies = {}
+            for inbox in self._inboxes:
+                inbox.put(("trace",))
+            remaining = self.timeout
+            while len(self._trace_replies) < self.num_workers:
+                if remaining <= 0:
+                    raise TimeoutError("workers did not ship traces in time")
+                self._drain_one(_POLL_INTERVAL)
+                remaining -= _POLL_INTERVAL
+            adopted = 0
+            for payload in self._trace_replies.values():
+                if payload is None:
+                    continue
+                adopted += obs.RECORDER.adopt(
+                    payload["spans"], origin_epoch=payload["origin_epoch"]
+                )
+        return adopted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else ("running" if self._started else "new")

@@ -76,6 +76,7 @@ class ServeRuntime:
         self.start_method = start_method
         self.epoch = 0
         self.pool: WorkerPool | None = None
+        self.telemetry = None  # TelemetryServer once serve_telemetry() runs
         #: Optional budgeted maintenance, run after each publish
         #: (`install_maintenance`); requires a durable (WAL-attached) writer.
         self.maintenance = None
@@ -103,7 +104,11 @@ class ServeRuntime:
         return self
 
     def close(self) -> dict | None:
-        """Stop the pool (writer store stays usable); final pool stats."""
+        """Stop the telemetry server and the pool (writer store stays
+        usable); returns the final pool stats."""
+        if self.telemetry is not None:
+            self.telemetry.close()
+            self.telemetry = None
         if self.pool is None:
             return None
         final = self.pool.close()
@@ -232,6 +237,40 @@ class ServeRuntime:
             predicates=(None, *self.predicates),
         )
 
+    # -- telemetry surface ----------------------------------------------
+
+    def serve_telemetry(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the HTTP telemetry server (``/metrics``, ``/metrics.json``,
+        ``/health``, ``/trace``) over this runtime; returns it.
+
+        ``port=0`` binds an ephemeral port — read it off the returned
+        server's ``.port``.  The server runs on its own thread/event loop
+        and is stopped by :meth:`close` (or its own ``close()``).
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.serve.http import TelemetryServer
+
+        self.telemetry = TelemetryServer(self, host=host, port=port).start()
+        return self.telemetry
+
+    def ready(self) -> bool:
+        """Readiness: an epoch has been published and every worker lives."""
+        return self.epoch >= 1 and self.pool is not None and self.pool.alive()
+
+    def trace(self, slow_only: bool = False) -> dict:
+        """One merged Chrome-trace export across frontend, pool and store.
+
+        Process workers' span rings are drained, re-based onto this
+        process's clock and adopted first, so the returned tree is whole
+        regardless of pool mode.  ``slow_only=True`` restricts the export
+        to the slow-op ring's trace ids — the ``/trace`` endpoint's view.
+        """
+        if self.pool is not None and self.pool.alive():
+            self.pool.trace()
+        trace_ids = obs.SLOW_OPS.trace_ids() if slow_only else None
+        return obs.to_chrome_trace(trace_ids)
+
     # -- introspection --------------------------------------------------
 
     def stats(self) -> dict:
@@ -244,6 +283,7 @@ class ServeRuntime:
             # Hoisted from the writer record: operators checking "can this
             # deployment lose acked writes?" shouldn't have to dig.
             "durability": writer["durability"],
+            "slow_ops": obs.SLOW_OPS.summary(),
             "writer": writer,
             "pool": self.pool.stats() if self.pool is not None else None,
         }

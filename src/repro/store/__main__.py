@@ -127,6 +127,19 @@ def inspect(path: str | Path, out=None) -> int:
     # The backend this process would probe the snapshot with (selection is
     # process-local: env var / set_backend, not a property of the snapshot).
     print(f"  kernel backend: {active_backend().name}", file=out)
+    # This process's slow-op ring (worst traced requests), if anything has
+    # been served here — an operator inspecting inside a serving process
+    # sees the worst request without a second tool.
+    slow = obs.SLOW_OPS.summary()
+    if slow["count"]:
+        print(
+            f"  slow ops: {slow['count']} seen, {slow['tracked']} kept, "
+            f"worst={slow['worst_us']:.0f}us stage={slow['worst_stage']} "
+            f"tenant={slow['worst_tenant']}",
+            file=out,
+        )
+    else:
+        print("  slow ops: none", file=out)
     walsec = manifest.get("wal")
     if walsec is None:
         print("  durability: none (snapshot-only)", file=out)

@@ -29,6 +29,7 @@ crash property suite runs with tiny thresholds so every step kind fires.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro import obs
 from repro.store.store import FilterStore
@@ -36,6 +37,11 @@ from repro.store.store import FilterStore
 _STEPS = obs.counter(
     "repro_store_maintenance_steps_total",
     "Maintenance steps executed, by step kind.",
+    ("kind",),
+)
+_STEP_US = obs.histogram(
+    "repro_store_maintenance_step_us",
+    "Maintenance step duration by step kind, in microseconds.",
     ("kind",),
 )
 
@@ -136,14 +142,20 @@ class MaintenanceScheduler:
         """
         shard_id = self._compaction_shard()
         if shard_id is not None:
+            start = perf_counter()
             with obs.span("maintenance.step", kind="compact", shard=shard_id):
                 self._compact_one(shard_id)
+            _STEP_US.labels(kind="compact").observe((perf_counter() - start) * 1e6)
             _STEPS.labels(kind="compact").inc()
             self.steps_run += 1
             return "compact"
         if self._checkpoint_due():
+            start = perf_counter()
             with obs.span("maintenance.step", kind="checkpoint"):
                 self.store.checkpoint()
+            _STEP_US.labels(kind="checkpoint").observe(
+                (perf_counter() - start) * 1e6
+            )
             _STEPS.labels(kind="checkpoint").inc()
             self.steps_run += 1
             return "checkpoint"

@@ -74,6 +74,20 @@ _PROBE_MISSES = obs.counter(
     "Keys no level of the probed shard answered True.",
 )
 
+#: Pre-bound per-depth children of ``_PROBE_HITS``: the query loop bumps
+#: one per (shard, level) every batch, and the labels() dict round-trip
+#: costs more than the inc itself.  Children survive registry clears, so
+#: the cache never goes stale.
+_PROBE_HIT_LEVELS: list = []
+
+
+def _probe_hits_child(depth: int):
+    while len(_PROBE_HIT_LEVELS) <= depth:
+        _PROBE_HIT_LEVELS.append(
+            _PROBE_HITS.labels(level=str(len(_PROBE_HIT_LEVELS)))
+        )
+    return _PROBE_HIT_LEVELS[depth]
+
 #: Process-unique prefix + global counter for level sequence tokens.  A seq
 #: names one immutable *content version* of a level: any mutation (insert,
 #: delete, compaction, roll) assigns a fresh token, so two levels carrying the
@@ -429,12 +443,13 @@ class FilterShard:
             answers = level._query_hashed_many(
                 fps[pending], homes[pending], compiled, alts[pending]
             )
-            if record:
-                hits = int(np.count_nonzero(answers))
-                if hits:
-                    _PROBE_HITS.labels(level=str(depth)).inc(hits)
-            out[pending[answers]] = True
+            hit_idx = pending[answers]
+            out[hit_idx] = True
             pending = pending[~answers]
+            # hit_idx is needed for the scatter anyway, so the hit count is a
+            # free .size read — no extra count_nonzero on the probe path.
+            if record and hit_idx.size:
+                _probe_hits_child(depth).inc(hit_idx.size)
         if record and pending.size:
             _PROBE_MISSES.inc(int(pending.size))
         return out

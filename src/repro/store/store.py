@@ -399,22 +399,47 @@ class FilterStore:
         out = np.zeros(n, dtype=bool)
         if n == 0:
             return out
+        # One probe span per *traced* request (an active TraceContext): the
+        # serving path gets per-request store attribution, while bulk
+        # untraced scans keep the zero-span hot path.  Deliberately no
+        # per-shard child spans — the scatter loop is the dispatch critical
+        # path, and n_shards extra span records per batch is exactly the
+        # cost the tracing-overhead gate bounds; a hot shard still shows in
+        # `repro_probe_*` counters.
+        traced = obs.state.enabled and obs.current() is not None
+        if traced:
+            with obs.span("store.probe", keys=int(n), shards=self.config.num_shards):
+                self._query_scattered(keys, compiled, out)
+        else:
+            self._query_scattered(keys, compiled, out)
+        return out
+
+    def _query_scattered(
+        self,
+        keys: Sequence[object] | np.ndarray,
+        compiled: CompiledQuery | None,
+        out: np.ndarray,
+    ) -> None:
+        """Hash once, scatter to shards, OR each shard's level answers."""
         shard_ids, fps, homes, alts = self._scatter(keys)
         for shard in self.shards:
             index = np.nonzero(shard_ids == shard.shard_id)[0]
             if index.size == 0:
                 continue
             guard = self._read_guard(shard.shard_id)
-            if guard is None:
+            self._probe_shard(shard, guard, out, index, fps, homes, alts, compiled)
+
+    @staticmethod
+    def _probe_shard(shard, guard, out, index, fps, homes, alts, compiled) -> None:
+        if guard is None:
+            out[index] = shard.query_hashed_many(
+                fps[index], homes[index], compiled, alts[index]
+            )
+        else:
+            with guard:
                 out[index] = shard.query_hashed_many(
                     fps[index], homes[index], compiled, alts[index]
                 )
-            else:
-                with guard:
-                    out[index] = shard.query_hashed_many(
-                        fps[index], homes[index], compiled, alts[index]
-                    )
-        return out
 
     def contains_key(self, key: object) -> bool:
         """Key-only membership test."""
@@ -937,7 +962,10 @@ class FilterStore:
                     "store.wal_replay", shard=shard.shard_id, frames=len(scan.frames)
                 ):
                     _replay_frames(shard, scan.frames)
-            record_replay(1 if scan.torn else 0)
+            record_replay(
+                1 if scan.torn else 0,
+                sum(frame.nrows for frame in scan.frames),
+            )
             # Attach truncates the torn tail (the one destructive step) and
             # takes append ownership at the last acked frame.
             shard.wal = ShardWal.attach(scan, self._durability)

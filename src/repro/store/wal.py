@@ -79,6 +79,29 @@ _WAL_TORN = obs.counter(
 _WAL_FSYNC_US = obs.histogram(
     "repro_wal_fsync_us", "WAL fsync latency in microseconds."
 )
+# Discipline-labelled durability telemetry (DESIGN.md §15): the fsync mode
+# ("always"/"batch"/"never") is the knob operators trade durability against
+# throughput with, so frames/rows/fsyncs are attributed to it — a scrape
+# shows at a glance which discipline the write volume actually ran under.
+_WAL_FRAMES = obs.counter(
+    "repro_wal_frames_total",
+    "WAL frames appended, by fsync discipline.",
+    ("discipline",),
+)
+_WAL_ROWS = obs.counter(
+    "repro_wal_rows_total",
+    "Rows covered by appended WAL frames, by fsync discipline.",
+    ("discipline",),
+)
+_WAL_FSYNCS = obs.counter(
+    "repro_wal_fsyncs_total",
+    "WAL fsync calls issued, by fsync discipline.",
+    ("discipline",),
+)
+_WAL_REPLAY_ROWS = obs.counter(
+    "repro_wal_replay_rows_total",
+    "Rows re-applied from WAL frames during crash recovery.",
+)
 
 
 def wal_dir(root: Path) -> Path:
@@ -394,6 +417,9 @@ class ShardWal:
         if obs.state.enabled:
             _WAL_APPENDS.labels(op=OP_NAMES[op]).inc()
             _WAL_BYTES.inc(len(frame))
+            discipline = self.durability.fsync
+            _WAL_FRAMES.labels(discipline=discipline).inc()
+            _WAL_ROWS.labels(discipline=discipline).inc(len(fps))
         mode = self.durability.fsync
         if mode == "always" or (
             mode == "batch" and self._unsynced >= self.durability.flush_bytes
@@ -410,6 +436,7 @@ class ShardWal:
         os.fsync(self._file.fileno())
         if obs.state.enabled:
             _WAL_FSYNC_US.observe((perf_counter() - start) * 1e6)
+            _WAL_FSYNCS.labels(discipline=self.durability.fsync).inc()
         self._unsynced = 0
 
     def stats(self) -> dict:
@@ -430,8 +457,11 @@ class ShardWal:
         )
 
 
-def record_replay(num_torn: int) -> None:
-    """Count one shard replay (and any discarded tail frames) in metrics."""
+def record_replay(num_torn: int, num_rows: int = 0) -> None:
+    """Count one shard replay, its re-applied rows, and any discarded
+    tail frames in metrics."""
     _WAL_REPLAYS.inc()
+    if num_rows:
+        _WAL_REPLAY_ROWS.inc(num_rows)
     if num_torn:
         _WAL_TORN.inc(num_torn)

@@ -91,6 +91,28 @@ class TestStoreInspectCLI:
         out = capsys.readouterr().out
         assert "ops: queries=1 (400 keys) inserts=1 (1200 keys)" in out
 
+    def test_inspect_reports_slow_ops_none(self, capsys, tmp_path):
+        from repro import obs
+
+        obs.SLOW_OPS.clear()
+        _store, root = self._snapshot(tmp_path)
+        assert store_main(["inspect", str(root)]) == 0
+        assert "slow ops: none" in capsys.readouterr().out
+
+    def test_inspect_reports_slow_ops_worst(self, capsys, tmp_path):
+        from repro import obs
+
+        obs.SLOW_OPS.clear()
+        obs.SLOW_OPS.offer("t1", "acme", 1500.0, {"dispatch": 1200.0})
+        try:
+            _store, root = self._snapshot(tmp_path)
+            assert store_main(["inspect", str(root)]) == 0
+            out = capsys.readouterr().out
+            assert "slow ops: 1 seen, 1 kept, worst=1500us" in out
+            assert "stage=dispatch tenant=acme" in out
+        finally:
+            obs.SLOW_OPS.clear()
+
     def test_inspect_missing_manifest(self, capsys, tmp_path):
         assert store_main(["inspect", str(tmp_path)]) == 1
         assert "manifest.json" in capsys.readouterr().out

@@ -1,0 +1,267 @@
+"""Unit tests for request-scoped tracing primitives (repro.obs §15).
+
+Covers the TraceContext (ids, wire form, contextvar activation), the
+trace-aware span recorder (parenting, drain/adopt rebase, registry
+recorded/dropped counters), the slow-op ring, and the SLO derivation
+helpers (histogram_quantile / slo_summary).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import context
+from repro.obs.export import histogram_quantile, slo_summary
+from repro.obs.slowops import SlowOpRing
+from repro.obs.spans import _ORIGIN_EPOCH, SpanRecorder
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    was = obs.enabled()
+    obs.set_enabled(True)
+    obs._reset_for_tests()
+    yield
+    obs.set_enabled(was)
+    obs._reset_for_tests()
+
+
+# ----------------------------------------------------------------------
+# TraceContext
+# ----------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_new_trace_ids_are_unique(self):
+        seen = {context.new_trace().trace_id for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_wire_round_trip(self):
+        ctx = context.new_trace(tenant="acme", predicate="red")
+        assert context.TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_child_rebinds_span_only(self):
+        ctx = context.new_trace(tenant="acme")
+        child = ctx.child("s-child")
+        assert child.span_id == "s-child"
+        assert child.trace_id == ctx.trace_id
+        assert child.tenant == "acme"
+
+    def test_activation_is_scoped(self):
+        assert context.current() is None
+        ctx = context.new_trace()
+        with context.activate(ctx):
+            assert context.current() is ctx
+            inner = context.new_trace()
+            with context.activate(inner):
+                assert context.current() is inner
+            assert context.current() is ctx
+        assert context.current() is None
+
+
+# ----------------------------------------------------------------------
+# Trace-aware spans
+# ----------------------------------------------------------------------
+
+
+class TestTracedSpans:
+    def test_untraced_span_has_no_ids(self):
+        with obs.span("plain"):
+            pass
+        (record,) = obs.RECORDER.spans()
+        assert record["trace"] is None and record["parent"] is None
+
+    def test_nested_spans_form_a_tree(self):
+        ctx = context.new_trace(tenant="t")
+        with context.activate(ctx):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        inner, outer = obs.RECORDER.spans()
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["trace"] == outer["trace"] == ctx.trace_id
+        assert outer["parent"] == ctx.span_id
+        assert inner["parent"] == outer["span"]
+
+    def test_disabled_records_nothing(self):
+        obs.set_enabled(False)
+        with context.activate(context.new_trace()):
+            with obs.span("ghost"):
+                pass
+        assert obs.RECORDER.spans() == []
+
+    def test_drain_clears_ring_but_keeps_lifetime_counts(self):
+        recorder = SpanRecorder(capacity=8)
+        for i in range(10):
+            with recorder.span(f"s{i}"):
+                pass
+        assert recorder.recorded == 10 and recorder.dropped == 2
+        drained = recorder.drain()
+        assert len(drained) == 8
+        assert recorder.spans() == []
+        assert recorder.recorded == 10 and recorder.dropped == 2
+
+    def test_adopt_rebases_timestamps(self):
+        recorder = SpanRecorder(capacity=8)
+        shipped = [
+            {
+                "name": "remote",
+                "start": 1.0,
+                "duration": 0.5,
+                "thread": 1,
+                "pid": 999,
+                "trace": "t-x",
+                "span": "s-x",
+                "parent": None,
+                "args": {},
+            }
+        ]
+        # The shipper's clock origin was 2s later than ours: its spans land
+        # 2s further along our timeline.
+        assert recorder.adopt(shipped, origin_epoch=_ORIGIN_EPOCH + 2.0) == 1
+        (record,) = recorder.spans()
+        assert record["start"] == pytest.approx(3.0)
+        trace = recorder.to_chrome_trace()
+        assert trace["traceEvents"][0]["pid"] == 999
+
+    def test_registry_counters_track_default_ring(self):
+        for _ in range(3):
+            with obs.span("counted"):
+                pass
+        snap = obs.snapshot()
+        assert snap["repro_spans_recorded_total"]["samples"][0]["value"] == 3
+        # Adoption must not double-count recorded (workers ship their own).
+        obs.RECORDER.adopt(
+            [
+                {
+                    "name": "w",
+                    "start": 0.0,
+                    "duration": 0.1,
+                    "thread": 1,
+                    "pid": 1,
+                    "trace": None,
+                    "span": None,
+                    "parent": None,
+                    "args": {},
+                }
+            ]
+        )
+        snap = obs.snapshot()
+        assert snap["repro_spans_recorded_total"]["samples"][0]["value"] == 3
+
+    def test_dropped_counter_reaches_registry(self):
+        overflow = obs.RECORDER.capacity + 5
+        for i in range(overflow):
+            with obs.span("flood"):
+                pass
+        snap = obs.snapshot()
+        assert snap["repro_spans_dropped_total"]["samples"][0]["value"] == 5
+        assert obs.RECORDER.dropped == 5
+
+    def test_chrome_trace_filter_by_trace_id(self):
+        for tenant in ("a", "b"):
+            with context.activate(context.new_trace(tenant=tenant)):
+                with obs.span("work", tenant=tenant):
+                    pass
+        keep = {r["trace"] for r in obs.RECORDER.spans() if r["args"]["tenant"] == "a"}
+        events = obs.to_chrome_trace(keep)["traceEvents"]
+        assert len(events) == 1
+        assert events[0]["args"]["tenant"] == "a"
+        assert events[0]["args"]["trace"] in keep
+
+
+# ----------------------------------------------------------------------
+# Slow-op ring
+# ----------------------------------------------------------------------
+
+
+class TestSlowOpRing:
+    def test_keeps_worst_n(self):
+        ring = SlowOpRing(capacity=3)
+        for us in (50, 10, 400, 200, 30, 999):
+            ring.offer(f"t{us}", "default", us, {"dispatch": us})
+        totals = [entry["total_us"] for entry in ring.entries()]
+        assert totals == [999, 400, 200]
+        assert ring.offered == 6
+        assert ring.trace_ids() == {"t999", "t400", "t200"}
+
+    def test_summary_names_worst_stage(self):
+        ring = SlowOpRing(capacity=4)
+        ring.offer("t1", "acme", 300.0, {"coalesce": 250.0, "dispatch": 50.0})
+        summary = ring.summary()
+        assert summary["count"] == 1 and summary["tracked"] == 1
+        assert summary["worst_us"] == 300.0
+        assert summary["worst_stage"] == "coalesce"
+        assert summary["worst_tenant"] == "acme"
+        assert summary["worst_trace"] == "t1"
+
+    def test_empty_summary(self):
+        summary = SlowOpRing().summary()
+        assert summary == {
+            "count": 0,
+            "tracked": 0,
+            "worst_us": 0.0,
+            "worst_stage": None,
+            "worst_tenant": None,
+            "worst_trace": None,
+        }
+
+    def test_clear(self):
+        ring = SlowOpRing(capacity=2)
+        ring.offer("t", "d", 1.0)
+        ring.clear()
+        assert ring.offered == 0 and ring.entries() == []
+
+
+# ----------------------------------------------------------------------
+# SLO derivation
+# ----------------------------------------------------------------------
+
+
+class TestQuantiles:
+    SAMPLE = {"buckets": {"1": 1, "4": 2, "32": 1}, "count": 4, "sum": 24, "max": 17}
+
+    def test_extremes(self):
+        assert histogram_quantile(self.SAMPLE, 0.0) == 0.0
+        assert histogram_quantile(self.SAMPLE, 1.0) == 17.0
+
+    def test_median_lands_in_matching_bucket(self):
+        p50 = histogram_quantile(self.SAMPLE, 0.5)
+        assert 2.0 <= p50 <= 4.0
+
+    def test_never_exceeds_max(self):
+        assert histogram_quantile(self.SAMPLE, 0.99) <= 17.0
+
+    def test_empty_and_bad_q(self):
+        assert histogram_quantile({"buckets": {}, "count": 0, "max": 0}, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram_quantile(self.SAMPLE, 1.5)
+
+    def test_matches_exact_quantile_within_bucket_resolution(self):
+        hist = obs.Pow2Histogram()
+        values = [float(v) for v in range(1, 201)]
+        for value in values:
+            hist.observe(value)
+        sample = hist.data()
+        for q in (0.5, 0.9, 0.99):
+            exact = values[min(len(values) - 1, math.ceil(q * len(values)) - 1)]
+            estimate = histogram_quantile(sample, q)
+            # Pow2 buckets bound the relative error by the bucket width.
+            assert exact / 2 <= estimate <= exact * 2
+
+    def test_slo_summary_shapes(self):
+        hist = obs.histogram("repro_request_us", "x", ("stage", "tenant"))
+        for us in (100, 200, 400):
+            hist.labels(stage="total", tenant="acme").observe(us)
+        summary = slo_summary(obs.snapshot())
+        row = summary["stage=total,tenant=acme"]
+        assert row["count"] == 3
+        assert row["max"] == 400
+        assert 0 < row["p50"] <= row["p99"] <= 512
+        assert row["mean"] == pytest.approx(700 / 3)
+
+    def test_slo_summary_absent_family(self):
+        assert slo_summary({}, "nope") == {}

@@ -1,0 +1,180 @@
+"""TelemetryServer endpoint tests: live scrapes over a real socket."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq
+from repro.serve.http import TelemetryServer
+from repro.serve.runtime import ServeRuntime
+from repro.store import FilterStore, StoreConfig
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(key_bits=24, attr_bits=16, bucket_size=4, seed=23)
+COLORS = np.array(["red", "green", "blue"], dtype=object)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    was = obs.enabled()
+    obs.set_enabled(True)
+    obs._reset_for_tests()
+    yield
+    obs.set_enabled(was)
+    obs._reset_for_tests()
+
+
+def make_runtime(tmp_path):
+    store = FilterStore(SCHEMA, PARAMS, StoreConfig(num_shards=2, level_buckets=64))
+    keys = np.arange(1000, dtype=np.int64)
+    assert store.insert_many(keys, [COLORS[keys % 3], keys % 11]).all()
+    return ServeRuntime(
+        store,
+        tmp_path / "epochs",
+        num_workers=2,
+        mode="thread",
+        predicates={"red": Eq("color", "red")},
+        warm=False,
+    )
+
+
+def _get(url, method="GET"):
+    request = urllib.request.Request(url, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.headers, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, exc.read()
+
+
+@pytest.fixture()
+def served(tmp_path):
+    runtime = make_runtime(tmp_path)
+    with runtime:
+        server = runtime.serve_telemetry()
+
+        async def traffic():
+            frontend = runtime.frontend()
+            answers = await asyncio.gather(
+                *[frontend.query(k, tenant="acme") for k in range(8)]
+            )
+            assert all(answers)
+            frontend.close()
+
+        asyncio.run(traffic())
+        yield runtime, server
+
+
+class TestEndpoints:
+    def test_metrics_prometheus(self, served):
+        _, server = served
+        status, headers, body = _get(server.url("/metrics"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = obs.parse_prometheus(body.decode())
+        assert "repro_request_us" in parsed
+        assert "repro_frontend_requests_total" in parsed
+
+    def test_metrics_json_validates(self, served):
+        _, server = served
+        status, headers, body = _get(server.url("/metrics.json"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert obs.validate_snapshot(payload["metrics_snapshot"]) == []
+        assert "stage=total,tenant=acme" in payload["slo"]
+        row = payload["slo"]["stage=total,tenant=acme"]
+        assert row["count"] == 8
+        assert 0 < row["p50"] <= row["p99"]
+        assert payload["slow_ops"]["count"] == 8
+
+    def test_health_ready(self, served):
+        runtime, server = served
+        status, _, body = _get(server.url("/health"))
+        assert status == 200
+        health = json.loads(body)
+        assert health == {
+            "status": "ok",
+            "epoch": runtime.epoch,
+            "workers_alive": True,
+            "mode": "thread",
+        }
+
+    def test_trace_exports_slow_ops(self, served):
+        runtime, server = served
+        status, _, body = _get(server.url("/trace"))
+        assert status == 200
+        events = json.loads(body)["traceEvents"]
+        assert events
+        exported = {e["args"].get("trace") for e in events} - {None}
+        assert exported <= obs.SLOW_OPS.trace_ids()
+
+    def test_unknown_route_404(self, served):
+        _, server = served
+        status, _, body = _get(server.url("/nope"))
+        assert status == 404
+        assert "no route" in json.loads(body)["error"]
+
+    def test_post_is_405(self, served):
+        _, server = served
+        status, _, _ = _get(server.url("/metrics"), method="POST")
+        assert status == 405
+
+    def test_request_counter_bounds_route_cardinality(self, served):
+        _, server = served
+        _get(server.url("/health"))
+        for path in ("/random1", "/random2"):
+            _get(server.url(path))
+        sample_labels = {
+            (s["labels"]["route"], s["labels"]["status"]): s["value"]
+            for s in obs.snapshot()["repro_telemetry_requests_total"]["samples"]
+        }
+        assert sample_labels[("/health", "200")] >= 1
+        assert sample_labels[("other", "404")] == 2
+        routes = {route for route, _ in sample_labels}
+        assert "/random1" not in routes
+
+
+class TestLifecycle:
+    def test_health_503_before_start(self, tmp_path):
+        runtime = make_runtime(tmp_path)  # never started: no epoch, no pool
+        server = TelemetryServer(runtime).start()
+        try:
+            status, _, body = _get(server.url("/health"))
+            assert status == 503
+            assert json.loads(body)["status"] == "unavailable"
+        finally:
+            server.close()
+
+    def test_serve_telemetry_idempotent(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        with runtime:
+            first = runtime.serve_telemetry()
+            assert runtime.serve_telemetry() is first
+            port = first.port
+            assert port != 0
+        # runtime.close() stopped it and cleared the handle.
+        assert runtime.telemetry is None
+
+    def test_server_close_idempotent(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        with runtime:
+            server = runtime.serve_telemetry()
+            server.close()
+            server.close()
+
+    def test_stats_surface_slow_ops(self, served):
+        runtime, _ = served
+        summary = runtime.stats()["slow_ops"]
+        assert summary["count"] == 8
+        assert summary["worst_stage"] in {"coalesce", "dispatch", "scatter"}
+        assert summary["worst_us"] > 0

@@ -1,0 +1,239 @@
+"""Cross-process trace propagation (ISSUE 10 acceptance criteria).
+
+A request minted in the asyncio front end must come back as ONE span tree
+— frontend enqueue → coalesce → dispatch → worker probe → store probe —
+no matter how the worker pool runs: threads sharing the parent's span
+ring, forked processes shipping theirs back, or spawned processes with a
+completely fresh interpreter.  Also pins the accounting contract: every
+``repro_request_us`` observation has exactly one matching span, so
+per-(stage, tenant) span-duration sums equal the histogram sums.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.ccf.attributes import AttributeSchema
+from repro.ccf.params import CCFParams
+from repro.ccf.predicates import Eq
+from repro.obs import context
+from repro.serve.frontend import CoalescingFrontEnd
+from repro.serve.runtime import ServeRuntime
+from repro.store import FilterStore, StoreConfig
+
+SCHEMA = AttributeSchema(["color", "size"])
+PARAMS = CCFParams(key_bits=24, attr_bits=16, bucket_size=4, seed=23)
+COLORS = np.array(["red", "green", "blue"], dtype=object)
+
+POOL_FLAVOURS = [
+    pytest.param("thread", None, id="thread"),
+    pytest.param("process", "fork", id="fork"),
+    pytest.param("process", "spawn", id="spawn"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on(monkeypatch):
+    # Spawned workers re-import repro.obs and read the env var, so the
+    # switch must be pinned in the environment, not just this process.
+    monkeypatch.setenv("REPRO_METRICS", "on")
+    was = obs.enabled()
+    obs.set_enabled(True)
+    obs._reset_for_tests()
+    yield
+    obs.set_enabled(was)
+    obs._reset_for_tests()
+
+
+def make_runtime(tmp_path, mode, start_method, num_keys=600):
+    store = FilterStore(SCHEMA, PARAMS, StoreConfig(num_shards=2, level_buckets=64))
+    keys = np.arange(num_keys, dtype=np.int64)
+    assert store.insert_many(keys, [COLORS[keys % 3], keys % 11]).all()
+    runtime = ServeRuntime(
+        store,
+        tmp_path / "epochs",
+        num_workers=2,
+        mode=mode,
+        start_method=start_method,
+        predicates={"red": Eq("color", "red")},
+        warm=False,
+    )
+    return runtime, keys
+
+
+async def _traffic(frontend, keys):
+    point = [
+        frontend.query(int(key), tenant="acme" if i % 2 else "globex")
+        for i, key in enumerate(keys[:16])
+    ]
+    batch = frontend.query_many(keys[:64], "red", tenant="acme")
+    answers = await asyncio.gather(*point, batch)
+    assert all(answers[:-1])
+    assert (answers[-1] == (COLORS[keys[:64] % 3] == "red")).all()
+
+
+def _by_trace(trace: dict) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for event in trace["traceEvents"]:
+        trace_id = event.get("args", {}).get("trace")
+        if trace_id:
+            grouped.setdefault(trace_id, []).append(event)
+    return grouped
+
+
+@pytest.mark.parametrize(("mode", "start_method"), POOL_FLAVOURS)
+def test_merged_trace_is_one_tree(tmp_path, mode, start_method):
+    runtime, keys = make_runtime(tmp_path, mode, start_method)
+    with runtime:
+        frontend = runtime.frontend()
+        asyncio.run(_traffic(frontend, keys))
+        frontend.close()
+        trace = runtime.trace()
+    grouped = _by_trace(trace)
+    assert grouped, "no traced spans exported"
+    complete = 0
+    for trace_id, events in grouped.items():
+        spans = {e["args"]["span"] for e in events}
+        # Every parent edge resolves inside the same trace...
+        for event in events:
+            parent = event["args"]["parent"]
+            assert parent is None or parent in spans, (
+                f"{event['name']} in {trace_id} dangles off parent {parent}"
+            )
+        # ...and the tree has exactly one root (the request span).
+        roots = [e for e in events if e["args"]["parent"] is None]
+        assert len(roots) == 1
+        assert roots[0]["name"] == "frontend.request"
+        names = {e["name"] for e in events}
+        if {"frontend.request", "worker.probe", "store.probe"} <= names:
+            complete += 1
+    assert complete, "no trace reached frontend → worker → store depth"
+    if mode == "process":
+        # Worker spans really crossed a process boundary and were re-based.
+        pids = {
+            e["pid"]
+            for events in grouped.values()
+            for e in events
+            if e["name"] == "worker.probe"
+        }
+        frontend_pids = {
+            e["pid"]
+            for events in grouped.values()
+            for e in events
+            if e["name"] == "frontend.request"
+        }
+        assert pids and pids.isdisjoint(frontend_pids)
+
+
+def test_single_request_end_to_end(tmp_path):
+    """ISSUE acceptance: one request → one Chrome trace with frontend,
+    worker and store spans under a single trace id."""
+    runtime, keys = make_runtime(tmp_path, "process", "fork")
+    with runtime:
+        frontend = runtime.frontend()
+        ctx = context.new_trace(tenant="acme")
+
+        async def one():
+            with context.activate(ctx):
+                return await frontend.query(int(keys[0]))
+
+        assert asyncio.run(one()) is True
+        frontend.close()
+        trace = runtime.trace()
+    events = _by_trace(trace).get(ctx.trace_id)
+    assert events, "the request's trace id is missing from the export"
+    names = {e["name"] for e in events}
+    assert {
+        "frontend.request",
+        "frontend.coalesce",
+        "frontend.dispatch",
+        "worker.probe",
+        "store.probe",
+    } <= names
+    spans = {e["args"]["span"]: e for e in events}
+    probe = next(e for e in events if e["name"] == "worker.probe")
+    # Walk the probe's ancestry to the root: it must reach frontend.request.
+    chain = []
+    cursor = probe
+    while cursor is not None:
+        chain.append(cursor["name"])
+        parent = cursor["args"]["parent"]
+        cursor = spans.get(parent) if parent else None
+    assert chain[-1] == "frontend.request"
+    assert "frontend.dispatch" in chain
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_stage_span_sums_match_histogram(tmp_path, mode):
+    runtime, keys = make_runtime(tmp_path, mode, "fork" if mode == "process" else None)
+    with runtime:
+        frontend = runtime.frontend()
+        asyncio.run(_traffic(frontend, keys))
+        frontend.close()
+
+        sums: dict[tuple[str, str], float] = {}
+        for record in obs.RECORDER.spans():
+            stage = record["args"].get("stage")
+            if stage is None:
+                continue
+            key = (stage, record["args"]["tenant"])
+            sums[key] = sums.get(key, 0.0) + record["duration"] * 1e6
+
+        snapshot = obs.snapshot()
+        # Zero-count series survive registry resets (families keep their
+        # children); only live series carry the invariant.
+        samples = [
+            s for s in snapshot["repro_request_us"]["samples"] if s["count"]
+        ]
+        assert samples, "no repro_request_us series recorded"
+        for sample in samples:
+            key = (sample["labels"]["stage"], sample["labels"]["tenant"])
+            assert key in sums, f"histogram series {key} has no matching spans"
+            assert math.isclose(sums[key], sample["sum"], rel_tol=1e-9), key
+        assert set(sums) == {
+            (sample["labels"]["stage"], sample["labels"]["tenant"])
+            for sample in samples
+        }
+
+
+def test_kill_switch_leaves_no_trace(tmp_path):
+    obs.set_enabled(False)
+    runtime, keys = make_runtime(tmp_path, "thread", None)
+    with runtime:
+        frontend = runtime.frontend()
+        asyncio.run(_traffic(frontend, keys))
+        frontend.close()
+        trace = runtime.trace()
+    assert obs.RECORDER.spans() == []
+    assert trace["traceEvents"] == []
+    # The family is registered at import; disabled it must see nothing.
+    request_us = obs.snapshot().get("repro_request_us", {"samples": []})
+    assert sum(sample["count"] for sample in request_us["samples"]) == 0
+    assert obs.SLOW_OPS.summary()["count"] == 0
+
+
+def test_frontend_joins_active_context_tenant_wins(tmp_path):
+    """A caller-activated context is joined, not replaced: the request span
+    reuses its trace id and the caller's tenant labels the series."""
+    store = FilterStore(SCHEMA, PARAMS, StoreConfig(num_shards=2, level_buckets=64))
+    keys = np.arange(100, dtype=np.int64)
+    store.insert_many(keys, [COLORS[keys % 3], keys % 11])
+    frontend = CoalescingFrontEnd(store, tick_seconds=0.0)
+    ctx = context.new_trace(tenant="upstream")
+
+    async def drive():
+        with context.activate(ctx):
+            return await frontend.query(5, tenant="ignored")
+
+    assert asyncio.run(drive()) is True
+    frontend.close()
+    request = next(
+        r for r in obs.RECORDER.spans() if r["name"] == "frontend.request"
+    )
+    assert request["trace"] == ctx.trace_id
+    assert request["args"]["tenant"] == "upstream"
